@@ -1,0 +1,61 @@
+// Command atis-experiments regenerates the paper's tables and figures.
+//
+//	atis-experiments -list
+//	atis-experiments -run all
+//	atis-experiments -run table5,table8 -reps 5
+//	atis-experiments -run figure10 -skipdb=false -seed 1993
+//
+// Each experiment prints a paper-style table and/or ASCII figure with the
+// paper's published numbers alongside where available.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		run    = flag.String("run", "all", "comma-separated experiment ids, or 'all'")
+		list   = flag.Bool("list", false, "list experiment ids and exit")
+		reps   = flag.Int("reps", 3, "wall-clock repetitions per measurement")
+		seed   = flag.Int64("seed", 1993, "workload seed")
+		skipDB = flag.Bool("skipdb", false, "skip the database-engine measurements (faster)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-24s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	cfg := experiments.RunConfig{Reps: *reps, Seed: *seed, SkipDB: *skipDB}
+	var selected []experiments.Experiment
+	if strings.EqualFold(*run, "all") {
+		selected = experiments.All()
+	} else {
+		for _, id := range strings.Split(*run, ",") {
+			id = strings.TrimSpace(id)
+			e, ok := experiments.ByID(id)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "atis-experiments: unknown experiment %q; known: %v\n", id, experiments.IDs())
+				os.Exit(2)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	for _, e := range selected {
+		fmt.Printf("\n##### %s — %s\n", e.ID, e.Title)
+		if err := e.Run(os.Stdout, cfg); err != nil {
+			fmt.Fprintf(os.Stderr, "atis-experiments: %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,121 @@
+// Command atis-quel runs QUEL statements against a map database — the
+// closest thing to the paper's INGRES terminal. The map loads as two
+// relations, n (node master: id, x, y) and s (edges: begin, end, cost),
+// exactly the physical design of Section 4.
+//
+//	echo 'RANGE OF e IS s
+//	      RETRIEVE (e.end, e.cost) WHERE e.begin = 0' | atis-quel
+//
+//	atis-quel -e 'RANGE OF e IS s' -e 'RETRIEVE (e.all) WHERE e.cost > 1.15'
+//
+// Statements are one per line; lines starting with # are comments.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/dbsearch"
+	"repro/internal/graph"
+	"repro/internal/gridgen"
+	"repro/internal/mpls"
+	"repro/internal/quel"
+)
+
+// multiFlag collects repeated -e statements.
+type multiFlag []string
+
+func (m *multiFlag) String() string { return strings.Join(*m, "; ") }
+func (m *multiFlag) Set(s string) error {
+	*m = append(*m, s)
+	return nil
+}
+
+func main() {
+	var (
+		mapKind = flag.String("map", "grid", "map to load: grid | mpls")
+		k       = flag.Int("k", 10, "grid side for -map grid")
+		seed    = flag.Int64("seed", 1993, "map seed")
+		maxRows = flag.Int("maxrows", 20, "truncate RETRIEVE output after this many rows")
+		stmts   multiFlag
+	)
+	flag.Var(&stmts, "e", "statement to execute (repeatable); default reads stdin")
+	flag.Parse()
+
+	var g *graph.Graph
+	var err error
+	switch *mapKind {
+	case "grid":
+		g, err = gridgen.Generate(gridgen.Config{K: *k, Model: gridgen.Variance, Seed: *seed})
+	case "mpls":
+		g, err = mpls.Generate(mpls.Config{Seed: *seed})
+	default:
+		err = fmt.Errorf("unknown map %q", *mapKind)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	// dbsearch.OpenMap loads n and s with their indexes; the REPL sees the
+	// same physical design the experiments run against.
+	m, err := dbsearch.OpenMap(g, dbsearch.Options{})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("loaded relations: n (%d node tuples), s (%d edge tuples)\n", g.NumNodes(), g.NumEdges())
+
+	session := quel.NewSession(m.DB())
+	execute := func(line string) {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			return
+		}
+		res, err := session.Execute(line)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "error: %v\n", err)
+			return
+		}
+		if res.Plan != "" {
+			fmt.Printf("plan: %s\n", res.Plan)
+			return
+		}
+		if len(res.Columns) > 0 {
+			fmt.Println(strings.Join(res.Columns, "\t"))
+			for i, row := range res.Rows {
+				if i >= *maxRows {
+					fmt.Printf("... (%d more rows)\n", len(res.Rows)-i)
+					break
+				}
+				parts := make([]string, len(row))
+				for j, v := range row {
+					parts[j] = v.String()
+				}
+				fmt.Println(strings.Join(parts, "\t"))
+			}
+		}
+		fmt.Printf("(%d tuples)\n", res.Count)
+	}
+
+	if len(stmts) > 0 {
+		for _, s := range stmts {
+			fmt.Printf("> %s\n", s)
+			execute(s)
+		}
+		return
+	}
+	sc := bufio.NewScanner(os.Stdin)
+	for sc.Scan() {
+		execute(sc.Text())
+	}
+	if err := sc.Err(); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "atis-quel: %v\n", err)
+	os.Exit(1)
+}

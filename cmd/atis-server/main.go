@@ -1,0 +1,49 @@
+// Command atis-server exposes the three ATIS facilities over HTTP — route
+// computation, route evaluation and route display (paper Section 1.1) —
+// plus dynamic traffic updates. See internal/httpapi for the endpoints.
+//
+//	atis-server -addr :8080 -map mpls
+//	curl 'localhost:8080/route?from=G&to=D&algo=astar-euclidean'
+//	curl -X POST localhost:8080/traffic -d '{"x":16,"y":16,"radius":4,"factor":2}'
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+
+	"repro/internal/graph"
+	"repro/internal/gridgen"
+	"repro/internal/httpapi"
+	"repro/internal/mpls"
+	"repro/internal/route"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		mapKind = flag.String("map", "mpls", "map to serve: mpls | grid")
+		k       = flag.Int("k", 30, "grid side for -map grid")
+		seed    = flag.Int64("seed", 1993, "map seed")
+	)
+	flag.Parse()
+
+	var g *graph.Graph
+	var err error
+	switch *mapKind {
+	case "mpls":
+		g, err = mpls.Generate(mpls.Config{Seed: *seed})
+	case "grid":
+		g, err = gridgen.Generate(gridgen.Config{K: *k, Model: gridgen.Variance, Seed: *seed})
+	default:
+		log.Fatalf("atis-server: unknown map %q", *mapKind)
+	}
+	if err != nil {
+		log.Fatalf("atis-server: %v", err)
+	}
+
+	srv := httpapi.NewServer(route.NewService(g))
+	log.Printf("atis-server: serving %s map (%d nodes, %d edges) on %s",
+		*mapKind, g.NumNodes(), g.NumEdges(), *addr)
+	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
+}

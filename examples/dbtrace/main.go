@@ -1,0 +1,63 @@
+// Dbtrace: run the database-resident Dijkstra and A* (version 3) the way
+// the paper ran them on INGRES, print the per-step block-I/O trace aligned
+// with cost Tables 2 and 3, and compare the measured I/O against the
+// algebraic cost model's prediction.
+//
+//	go run ./examples/dbtrace
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/costmodel"
+	"repro/internal/dbms"
+	"repro/internal/dbsearch"
+	"repro/internal/gridgen"
+	"repro/internal/optimizer"
+)
+
+func main() {
+	const k = 20
+	g, err := gridgen.Generate(gridgen.Config{K: k, Model: gridgen.Variance, Seed: 1993})
+	if err != nil {
+		log.Fatal(err)
+	}
+	m, err := dbsearch.OpenMap(g, dbsearch.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	s, d := gridgen.Pair(k, gridgen.Diagonal, 0)
+	params := m.DB().Params()
+	model := costmodel.New(optimizer.Params{}, costmodel.GridWorkload(k))
+
+	run := func(name string, cfg dbsearch.Config) dbsearch.Result {
+		res, err := m.RunBestFirst(s, d, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\n=== %s: cost %.2f, %d iterations, %d reopens ===\n",
+			name, res.Cost, res.Iterations, res.Reopens)
+		fmt.Print(dbms.FormatTrace(res.Steps, params.TRead, params.TWrite))
+		return res
+	}
+
+	dij := run("dijkstra (Figure 2 over relations)", dbsearch.DijkstraConfig())
+	ast := run("astar v3 (Figure 3 over relations)", dbsearch.AStarV3Config())
+
+	fmt.Println("\n=== measured vs. the algebraic cost model (Table 3 formulas) ===")
+	for _, row := range []struct {
+		name  string
+		res   dbsearch.Result
+		model costmodel.Breakdown
+	}{
+		{"dijkstra", dij, model.DijkstraEstimate(dij.Iterations)},
+		{"astar-v3", ast, model.AStarV3Estimate(ast.Iterations)},
+	} {
+		fmt.Printf("%-10s measured %8.1f units (%d logical page reads)   model predicts %8.1f units\n",
+			row.name, row.res.TimeUnits, row.res.PageRequests, row.model.Total)
+	}
+
+	fmt.Println("\nFull model breakdown for A* v3:")
+	fmt.Print(model.AStarV3Estimate(ast.Iterations))
+}

@@ -1,0 +1,48 @@
+// Gridbench: sweep the paper's synthetic grid workloads across all five
+// algorithms and print a work comparison — a compact, in-memory rerun of
+// the Section 5.1 study.
+//
+//	go run ./examples/gridbench
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"repro/internal/core"
+	"repro/internal/gridgen"
+)
+
+func main() {
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "grid\tcost model\tpath\tL\talgorithm\titerations\tcost")
+
+	for _, k := range []int{10, 20, 30} {
+		for _, model := range []gridgen.CostModel{gridgen.Uniform, gridgen.Variance, gridgen.Skewed} {
+			g, err := gridgen.Generate(gridgen.Config{K: k, Model: model, Seed: 1993})
+			if err != nil {
+				log.Fatal(err)
+			}
+			planner := core.NewPlanner(g)
+			for _, kind := range []gridgen.PairKind{gridgen.Horizontal, gridgen.Diagonal} {
+				s, d := gridgen.Pair(k, kind, 0)
+				for _, algo := range core.Algorithms() {
+					r, err := planner.Route(s, d, core.Options{Algorithm: algo})
+					if err != nil {
+						log.Fatal(err)
+					}
+					fmt.Fprintf(tw, "%dx%d\t%v\t%v\t%d\t%v\t%d\t%.2f\n",
+						k, k, model, kind, gridgen.ManhattanEdges(k, kind),
+						algo, r.Trace.Iterations, r.Cost)
+				}
+			}
+		}
+	}
+	tw.Flush()
+
+	fmt.Println("\nReading the table: iterative's iteration count ignores the destination;")
+	fmt.Println("dijkstra's grows with path length; the A* variants exploit geometry and")
+	fmt.Println("win by an order of magnitude on short paths — the paper's Section 5 story.")
+}

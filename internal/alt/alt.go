@@ -1,0 +1,149 @@
+// Package alt implements the landmark (ALT) estimator family: precomputed
+// shortest-path distances to a few landmark nodes give, via the triangle
+// inequality, an admissible and consistent estimator for A* on any
+// non-negative cost metric — including travel times, where the paper's
+// geometric estimators (euclidean, manhattan) either underestimate badly or
+// lose admissibility.
+//
+// The paper's Section 5.3 closes with "choosing a good estimator is of the
+// utmost importance"; ALT is the now-standard answer for road networks and
+// slots directly into this library's estimator interface.
+//
+// Preprocessing runs two single-source computations per landmark (forward
+// and on the reverse graph), so it costs O(k·(m + n log n)) once per cost
+// snapshot; estimates are O(k) per node.
+package alt
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/estimator"
+	"repro/internal/graph"
+	"repro/internal/search"
+)
+
+// ALT holds the precomputed landmark distance tables.
+type ALT struct {
+	landmarks []graph.NodeID
+	// from[i][u] = dist(L_i → u); to[i][u] = dist(u → L_i).
+	from [][]float64
+	to   [][]float64
+}
+
+// Preprocess computes the distance tables for the given landmarks over g's
+// current edge costs. Costs captured here are baked into the estimator; if
+// traffic updates change the graph, re-preprocess (or accept that estimates
+// may lose admissibility exactly as manhattan does in the paper).
+func Preprocess(g *graph.Graph, landmarks []graph.NodeID) (*ALT, error) {
+	if len(landmarks) == 0 {
+		return nil, fmt.Errorf("alt: no landmarks")
+	}
+	for _, l := range landmarks {
+		if l < 0 || int(l) >= g.NumNodes() {
+			return nil, fmt.Errorf("alt: landmark %d out of range", l)
+		}
+	}
+	rg := g.Reverse()
+	a := &ALT{landmarks: append([]graph.NodeID(nil), landmarks...)}
+	for _, l := range landmarks {
+		from, _ := search.SingleSource(g, l)
+		to, _ := search.SingleSource(rg, l)
+		a.from = append(a.from, from)
+		a.to = append(a.to, to)
+	}
+	return a, nil
+}
+
+// Landmarks returns the landmark set.
+func (a *ALT) Landmarks() []graph.NodeID {
+	return append([]graph.NodeID(nil), a.landmarks...)
+}
+
+// Estimate returns the ALT lower bound on the cost from u to d:
+//
+//	max_i  max( to[i][u] − to[i][d],  from[i][d] − from[i][u] )
+//
+// clamped at zero. Unreachable table entries contribute nothing.
+func (a *ALT) Estimate(u, d graph.NodeID) float64 {
+	best := 0.0
+	for i := range a.landmarks {
+		if tu, td := a.to[i][u], a.to[i][d]; !math.IsInf(tu, 1) && !math.IsInf(td, 1) {
+			if v := tu - td; v > best {
+				best = v
+			}
+		}
+		if fu, fd := a.from[i][u], a.from[i][d]; !math.IsInf(fu, 1) && !math.IsInf(fd, 1) {
+			if v := fd - fu; v > best {
+				best = v
+			}
+		}
+	}
+	return best
+}
+
+// Estimator adapts the tables to the search package's estimator interface.
+// The returned estimator ignores the graph argument's costs (they were
+// captured at Preprocess time) but uses its node ids.
+func (a *ALT) Estimator() *estimator.Estimator {
+	return &estimator.Estimator{
+		Name: fmt.Sprintf("alt-%d", len(a.landmarks)),
+		F: func(_ *graph.Graph, u, d graph.NodeID) float64 {
+			return a.Estimate(u, d)
+		},
+	}
+}
+
+// SelectLandmarks picks k landmarks with the farthest-point heuristic: start
+// from a random reachable node, then repeatedly take the node maximising the
+// minimum shortest-path distance to the chosen set. Good landmarks sit on
+// the periphery; this classic heuristic gets there cheaply.
+func SelectLandmarks(g *graph.Graph, k int, seed int64) ([]graph.NodeID, error) {
+	n := g.NumNodes()
+	if n == 0 {
+		return nil, fmt.Errorf("alt: empty graph")
+	}
+	if k <= 0 || k > n {
+		return nil, fmt.Errorf("alt: k = %d out of range [1,%d]", k, n)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	first := graph.NodeID(rng.Intn(n))
+	// Prefer a node with outgoing edges so its distance table is useful.
+	for tries := 0; tries < n && g.OutDegree(first) == 0; tries++ {
+		first = graph.NodeID(rng.Intn(n))
+	}
+	chosen := []graph.NodeID{first}
+
+	minDist := make([]float64, n)
+	for i := range minDist {
+		minDist[i] = math.Inf(1)
+	}
+	update := func(l graph.NodeID) {
+		dist, _ := search.SingleSource(g, l)
+		for i, dv := range dist {
+			if dv < minDist[i] {
+				minDist[i] = dv
+			}
+		}
+	}
+	update(first)
+	for len(chosen) < k {
+		bestNode, bestVal := graph.Invalid, -1.0
+		for i, dv := range minDist {
+			if math.IsInf(dv, 1) || g.OutDegree(graph.NodeID(i)) == 0 {
+				continue // unreachable or isolated: useless landmark
+			}
+			if dv > bestVal {
+				bestVal = dv
+				bestNode = graph.NodeID(i)
+			}
+		}
+		if bestNode == graph.Invalid || bestVal == 0 {
+			break // graph exhausted
+		}
+		chosen = append(chosen, bestNode)
+		update(bestNode)
+	}
+	return chosen, nil
+}

@@ -1,0 +1,191 @@
+// Package asciichart renders small line charts and scatter maps as text.
+// The experiment harness uses it to regenerate the paper's figures in a
+// terminal: multi-series line charts for Figures 5–7 and 9–12, and a map
+// sketch for Figures 4 and 8.
+package asciichart
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one named line of (x, y) points. Xs and Ys must have equal
+// length.
+type Series struct {
+	Name string
+	Xs   []float64
+	Ys   []float64
+}
+
+// markers assigns each series a plotting glyph, cycling if needed.
+var markers = []byte{'*', 'o', '+', 'x', '#', '@'}
+
+// Options sizes a chart.
+type Options struct {
+	// Width and Height of the plotting area in characters; zero selects
+	// 60×20.
+	Width, Height int
+	// Title, XLabel, YLabel annotate the chart; all optional.
+	Title, XLabel, YLabel string
+}
+
+// Line renders series as an ASCII line chart with a legend. Series with no
+// points are skipped; an empty chart renders the frame only.
+func Line(series []Series, opts Options) string {
+	w, h := opts.Width, opts.Height
+	if w <= 0 {
+		w = 60
+	}
+	if h <= 0 {
+		h = 20
+	}
+
+	// Data bounds.
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	any := false
+	for _, s := range series {
+		for i := range s.Xs {
+			any = true
+			minX = math.Min(minX, s.Xs[i])
+			maxX = math.Max(maxX, s.Xs[i])
+			minY = math.Min(minY, s.Ys[i])
+			maxY = math.Max(maxY, s.Ys[i])
+		}
+	}
+	if !any {
+		minX, maxX, minY, maxY = 0, 1, 0, 1
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+
+	grid := make([][]byte, h)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", w))
+	}
+	plot := func(x, y float64, m byte) {
+		cx := int(math.Round((x - minX) / (maxX - minX) * float64(w-1)))
+		cy := int(math.Round((y - minY) / (maxY - minY) * float64(h-1)))
+		row := h - 1 - cy
+		if row >= 0 && row < h && cx >= 0 && cx < w {
+			grid[row][cx] = m
+		}
+	}
+	for si, s := range series {
+		m := markers[si%len(markers)]
+		// Interpolate between consecutive points so lines read as lines.
+		for i := 0; i+1 < len(s.Xs); i++ {
+			steps := 2 * w
+			for t := 0; t <= steps; t++ {
+				f := float64(t) / float64(steps)
+				plot(s.Xs[i]+(s.Xs[i+1]-s.Xs[i])*f, s.Ys[i]+(s.Ys[i+1]-s.Ys[i])*f, m)
+			}
+		}
+		for i := range s.Xs {
+			plot(s.Xs[i], s.Ys[i], m)
+		}
+	}
+
+	var sb strings.Builder
+	if opts.Title != "" {
+		fmt.Fprintf(&sb, "%s\n", opts.Title)
+	}
+	yLo, yHi := formatTick(minY), formatTick(maxY)
+	labelWidth := len(yLo)
+	if len(yHi) > labelWidth {
+		labelWidth = len(yHi)
+	}
+	for i, row := range grid {
+		label := strings.Repeat(" ", labelWidth)
+		switch i {
+		case 0:
+			label = pad(yHi, labelWidth)
+		case h - 1:
+			label = pad(yLo, labelWidth)
+		}
+		fmt.Fprintf(&sb, "%s |%s\n", label, string(row))
+	}
+	fmt.Fprintf(&sb, "%s +%s\n", strings.Repeat(" ", labelWidth), strings.Repeat("-", w))
+	xLo, xHi := formatTick(minX), formatTick(maxX)
+	gap := w - len(xLo) - len(xHi)
+	if gap < 1 {
+		gap = 1
+	}
+	fmt.Fprintf(&sb, "%s  %s%s%s\n", strings.Repeat(" ", labelWidth), xLo, strings.Repeat(" ", gap), xHi)
+	if opts.XLabel != "" || opts.YLabel != "" {
+		fmt.Fprintf(&sb, "   x: %s   y: %s\n", opts.XLabel, opts.YLabel)
+	}
+	for si, s := range series {
+		fmt.Fprintf(&sb, "   %c %s\n", markers[si%len(markers)], s.Name)
+	}
+	return sb.String()
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return strings.Repeat(" ", w-len(s)) + s
+}
+
+func formatTick(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e9 {
+		return fmt.Sprintf("%.0f", v)
+	}
+	return fmt.Sprintf("%.2f", v)
+}
+
+// Point is one scatter mark for Map.
+type Point struct {
+	X, Y  float64
+	Glyph byte
+}
+
+// Map renders a scatter of points (a road map sketch). Points with later
+// positions overwrite earlier ones on collisions, so draw landmarks last.
+func Map(points []Point, opts Options) string {
+	w, h := opts.Width, opts.Height
+	if w <= 0 {
+		w = 66
+	}
+	if h <= 0 {
+		h = 33
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, p := range points {
+		minX = math.Min(minX, p.X)
+		maxX = math.Max(maxX, p.X)
+		minY = math.Min(minY, p.Y)
+		maxY = math.Max(maxY, p.Y)
+	}
+	if len(points) == 0 || maxX == minX || maxY == minY {
+		minX, maxX, minY, maxY = 0, 1, 0, 1
+	}
+	grid := make([][]byte, h)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", w))
+	}
+	for _, p := range points {
+		cx := int(math.Round((p.X - minX) / (maxX - minX) * float64(w-1)))
+		cy := int(math.Round((p.Y - minY) / (maxY - minY) * float64(h-1)))
+		row := h - 1 - cy
+		if row >= 0 && row < h && cx >= 0 && cx < w {
+			grid[row][cx] = p.Glyph
+		}
+	}
+	var sb strings.Builder
+	if opts.Title != "" {
+		fmt.Fprintf(&sb, "%s\n", opts.Title)
+	}
+	for _, row := range grid {
+		sb.WriteString(string(row))
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

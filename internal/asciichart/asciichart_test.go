@@ -1,0 +1,95 @@
+package asciichart
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLineBasic(t *testing.T) {
+	out := Line([]Series{
+		{Name: "dijkstra", Xs: []float64{10, 20, 30}, Ys: []float64{99, 399, 899}},
+		{Name: "astar", Xs: []float64{10, 20, 30}, Ys: []float64{85, 360, 838}},
+	}, Options{Title: "Figure 5", Width: 40, Height: 10, XLabel: "grid side", YLabel: "iterations"})
+
+	for _, want := range []string{"Figure 5", "dijkstra", "astar", "899", "85", "grid side", "iterations", "*", "o"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("chart missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Title + 10 rows + axis + tick row + label row + 2 legend rows.
+	if len(lines) != 16 {
+		t.Errorf("chart has %d lines, want 16:\n%s", len(lines), out)
+	}
+}
+
+func TestLineEmpty(t *testing.T) {
+	out := Line(nil, Options{})
+	if out == "" {
+		t.Error("empty chart rendered nothing")
+	}
+	out = Line([]Series{{Name: "empty"}}, Options{Width: 10, Height: 4})
+	if !strings.Contains(out, "empty") {
+		t.Error("legend missing for empty series")
+	}
+}
+
+func TestLineFlatSeries(t *testing.T) {
+	// A constant series must not divide by zero.
+	out := Line([]Series{{Name: "flat", Xs: []float64{1, 2, 3}, Ys: []float64{5, 5, 5}}},
+		Options{Width: 20, Height: 5})
+	if !strings.Contains(out, "*") {
+		t.Errorf("flat series not plotted:\n%s", out)
+	}
+}
+
+func TestLineSinglePoint(t *testing.T) {
+	out := Line([]Series{{Name: "dot", Xs: []float64{1}, Ys: []float64{1}}},
+		Options{Width: 10, Height: 4})
+	if !strings.Contains(out, "*") {
+		t.Errorf("single point not plotted:\n%s", out)
+	}
+}
+
+func TestMarkersCycle(t *testing.T) {
+	var series []Series
+	for i := 0; i < 8; i++ {
+		series = append(series, Series{Name: "s", Xs: []float64{0, 1}, Ys: []float64{0, 1}})
+	}
+	out := Line(series, Options{Width: 10, Height: 4})
+	if !strings.Contains(out, "*") {
+		t.Error("marker cycling broke")
+	}
+}
+
+func TestMap(t *testing.T) {
+	out := Map([]Point{
+		{X: 0, Y: 0, Glyph: '.'},
+		{X: 1, Y: 1, Glyph: '.'},
+		{X: 0.5, Y: 0.5, Glyph: 'A'},
+	}, Options{Title: "Figure 8", Width: 20, Height: 10})
+	for _, want := range []string{"Figure 8", "A", "."} {
+		if !strings.Contains(out, want) {
+			t.Errorf("map missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 11 {
+		t.Errorf("map has %d lines, want 11", len(lines))
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	if out := Map(nil, Options{Width: 5, Height: 3}); out == "" {
+		t.Error("empty map rendered nothing")
+	}
+}
+
+func TestTickFormatting(t *testing.T) {
+	if formatTick(5) != "5" {
+		t.Errorf("integer tick = %q", formatTick(5))
+	}
+	if formatTick(2.5) != "2.50" {
+		t.Errorf("fraction tick = %q", formatTick(2.5))
+	}
+}

@@ -1,0 +1,176 @@
+// Package core is the library's public face: a Planner that computes
+// single-pair routes over a graph with a selectable algorithm — the paper's
+// primary contribution packaged the way a downstream Advanced Traveller
+// Information System would call it.
+//
+//	g := mpls.MustGenerate(mpls.Config{})
+//	p := core.NewPlanner(g)
+//	route, err := p.RouteByName("A", "B", core.Options{})
+//
+// The default algorithm is A* with the euclidean estimator, which is
+// admissible (hence optimal) whenever edge costs dominate straight-line
+// distance — true for both the grid benchmarks and the road map. The other
+// algorithms of the paper, plus the bidirectional and weighted extensions,
+// are one Options field away; the experiments package measures them all.
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/estimator"
+	"repro/internal/graph"
+	"repro/internal/search"
+)
+
+// Algorithm selects a path-computation algorithm.
+type Algorithm int
+
+const (
+	// AStarEuclidean is A* with the straight-line-distance estimator: the
+	// default, optimal on distance-costed maps.
+	AStarEuclidean Algorithm = iota
+	// AStarManhattan is A* version 3's estimator: perfect on uniform grids,
+	// inadmissible (fast but possibly suboptimal) on road maps.
+	AStarManhattan
+	// Dijkstra is the estimator-free single-source algorithm with early
+	// termination.
+	Dijkstra
+	// Iterative is the breadth-first transitive-closure-style algorithm; it
+	// always explores the whole reachable graph.
+	Iterative
+	// Bidirectional runs Dijkstra from both endpoints simultaneously.
+	Bidirectional
+)
+
+// String names the algorithm.
+func (a Algorithm) String() string {
+	switch a {
+	case AStarEuclidean:
+		return "astar-euclidean"
+	case AStarManhattan:
+		return "astar-manhattan"
+	case Dijkstra:
+		return "dijkstra"
+	case Iterative:
+		return "iterative"
+	case Bidirectional:
+		return "bidirectional"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+}
+
+// Algorithms lists every selectable algorithm.
+func Algorithms() []Algorithm {
+	return []Algorithm{AStarEuclidean, AStarManhattan, Dijkstra, Iterative, Bidirectional}
+}
+
+// ParseAlgorithm resolves a name as printed by String.
+func ParseAlgorithm(s string) (Algorithm, error) {
+	for _, a := range Algorithms() {
+		if strings.EqualFold(s, a.String()) {
+			return a, nil
+		}
+	}
+	return 0, fmt.Errorf("core: unknown algorithm %q (want one of %v)", s, Algorithms())
+}
+
+// Options tunes a route computation.
+type Options struct {
+	// Algorithm; the zero value is AStarEuclidean.
+	Algorithm Algorithm
+	// Weight scales the estimator for the A* algorithms (weighted A*,
+	// the speed-versus-optimality knob). 0 means 1; values above 1 bound
+	// the returned cost by Weight × optimal.
+	Weight float64
+	// Frontier selects the frontier data structure for the best-first
+	// algorithms (heap by default; scan and duplicate-tolerant variants
+	// exist for the paper's design-decision ablations).
+	Frontier search.FrontierKind
+}
+
+// Route is a computed route with its work accounting.
+type Route struct {
+	// Found reports whether any path exists.
+	Found bool
+	// Path is the node sequence (empty when !Found).
+	Path graph.Path
+	// Cost is the path cost under the graph's current edge costs.
+	Cost float64
+	// Algorithm is what computed it.
+	Algorithm Algorithm
+	// Trace is the algorithm's work accounting.
+	Trace search.Trace
+}
+
+// Planner computes routes over one graph. It is safe for concurrent use as
+// long as edge costs are not mutated concurrently; the route package's
+// Service adds that synchronisation.
+type Planner struct {
+	g *graph.Graph
+}
+
+// NewPlanner wraps g. The graph is not copied; cost updates through g are
+// visible to subsequent computations (the ATIS dynamic-cost scenario).
+func NewPlanner(g *graph.Graph) *Planner { return &Planner{g: g} }
+
+// Graph returns the planner's graph.
+func (p *Planner) Graph() *graph.Graph { return p.g }
+
+// Route computes a route from from to to under opts.
+func (p *Planner) Route(from, to graph.NodeID, opts Options) (Route, error) {
+	var (
+		res search.Result
+		err error
+	)
+	switch opts.Algorithm {
+	case Iterative:
+		res, err = search.Iterative(p.g, from, to)
+	case Dijkstra:
+		res, err = search.BestFirst(p.g, from, to, search.Options{
+			Estimator: estimator.Zero(),
+			Frontier:  opts.Frontier,
+		})
+	case Bidirectional:
+		res, err = search.Bidirectional(p.g, from, to)
+	case AStarEuclidean, AStarManhattan:
+		est := estimator.Euclidean()
+		if opts.Algorithm == AStarManhattan {
+			est = estimator.Manhattan()
+		}
+		if opts.Weight != 0 && opts.Weight != 1 {
+			est = estimator.Scaled(est, opts.Weight)
+		}
+		res, err = search.BestFirst(p.g, from, to, search.Options{
+			Estimator:   est,
+			Frontier:    opts.Frontier,
+			AllowReopen: true,
+		})
+	default:
+		return Route{}, fmt.Errorf("core: unknown algorithm %v", opts.Algorithm)
+	}
+	if err != nil {
+		return Route{}, err
+	}
+	return Route{
+		Found:     res.Found,
+		Path:      res.Path,
+		Cost:      res.Cost,
+		Algorithm: opts.Algorithm,
+		Trace:     res.Trace,
+	}, nil
+}
+
+// RouteByName computes a route between named landmarks.
+func (p *Planner) RouteByName(from, to string, opts Options) (Route, error) {
+	s, ok := p.g.Lookup(from)
+	if !ok {
+		return Route{}, fmt.Errorf("core: unknown landmark %q", from)
+	}
+	d, ok := p.g.Lookup(to)
+	if !ok {
+		return Route{}, fmt.Errorf("core: unknown landmark %q", to)
+	}
+	return p.Route(s, d, opts)
+}

@@ -1,0 +1,164 @@
+package costmodel
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/optimizer"
+)
+
+func model30() Model {
+	return New(optimizer.Params{}, GridWorkload(30))
+}
+
+func TestGridWorkload(t *testing.T) {
+	w := GridWorkload(30)
+	if w.Nodes != 900 || w.Edges != 3480 || w.AvgDegree != 4 {
+		t.Errorf("30×30 workload = %+v (Table 4A says 900 nodes, 3480 edges)", w)
+	}
+}
+
+func TestBlockCounts(t *testing.T) {
+	m := model30()
+	if m.blocksR() != 4 { // 900 / 256
+		t.Errorf("B_r = %d, want 4", m.blocksR())
+	}
+	if m.blocksS() != 28 { // 3480 / 128
+		t.Errorf("B_s = %d, want 28", m.blocksS())
+	}
+}
+
+func TestSetupStepsShape(t *testing.T) {
+	m := model30()
+	steps := m.setupSteps()
+	if len(steps) != 4 {
+		t.Fatalf("setup has %d steps, want 4 (C1..C4)", len(steps))
+	}
+	if steps[0].Cost != 0.5 {
+		t.Errorf("C1 = %v, want I = 0.5", steps[0].Cost)
+	}
+	for _, s := range steps {
+		if s.Cost <= 0 || math.IsNaN(s.Cost) {
+			t.Errorf("step %s cost %v", s.Name, s.Cost)
+		}
+	}
+}
+
+// Table 4B reproduction: with iteration counts near the paper's Table 6
+// values, the model's estimates must preserve the paper's ordering —
+// Dijkstra most expensive on every path, A* v3 cheapest on the horizontal
+// path, iterative flat across paths — and per-iteration cost Γ for the
+// best-first algorithms in the same ballpark as the paper's implied
+// ≈ 2.16 units/iteration.
+func TestTable4BShape(t *testing.T) {
+	m := model30()
+	// Paper Table 6 iteration counts (30×30, 20% variance).
+	dijkstra := map[string]int{"horizontal": 488, "semi": 767, "diag": 899}
+	astar := map[string]int{"horizontal": 29, "semi": 407, "diag": 838}
+	const iterativeIters = 59
+
+	it := m.IterativeEstimate(iterativeIters)
+	for path := range dijkstra {
+		d := m.DijkstraEstimate(dijkstra[path])
+		a := m.AStarV3Estimate(astar[path])
+		if a.Total >= d.Total {
+			t.Errorf("%s: A* %v not below Dijkstra %v", path, a.Total, d.Total)
+		}
+		if path == "horizontal" && a.Total >= it.Total {
+			t.Errorf("horizontal: A* %v not below iterative %v (paper: 66.7 vs 176.9)", a.Total, it.Total)
+		}
+		if path == "diag" && d.Total <= it.Total {
+			t.Errorf("diag: Dijkstra %v not above iterative %v (paper: 1941.2 vs 176.9)", d.Total, it.Total)
+		}
+	}
+	// Γ for best-first should be within 2× of the paper's ≈ 2.16.
+	gamma := m.DijkstraEstimate(1).IterCost
+	if gamma < 1 || gamma > 4.5 {
+		t.Errorf("best-first Γ = %v units/iteration; paper implies ≈ 2.16", gamma)
+	}
+}
+
+func TestNestedJoinOnlyBracketsPaperGamma(t *testing.T) {
+	// The paper's example (Section 4.3) assumes nested-loop joins; its
+	// implied Γ ≈ 2.16 units/iteration. Our F-optimised Γ undershoots and
+	// the forced nested-loop Γ overshoots — the two must bracket 2.16.
+	free := model30()
+	forced := model30()
+	forced.NestedJoinOnly = true
+	gFree := free.DijkstraEstimate(1).IterCost
+	gForced := forced.DijkstraEstimate(1).IterCost
+	if gForced <= gFree {
+		t.Fatalf("forced nested-loop Γ %v not above optimised Γ %v", gForced, gFree)
+	}
+	const paperGamma = 2.16
+	if !(gFree <= paperGamma && paperGamma <= gForced) {
+		t.Errorf("paper Γ %.2f not bracketed by [%v, %v]", paperGamma, gFree, gForced)
+	}
+}
+
+func TestEstimatesScaleLinearlyInIterations(t *testing.T) {
+	m := model30()
+	d100 := m.DijkstraEstimate(100)
+	d200 := m.DijkstraEstimate(200)
+	extra := d200.Total - d100.Total
+	if math.Abs(extra-100*d100.IterCost) > 1e-9 {
+		t.Errorf("non-linear scaling: +%v for +100 iterations at Γ=%v", extra, d100.IterCost)
+	}
+	if d100.SetupCost != d200.SetupCost {
+		t.Error("setup cost varies with iterations")
+	}
+}
+
+func TestIterativeCurrentSetSizing(t *testing.T) {
+	m := model30()
+	// More iterations → smaller average current set → cheaper join per
+	// iteration (or equal once block-rounded).
+	few := m.IterativeEstimate(10)
+	many := m.IterativeEstimate(100)
+	if many.IterCost > few.IterCost+1e-9 {
+		t.Errorf("Γ grew with iterations: %v → %v", few.IterCost, many.IterCost)
+	}
+	// Degenerate iteration counts are clamped rather than dividing by zero.
+	zero := m.IterativeEstimate(0)
+	if math.IsNaN(zero.Total) || zero.Total <= 0 {
+		t.Errorf("zero-iteration estimate = %v", zero.Total)
+	}
+}
+
+func TestBreakdownString(t *testing.T) {
+	m := model30()
+	s := m.AStarV3Estimate(838).String()
+	for _, want := range []string{"astar-v3", "C5", "C9", "838 iterations"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("breakdown string missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestGraphSizeScaling(t *testing.T) {
+	// Table 5's trend: diagonal-path cost grows with grid size for the
+	// best-first algorithms (iterations ≈ n−1).
+	prev := 0.0
+	for _, k := range []int{10, 20, 30} {
+		m := New(optimizer.Params{}, GridWorkload(k))
+		est := m.DijkstraEstimate(k*k - 1)
+		if est.Total <= prev {
+			t.Errorf("k=%d: total %v not above smaller grid's %v", k, est.Total, prev)
+		}
+		prev = est.Total
+	}
+}
+
+func TestDefaultParamsApplied(t *testing.T) {
+	m := New(optimizer.Params{}, GridWorkload(10))
+	if m.P.TRead != 0.035 {
+		t.Error("zero params did not default to Table 4A")
+	}
+	custom := optimizer.DefaultParams()
+	custom.TRead = 1
+	m2 := New(custom, GridWorkload(10))
+	if m2.P.TRead != 1 {
+		t.Error("explicit params ignored")
+	}
+}

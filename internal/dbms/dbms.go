@@ -1,0 +1,414 @@
+// Package dbms ties the storage, relation, index, join and optimizer
+// packages into a small single-user relational engine — the stand-in for
+// the INGRES instance the paper ran its EQUEL programs against. A Database
+// owns a simulated disk, a buffer pool, a catalog of relations and their
+// indexes, maintains hash indexes across mutations, can execute
+// optimizer-chosen joins, and records per-step I/O traces that the cost
+// model consumes.
+package dbms
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/index"
+	"repro/internal/join"
+	"repro/internal/optimizer"
+	"repro/internal/relation"
+	"repro/internal/storage"
+	"repro/internal/tuple"
+)
+
+// Options configures a Database.
+type Options struct {
+	// PageSize in bytes; 0 selects storage.PageSize (4096, Table 4A's B).
+	PageSize int
+	// PoolFrames is the buffer pool capacity; 0 selects a small default.
+	PoolFrames int
+	// Params are the cost-model constants; the zero value selects
+	// optimizer.DefaultParams (Table 4A).
+	Params optimizer.Params
+	// Journal, when non-nil, receives a logical redo record for every
+	// catalog and tuple mutation; dbms.Replay rebuilds the state from it.
+	Journal *Journal
+}
+
+// Database is a single-user engine instance. It is not safe for concurrent
+// use (the paper ran INGRES in single-user mode; callers wanting parallelism
+// open one Database per goroutine).
+type Database struct {
+	disk   *storage.Disk
+	pool   *storage.BufferPool
+	params optimizer.Params
+
+	relations map[string]*relation.Relation
+	hashes    map[string]*index.Hash // key: "relation.field"
+	isams     map[string]*index.ISAM
+
+	journal *Journal
+	trace   []StepTrace
+}
+
+// New creates an empty database.
+func New(opts Options) *Database {
+	params := opts.Params
+	if params == (optimizer.Params{}) {
+		params = optimizer.DefaultParams()
+	}
+	disk := storage.NewDisk(opts.PageSize)
+	return &Database{
+		disk:      disk,
+		pool:      storage.NewBufferPool(disk, opts.PoolFrames),
+		params:    params,
+		relations: make(map[string]*relation.Relation),
+		hashes:    make(map[string]*index.Hash),
+		isams:     make(map[string]*index.ISAM),
+		journal:   opts.Journal,
+	}
+}
+
+// Params returns the cost-model constants the engine plans with.
+func (db *Database) Params() optimizer.Params { return db.params }
+
+// Pool exposes the buffer pool (for stats in experiments).
+func (db *Database) Pool() *storage.BufferPool { return db.pool }
+
+// IOStats returns the physical transfer counters.
+func (db *Database) IOStats() storage.DiskStats { return db.disk.Stats() }
+
+// CreateRelation adds an empty relation to the catalog.
+func (db *Database) CreateRelation(name string, schema *tuple.Schema) (*relation.Relation, error) {
+	if _, exists := db.relations[name]; exists {
+		return nil, fmt.Errorf("dbms: relation %q already exists", name)
+	}
+	r, err := relation.New(name, schema, db.pool)
+	if err != nil {
+		return nil, err
+	}
+	db.relations[name] = r
+	if db.journal != nil {
+		fields := make([]tuple.Field, schema.NumFields())
+		for i := range fields {
+			fields[i] = schema.Field(i)
+		}
+		db.journal.append(JournalRecord{Op: OpCreate, Relation: name, Fields: fields})
+	}
+	return r, nil
+}
+
+// Relation resolves a catalog name.
+func (db *Database) Relation(name string) (*relation.Relation, error) {
+	r, ok := db.relations[name]
+	if !ok {
+		return nil, fmt.Errorf("dbms: no relation %q", name)
+	}
+	return r, nil
+}
+
+// Relations lists catalog names (unordered).
+func (db *Database) Relations() []string {
+	out := make([]string, 0, len(db.relations))
+	for name := range db.relations {
+		out = append(out, name)
+	}
+	return out
+}
+
+// DropRelation removes a relation and every index built on it from the
+// catalog and returns their pages to the disk's free list. The paper's
+// algorithms create a temporary node relation per query (cost step C1 and
+// the D_t delete cost of Table 1); dropping it afterwards is what keeps a
+// long-lived engine from growing without bound.
+func (db *Database) DropRelation(name string) error {
+	r, err := db.Relation(name)
+	if err != nil {
+		return err
+	}
+	freePages := func(pages []storage.PageID) error {
+		for _, id := range pages {
+			if err := db.pool.Discard(id); err != nil {
+				return err
+			}
+			if err := db.disk.Free(id); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := freePages(r.Pages()); err != nil {
+		return err
+	}
+	prefix := name + "."
+	for key, h := range db.hashes {
+		if strings.HasPrefix(key, prefix) {
+			if err := freePages(h.Pages()); err != nil {
+				return err
+			}
+			delete(db.hashes, key)
+		}
+	}
+	for key, ix := range db.isams {
+		if strings.HasPrefix(key, prefix) {
+			if err := freePages(ix.Pages()); err != nil {
+				return err
+			}
+			delete(db.isams, key)
+		}
+	}
+	delete(db.relations, name)
+	if db.journal != nil {
+		db.journal.append(JournalRecord{Op: OpDrop, Relation: name})
+	}
+	return nil
+}
+
+func indexKey(rel, field string) string { return rel + "." + field }
+
+// CreateHashIndex registers a hash index on an int32 column. Existing
+// tuples are indexed immediately; subsequent mutations through the
+// Database's Insert/Update/Delete keep it current.
+func (db *Database) CreateHashIndex(rel, field string, buckets int) (*index.Hash, error) {
+	r, err := db.Relation(rel)
+	if err != nil {
+		return nil, err
+	}
+	col, err := r.Schema().Index(field)
+	if err != nil {
+		return nil, err
+	}
+	if r.Schema().Field(col).Kind != tuple.Int32 {
+		return nil, fmt.Errorf("dbms: hash index on non-int32 column %s.%s", rel, field)
+	}
+	key := indexKey(rel, field)
+	if _, exists := db.hashes[key]; exists {
+		return nil, fmt.Errorf("dbms: index %s already exists", key)
+	}
+	h, err := index.NewHash(key, db.pool, buckets)
+	if err != nil {
+		return nil, err
+	}
+	err = r.Scan(func(rid relation.RID, vals []tuple.Value) (bool, error) {
+		return true, h.Insert(vals[col].Int(), rid)
+	})
+	if err != nil {
+		return nil, err
+	}
+	db.hashes[key] = h
+	return h, nil
+}
+
+// BuildISAM builds the static primary ISAM index on an int32 column from
+// the relation's current contents. The column's values must be unique.
+// Later in-place updates keep rids stable, so the index stays valid as long
+// as the caller does not insert or delete (ISAM is static by definition;
+// rebuild it if the relation's extent changes).
+func (db *Database) BuildISAM(rel, field string) (*index.ISAM, error) {
+	r, err := db.Relation(rel)
+	if err != nil {
+		return nil, err
+	}
+	col, err := r.Schema().Index(field)
+	if err != nil {
+		return nil, err
+	}
+	if r.Schema().Field(col).Kind != tuple.Int32 {
+		return nil, fmt.Errorf("dbms: ISAM on non-int32 column %s.%s", rel, field)
+	}
+	var postings []index.Entry
+	err = r.Scan(func(rid relation.RID, vals []tuple.Value) (bool, error) {
+		postings = append(postings, index.Entry{Key: vals[col].Int(), RID: rid})
+		return true, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	key := indexKey(rel, field)
+	ix, err := index.BuildISAM(key, db.pool, postings)
+	if err != nil {
+		return nil, err
+	}
+	db.isams[key] = ix
+	return ix, nil
+}
+
+// HashIndex resolves a registered hash index.
+func (db *Database) HashIndex(rel, field string) (*index.Hash, error) {
+	h, ok := db.hashes[indexKey(rel, field)]
+	if !ok {
+		return nil, fmt.Errorf("dbms: no hash index on %s.%s", rel, field)
+	}
+	return h, nil
+}
+
+// ISAM resolves a built ISAM index.
+func (db *Database) ISAM(rel, field string) (*index.ISAM, error) {
+	ix, ok := db.isams[indexKey(rel, field)]
+	if !ok {
+		return nil, fmt.Errorf("dbms: no ISAM index on %s.%s", rel, field)
+	}
+	return ix, nil
+}
+
+// Insert appends a tuple and maintains the relation's hash indexes — the
+// QUEL APPEND.
+func (db *Database) Insert(rel string, vals []tuple.Value) (relation.RID, error) {
+	r, err := db.Relation(rel)
+	if err != nil {
+		return relation.RID{}, err
+	}
+	rid, err := r.Insert(vals)
+	if err != nil {
+		return relation.RID{}, err
+	}
+	if db.journal != nil {
+		db.journal.append(JournalRecord{Op: OpInsert, Relation: rel, Vals: vals, RID: rid})
+	}
+	for field, h := range db.hashes {
+		relName, col, ok := db.splitIndexKey(field, rel)
+		if !ok {
+			continue
+		}
+		_ = relName
+		if err := h.Insert(vals[col].Int(), rid); err != nil {
+			return relation.RID{}, err
+		}
+	}
+	return rid, nil
+}
+
+// Update rewrites a tuple in place and maintains hash indexes whose key
+// changed — the QUEL REPLACE.
+func (db *Database) Update(rel string, rid relation.RID, vals []tuple.Value) error {
+	r, err := db.Relation(rel)
+	if err != nil {
+		return err
+	}
+	old, err := r.Get(rid)
+	if err != nil {
+		return err
+	}
+	if err := r.Update(rid, vals); err != nil {
+		return err
+	}
+	if db.journal != nil {
+		db.journal.append(JournalRecord{Op: OpUpdate, Relation: rel, Vals: vals, RID: rid})
+	}
+	for field, h := range db.hashes {
+		_, col, ok := db.splitIndexKey(field, rel)
+		if !ok {
+			continue
+		}
+		if old[col].Int() != vals[col].Int() {
+			if _, err := h.Delete(old[col].Int(), rid); err != nil {
+				return err
+			}
+			if err := h.Insert(vals[col].Int(), rid); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Delete removes a tuple and its hash-index postings — the QUEL DELETE.
+func (db *Database) Delete(rel string, rid relation.RID) error {
+	r, err := db.Relation(rel)
+	if err != nil {
+		return err
+	}
+	old, err := r.Get(rid)
+	if err != nil {
+		return err
+	}
+	if err := r.Delete(rid); err != nil {
+		return err
+	}
+	if db.journal != nil {
+		db.journal.append(JournalRecord{Op: OpDelete, Relation: rel, RID: rid})
+	}
+	for field, h := range db.hashes {
+		_, col, ok := db.splitIndexKey(field, rel)
+		if !ok {
+			continue
+		}
+		if _, err := h.Delete(old[col].Int(), rid); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// splitIndexKey checks whether an index catalog key belongs to rel and
+// returns the indexed column.
+func (db *Database) splitIndexKey(key, rel string) (string, int, bool) {
+	prefix := rel + "."
+	if len(key) <= len(prefix) || key[:len(prefix)] != prefix {
+		return "", 0, false
+	}
+	field := key[len(prefix):]
+	r := db.relations[rel]
+	col, err := r.Schema().Index(field)
+	if err != nil {
+		return "", 0, false
+	}
+	return rel, col, true
+}
+
+// PlanJoin sizes a join between two catalog relations and asks the
+// optimizer for the cheapest strategy — the engine-side use of F(B1,B2,B3).
+// resultTuples is the caller's estimate of the join cardinality (JS·|L|·|R|
+// in the paper's notation).
+func (db *Database) PlanJoin(left, right string, outerTuples, resultTuples int) (optimizer.Choice, error) {
+	l, err := db.Relation(left)
+	if err != nil {
+		return optimizer.Choice{}, err
+	}
+	r, err := db.Relation(right)
+	if err != nil {
+		return optimizer.Choice{}, err
+	}
+	in := optimizer.JoinInput{
+		B1:          l.Blocks(),
+		B2:          r.Blocks(),
+		B3:          optimizer.Blocks(resultTuples, db.params.BfRS),
+		OuterTuples: outerTuples,
+	}
+	return optimizer.Choose(db.params, in)
+}
+
+// ExecuteJoin runs an equi-join between catalog relations with the given
+// strategy, resolving the right side's index automatically for the
+// primary-key strategy (hash index first, then ISAM).
+func (db *Database) ExecuteJoin(strategy join.Strategy, left, right string, leftField, rightField string, leftFilter func([]tuple.Value) bool, emit join.EmitFunc) error {
+	l, err := db.Relation(left)
+	if err != nil {
+		return err
+	}
+	r, err := db.Relation(right)
+	if err != nil {
+		return err
+	}
+	lcol, err := l.Schema().Index(leftField)
+	if err != nil {
+		return err
+	}
+	rcol, err := r.Schema().Index(rightField)
+	if err != nil {
+		return err
+	}
+	sp := join.Spec{
+		Left: l, Right: r,
+		LeftKey: lcol, RightKey: rcol,
+		LeftFilter: leftFilter,
+	}
+	if strategy == join.PrimaryKey {
+		if h, err := db.HashIndex(right, rightField); err == nil {
+			sp.RightIndex = join.HashProber{Index: h}
+		} else if ix, err := db.ISAM(right, rightField); err == nil {
+			sp.RightIndex = join.ISAMProber{Index: ix}
+		} else {
+			return fmt.Errorf("dbms: primary-key join needs an index on %s.%s", right, rightField)
+		}
+	}
+	return join.Execute(strategy, sp, emit)
+}

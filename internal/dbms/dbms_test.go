@@ -1,0 +1,285 @@
+package dbms
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/join"
+	"repro/internal/relation"
+	"repro/internal/tuple"
+)
+
+func edgeSchema() *tuple.Schema {
+	return tuple.MustSchema(
+		tuple.Field{Name: "begin", Kind: tuple.Int32},
+		tuple.Field{Name: "end", Kind: tuple.Int32},
+		tuple.Field{Name: "cost", Kind: tuple.Float64},
+	)
+}
+
+func nodeSchema() *tuple.Schema {
+	return tuple.MustSchema(
+		tuple.Field{Name: "id", Kind: tuple.Int32},
+		tuple.Field{Name: "status", Kind: tuple.Int32},
+	)
+}
+
+func TestCatalog(t *testing.T) {
+	db := New(Options{})
+	if _, err := db.CreateRelation("s", edgeSchema()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.CreateRelation("s", edgeSchema()); err == nil {
+		t.Error("duplicate relation accepted")
+	}
+	if _, err := db.Relation("s"); err != nil {
+		t.Errorf("lookup failed: %v", err)
+	}
+	if _, err := db.Relation("ghost"); err == nil {
+		t.Error("ghost relation resolved")
+	}
+	if names := db.Relations(); len(names) != 1 || names[0] != "s" {
+		t.Errorf("Relations = %v", names)
+	}
+	if db.Params().TRead != 0.035 {
+		t.Error("default params not Table 4A")
+	}
+}
+
+func TestInsertMaintainsHashIndex(t *testing.T) {
+	db := New(Options{})
+	db.CreateRelation("s", edgeSchema())
+	if _, err := db.CreateHashIndex("s", "begin", 8); err != nil {
+		t.Fatal(err)
+	}
+	for i := int32(0); i < 20; i++ {
+		if _, err := db.Insert("s", []tuple.Value{tuple.I32(i % 4), tuple.I32(i), tuple.F64(1)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h, err := db.HashIndex("s", "begin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	h.Lookup(2, func(relation.RID) (bool, error) { count++; return true, nil })
+	if count != 5 {
+		t.Errorf("lookup(2) found %d postings, want 5", count)
+	}
+}
+
+func TestCreateHashIndexOverExistingTuples(t *testing.T) {
+	db := New(Options{})
+	db.CreateRelation("s", edgeSchema())
+	for i := int32(0); i < 10; i++ {
+		db.Insert("s", []tuple.Value{tuple.I32(i), tuple.I32(0), tuple.F64(0)})
+	}
+	h, err := db.CreateHashIndex("s", "begin", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.NumEntries() != 10 {
+		t.Errorf("backfill indexed %d entries", h.NumEntries())
+	}
+	if _, err := db.CreateHashIndex("s", "begin", 4); err == nil {
+		t.Error("duplicate index accepted")
+	}
+	if _, err := db.CreateHashIndex("s", "cost", 4); err == nil {
+		t.Error("index on float column accepted")
+	}
+	if _, err := db.CreateHashIndex("ghost", "x", 4); err == nil {
+		t.Error("index on ghost relation accepted")
+	}
+}
+
+func TestUpdateMaintainsHashIndex(t *testing.T) {
+	db := New(Options{})
+	db.CreateRelation("n", nodeSchema())
+	db.CreateHashIndex("n", "status", 4)
+	rid, _ := db.Insert("n", []tuple.Value{tuple.I32(1), tuple.I32(0)})
+	if err := db.Update("n", rid, []tuple.Value{tuple.I32(1), tuple.I32(2)}); err != nil {
+		t.Fatal(err)
+	}
+	h, _ := db.HashIndex("n", "status")
+	old, cur := 0, 0
+	h.Lookup(0, func(relation.RID) (bool, error) { old++; return true, nil })
+	h.Lookup(2, func(relation.RID) (bool, error) { cur++; return true, nil })
+	if old != 0 || cur != 1 {
+		t.Errorf("postings after update: status0=%d status2=%d", old, cur)
+	}
+}
+
+func TestDeleteMaintainsHashIndex(t *testing.T) {
+	db := New(Options{})
+	db.CreateRelation("n", nodeSchema())
+	db.CreateHashIndex("n", "id", 4)
+	rid, _ := db.Insert("n", []tuple.Value{tuple.I32(7), tuple.I32(0)})
+	if err := db.Delete("n", rid); err != nil {
+		t.Fatal(err)
+	}
+	h, _ := db.HashIndex("n", "id")
+	if h.NumEntries() != 0 {
+		t.Errorf("entries after delete = %d", h.NumEntries())
+	}
+	r, _ := db.Relation("n")
+	if r.NumTuples() != 0 {
+		t.Errorf("tuples after delete = %d", r.NumTuples())
+	}
+}
+
+func TestBuildISAMAndLookup(t *testing.T) {
+	db := New(Options{})
+	db.CreateRelation("n", nodeSchema())
+	rids := map[int32]relation.RID{}
+	for i := int32(0); i < 50; i++ {
+		rid, _ := db.Insert("n", []tuple.Value{tuple.I32(i), tuple.I32(0)})
+		rids[i] = rid
+	}
+	ix, err := db.BuildISAM("n", "id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int32(0); i < 50; i++ {
+		rid, ok, err := ix.Lookup(i)
+		if err != nil || !ok || rid != rids[i] {
+			t.Fatalf("lookup(%d) = %v,%v,%v", i, rid, ok, err)
+		}
+	}
+	if _, err := db.ISAM("n", "id"); err != nil {
+		t.Errorf("catalog lookup: %v", err)
+	}
+	if _, err := db.ISAM("n", "status"); err == nil {
+		t.Error("ghost ISAM resolved")
+	}
+	if _, err := db.BuildISAM("n", "ghost"); err == nil {
+		t.Error("ISAM on ghost column accepted")
+	}
+}
+
+func TestPlanAndExecuteJoin(t *testing.T) {
+	db := New(Options{})
+	db.CreateRelation("n", nodeSchema())
+	db.CreateRelation("s", edgeSchema())
+	db.CreateHashIndex("s", "begin", 8)
+	for i := int32(0); i < 10; i++ {
+		db.Insert("n", []tuple.Value{tuple.I32(i), tuple.I32(0)})
+	}
+	for i := int32(0); i < 30; i++ {
+		db.Insert("s", []tuple.Value{tuple.I32(i % 10), tuple.I32((i + 1) % 10), tuple.F64(1)})
+	}
+	choice, err := db.PlanJoin("n", "s", 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if choice.Cost <= 0 {
+		t.Errorf("plan cost = %v", choice.Cost)
+	}
+	for _, strat := range join.Strategies() {
+		count := 0
+		err := db.ExecuteJoin(strat, "n", "s", "id", "begin",
+			func(vals []tuple.Value) bool { return vals[0].Int() == 3 },
+			func(l, r []tuple.Value) (bool, error) {
+				if l[0].Int() != r[0].Int() {
+					return false, fmt.Errorf("bad pair")
+				}
+				count++
+				return true, nil
+			})
+		if err != nil {
+			t.Fatalf("%v: %v", strat, err)
+		}
+		if count != 3 {
+			t.Errorf("%v: %d pairs, want 3", strat, count)
+		}
+	}
+	// Primary-key join without any index on the right side must fail.
+	db2 := New(Options{})
+	db2.CreateRelation("n", nodeSchema())
+	db2.CreateRelation("s", edgeSchema())
+	err = db2.ExecuteJoin(join.PrimaryKey, "n", "s", "id", "begin", nil,
+		func(_, _ []tuple.Value) (bool, error) { return true, nil })
+	if err == nil {
+		t.Error("primary-key join without index accepted")
+	}
+}
+
+func TestExecuteJoinViaISAM(t *testing.T) {
+	db := New(Options{})
+	db.CreateRelation("n", nodeSchema())
+	db.CreateRelation("s", edgeSchema())
+	for i := int32(0); i < 5; i++ {
+		db.Insert("n", []tuple.Value{tuple.I32(i), tuple.I32(0)})
+	}
+	for i := int32(0); i < 10; i++ {
+		db.Insert("s", []tuple.Value{tuple.I32(i % 5), tuple.I32(0), tuple.F64(1)})
+	}
+	if _, err := db.BuildISAM("n", "id"); err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	err := db.ExecuteJoin(join.PrimaryKey, "s", "n", "begin", "id", nil,
+		func(_, _ []tuple.Value) (bool, error) { count++; return true, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 10 {
+		t.Errorf("ISAM-backed join produced %d pairs, want 10", count)
+	}
+}
+
+func TestStepTracing(t *testing.T) {
+	db := New(Options{PageSize: 256, PoolFrames: 2})
+	db.CreateRelation("n", nodeSchema())
+	err := db.Step("load", func() error {
+		for i := int32(0); i < 100; i++ {
+			if _, err := db.Insert("n", []tuple.Value{tuple.I32(i), tuple.I32(0)}); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = db.Step("scan", func() error {
+		r, _ := db.Relation("n")
+		return r.Scan(func(relation.RID, []tuple.Value) (bool, error) { return true, nil })
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	steps := db.Trace()
+	if len(steps) != 2 {
+		t.Fatalf("trace has %d steps", len(steps))
+	}
+	if steps[0].Name != "load" || steps[1].Name != "scan" {
+		t.Errorf("step order: %v, %v", steps[0].Name, steps[1].Name)
+	}
+	if steps[0].Writes == 0 {
+		t.Error("load step recorded no writes (tiny pool must spill)")
+	}
+	if steps[1].PageRequests == 0 {
+		t.Error("scan step recorded no page requests")
+	}
+	// Accumulation: a second step with the same name merges.
+	db.Step("scan", func() error { return nil })
+	if got := len(db.Trace()); got != 2 {
+		t.Errorf("after repeat step: %d entries", got)
+	}
+	out := FormatTrace(db.Trace(), 0.035, 0.05)
+	if out == "" || len(out) < 20 {
+		t.Error("FormatTrace produced nothing")
+	}
+	db.ResetTrace()
+	if len(db.Trace()) != 0 {
+		t.Error("ResetTrace did not clear")
+	}
+}
+
+func TestStepPropagatesError(t *testing.T) {
+	db := New(Options{})
+	boom := fmt.Errorf("boom")
+	if err := db.Step("x", func() error { return boom }); err != boom {
+		t.Errorf("err = %v", err)
+	}
+}

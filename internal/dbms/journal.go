@@ -1,0 +1,163 @@
+package dbms
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/relation"
+	"repro/internal/tuple"
+)
+
+// Journal is a logical redo log: every cataloged mutation (create, append,
+// replace, delete) appends one record, and Replay rebuilds an equivalent
+// database from scratch. It stands in for the durable log device a
+// production engine writes through — the simulated disk's contents are
+// volatile between sessions, so the journal is what survives a "crash".
+//
+// Journaling is opt-in (Options.Journal); the paper's experiments run
+// without it so their I/O accounting stays calibrated to Tables 2–3.
+//
+// A Journal is safe for concurrent appends, though the engines writing to
+// it are single-threaded.
+type Journal struct {
+	mu      sync.Mutex
+	records []JournalRecord
+}
+
+// JournalOp is the record type tag.
+type JournalOp uint8
+
+const (
+	// OpCreate records a relation's creation, carrying its schema.
+	OpCreate JournalOp = iota
+	// OpInsert records an APPEND with its tuple image.
+	OpInsert
+	// OpUpdate records a REPLACE with the rid and the after-image.
+	OpUpdate
+	// OpDelete records a DELETE with the rid.
+	OpDelete
+	// OpDrop records a relation being dropped.
+	OpDrop
+)
+
+// String names the op.
+func (op JournalOp) String() string {
+	switch op {
+	case OpCreate:
+		return "create"
+	case OpInsert:
+		return "insert"
+	case OpUpdate:
+		return "update"
+	case OpDelete:
+		return "delete"
+	case OpDrop:
+		return "drop"
+	default:
+		return fmt.Sprintf("JournalOp(%d)", uint8(op))
+	}
+}
+
+// JournalRecord is one logged mutation. For OpCreate, Fields carries the
+// schema; for OpInsert/OpUpdate, Vals carries the tuple after-image; for
+// OpUpdate/OpDelete, RID identifies the tuple in the *original* database
+// (Replay maps it to the rebuilt one).
+type JournalRecord struct {
+	Op       JournalOp
+	Relation string
+	Fields   []tuple.Field
+	Vals     []tuple.Value
+	RID      relation.RID
+}
+
+// append logs one record.
+func (j *Journal) append(rec JournalRecord) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	// Copy the value slice: callers reuse their buffers.
+	rec.Vals = append([]tuple.Value(nil), rec.Vals...)
+	rec.Fields = append([]tuple.Field(nil), rec.Fields...)
+	j.records = append(j.records, rec)
+}
+
+// Len returns the number of logged records.
+func (j *Journal) Len() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.records)
+}
+
+// Records returns a snapshot of the log.
+func (j *Journal) Records() []JournalRecord {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return append([]JournalRecord(nil), j.records...)
+}
+
+// Replay rebuilds the journaled state into a fresh database (typically
+// dbms.New with a clean disk) and returns it. Tuple rids differ between the
+// original and the rebuilt database; the replay keeps the old→new mapping
+// internally so updates and deletes land on the right tuples. Indexes are
+// not journaled: rebuild them after replay, exactly as the engine's owner
+// built them the first time.
+func Replay(j *Journal, opts Options) (*Database, error) {
+	db := New(opts)
+	// ridMap maps original rids to rebuilt rids, per relation.
+	ridMap := make(map[string]map[relation.RID]relation.RID)
+	for i, rec := range j.Records() {
+		switch rec.Op {
+		case OpCreate:
+			schema, err := tuple.NewSchema(rec.Fields...)
+			if err != nil {
+				return nil, fmt.Errorf("dbms: replay record %d: %w", i, err)
+			}
+			if _, err := db.CreateRelation(rec.Relation, schema); err != nil {
+				return nil, fmt.Errorf("dbms: replay record %d: %w", i, err)
+			}
+			ridMap[rec.Relation] = make(map[relation.RID]relation.RID)
+		case OpInsert:
+			m, ok := ridMap[rec.Relation]
+			if !ok {
+				return nil, fmt.Errorf("dbms: replay record %d: insert into unjournaled relation %q", i, rec.Relation)
+			}
+			newRID, err := db.Insert(rec.Relation, rec.Vals)
+			if err != nil {
+				return nil, fmt.Errorf("dbms: replay record %d: %w", i, err)
+			}
+			m[rec.RID] = newRID
+		case OpUpdate:
+			m, ok := ridMap[rec.Relation]
+			if !ok {
+				return nil, fmt.Errorf("dbms: replay record %d: update of unjournaled relation %q", i, rec.Relation)
+			}
+			newRID, ok := m[rec.RID]
+			if !ok {
+				return nil, fmt.Errorf("dbms: replay record %d: update of unknown rid %v", i, rec.RID)
+			}
+			if err := db.Update(rec.Relation, newRID, rec.Vals); err != nil {
+				return nil, fmt.Errorf("dbms: replay record %d: %w", i, err)
+			}
+		case OpDelete:
+			m, ok := ridMap[rec.Relation]
+			if !ok {
+				return nil, fmt.Errorf("dbms: replay record %d: delete from unjournaled relation %q", i, rec.Relation)
+			}
+			newRID, ok := m[rec.RID]
+			if !ok {
+				return nil, fmt.Errorf("dbms: replay record %d: delete of unknown rid %v", i, rec.RID)
+			}
+			if err := db.Delete(rec.Relation, newRID); err != nil {
+				return nil, fmt.Errorf("dbms: replay record %d: %w", i, err)
+			}
+			delete(m, rec.RID)
+		case OpDrop:
+			if err := db.DropRelation(rec.Relation); err != nil {
+				return nil, fmt.Errorf("dbms: replay record %d: %w", i, err)
+			}
+			delete(ridMap, rec.Relation)
+		default:
+			return nil, fmt.Errorf("dbms: replay record %d: unknown op %v", i, rec.Op)
+		}
+	}
+	return db, nil
+}

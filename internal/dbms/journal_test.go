@@ -1,0 +1,246 @@
+package dbms
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/relation"
+	"repro/internal/tuple"
+)
+
+func journalSchema() *tuple.Schema {
+	return tuple.MustSchema(
+		tuple.Field{Name: "id", Kind: tuple.Int32},
+		tuple.Field{Name: "v", Kind: tuple.Float64},
+	)
+}
+
+// snapshot collects a relation's tuples as id→v for comparison.
+func snapshot(t *testing.T, db *Database, rel string) map[int32]float64 {
+	t.Helper()
+	r, err := db.Relation(rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := map[int32]float64{}
+	err = r.Scan(func(_ relation.RID, vals []tuple.Value) (bool, error) {
+		out[vals[0].Int()] = vals[1].Float()
+		return true, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestJournalReplayBasic(t *testing.T) {
+	j := &Journal{}
+	db := New(Options{Journal: j})
+	db.CreateRelation("t", journalSchema())
+	ridA, _ := db.Insert("t", []tuple.Value{tuple.I32(1), tuple.F64(1.5)})
+	ridB, _ := db.Insert("t", []tuple.Value{tuple.I32(2), tuple.F64(2.5)})
+	db.Update("t", ridA, []tuple.Value{tuple.I32(1), tuple.F64(9)})
+	db.Delete("t", ridB)
+
+	if j.Len() != 5 { // create + 2 inserts + update + delete
+		t.Fatalf("journal has %d records", j.Len())
+	}
+
+	// "Crash": abandon db; rebuild from the journal alone.
+	rebuilt, err := Replay(j, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := snapshot(t, rebuilt, "t")
+	if len(got) != 1 || got[1] != 9 {
+		t.Errorf("rebuilt state = %v, want {1:9}", got)
+	}
+}
+
+func TestJournalReplayDrop(t *testing.T) {
+	j := &Journal{}
+	db := New(Options{Journal: j})
+	db.CreateRelation("temp", journalSchema())
+	db.Insert("temp", []tuple.Value{tuple.I32(1), tuple.F64(1)})
+	db.CreateRelation("keep", journalSchema())
+	db.Insert("keep", []tuple.Value{tuple.I32(7), tuple.F64(7)})
+	db.DropRelation("temp")
+
+	rebuilt, err := Replay(j, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rebuilt.Relation("temp"); err == nil {
+		t.Error("dropped relation resurrected")
+	}
+	if got := snapshot(t, rebuilt, "keep"); len(got) != 1 || got[7] != 7 {
+		t.Errorf("keep = %v", got)
+	}
+}
+
+func TestJournalOpNames(t *testing.T) {
+	names := map[JournalOp]string{
+		OpCreate: "create", OpInsert: "insert", OpUpdate: "update",
+		OpDelete: "delete", OpDrop: "drop",
+	}
+	for op, want := range names {
+		if op.String() != want {
+			t.Errorf("%d: %q", op, op.String())
+		}
+	}
+	if JournalOp(99).String() != "JournalOp(99)" {
+		t.Error("unknown op name")
+	}
+}
+
+func TestJournalReplayErrors(t *testing.T) {
+	// A record referencing an uncreated relation must fail cleanly.
+	j := &Journal{}
+	j.append(JournalRecord{Op: OpInsert, Relation: "ghost"})
+	if _, err := Replay(j, Options{}); err == nil {
+		t.Error("insert into ghost relation replayed")
+	}
+	j2 := &Journal{}
+	j2.append(JournalRecord{Op: OpCreate, Relation: "t", Fields: []tuple.Field{{Name: "id", Kind: tuple.Int32}}})
+	j2.append(JournalRecord{Op: OpUpdate, Relation: "t", RID: relation.RID{Page: 9, Slot: 9}, Vals: []tuple.Value{tuple.I32(1)}})
+	if _, err := Replay(j2, Options{}); err == nil {
+		t.Error("update of unknown rid replayed")
+	}
+	j3 := &Journal{}
+	j3.append(JournalRecord{Op: JournalOp(42)})
+	if _, err := Replay(j3, Options{}); err == nil {
+		t.Error("unknown op replayed")
+	}
+}
+
+// Property: a random mutation workload replays to exactly the same logical
+// state, across several relations with interleaved drops.
+func TestJournalReplayRandomWorkload(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 10; trial++ {
+		j := &Journal{}
+		db := New(Options{PageSize: 256, PoolFrames: 8, Journal: j})
+		type live struct {
+			rid relation.RID
+			id  int32
+		}
+		tuplesByRel := map[string][]live{}
+		rels := []string{"a", "b", "c"}
+		for _, rel := range rels {
+			if _, err := db.CreateRelation(rel, journalSchema()); err != nil {
+				t.Fatal(err)
+			}
+			tuplesByRel[rel] = nil
+		}
+		nextID := int32(0)
+		for op := 0; op < 500; op++ {
+			rel := rels[rng.Intn(len(rels))]
+			lives := tuplesByRel[rel]
+			switch {
+			case len(lives) == 0 || rng.Intn(3) == 0:
+				nextID++
+				rid, err := db.Insert(rel, []tuple.Value{tuple.I32(nextID), tuple.F64(rng.Float64())})
+				if err != nil {
+					t.Fatal(err)
+				}
+				tuplesByRel[rel] = append(lives, live{rid, nextID})
+			case rng.Intn(2) == 0:
+				i := rng.Intn(len(lives))
+				err := db.Update(rel, lives[i].rid, []tuple.Value{tuple.I32(lives[i].id), tuple.F64(rng.Float64())})
+				if err != nil {
+					t.Fatal(err)
+				}
+			default:
+				i := rng.Intn(len(lives))
+				if err := db.Delete(rel, lives[i].rid); err != nil {
+					t.Fatal(err)
+				}
+				lives[i] = lives[len(lives)-1]
+				tuplesByRel[rel] = lives[:len(lives)-1]
+			}
+		}
+
+		rebuilt, err := Replay(j, Options{PageSize: 256, PoolFrames: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, rel := range rels {
+			want := snapshot(t, db, rel)
+			got := snapshot(t, rebuilt, rel)
+			if len(want) != len(got) {
+				t.Fatalf("trial %d %s: %d tuples rebuilt, want %d", trial, rel, len(got), len(want))
+			}
+			for id, v := range want {
+				if got[id] != v {
+					t.Fatalf("trial %d %s id %d: %v vs %v", trial, rel, id, got[id], v)
+				}
+			}
+		}
+	}
+}
+
+// The crash story end to end: the device starts failing mid-workload, the
+// engine surfaces errors (no silent corruption), and the journal — the
+// durable side of the system — replays everything that succeeded into a
+// healthy engine.
+func TestJournalSurvivesDeviceCrash(t *testing.T) {
+	j := &Journal{}
+	db := New(Options{PageSize: 256, PoolFrames: 4, Journal: j})
+	if _, err := db.CreateRelation("t", journalSchema()); err != nil {
+		t.Fatal(err)
+	}
+	applied := map[int32]float64{}
+	i := int32(0)
+	for ; i < 200; i++ {
+		if _, err := db.Insert("t", []tuple.Value{tuple.I32(i), tuple.F64(float64(i))}); err != nil {
+			t.Fatal(err)
+		}
+		applied[i] = float64(i)
+	}
+	// The device dies: every further write fails.
+	db.Pool().Disk().InjectFaults(-1, 0)
+	crashed := false
+	for ; i < 400; i++ {
+		if _, err := db.Insert("t", []tuple.Value{tuple.I32(i), tuple.F64(float64(i))}); err != nil {
+			crashed = true
+			break
+		}
+		applied[i] = float64(i)
+	}
+	if !crashed {
+		t.Fatal("tiny pool never hit the faulted device: test is vacuous")
+	}
+	// The failed insert may have journaled before the device fault surfaced;
+	// trim the journal to the successful prefix the way a write-ahead commit
+	// point would. (The insert path journals after the tuple lands, so the
+	// failed op is NOT in the journal — assert that.)
+	if got := j.Len(); got != len(applied)+1 { // +1 for the create record
+		t.Fatalf("journal has %d records for %d successful ops", got, len(applied))
+	}
+
+	// Recovery: replay into a fresh, healthy engine.
+	rebuilt, err := Replay(j, Options{PageSize: 256, PoolFrames: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := snapshot(t, rebuilt, "t")
+	if len(got) != len(applied) {
+		t.Fatalf("recovered %d tuples, want %d", len(got), len(applied))
+	}
+	for id, v := range applied {
+		if got[id] != v {
+			t.Fatalf("recovered t[%d] = %v, want %v", id, got[id], v)
+		}
+	}
+}
+
+func TestJournalDisabledByDefault(t *testing.T) {
+	db := New(Options{})
+	db.CreateRelation("t", journalSchema())
+	db.Insert("t", []tuple.Value{tuple.I32(1), tuple.F64(1)})
+	// No journal: nothing to assert beyond "does not crash"; the zero
+	// Options must not record anywhere.
+	if db.journal != nil {
+		t.Error("journal unexpectedly attached")
+	}
+}

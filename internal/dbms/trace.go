@@ -1,0 +1,77 @@
+package dbms
+
+import (
+	"fmt"
+	"strings"
+)
+
+// StepTrace records the I/O one named step of an algorithm performed — the
+// engine-side counterpart of the C_j step costs in the paper's Tables 2
+// and 3. Reads and Writes are physical block transfers; PageRequests counts
+// buffer-pool accesses (hits + misses), the logical I/O a cost model without
+// caching would charge.
+type StepTrace struct {
+	Name         string
+	Reads        int64
+	Writes       int64
+	PageRequests int64
+}
+
+// TimeUnits converts the step's physical transfers into cost-model time
+// units.
+func (st StepTrace) TimeUnits(tRead, tWrite float64) float64 {
+	return float64(st.Reads)*tRead + float64(st.Writes)*tWrite
+}
+
+// Step runs fn, measuring its I/O, and appends a StepTrace under name.
+// Steps with the same name accumulate, so per-iteration steps aggregate
+// naturally across a run.
+func (db *Database) Step(name string, fn func() error) error {
+	d0 := db.disk.Stats()
+	p0 := db.pool.Stats()
+	err := fn()
+	d1 := db.disk.Stats()
+	p1 := db.pool.Stats()
+	delta := StepTrace{
+		Name:         name,
+		Reads:        d1.Reads - d0.Reads,
+		Writes:       d1.Writes - d0.Writes,
+		PageRequests: (p1.Hits + p1.Misses) - (p0.Hits + p0.Misses),
+	}
+	for i := range db.trace {
+		if db.trace[i].Name == name {
+			db.trace[i].Reads += delta.Reads
+			db.trace[i].Writes += delta.Writes
+			db.trace[i].PageRequests += delta.PageRequests
+			return err
+		}
+	}
+	db.trace = append(db.trace, delta)
+	return err
+}
+
+// Trace returns the accumulated step traces in first-seen order.
+func (db *Database) Trace() []StepTrace {
+	return append([]StepTrace(nil), db.trace...)
+}
+
+// ResetTrace clears the accumulated steps (between experiment phases).
+func (db *Database) ResetTrace() { db.trace = nil }
+
+// FormatTrace renders the trace as an aligned table for reports.
+func FormatTrace(steps []StepTrace, tRead, tWrite float64) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-28s %10s %10s %12s %10s\n", "step", "reads", "writes", "page reqs", "units")
+	var totR, totW, totP int64
+	var totU float64
+	for _, st := range steps {
+		u := st.TimeUnits(tRead, tWrite)
+		fmt.Fprintf(&sb, "%-28s %10d %10d %12d %10.2f\n", st.Name, st.Reads, st.Writes, st.PageRequests, u)
+		totR += st.Reads
+		totW += st.Writes
+		totP += st.PageRequests
+		totU += u
+	}
+	fmt.Fprintf(&sb, "%-28s %10d %10d %12d %10.2f\n", "total", totR, totW, totP, totU)
+	return sb.String()
+}

@@ -1,0 +1,589 @@
+package dbsearch
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/graph"
+	"repro/internal/index"
+	"repro/internal/relation"
+	"repro/internal/tuple"
+)
+
+// isamReader fetches R tuples by node id through the primary ISAM index.
+type isamReader struct {
+	r  *relation.Relation
+	ix *index.ISAM
+}
+
+func (ir isamReader) lookup(id int32) ([]tuple.Value, error) {
+	rid, ok, err := ir.ix.Lookup(id)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, fmt.Errorf("dbsearch: node %d not in working relation", id)
+	}
+	return ir.r.Get(rid)
+}
+
+// scanReader fetches R tuples by node id with a relation scan — the access
+// path of A* version 1's dynamically-built (hence unindexed) working
+// relation. This scan is exactly the "adjustment of the index on the part
+// of relation R" penalty Section 5.3 attributes to version 1: as the
+// explored set grows, every neighbour lookup rereads the whole relation.
+type scanReader struct {
+	r *relation.Relation
+}
+
+// find returns the rid and tuple for node id, or (nil, nil, nil) if absent.
+func (sr scanReader) find(id int32) (*relation.RID, []tuple.Value, error) {
+	var foundRID *relation.RID
+	var foundVals []tuple.Value
+	err := sr.r.Scan(func(rid relation.RID, vals []tuple.Value) (bool, error) {
+		if vals[rID].Int() == id {
+			foundRID = &rid
+			foundVals = append([]tuple.Value(nil), vals...)
+			return false, nil
+		}
+		return true, nil
+	})
+	return foundRID, foundVals, err
+}
+
+func (sr scanReader) lookup(id int32) ([]tuple.Value, error) {
+	rid, vals, err := sr.find(id)
+	if err != nil {
+		return nil, err
+	}
+	if rid == nil {
+		return nil, fmt.Errorf("dbsearch: node %d not in working relation", id)
+	}
+	return vals, nil
+}
+
+// RunBestFirst executes Dijkstra or an A* version (per cfg) against the map
+// database, following the paper's Figures 2 and 3 decomposed into the cost
+// steps of Table 3.
+func (m *MapDB) RunBestFirst(s, d graph.NodeID, cfg Config) (Result, error) {
+	if err := m.validatePair(s, d); err != nil {
+		return Result{}, err
+	}
+	if cfg.Frontier == SeparateRelation {
+		return m.runDynamic(s, d, cfg)
+	}
+	return m.runStatus(s, d, cfg)
+}
+
+// runStatus is the status-attribute implementation (Dijkstra, A* v2, v3):
+// R is preloaded with every node, indexed with ISAM, and all frontier
+// bookkeeping happens through REPLACE on the status field.
+func (m *MapDB) runStatus(s, d graph.NodeID, cfg Config) (Result, error) {
+	m.runs++
+	rName := fmt.Sprintf("r_run%d", m.runs)
+	m.db.ResetTrace()
+	io0 := m.db.IOStats()
+	var res Result
+
+	// Steps 1–2 (Table 3 / C1, C2): create the working relation and load
+	// every node from the master with status null and infinite path cost.
+	// The working relation is per-run; reclaim its pages when done.
+	defer func() {
+		if _, lookErr := m.db.Relation(rName); lookErr == nil {
+			if dropErr := m.db.DropRelation(rName); dropErr != nil {
+				panic(fmt.Sprintf("dbsearch: dropping %s: %v", rName, dropErr))
+			}
+		}
+	}()
+	var r *relation.Relation
+	err := m.db.Step("1-2 create+init R", func() error {
+		var err error
+		r, err = m.db.CreateRelation(rName, rSchema())
+		if err != nil {
+			return err
+		}
+		nodes, err := m.db.Relation(relNodes)
+		if err != nil {
+			return err
+		}
+		return nodes.Scan(func(_ relation.RID, vals []tuple.Value) (bool, error) {
+			_, err := r.Insert([]tuple.Value{
+				vals[0], vals[1], vals[2],
+				tuple.I32(statusNull), tuple.I32(-1), tuple.F64(math.Inf(1)),
+			})
+			return true, err
+		})
+	})
+	if err != nil {
+		return Result{}, err
+	}
+
+	// Step 3 (C3): index the working relation by node id.
+	var ix *index.ISAM
+	err = m.db.Step("3 index R", func() error {
+		var err error
+		ix, err = m.db.BuildISAM(rName, "id")
+		return err
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	reader := isamReader{r: r, ix: ix}
+
+	// Step 4 (C4): mark the source open with zero cost.
+	err = m.db.Step("4 mark source", func() error {
+		rid, ok, err := ix.Lookup(int32(s))
+		if err != nil || !ok {
+			return fmt.Errorf("dbsearch: source %d missing (%v)", s, err)
+		}
+		vals, err := r.Get(rid)
+		if err != nil {
+			return err
+		}
+		vals[rStatus] = tuple.I32(statusOpen)
+		vals[rCost] = tuple.F64(0)
+		return r.Update(rid, vals)
+	})
+	if err != nil {
+		return Result{}, err
+	}
+
+	dx, dy, err := m.destCoords(d)
+	if err != nil {
+		return Result{}, err
+	}
+
+	found := false
+	var finalCost float64
+	for {
+		// Step 5 (C5): select the open node minimising pathcost + estimate
+		// by scanning R — the relational frontier selection of Section 5.3.
+		// Ties prefer the deeper node, then the smaller id, matching the
+		// in-memory engine so iteration counts line up.
+		var (
+			bestRID  relation.RID
+			bestID   int32
+			bestDist float64
+			bestF    = math.Inf(1)
+			any      bool
+		)
+		err = m.db.Step("5 select min (scan R)", func() error {
+			return r.Scan(func(rid relation.RID, vals []tuple.Value) (bool, error) {
+				if vals[rStatus].Int() != statusOpen {
+					return true, nil
+				}
+				dist := vals[rCost].Float()
+				f := dist + estimate(cfg.Estimator, cfg.Weight, vals[rX].Float(), vals[rY].Float(), dx, dy)
+				better := !any || f < bestF ||
+					(f == bestF && dist > bestDist) ||
+					(f == bestF && dist == bestDist && vals[rID].Int() < bestID)
+				if better {
+					any = true
+					bestRID, bestID, bestDist, bestF = rid, vals[rID].Int(), dist, f
+				}
+				return true, nil
+			})
+		})
+		if err != nil {
+			return Result{}, err
+		}
+		if !any {
+			break // frontier empty: no path
+		}
+
+		// Step 6 (C6): mark the selected node current (REPLACE).
+		err = m.db.Step("6 mark current", func() error {
+			return r.UpdateField(bestRID, rStatus, tuple.I32(statusCurrent))
+		})
+		if err != nil {
+			return Result{}, err
+		}
+
+		if bestID == int32(d) {
+			// Termination (Lemmas 2 and 3): the destination was selected.
+			err = m.db.Step("9 close current", func() error {
+				return r.UpdateField(bestRID, rStatus, tuple.I32(statusClosed))
+			})
+			if err != nil {
+				return Result{}, err
+			}
+			found = true
+			finalCost = bestDist
+			break
+		}
+		res.Iterations++
+
+		// Step 7 (C7): fetch the adjacency list via the optimizer-chosen
+		// join of the current tuple with S.
+		strategy, err := m.planAdjacencyJoin(rName, 1, &cfg)
+		if err != nil {
+			return Result{}, err
+		}
+		var edges []edgeOut
+		err = m.db.Step("7 join adjacency", func() error {
+			var err error
+			edges, err = m.fetchAdjacency(strategy, rName, func(vals []tuple.Value) bool {
+				return vals[rStatus].Int() == statusCurrent
+			})
+			return err
+		})
+		if err != nil {
+			return Result{}, err
+		}
+
+		// Step 8 (C8): relax each out-edge — index lookup plus REPLACE when
+		// the path improves.
+		err = m.db.Step("8 relax neighbors", func() error {
+			for _, e := range edges {
+				rid, ok, err := ix.Lookup(e.head)
+				if err != nil || !ok {
+					return fmt.Errorf("dbsearch: neighbor %d missing (%v)", e.head, err)
+				}
+				vals, err := r.Get(rid)
+				if err != nil {
+					return err
+				}
+				nd := e.tailCost + e.cost
+				if nd >= vals[rCost].Float() {
+					continue
+				}
+				status := vals[rStatus].Int()
+				if status == statusClosed {
+					if !cfg.AllowReopen {
+						continue // Figure 2: explored nodes stay settled
+					}
+					res.Reopens++
+				}
+				vals[rStatus] = tuple.I32(statusOpen)
+				vals[rPath] = tuple.I32(e.tail)
+				vals[rCost] = tuple.F64(nd)
+				if err := r.Update(rid, vals); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return Result{}, err
+		}
+
+		// Step 9 (C9): close the expanded node.
+		err = m.db.Step("9 close current", func() error {
+			return r.UpdateField(bestRID, rStatus, tuple.I32(statusClosed))
+		})
+		if err != nil {
+			return Result{}, err
+		}
+	}
+
+	res.Found = found
+	res.Cost = math.Inf(1)
+	if found {
+		res.Cost = finalCost
+		// Step 10: reconstruct the path by chasing path pointers.
+		err = m.db.Step("10 build path", func() error {
+			p, err := buildPath(reader, s, d, m.g.NumNodes()+1)
+			res.Path = p
+			return err
+		})
+		if err != nil {
+			return Result{}, err
+		}
+	}
+	res.IO = m.db.IOStats().Sub(io0)
+	res.Steps = m.db.Trace()
+	m.finishResult(&res)
+	return res, nil
+}
+
+// runDynamic is A* version 1: the frontier lives in a separate relation F
+// maintained by APPEND and DELETE, and the working relation R is built
+// incrementally (no up-front load, hash index instead of static ISAM).
+func (m *MapDB) runDynamic(s, d graph.NodeID, cfg Config) (Result, error) {
+	m.runs++
+	rName := fmt.Sprintf("r_run%d", m.runs)
+	fName := fmt.Sprintf("f_run%d", m.runs)
+	m.db.ResetTrace()
+	io0 := m.db.IOStats()
+	var res Result
+
+	// Version 1 builds R incrementally, so R has no primary index: every
+	// lookup is a scan. That is the version's defining cost structure —
+	// cheap to start (no full-R initialisation, no index build), expensive
+	// as the explored set grows.
+	// The working and frontier relations are per-run; reclaim their pages.
+	defer func() {
+		for _, name := range []string{rName, fName} {
+			if _, lookErr := m.db.Relation(name); lookErr == nil {
+				if dropErr := m.db.DropRelation(name); dropErr != nil {
+					panic(fmt.Sprintf("dbsearch: dropping %s: %v", name, dropErr))
+				}
+			}
+		}
+	}()
+	var r, f *relation.Relation
+	err := m.db.Step("1 create R+F", func() error {
+		var err error
+		if r, err = m.db.CreateRelation(rName, rSchema()); err != nil {
+			return err
+		}
+		f, err = m.db.CreateRelation(fName, fSchema())
+		return err
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	reader := scanReader{r: r}
+
+	dx, dy, err := m.destCoords(d)
+	if err != nil {
+		return Result{}, err
+	}
+	nodeIx, err := m.db.ISAM(relNodes, "id")
+	if err != nil {
+		return Result{}, err
+	}
+	nodes, err := m.db.Relation(relNodes)
+	if err != nil {
+		return Result{}, err
+	}
+	// masterCoords fetches a node's coordinates from the node master when
+	// the node is first discovered.
+	masterCoords := func(id int32) (float64, float64, error) {
+		rid, ok, err := nodeIx.Lookup(id)
+		if err != nil || !ok {
+			return 0, 0, fmt.Errorf("dbsearch: node %d not in master (%v)", id, err)
+		}
+		vals, err := nodes.Get(rid)
+		if err != nil {
+			return 0, 0, err
+		}
+		return vals[1].Float(), vals[2].Float(), nil
+	}
+
+	// Append the source to R and F.
+	err = m.db.Step("2 append source", func() error {
+		x, y, err := masterCoords(int32(s))
+		if err != nil {
+			return err
+		}
+		if _, err := m.db.Insert(rName, []tuple.Value{
+			tuple.I32(int32(s)), tuple.F64(x), tuple.F64(y),
+			tuple.I32(statusOpen), tuple.I32(-1), tuple.F64(0),
+		}); err != nil {
+			return err
+		}
+		_, err = m.db.Insert(fName, []tuple.Value{
+			tuple.I32(int32(s)), tuple.F64(estimate(cfg.Estimator, cfg.Weight, x, y, dx, dy)),
+		})
+		return err
+	})
+	if err != nil {
+		return Result{}, err
+	}
+
+	// replaceFrontier updates node id's F entry to fv: DELETE the old entry
+	// if present, APPEND the new one — the index-maintenance churn that
+	// makes version 1 lose on long paths (Section 5.3.1).
+	replaceFrontier := func(id int32, fv float64) error {
+		var old *relation.RID
+		err := f.Scan(func(rid relation.RID, vals []tuple.Value) (bool, error) {
+			if vals[0].Int() == id {
+				old = &rid
+				return false, nil
+			}
+			return true, nil
+		})
+		if err != nil {
+			return err
+		}
+		if old != nil {
+			if err := m.db.Delete(fName, *old); err != nil {
+				return err
+			}
+		}
+		_, err = m.db.Insert(fName, []tuple.Value{tuple.I32(id), tuple.F64(fv)})
+		return err
+	}
+
+	found := false
+	var finalCost float64
+	for {
+		// Select the minimum-f frontier entry by scanning F.
+		var (
+			bestRID relation.RID
+			bestID  int32
+			bestF   = math.Inf(1)
+			any     bool
+		)
+		err = m.db.Step("3 select min (scan F)", func() error {
+			return f.Scan(func(rid relation.RID, vals []tuple.Value) (bool, error) {
+				fv := vals[1].Float()
+				if !any || fv < bestF || (fv == bestF && vals[0].Int() < bestID) {
+					any = true
+					bestRID, bestID, bestF = rid, vals[0].Int(), fv
+				}
+				return true, nil
+			})
+		})
+		if err != nil {
+			return Result{}, err
+		}
+		if !any {
+			break
+		}
+
+		// Remove the selection from F (DELETE) and mark it current in R.
+		var uVals []tuple.Value
+		err = m.db.Step("4 delete from F + mark current", func() error {
+			if err := m.db.Delete(fName, bestRID); err != nil {
+				return err
+			}
+			urid, vals, err := reader.find(bestID)
+			if err != nil {
+				return err
+			}
+			if urid == nil {
+				return fmt.Errorf("dbsearch: frontier node %d missing from R", bestID)
+			}
+			uVals = vals
+			uVals[rStatus] = tuple.I32(statusCurrent)
+			return r.Update(*urid, uVals)
+		})
+		if err != nil {
+			return Result{}, err
+		}
+		uDist := uVals[rCost].Float()
+
+		if bestID == int32(d) {
+			err = m.db.Step("8 close current", func() error {
+				uVals[rStatus] = tuple.I32(statusClosed)
+				return updateByScan(reader, bestID, uVals)
+			})
+			if err != nil {
+				return Result{}, err
+			}
+			found = true
+			finalCost = uDist
+			break
+		}
+		res.Iterations++
+
+		// Adjacency join: the single current tuple of R with S.
+		strategy, err := m.planAdjacencyJoin(rName, 1, &cfg)
+		if err != nil {
+			return Result{}, err
+		}
+		var edges []edgeOut
+		err = m.db.Step("5 join adjacency", func() error {
+			var err error
+			edges, err = m.fetchAdjacency(strategy, rName, func(vals []tuple.Value) bool {
+				return vals[rStatus].Int() == statusCurrent
+			})
+			return err
+		})
+		if err != nil {
+			return Result{}, err
+		}
+
+		err = m.db.Step("6 relax neighbors", func() error {
+			for _, e := range edges {
+				nd := uDist + e.cost
+				vrid, vals, err := reader.find(e.head)
+				if err != nil {
+					return err
+				}
+				if vrid == nil {
+					// First discovery: APPEND to R and F.
+					x, y, err := masterCoords(e.head)
+					if err != nil {
+						return err
+					}
+					if _, err := m.db.Insert(rName, []tuple.Value{
+						tuple.I32(e.head), tuple.F64(x), tuple.F64(y),
+						tuple.I32(statusOpen), tuple.I32(e.tail), tuple.F64(nd),
+					}); err != nil {
+						return err
+					}
+					fv := nd + estimate(cfg.Estimator, cfg.Weight, x, y, dx, dy)
+					if _, err := m.db.Insert(fName, []tuple.Value{tuple.I32(e.head), tuple.F64(fv)}); err != nil {
+						return err
+					}
+					continue
+				}
+				if nd >= vals[rCost].Float() {
+					continue
+				}
+				status := vals[rStatus].Int()
+				if status == statusClosed {
+					if !cfg.AllowReopen {
+						continue
+					}
+					res.Reopens++
+				}
+				vals[rStatus] = tuple.I32(statusOpen)
+				vals[rPath] = tuple.I32(e.tail)
+				vals[rCost] = tuple.F64(nd)
+				if err := r.Update(*vrid, vals); err != nil {
+					return err
+				}
+				fv := nd + estimate(cfg.Estimator, cfg.Weight, vals[rX].Float(), vals[rY].Float(), dx, dy)
+				if err := replaceFrontier(e.head, fv); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return Result{}, err
+		}
+
+		err = m.db.Step("8 close current", func() error {
+			// Reload: the relax step may have improved the current node
+			// itself through a self-loop; closing must keep latest values.
+			vals, err := reader.lookup(bestID)
+			if err != nil {
+				return err
+			}
+			if vals[rStatus].Int() == statusCurrent {
+				vals[rStatus] = tuple.I32(statusClosed)
+				return updateByScan(reader, bestID, vals)
+			}
+			return nil
+		})
+		if err != nil {
+			return Result{}, err
+		}
+	}
+
+	res.Found = found
+	res.Cost = math.Inf(1)
+	if found {
+		res.Cost = finalCost
+		err = m.db.Step("9 build path", func() error {
+			p, err := buildPath(reader, s, d, m.g.NumNodes()+1)
+			res.Path = p
+			return err
+		})
+		if err != nil {
+			return Result{}, err
+		}
+	}
+	res.IO = m.db.IOStats().Sub(io0)
+	res.Steps = m.db.Trace()
+	m.finishResult(&res)
+	return res, nil
+}
+
+// updateByScan rewrites the R tuple for node id located by scanning the
+// unindexed working relation.
+func updateByScan(sr scanReader, id int32, vals []tuple.Value) error {
+	rid, _, err := sr.find(id)
+	if err != nil {
+		return err
+	}
+	if rid == nil {
+		return fmt.Errorf("dbsearch: node %d missing from R", id)
+	}
+	return sr.r.Update(*rid, vals)
+}

@@ -1,0 +1,417 @@
+// Package dbsearch implements the paper's path-computation algorithms the
+// way the paper actually ran them: as database programs against relations,
+// not as main-memory graph algorithms. It is the Go counterpart of the
+// EQUEL/INGRES implementations of Section 5, built on the internal/dbms
+// engine, and it reports the same quantities the paper measures — iteration
+// counts and block I/O per algorithm step (cost Tables 2 and 3).
+//
+// Physical design (Section 4):
+//
+//	N (node master): id, x, y                      — read-only map data
+//	S (edge relation): begin, end, cost            — read-only, hash index on begin
+//	R (working node relation): id, x, y, status, path, pathcost
+//	F (frontier relation, A* version 1 only): id, fvalue
+//
+// The frontierSet and exploredSet are represented by R.status ∈ {null,
+// open, closed, current}, or by the separate relation F for A* version 1.
+// Updates use in-place REPLACE; version 1 additionally pays APPEND/DELETE
+// maintenance on F — the design decision Section 5.3 evaluates.
+package dbsearch
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/dbms"
+	"repro/internal/graph"
+	"repro/internal/join"
+	"repro/internal/optimizer"
+	"repro/internal/storage"
+	"repro/internal/tuple"
+)
+
+// Node status codes stored in R.status.
+const (
+	statusNull    int32 = 0 // never reached
+	statusOpen    int32 = 1 // in the frontierSet
+	statusClosed  int32 = 2 // in the exploredSet
+	statusCurrent int32 = 3 // being expanded this iteration
+)
+
+// Column indexes of the working relation R.
+const (
+	rID = iota
+	rX
+	rY
+	rStatus
+	rPath
+	rCost
+)
+
+// Column indexes of the edge relation S.
+const (
+	sBegin = iota
+	sEnd
+	sCost
+)
+
+// EstimatorKind selects the estimator function used by the best-first
+// algorithms, computed from the coordinates stored in R (Section 5.3).
+type EstimatorKind int
+
+const (
+	// EstimatorZero disables the estimator: pure Dijkstra.
+	EstimatorZero EstimatorKind = iota
+	// EstimatorEuclidean is straight-line distance (A* versions 1 and 2).
+	EstimatorEuclidean
+	// EstimatorManhattan is L1 distance (A* version 3).
+	EstimatorManhattan
+)
+
+// String names the estimator for reports.
+func (e EstimatorKind) String() string {
+	switch e {
+	case EstimatorZero:
+		return "zero"
+	case EstimatorEuclidean:
+		return "euclidean"
+	case EstimatorManhattan:
+		return "manhattan"
+	default:
+		return fmt.Sprintf("EstimatorKind(%d)", int(e))
+	}
+}
+
+// FrontierStyle selects how the frontierSet is represented (Section 5.3).
+type FrontierStyle int
+
+const (
+	// StatusAttribute stores the frontier as R.status = open and selects by
+	// scanning R — the REPLACE-based design of A* versions 2 and 3.
+	StatusAttribute FrontierStyle = iota
+	// SeparateRelation keeps an explicit frontier relation F maintained
+	// with APPEND and DELETE, and builds R incrementally instead of
+	// preloading it — A* version 1.
+	SeparateRelation
+)
+
+// String names the style for reports.
+func (f FrontierStyle) String() string {
+	switch f {
+	case StatusAttribute:
+		return "status-attribute"
+	case SeparateRelation:
+		return "separate-relation"
+	default:
+		return fmt.Sprintf("FrontierStyle(%d)", int(f))
+	}
+}
+
+// Config selects an algorithm variant for RunBestFirst.
+type Config struct {
+	Name      string
+	Frontier  FrontierStyle
+	Estimator EstimatorKind
+	// Weight scales the estimate (weighted A*); 0 means 1.
+	Weight float64
+	// AllowReopen applies the paper's Figure 3 semantics: an improved
+	// closed node re-enters the frontier. Dijkstra (Figure 2) keeps false.
+	AllowReopen bool
+	// ForceJoin, when non-nil, bypasses the optimizer and always uses the
+	// given strategy for the adjacency join (ablation).
+	ForceJoin *join.Strategy
+}
+
+// DijkstraConfig is the Figure 2 algorithm: no estimator, no reopening.
+func DijkstraConfig() Config {
+	return Config{Name: "dijkstra", Estimator: EstimatorZero}
+}
+
+// AStarV1Config is A* version 1: frontier as a separate relation, euclidean
+// estimator, R built incrementally.
+func AStarV1Config() Config {
+	return Config{Name: "astar-v1", Frontier: SeparateRelation, Estimator: EstimatorEuclidean, AllowReopen: true}
+}
+
+// AStarV2Config is A* version 2: status-attribute frontier, euclidean
+// estimator.
+func AStarV2Config() Config {
+	return Config{Name: "astar-v2", Estimator: EstimatorEuclidean, AllowReopen: true}
+}
+
+// AStarV3Config is A* version 3: status-attribute frontier, manhattan
+// estimator — the paper's headline A*.
+func AStarV3Config() Config {
+	return Config{Name: "astar-v3", Estimator: EstimatorManhattan, AllowReopen: true}
+}
+
+// Result reports one database-resident run.
+type Result struct {
+	// Found, Cost, Path: as in the in-memory search package.
+	Found bool
+	Cost  float64
+	Path  graph.Path
+	// Iterations counts frontier selections that expanded a node
+	// (Dijkstra/A*) or frontier rounds (Iterative), the paper's tables'
+	// quantity.
+	Iterations int
+	// Reopens counts closed nodes that re-entered the frontier.
+	Reopens int
+	// IO is the physical block traffic of the run (setup of the temporary
+	// relations plus all iterations; the shared map data is excluded).
+	IO storage.DiskStats
+	// PageRequests is logical page I/O: buffer-pool requests regardless of
+	// caching — the quantity the paper's cost model charges t_read for.
+	PageRequests int64
+	// Steps is the per-step breakdown, aligned with cost Tables 2 and 3.
+	Steps []dbms.StepTrace
+	// TimeUnits converts PageRequests and physical writes into the cost
+	// model's units (reads at t_read, writes at t_write).
+	TimeUnits float64
+}
+
+// Options configures the engine a MapDB runs on.
+type Options struct {
+	// PageSize in bytes; 0 → 4096 (Table 4A).
+	PageSize int
+	// PoolFrames; 0 → 16, deliberately small so the paper-scale relations
+	// do not fit entirely in memory and block I/O stays observable.
+	PoolFrames int
+}
+
+// MapDB is a loaded map database: the read-only node master N and edge
+// relation S with their indexes, ready to run algorithms against. One MapDB
+// serves many runs; each run creates and abandons its own temporary
+// relations.
+type MapDB struct {
+	db   *dbms.Database
+	g    *graph.Graph
+	runs int
+}
+
+const (
+	relNodes = "n"
+	relEdges = "s"
+)
+
+// OpenMap loads graph g into a fresh engine.
+func OpenMap(g *graph.Graph, opts Options) (*MapDB, error) {
+	frames := opts.PoolFrames
+	if frames == 0 {
+		frames = 16
+	}
+	db := dbms.New(dbms.Options{PageSize: opts.PageSize, PoolFrames: frames})
+
+	nodeSchema := tuple.MustSchema(
+		tuple.Field{Name: "id", Kind: tuple.Int32},
+		tuple.Field{Name: "x", Kind: tuple.Float64},
+		tuple.Field{Name: "y", Kind: tuple.Float64},
+	)
+	if _, err := db.CreateRelation(relNodes, nodeSchema); err != nil {
+		return nil, err
+	}
+	edgeSchema := tuple.MustSchema(
+		tuple.Field{Name: "begin", Kind: tuple.Int32},
+		tuple.Field{Name: "end", Kind: tuple.Int32},
+		tuple.Field{Name: "cost", Kind: tuple.Float64},
+	)
+	if _, err := db.CreateRelation(relEdges, edgeSchema); err != nil {
+		return nil, err
+	}
+	for u := graph.NodeID(0); int(u) < g.NumNodes(); u++ {
+		p := g.Point(u)
+		if _, err := db.Insert(relNodes, []tuple.Value{tuple.I32(int32(u)), tuple.F64(p.X), tuple.F64(p.Y)}); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := db.BuildISAM(relNodes, "id"); err != nil {
+		return nil, err
+	}
+	// Bucket count ~ one bucket per page of postings keeps chains short.
+	buckets := g.NumNodes()/8 + 1
+	if _, err := db.CreateHashIndex(relEdges, "begin", buckets); err != nil {
+		return nil, err
+	}
+	for _, e := range g.Edges() {
+		if _, err := db.Insert(relEdges, []tuple.Value{
+			tuple.I32(int32(e.Tail)), tuple.I32(int32(e.Head)), tuple.F64(e.Cost),
+		}); err != nil {
+			return nil, err
+		}
+	}
+	return &MapDB{db: db, g: g}, nil
+}
+
+// DB exposes the underlying engine (stats, traces).
+func (m *MapDB) DB() *dbms.Database { return m.db }
+
+// Graph returns the loaded graph.
+func (m *MapDB) Graph() *graph.Graph { return m.g }
+
+// rSchema is the working relation's schema.
+func rSchema() *tuple.Schema {
+	return tuple.MustSchema(
+		tuple.Field{Name: "id", Kind: tuple.Int32},
+		tuple.Field{Name: "x", Kind: tuple.Float64},
+		tuple.Field{Name: "y", Kind: tuple.Float64},
+		tuple.Field{Name: "status", Kind: tuple.Int32},
+		tuple.Field{Name: "path", Kind: tuple.Int32},
+		tuple.Field{Name: "pathcost", Kind: tuple.Float64},
+	)
+}
+
+// fSchema is A* version 1's frontier relation schema.
+func fSchema() *tuple.Schema {
+	return tuple.MustSchema(
+		tuple.Field{Name: "id", Kind: tuple.Int32},
+		tuple.Field{Name: "fvalue", Kind: tuple.Float64},
+	)
+}
+
+// estimate computes the configured estimator from R-tuple coordinates.
+func estimate(kind EstimatorKind, weight, x, y, dx, dy float64) float64 {
+	if weight == 0 {
+		weight = 1
+	}
+	switch kind {
+	case EstimatorEuclidean:
+		ddx, ddy := x-dx, y-dy
+		return weight * math.Sqrt(ddx*ddx+ddy*ddy)
+	case EstimatorManhattan:
+		return weight * (math.Abs(x-dx) + math.Abs(y-dy))
+	default:
+		return 0
+	}
+}
+
+// validatePair checks endpoints against the loaded graph.
+func (m *MapDB) validatePair(s, d graph.NodeID) error {
+	n := graph.NodeID(m.g.NumNodes())
+	if s < 0 || s >= n {
+		return fmt.Errorf("dbsearch: source %d out of range [0,%d)", s, n)
+	}
+	if d < 0 || d >= n {
+		return fmt.Errorf("dbsearch: destination %d out of range [0,%d)", d, n)
+	}
+	return nil
+}
+
+// destCoords reads the destination's coordinates from the node master — the
+// estimator's fixed reference point.
+func (m *MapDB) destCoords(d graph.NodeID) (float64, float64, error) {
+	ix, err := m.db.ISAM(relNodes, "id")
+	if err != nil {
+		return 0, 0, err
+	}
+	rid, ok, err := ix.Lookup(int32(d))
+	if err != nil || !ok {
+		return 0, 0, fmt.Errorf("dbsearch: destination %d not in node master (%v)", d, err)
+	}
+	n, err := m.db.Relation(relNodes)
+	if err != nil {
+		return 0, 0, err
+	}
+	vals, err := n.Get(rid)
+	if err != nil {
+		return 0, 0, err
+	}
+	return vals[1].Float(), vals[2].Float(), nil
+}
+
+// finishResult converts raw runtime measurements into a Result, charging
+// logical reads at t_read and physical writes at t_write.
+func (m *MapDB) finishResult(res *Result) {
+	p := m.db.Params()
+	var reqs, writes int64
+	for _, st := range res.Steps {
+		reqs += st.PageRequests
+		writes += st.Writes
+	}
+	res.PageRequests = reqs
+	res.TimeUnits = float64(reqs)*p.TRead + float64(writes)*p.TWrite
+}
+
+// buildPath reconstructs the path from the working relation's path
+// pointers: repeated primary-index lookups from the destination back to the
+// source, exactly the pointer traversal Section 4 describes.
+func buildPath(r pathReader, s, d graph.NodeID, maxLen int) (graph.Path, error) {
+	if s == d {
+		return graph.Path{Nodes: []graph.NodeID{s}}, nil
+	}
+	rev := []graph.NodeID{d}
+	at := d
+	for at != s {
+		vals, err := r.lookup(int32(at))
+		if err != nil {
+			return graph.Path{}, err
+		}
+		prev := graph.NodeID(vals[rPath].Int())
+		if prev == graph.NodeID(-1) {
+			return graph.Path{}, fmt.Errorf("dbsearch: broken path chain at node %d", at)
+		}
+		rev = append(rev, prev)
+		if len(rev) > maxLen {
+			return graph.Path{}, fmt.Errorf("dbsearch: path chain longer than %d nodes", maxLen)
+		}
+		at = prev
+	}
+	nodes := make([]graph.NodeID, len(rev))
+	for i, u := range rev {
+		nodes[len(rev)-1-i] = u
+	}
+	return graph.Path{Nodes: nodes}, nil
+}
+
+// pathReader abstracts "fetch R tuple by node id" over the two R designs
+// (ISAM for preloaded R, hash index for dynamic R).
+type pathReader interface {
+	lookup(id int32) ([]tuple.Value, error)
+}
+
+// planAdjacencyJoin asks the optimizer for the adjacency-fetch strategy:
+// outer = the current node tuples of R, inner = S, result ≈ |current|·|A|
+// tuples (JS·|C|·|S| in the paper's notation).
+func (m *MapDB) planAdjacencyJoin(rName string, currentTuples int, cfg *Config) (join.Strategy, error) {
+	if cfg != nil && cfg.ForceJoin != nil {
+		return *cfg.ForceJoin, nil
+	}
+	avgDegree := 0
+	if m.g.NumNodes() > 0 {
+		avgDegree = m.g.NumEdges() / m.g.NumNodes()
+	}
+	choice, err := m.db.PlanJoin(rName, relEdges, currentTuples, currentTuples*(avgDegree+1))
+	if err != nil {
+		return 0, err
+	}
+	return choice.Strategy, nil
+}
+
+// edgeOut is one adjacency-join output row: the expanding node, its path
+// cost at join time, and the out-edge's head and cost.
+type edgeOut struct {
+	tail     int32
+	tailCost float64
+	head     int32
+	cost     float64
+}
+
+// fetchAdjacency joins the current tuples of rName with S and collects the
+// out-edges. curFilter selects the outer tuples (status = current, or id
+// match for the dynamic variant).
+func (m *MapDB) fetchAdjacency(strategy join.Strategy, rName string, curFilter func([]tuple.Value) bool) ([]edgeOut, error) {
+	var out []edgeOut
+	err := m.db.ExecuteJoin(strategy, rName, relEdges, "id", "begin", curFilter,
+		func(left, right []tuple.Value) (bool, error) {
+			out = append(out, edgeOut{
+				tail:     left[rID].Int(),
+				tailCost: left[rCost].Float(),
+				head:     right[sEnd].Int(),
+				cost:     right[sCost].Float(),
+			})
+			return true, nil
+		})
+	return out, err
+}
+
+// params convenience.
+func (m *MapDB) params() optimizer.Params { return m.db.Params() }

@@ -1,0 +1,218 @@
+package dbsearch
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/graph"
+	"repro/internal/index"
+	"repro/internal/relation"
+	"repro/internal/tuple"
+)
+
+// RunIterative executes the breadth-first iterative algorithm (Figure 1)
+// against the map database, decomposed into the cost steps of Table 2:
+// each round fetches every "current" tuple, joins the whole current set
+// with S, updates improved neighbours to open, closes the expanded
+// tuples, promotes open to current, and counts the survivors.
+//
+// Unlike the best-first runs, the iterative algorithm cannot terminate at
+// the destination: it loops until the current set is empty (Lemma 1), so
+// its work is insensitive to path length — the paper's core observation.
+func (m *MapDB) RunIterative(s, d graph.NodeID, cfg Config) (Result, error) {
+	if err := m.validatePair(s, d); err != nil {
+		return Result{}, err
+	}
+	m.runs++
+	rName := fmt.Sprintf("r_run%d", m.runs)
+	m.db.ResetTrace()
+	io0 := m.db.IOStats()
+	var res Result
+
+	// Steps 1–2 (Table 2, C1–C2): create R and load every node.
+	// The working relation is per-run; reclaim its pages when done.
+	defer func() {
+		if _, lookErr := m.db.Relation(rName); lookErr == nil {
+			if dropErr := m.db.DropRelation(rName); dropErr != nil {
+				panic(fmt.Sprintf("dbsearch: dropping %s: %v", rName, dropErr))
+			}
+		}
+	}()
+	var r *relation.Relation
+	err := m.db.Step("1-2 create+init R", func() error {
+		var err error
+		r, err = m.db.CreateRelation(rName, rSchema())
+		if err != nil {
+			return err
+		}
+		nodes, err := m.db.Relation(relNodes)
+		if err != nil {
+			return err
+		}
+		return nodes.Scan(func(_ relation.RID, vals []tuple.Value) (bool, error) {
+			_, err := r.Insert([]tuple.Value{
+				vals[0], vals[1], vals[2],
+				tuple.I32(statusNull), tuple.I32(-1), tuple.F64(math.Inf(1)),
+			})
+			return true, err
+		})
+	})
+	if err != nil {
+		return Result{}, err
+	}
+
+	// Step 3 (C3): index R by node id.
+	var ix *index.ISAM
+	err = m.db.Step("3 index R", func() error {
+		var err error
+		ix, err = m.db.BuildISAM(rName, "id")
+		return err
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	reader := isamReader{r: r, ix: ix}
+
+	// Step 4 (C4): mark the start node current with zero cost.
+	err = m.db.Step("4 mark source current", func() error {
+		rid, ok, err := ix.Lookup(int32(s))
+		if err != nil || !ok {
+			return fmt.Errorf("dbsearch: source %d missing (%v)", s, err)
+		}
+		vals, err := r.Get(rid)
+		if err != nil {
+			return err
+		}
+		vals[rStatus] = tuple.I32(statusCurrent)
+		vals[rCost] = tuple.F64(0)
+		return r.Update(rid, vals)
+	})
+	if err != nil {
+		return Result{}, err
+	}
+
+	currentCount := 1
+	for currentCount > 0 {
+		res.Iterations++
+
+		// Step 5 (C5): fetch all current tuples. The join's left filter
+		// performs this scan; here we only need the count, already known
+		// from the previous round's step 8.
+
+		// Step 6 (C6): join the current set with S — the optimizer picks
+		// the strategy from the current-set size, exactly the F(B_c, B_s,
+		// B_join) choice of the cost model.
+		strategy, err := m.planAdjacencyJoin(rName, currentCount, &cfg)
+		if err != nil {
+			return Result{}, err
+		}
+		var edges []edgeOut
+		err = m.db.Step("6 join adjacency", func() error {
+			var err error
+			edges, err = m.fetchAdjacency(strategy, rName, func(vals []tuple.Value) bool {
+				return vals[rStatus].Int() == statusCurrent
+			})
+			return err
+		})
+		if err != nil {
+			return Result{}, err
+		}
+
+		// Step 7 (C7): relax — improved neighbours become open and record
+		// their new path. tailCost was captured at join time, so all
+		// relaxations in a round use the round-start labels (true BFS
+		// semantics).
+		err = m.db.Step("7 update neighbors", func() error {
+			for _, e := range edges {
+				rid, ok, err := ix.Lookup(e.head)
+				if err != nil || !ok {
+					return fmt.Errorf("dbsearch: neighbor %d missing (%v)", e.head, err)
+				}
+				vals, err := r.Get(rid)
+				if err != nil {
+					return err
+				}
+				nd := e.tailCost + e.cost
+				if nd >= vals[rCost].Float() {
+					continue
+				}
+				if vals[rStatus].Int() == statusClosed {
+					res.Reopens++
+				}
+				vals[rStatus] = tuple.I32(statusOpen)
+				vals[rPath] = tuple.I32(e.tail)
+				vals[rCost] = tuple.F64(nd)
+				if err := r.Update(rid, vals); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return Result{}, err
+		}
+
+		// Step 8 (C8): close the expanded tuples, promote open to current,
+		// and count the new current set (the termination test).
+		newCount := 0
+		err = m.db.Step("8 flip status + count", func() error {
+			type flip struct {
+				rid relation.RID
+				to  int32
+			}
+			var flips []flip
+			err := r.Scan(func(rid relation.RID, vals []tuple.Value) (bool, error) {
+				switch vals[rStatus].Int() {
+				case statusCurrent:
+					flips = append(flips, flip{rid, statusClosed})
+				case statusOpen:
+					flips = append(flips, flip{rid, statusCurrent})
+					newCount++
+				}
+				return true, nil
+			})
+			if err != nil {
+				return err
+			}
+			for _, fl := range flips {
+				if err := r.UpdateField(fl.rid, rStatus, tuple.I32(fl.to)); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return Result{}, err
+		}
+		currentCount = newCount
+	}
+
+	// Read off the destination's label.
+	var destVals []tuple.Value
+	err = m.db.Step("9 read destination", func() error {
+		var err error
+		destVals, err = reader.lookup(int32(d))
+		return err
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	res.Cost = destVals[rCost].Float()
+	res.Found = !math.IsInf(res.Cost, 1)
+	if res.Found {
+		err = m.db.Step("10 build path", func() error {
+			p, err := buildPath(reader, s, d, m.g.NumNodes()+1)
+			res.Path = p
+			return err
+		})
+		if err != nil {
+			return Result{}, err
+		}
+	} else {
+		res.Cost = math.Inf(1)
+	}
+	res.IO = m.db.IOStats().Sub(io0)
+	res.Steps = m.db.Trace()
+	m.finishResult(&res)
+	return res, nil
+}

@@ -1,0 +1,86 @@
+package dbsearch
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/search"
+)
+
+// Property: on random digraphs — including disconnected ones and nodes with
+// no outgoing edges — every DB-resident algorithm agrees with the in-memory
+// oracle on reachability and optimal cost (the A* variants use admissible
+// estimators here because edge costs dominate the coordinate geometry).
+func TestDBAlgorithmsOnRandomGraphs(t *testing.T) {
+	rng := rand.New(rand.NewSource(404))
+	for trial := 0; trial < 8; trial++ {
+		n := 5 + rng.Intn(30)
+		b := graph.NewBuilder(n, 4*n)
+		for i := 0; i < n; i++ {
+			// Coordinates in a small box with costs well above euclidean
+			// distances: both geometric estimators stay admissible.
+			b.AddNode(rng.Float64(), rng.Float64())
+		}
+		for e := 0; e < 3*n; e++ {
+			u := graph.NodeID(rng.Intn(n))
+			v := graph.NodeID(rng.Intn(n))
+			if u == v {
+				continue
+			}
+			b.AddEdge(u, v, 2+rng.Float64()*5)
+		}
+		g := b.MustBuild()
+		m, err := OpenMap(g, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		for probe := 0; probe < 4; probe++ {
+			s := graph.NodeID(rng.Intn(n))
+			d := graph.NodeID(rng.Intn(n))
+			oracle, err := search.Dijkstra(g, s, d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			configs := []struct {
+				name      string
+				iterative bool
+				cfg       Config
+			}{
+				{"iterative", true, Config{}},
+				{"dijkstra", false, DijkstraConfig()},
+				{"astar-v1", false, AStarV1Config()},
+				{"astar-v2", false, AStarV2Config()},
+				{"astar-v3", false, AStarV3Config()},
+			}
+			for _, c := range configs {
+				var res Result
+				if c.iterative {
+					res, err = m.RunIterative(s, d, c.cfg)
+				} else {
+					res, err = m.RunBestFirst(s, d, c.cfg)
+				}
+				if err != nil {
+					t.Fatalf("trial %d %s (%d→%d): %v", trial, c.name, s, d, err)
+				}
+				if res.Found != oracle.Found {
+					t.Fatalf("trial %d %s (%d→%d): found=%v oracle=%v", trial, c.name, s, d, res.Found, oracle.Found)
+				}
+				if !res.Found {
+					continue
+				}
+				// Manhattan can overestimate here (|dx|+|dy| ≤ 2 < min cost
+				// 2? No: coordinates in [0,1], so manhattan ≤ 2 ≤ min edge
+				// cost — admissible). All must be optimal.
+				if math.Abs(res.Cost-oracle.Cost) > 1e-9 {
+					t.Fatalf("trial %d %s (%d→%d): cost %v, oracle %v", trial, c.name, s, d, res.Cost, oracle.Cost)
+				}
+				if !res.Path.ValidIn(g) {
+					t.Fatalf("trial %d %s: invalid path", trial, c.name)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,49 @@
+package dbsearch
+
+import (
+	"testing"
+
+	"repro/internal/gridgen"
+)
+
+// Repeated runs against one MapDB must not grow the simulated disk: each
+// run's temporary relations are dropped and their pages reused.
+func TestRunsReclaimTemporaryPages(t *testing.T) {
+	m := openGrid(t, 10, gridgen.Variance, 5)
+	s, d := gridgen.Pair(10, gridgen.SemiDiagonal, 0)
+
+	// Warm up one run of each flavour so steady-state allocation is
+	// established (the first run high-waters the device).
+	if _, err := m.RunBestFirst(s, d, DijkstraConfig()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.RunBestFirst(s, d, AStarV1Config()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.RunIterative(s, d, Config{}); err != nil {
+		t.Fatal(err)
+	}
+	disk := m.DB().Pool().Disk()
+	highWater := disk.NumPages()
+
+	for i := 0; i < 5; i++ {
+		if _, err := m.RunBestFirst(s, d, AStarV3Config()); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.RunBestFirst(s, d, AStarV1Config()); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.RunIterative(s, d, Config{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if grown := disk.NumPages() - highWater; grown > 0 {
+		t.Errorf("device grew by %d pages over repeated runs; temporaries leak", grown)
+	}
+	// Only the map relations (and their indexes) remain in the catalog.
+	for _, name := range m.DB().Relations() {
+		if name != "n" && name != "s" {
+			t.Errorf("leftover temporary relation %q", name)
+		}
+	}
+}

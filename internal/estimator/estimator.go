@@ -1,0 +1,130 @@
+// Package estimator provides the estimator (heuristic) functions studied in
+// Section 5.3 of the paper: euclidean distance, manhattan distance, the zero
+// estimator (which degenerates A* to Dijkstra), and weighted variants used
+// by the optimality/speed-tradeoff extension the paper's conclusion calls
+// for.
+//
+// An estimator f(u, d) approximates the cost of the cheapest path from u to
+// the destination d. A* is guaranteed optimal when the estimator never
+// overestimates (Lemma 3); such estimators are called admissible. Euclidean
+// distance is admissible whenever edge costs are at least the euclidean
+// length of the edge; manhattan distance is a perfect estimator on uniform
+// 4-neighbour grids but overestimates — and therefore forfeits optimality —
+// on road maps whose segments are not axis-parallel (paper Section 5.3).
+package estimator
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// Func estimates the remaining cost from node u to node d in g.
+type Func func(g *graph.Graph, u, d graph.NodeID) float64
+
+// Estimator couples an estimator function with a name for reports and a
+// priori knowledge about admissibility on uniform grids. Admissibility on an
+// arbitrary graph is checked empirically by the search package's
+// VerifyAdmissible, which compares estimates against true shortest-path
+// costs and reports Violations.
+type Estimator struct {
+	Name string
+	F    Func
+}
+
+// Estimate applies the estimator. A nil receiver or nil function behaves as
+// the zero estimator, so callers may treat "no estimator" uniformly.
+func (e *Estimator) Estimate(g *graph.Graph, u, d graph.NodeID) float64 {
+	if e == nil || e.F == nil {
+		return 0
+	}
+	return e.F(g, u, d)
+}
+
+// String returns the estimator's name.
+func (e *Estimator) String() string {
+	if e == nil {
+		return "zero"
+	}
+	return e.Name
+}
+
+// Zero returns the zero estimator: f(u,d) = 0 for all pairs. Best-first
+// search with the zero estimator is exactly Dijkstra's algorithm (paper
+// Section 3.3: "Best-first search without estimator functions is not very
+// different from Dijkstra's algorithm").
+func Zero() *Estimator {
+	return &Estimator{
+		Name: "zero",
+		F:    func(*graph.Graph, graph.NodeID, graph.NodeID) float64 { return 0 },
+	}
+}
+
+// Euclidean returns the straight-line-distance estimator of paper
+// Section 5.3. It always underestimates the length of a shortest path when
+// edge costs are euclidean edge lengths, so A* with it is optimal on
+// distance-costed maps (used by A* versions 1 and 2).
+func Euclidean() *Estimator {
+	return &Estimator{
+		Name: "euclidean",
+		F: func(g *graph.Graph, u, d graph.NodeID) float64 {
+			return g.Point(u).EuclideanDistance(g.Point(d))
+		},
+	}
+}
+
+// Manhattan returns the L1-distance estimator of paper Section 5.3. It is a
+// perfect estimate on uniform-cost grid graphs (used by A* version 3), but
+// is not guaranteed to underestimate on road maps: the paper notes that on
+// the Minneapolis data set manhattan distance can overestimate, so A* with
+// it does not guarantee an optimal route there.
+func Manhattan() *Estimator {
+	return &Estimator{
+		Name: "manhattan",
+		F: func(g *graph.Graph, u, d graph.NodeID) float64 {
+			return g.Point(u).ManhattanDistance(g.Point(d))
+		},
+	}
+}
+
+// Scaled wraps an estimator, multiplying its estimate by factor. Scaling by
+// the minimum cost-per-distance ratio converts a geometric estimator into an
+// admissible travel-time estimator; scaling by ε > 1 yields weighted A*, the
+// classic speed-versus-optimality knob (the tradeoff the paper's conclusion
+// proposes to characterise).
+func Scaled(base *Estimator, factor float64) *Estimator {
+	return &Estimator{
+		Name: fmt.Sprintf("%s×%g", base.String(), factor),
+		F: func(g *graph.Graph, u, d graph.NodeID) float64 {
+			return factor * base.Estimate(g, u, d)
+		},
+	}
+}
+
+// Max combines estimators by taking the pointwise maximum. The maximum of
+// admissible estimators is admissible and at least as informed as each.
+func Max(a, b *Estimator) *Estimator {
+	return &Estimator{
+		Name: fmt.Sprintf("max(%s,%s)", a.String(), b.String()),
+		F: func(g *graph.Graph, u, d graph.NodeID) float64 {
+			x, y := a.Estimate(g, u, d), b.Estimate(g, u, d)
+			if x >= y {
+				return x
+			}
+			return y
+		},
+	}
+}
+
+// Violation records one witnessed inadmissibility: the estimate from U
+// exceeded the true remaining cost.
+type Violation struct {
+	U, D     graph.NodeID
+	Estimate float64
+	TrueCost float64
+}
+
+// String formats the violation for reports.
+func (v Violation) String() string {
+	return fmt.Sprintf("f(%d,%d)=%.4f > true %.4f", v.U, v.D, v.Estimate, v.TrueCost)
+}

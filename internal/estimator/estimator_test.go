@@ -1,0 +1,118 @@
+package estimator
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// twoNodes builds a graph with nodes at the given coordinates and no edges;
+// estimators only consult coordinates.
+func twoNodes(t *testing.T, ax, ay, bx, by float64) (*graph.Graph, graph.NodeID, graph.NodeID) {
+	t.Helper()
+	b := graph.NewBuilder(2, 0)
+	u := b.AddNode(ax, ay)
+	v := b.AddNode(bx, by)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, u, v
+}
+
+func TestZero(t *testing.T) {
+	g, u, v := twoNodes(t, 0, 0, 10, 10)
+	if e := Zero().Estimate(g, u, v); e != 0 {
+		t.Errorf("zero estimate = %v", e)
+	}
+	if Zero().String() != "zero" {
+		t.Errorf("name = %q", Zero().String())
+	}
+}
+
+func TestNilBehavesAsZero(t *testing.T) {
+	g, u, v := twoNodes(t, 0, 0, 3, 4)
+	var e *Estimator
+	if got := e.Estimate(g, u, v); got != 0 {
+		t.Errorf("nil estimator estimate = %v", got)
+	}
+	if e.String() != "zero" {
+		t.Errorf("nil estimator name = %q", e.String())
+	}
+	empty := &Estimator{Name: "noop"}
+	if got := empty.Estimate(g, u, v); got != 0 {
+		t.Errorf("nil-func estimator estimate = %v", got)
+	}
+}
+
+func TestEuclidean(t *testing.T) {
+	g, u, v := twoNodes(t, 0, 0, 3, 4)
+	if e := Euclidean().Estimate(g, u, v); math.Abs(e-5) > 1e-12 {
+		t.Errorf("euclidean = %v, want 5", e)
+	}
+	if e := Euclidean().Estimate(g, u, u); e != 0 {
+		t.Errorf("euclidean self = %v, want 0 (f(d,d)=0 per Lemma 3)", e)
+	}
+}
+
+func TestManhattan(t *testing.T) {
+	g, u, v := twoNodes(t, 1, 2, 4, 6)
+	if e := Manhattan().Estimate(g, u, v); e != 7 {
+		t.Errorf("manhattan = %v, want 7", e)
+	}
+	if e := Manhattan().Estimate(g, v, v); e != 0 {
+		t.Errorf("manhattan self = %v, want 0", e)
+	}
+}
+
+func TestManhattanDominatesEuclidean(t *testing.T) {
+	// On any pair, manhattan >= euclidean: the reason manhattan is the
+	// sharper (paper: "perfect") estimator on unit grids.
+	coords := [][4]float64{{0, 0, 3, 4}, {1, 1, 1, 9}, {-2, 5, 7, -3}, {0, 0, 0, 0}}
+	for _, c := range coords {
+		g, u, v := twoNodes(t, c[0], c[1], c[2], c[3])
+		m := Manhattan().Estimate(g, u, v)
+		e := Euclidean().Estimate(g, u, v)
+		if m < e-1e-12 {
+			t.Errorf("coords %v: manhattan %v < euclidean %v", c, m, e)
+		}
+	}
+}
+
+func TestScaled(t *testing.T) {
+	g, u, v := twoNodes(t, 0, 0, 3, 4)
+	s := Scaled(Euclidean(), 2)
+	if e := s.Estimate(g, u, v); math.Abs(e-10) > 1e-12 {
+		t.Errorf("scaled = %v, want 10", e)
+	}
+	if s.String() != "euclidean×2" {
+		t.Errorf("name = %q", s.String())
+	}
+	if e := Scaled(Manhattan(), 0).Estimate(g, u, v); e != 0 {
+		t.Errorf("zero-scaled = %v", e)
+	}
+}
+
+func TestMax(t *testing.T) {
+	g, u, v := twoNodes(t, 0, 0, 3, 4)
+	m := Max(Euclidean(), Manhattan())
+	if e := m.Estimate(g, u, v); e != 7 {
+		t.Errorf("max = %v, want 7 (manhattan wins)", e)
+	}
+	m2 := Max(Manhattan(), Zero())
+	if e := m2.Estimate(g, u, v); e != 7 {
+		t.Errorf("max(manhattan,zero) = %v, want 7", e)
+	}
+	if m.String() != "max(euclidean,manhattan)" {
+		t.Errorf("name = %q", m.String())
+	}
+}
+
+func TestViolationString(t *testing.T) {
+	v := Violation{U: 3, D: 9, Estimate: 2.5, TrueCost: 2.0}
+	want := "f(3,9)=2.5000 > true 2.0000"
+	if v.String() != want {
+		t.Errorf("String = %q, want %q", v.String(), want)
+	}
+}

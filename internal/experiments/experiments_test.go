@@ -1,0 +1,161 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// fastCfg keeps the suite quick: one repetition; DB runs stay on because
+// they are what the figures measure.
+var fastCfg = RunConfig{Reps: 1}
+
+func runExperiment(t *testing.T, id string, cfg RunConfig) string {
+	t.Helper()
+	e, ok := ByID(id)
+	if !ok {
+		t.Fatalf("experiment %q not registered", id)
+	}
+	var buf bytes.Buffer
+	if err := e.Run(&buf, cfg); err != nil {
+		t.Fatalf("%s: %v", id, err)
+	}
+	return buf.String()
+}
+
+func TestRegistry(t *testing.T) {
+	all := All()
+	if len(all) < 14 {
+		t.Errorf("only %d experiments registered", len(all))
+	}
+	seen := map[string]bool{}
+	for _, e := range all {
+		if e.ID == "" || e.Title == "" || e.Run == nil {
+			t.Errorf("experiment %+v incomplete", e.ID)
+		}
+		if seen[e.ID] {
+			t.Errorf("duplicate id %q", e.ID)
+		}
+		seen[e.ID] = true
+	}
+	if _, ok := ByID("TABLE5"); !ok {
+		t.Error("ByID not case-insensitive")
+	}
+	if _, ok := ByID("ghost"); ok {
+		t.Error("ghost experiment resolved")
+	}
+	if len(IDs()) != len(all) {
+		t.Error("IDs() incomplete")
+	}
+}
+
+func TestFigure4(t *testing.T) {
+	out := runExperiment(t, "figure4", fastCfg)
+	for _, want := range []string{"Figure 4", "S", "1", "2", "3", "Cost models"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("figure4 missing %q", want)
+		}
+	}
+}
+
+func TestTable5(t *testing.T) {
+	out := runExperiment(t, "table5", fastCfg)
+	for _, want := range []string{"Table 5", "dijkstra", "astar-v3", "iterative", "paper 899", "Figure 5", "wall-clock"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table5 missing %q", want)
+		}
+	}
+}
+
+func TestTable6(t *testing.T) {
+	out := runExperiment(t, "table6", fastCfg)
+	for _, want := range []string{"Table 6", "horizontal", "semi-diagonal", "diagonal", "paper 488", "Figure 6"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table6 missing %q", want)
+		}
+	}
+}
+
+func TestTable7(t *testing.T) {
+	out := runExperiment(t, "table7", fastCfg)
+	for _, want := range []string{"Table 7", "uniform", "20% variance", "skewed", "Figure 7"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table7 missing %q", want)
+		}
+	}
+}
+
+func TestTable4B(t *testing.T) {
+	out := runExperiment(t, "table4b", fastCfg)
+	for _, want := range []string{"Table 4B", "paper 1941.2", "engine", "C5", "setup"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table4b missing %q", want)
+		}
+	}
+}
+
+func TestFigure8(t *testing.T) {
+	out := runExperiment(t, "figure8", fastCfg)
+	for _, want := range []string{"Figure 8", "1089 nodes", "Landmarks"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("figure8 missing %q", want)
+		}
+	}
+}
+
+func TestTable8(t *testing.T) {
+	out := runExperiment(t, "table8", fastCfg)
+	for _, want := range []string{"Table 8", "A to B", "G to D", "paper 1058", "Figure 9", "drift"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table8 missing %q", want)
+		}
+	}
+}
+
+func TestVersionFigures(t *testing.T) {
+	out := runExperiment(t, "figure10", fastCfg)
+	for _, want := range []string{"Figure 10", "astar-v1", "astar-v2", "astar-v3"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("figure10 missing %q", want)
+		}
+	}
+	out = runExperiment(t, "figure11", fastCfg)
+	if !strings.Contains(out, "Figure 11") || !strings.Contains(out, "skewed") {
+		t.Error("figure11 output incomplete")
+	}
+	out = runExperiment(t, "figure12", fastCfg)
+	if !strings.Contains(out, "Figure 12") || !strings.Contains(out, "horizontal") {
+		t.Error("figure12 output incomplete")
+	}
+}
+
+func TestAblations(t *testing.T) {
+	cases := map[string][]string{
+		"ablation-frontier":      {"heap", "scan", "duplicates"},
+		"ablation-join":          {"nested-loop", "hash", "sort-merge", "primary-key", "optimizer pick"},
+		"ablation-buffer":        {"frames", "physical reads"},
+		"ablation-weighted":      {"weight", "suboptimality", "0.00%"},
+		"ablation-bidirectional": {"bidirectional", "dijkstra"},
+		"ablation-estimators":    {"alt-4", "manhattan", "travel-time", "+0.0%"},
+		"ablation-kpaths":        {"best", "2nd", "3rd", "A to B"},
+		"ablation-economics":     {"floyd-warshall", "single-pair", "pairs answered", "144"},
+	}
+	for id, wants := range cases {
+		out := runExperiment(t, id, fastCfg)
+		for _, want := range wants {
+			if !strings.Contains(out, want) {
+				t.Errorf("%s missing %q", id, want)
+			}
+		}
+	}
+}
+
+func TestSkipDBMode(t *testing.T) {
+	out := runExperiment(t, "table5", RunConfig{Reps: 1, SkipDB: true})
+	if strings.Contains(out, "Figure 5") {
+		t.Error("SkipDB still produced the DB-engine figure")
+	}
+	if !strings.Contains(out, "Table 5") {
+		t.Error("SkipDB dropped the iteration table")
+	}
+}

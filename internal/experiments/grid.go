@@ -1,0 +1,265 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/asciichart"
+	"repro/internal/dbsearch"
+	"repro/internal/graph"
+	"repro/internal/gridgen"
+)
+
+// paper-reported iteration counts, for side-by-side comparison.
+var (
+	paperTable5 = map[string]map[int]int{ // 20% variance, diagonal
+		"dijkstra":  {10: 99, 20: 399, 30: 899},
+		"astar-v3":  {10: 85, 20: 360, 30: 838},
+		"iterative": {10: 19, 20: 39, 30: 59},
+	}
+	paperTable6 = map[string]map[gridgen.PairKind]int{ // 30×30, 20% variance
+		"dijkstra":  {gridgen.Horizontal: 488, gridgen.SemiDiagonal: 767, gridgen.Diagonal: 899},
+		"astar-v3":  {gridgen.Horizontal: 29, gridgen.SemiDiagonal: 407, gridgen.Diagonal: 838},
+		"iterative": {gridgen.Horizontal: 59, gridgen.SemiDiagonal: 59, gridgen.Diagonal: 59},
+	}
+	paperTable7 = map[string]map[gridgen.CostModel]int{ // 20×20, diagonal
+		"dijkstra":  {gridgen.Uniform: 399, gridgen.Variance: 399, gridgen.Skewed: 48},
+		"astar-v3":  {gridgen.Uniform: 189, gridgen.Variance: 360, gridgen.Skewed: 38},
+		"iterative": {gridgen.Uniform: 39, gridgen.Variance: 39, gridgen.Skewed: 56},
+	}
+)
+
+// algoOrder is the presentation order used by the paper's tables.
+var algoOrder = []string{"dijkstra", "astar-v3", "iterative"}
+
+// dbConfigFor maps an algorithm name onto its DB-resident configuration.
+func dbConfigFor(name string) (dbsearch.Config, bool) {
+	switch name {
+	case "dijkstra":
+		return dbsearch.DijkstraConfig(), false
+	case "astar-v3":
+		return dbsearch.AStarV3Config(), false
+	case "iterative":
+		return dbsearch.Config{Name: "iterative"}, true
+	default:
+		panic("experiments: unknown algorithm " + name)
+	}
+}
+
+// gridCase measures the three candidate algorithms on one (graph, pair)
+// instance, in memory and (unless skipped) on the DB engine.
+type gridCase struct {
+	iterations map[string]int
+	units      map[string]float64
+	wall       map[string]string
+}
+
+func measureGridCase(g *graph.Graph, s, d graph.NodeID, cfg RunConfig) (gridCase, error) {
+	out := gridCase{
+		iterations: map[string]int{},
+		units:      map[string]float64{},
+		wall:       map[string]string{},
+	}
+	for name, fn := range memAlgorithms(g, s, d) {
+		mm, err := measureInMemory(cfg.reps(), fn)
+		if err != nil {
+			return out, fmt.Errorf("%s: %w", name, err)
+		}
+		out.iterations[name] = mm.iterations
+		out.wall[name] = ms(mm.wall)
+	}
+	if cfg.SkipDB {
+		return out, nil
+	}
+	m, err := dbsearch.OpenMap(g, dbsearch.Options{})
+	if err != nil {
+		return out, err
+	}
+	for _, name := range algoOrder {
+		dcfg, iterative := dbConfigFor(name)
+		iters, units, err := dbMeasure(m, s, d, dcfg, iterative)
+		if err != nil {
+			return out, fmt.Errorf("db %s: %w", name, err)
+		}
+		out.units[name] = units
+		// Cross-check: the DB engine must agree with the in-memory counts,
+		// within the tolerance of tie-breaking on equal float keys.
+		if diff := iters - out.iterations[name]; diff > 3 || diff < -3 {
+			return out, fmt.Errorf("%s: DB iterations %d diverge from in-memory %d", name, iters, out.iterations[name])
+		}
+	}
+	return out, nil
+}
+
+// runFigure4 sketches the benchmark workload: the grid and its node pairs.
+func runFigure4(w io.Writer, cfg RunConfig) error {
+	const k = 10
+	g := gridgen.MustGenerate(gridgen.Config{K: k, Model: gridgen.Uniform})
+	var pts []asciichart.Point
+	for u := graph.NodeID(0); int(u) < g.NumNodes(); u++ {
+		p := g.Point(u)
+		pts = append(pts, asciichart.Point{X: p.X, Y: p.Y, Glyph: '.'})
+	}
+	mark := func(kind gridgen.PairKind, sg, dg byte) {
+		s, d := gridgen.Pair(k, kind, cfg.seed())
+		ps, pd := g.Point(s), g.Point(d)
+		pts = append(pts,
+			asciichart.Point{X: ps.X, Y: ps.Y, Glyph: sg},
+			asciichart.Point{X: pd.X, Y: pd.Y, Glyph: dg})
+	}
+	mark(gridgen.Diagonal, 'S', '1')
+	mark(gridgen.Horizontal, 'S', '2')
+	mark(gridgen.SemiDiagonal, 'S', '3')
+	fmt.Fprint(w, asciichart.Map(pts, asciichart.Options{
+		Title:  "Figure 4: 10×10 grid; S = source corner, 1 = diagonal, 2 = horizontal, 3 = semi-diagonal destinations",
+		Width:  42,
+		Height: 21,
+	}))
+	fmt.Fprintf(w, "\nGrids used: 10×10, 20×20, 30×30 with 4-neighbour connectivity.\n")
+	fmt.Fprintf(w, "Cost models: uniform (1), 20%% variance (1 + 0.2·U[0,1]), skewed (cheap bottom+right rim).\n")
+	return nil
+}
+
+// runTable5 reproduces Table 5 and Figure 5: effect of graph size.
+func runTable5(w io.Writer, cfg RunConfig) error {
+	sizes := []int{10, 20, 30}
+	cases := map[int]gridCase{}
+	for _, k := range sizes {
+		g := gridgen.MustGenerate(gridgen.Config{K: k, Model: gridgen.Variance, Seed: cfg.seed()})
+		s, d := gridgen.Pair(k, gridgen.Diagonal, cfg.seed())
+		c, err := measureGridCase(g, s, d, cfg)
+		if err != nil {
+			return fmt.Errorf("k=%d: %w", k, err)
+		}
+		cases[k] = c
+	}
+
+	var rows [][]string
+	for _, name := range algoOrder {
+		row := []string{name}
+		for _, k := range sizes {
+			row = append(row, fmt.Sprintf("%d (paper %d)", cases[k].iterations[name], paperTable5[name][k]))
+		}
+		rows = append(rows, row)
+	}
+	table(w, "Table 5: Effect of Graph Size on Iterations (20% variance, diagonal path)",
+		[]string{"algorithm", "10x10", "20x20", "30x30"}, rows)
+
+	if !cfg.SkipDB {
+		var series []asciichart.Series
+		for _, name := range algoOrder {
+			s := asciichart.Series{Name: name}
+			for _, k := range sizes {
+				s.Xs = append(s.Xs, float64(k))
+				s.Ys = append(s.Ys, cases[k].units[name])
+			}
+			series = append(series, s)
+		}
+		fmt.Fprintln(w)
+		fmt.Fprint(w, asciichart.Line(series, asciichart.Options{
+			Title: "Figure 5: Effect of graph size on execution time (DB engine, cost-model units)",
+			Width: 54, Height: 16, XLabel: "grid side k", YLabel: "time units",
+		}))
+	}
+	var wallRows [][]string
+	for _, name := range algoOrder {
+		row := []string{name}
+		for _, k := range sizes {
+			row = append(row, cases[k].wall[name])
+		}
+		wallRows = append(wallRows, row)
+	}
+	table(w, "In-memory wall-clock (median of repetitions)",
+		[]string{"algorithm", "10x10", "20x20", "30x30"}, wallRows)
+	return nil
+}
+
+// runTable6 reproduces Table 6 and Figure 6: effect of path length.
+func runTable6(w io.Writer, cfg RunConfig) error {
+	const k = 30
+	kinds := []gridgen.PairKind{gridgen.Horizontal, gridgen.SemiDiagonal, gridgen.Diagonal}
+	g := gridgen.MustGenerate(gridgen.Config{K: k, Model: gridgen.Variance, Seed: cfg.seed()})
+	cases := map[gridgen.PairKind]gridCase{}
+	for _, kind := range kinds {
+		s, d := gridgen.Pair(k, kind, cfg.seed())
+		c, err := measureGridCase(g, s, d, cfg)
+		if err != nil {
+			return fmt.Errorf("%v: %w", kind, err)
+		}
+		cases[kind] = c
+	}
+
+	var rows [][]string
+	for _, name := range algoOrder {
+		row := []string{name}
+		for _, kind := range kinds {
+			row = append(row, fmt.Sprintf("%d (paper %d)", cases[kind].iterations[name], paperTable6[name][kind]))
+		}
+		rows = append(rows, row)
+	}
+	table(w, "Table 6: Effect of Path Length on Iterations (20% variance, 30x30 grid)",
+		[]string{"algorithm", "horizontal", "semi-diagonal", "diagonal"}, rows)
+
+	if !cfg.SkipDB {
+		var series []asciichart.Series
+		for _, name := range algoOrder {
+			s := asciichart.Series{Name: name}
+			for _, kind := range kinds {
+				s.Xs = append(s.Xs, float64(gridgen.ManhattanEdges(k, kind)))
+				s.Ys = append(s.Ys, cases[kind].units[name])
+			}
+			series = append(series, s)
+		}
+		fmt.Fprintln(w)
+		fmt.Fprint(w, asciichart.Line(series, asciichart.Options{
+			Title: "Figure 6: Effect of path length on execution time (DB engine, cost-model units)",
+			Width: 54, Height: 16, XLabel: "path length L (edges)", YLabel: "time units",
+		}))
+	}
+	return nil
+}
+
+// runTable7 reproduces Table 7 and Figure 7: effect of the edge-cost model.
+func runTable7(w io.Writer, cfg RunConfig) error {
+	const k = 20
+	models := []gridgen.CostModel{gridgen.Uniform, gridgen.Variance, gridgen.Skewed}
+	cases := map[gridgen.CostModel]gridCase{}
+	for _, model := range models {
+		g := gridgen.MustGenerate(gridgen.Config{K: k, Model: model, Seed: cfg.seed()})
+		s, d := gridgen.Pair(k, gridgen.Diagonal, cfg.seed())
+		c, err := measureGridCase(g, s, d, cfg)
+		if err != nil {
+			return fmt.Errorf("%v: %w", model, err)
+		}
+		cases[model] = c
+	}
+
+	var rows [][]string
+	for _, name := range algoOrder {
+		row := []string{name}
+		for _, model := range models {
+			row = append(row, fmt.Sprintf("%d (paper %d)", cases[model].iterations[name], paperTable7[name][model]))
+		}
+		rows = append(rows, row)
+	}
+	table(w, "Table 7: Effect of Edge Cost Models on Iterations (20x20 grid, diagonal path)",
+		[]string{"algorithm", "uniform", "20% variance", "skewed"}, rows)
+
+	if !cfg.SkipDB {
+		var series []asciichart.Series
+		for _, name := range algoOrder {
+			s := asciichart.Series{Name: name}
+			for i, model := range models {
+				s.Xs = append(s.Xs, float64(i))
+				s.Ys = append(s.Ys, cases[model].units[name])
+			}
+			series = append(series, s)
+		}
+		fmt.Fprintln(w)
+		fmt.Fprint(w, asciichart.Line(series, asciichart.Options{
+			Title: "Figure 7: Effect of edge-cost model on execution time (0=uniform, 1=20% variance, 2=skewed)",
+			Width: 54, Height: 16, XLabel: "cost model", YLabel: "time units",
+		}))
+	}
+	return nil
+}

@@ -1,0 +1,147 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/asciichart"
+	"repro/internal/dbsearch"
+	"repro/internal/graph"
+	"repro/internal/gridgen"
+)
+
+// versionConfigs returns the three A* implementations of Section 5.3.
+func versionConfigs() []dbsearch.Config {
+	return []dbsearch.Config{
+		dbsearch.AStarV1Config(),
+		dbsearch.AStarV2Config(),
+		dbsearch.AStarV3Config(),
+	}
+}
+
+// measureVersions runs the three versions on one instance, returning time
+// units per version name.
+func measureVersions(g *graph.Graph, s, d graph.NodeID) (map[string]float64, map[string]int, error) {
+	m, err := dbsearch.OpenMap(g, dbsearch.Options{})
+	if err != nil {
+		return nil, nil, err
+	}
+	units := map[string]float64{}
+	iters := map[string]int{}
+	for _, cfg := range versionConfigs() {
+		res, err := m.RunBestFirst(s, d, cfg)
+		if err != nil {
+			return nil, nil, fmt.Errorf("%s: %w", cfg.Name, err)
+		}
+		if !res.Found {
+			return nil, nil, fmt.Errorf("%s: no path", cfg.Name)
+		}
+		units[cfg.Name] = res.TimeUnits
+		iters[cfg.Name] = res.Iterations
+	}
+	return units, iters, nil
+}
+
+// versionChart renders the three-version comparison.
+func versionChart(w io.Writer, title, xlabel string, xs []float64, byVersion map[string][]float64) {
+	var series []asciichart.Series
+	for _, cfg := range versionConfigs() {
+		series = append(series, asciichart.Series{Name: cfg.Name, Xs: xs, Ys: byVersion[cfg.Name]})
+	}
+	fmt.Fprint(w, asciichart.Line(series, asciichart.Options{
+		Title: title, Width: 54, Height: 16, XLabel: xlabel, YLabel: "time units",
+	}))
+}
+
+// runFigure10 compares the A* versions across grid sizes (diagonal path,
+// 20% variance): version 1's APPEND/DELETE churn loses ground as the graph
+// grows, and version 3's estimator wins overall.
+func runFigure10(w io.Writer, cfg RunConfig) error {
+	sizes := []int{10, 20, 30}
+	byVersion := map[string][]float64{}
+	var rows [][]string
+	for _, k := range sizes {
+		g := gridgen.MustGenerate(gridgen.Config{K: k, Model: gridgen.Variance, Seed: cfg.seed()})
+		s, d := gridgen.Pair(k, gridgen.Diagonal, cfg.seed())
+		units, iters, err := measureVersions(g, s, d)
+		if err != nil {
+			return fmt.Errorf("k=%d: %w", k, err)
+		}
+		for _, vc := range versionConfigs() {
+			byVersion[vc.Name] = append(byVersion[vc.Name], units[vc.Name])
+		}
+		rows = append(rows, []string{
+			fmt.Sprintf("%dx%d", k, k),
+			fmt.Sprintf("%.1f (%d it)", units["astar-v1"], iters["astar-v1"]),
+			fmt.Sprintf("%.1f (%d it)", units["astar-v2"], iters["astar-v2"]),
+			fmt.Sprintf("%.1f (%d it)", units["astar-v3"], iters["astar-v3"]),
+		})
+	}
+	table(w, "A* versions vs. graph size (time units, diagonal, 20% variance)",
+		[]string{"grid", "v1 (relation+euclid)", "v2 (status+euclid)", "v3 (status+manhattan)"}, rows)
+	fmt.Fprintln(w)
+	versionChart(w, "Figure 10: Effect of graph size on execution time of A* versions",
+		"grid side k", []float64{10, 20, 30}, byVersion)
+	return nil
+}
+
+// runFigure11 compares the versions across edge-cost models on the 20×20
+// grid: version 1 is competitive on the skewed model (tiny explored set, no
+// full-R initialisation) and worst under variance.
+func runFigure11(w io.Writer, cfg RunConfig) error {
+	const k = 20
+	models := []gridgen.CostModel{gridgen.Uniform, gridgen.Variance, gridgen.Skewed}
+	byVersion := map[string][]float64{}
+	var rows [][]string
+	for _, model := range models {
+		g := gridgen.MustGenerate(gridgen.Config{K: k, Model: model, Seed: cfg.seed()})
+		s, d := gridgen.Pair(k, gridgen.Diagonal, cfg.seed())
+		units, _, err := measureVersions(g, s, d)
+		if err != nil {
+			return fmt.Errorf("%v: %w", model, err)
+		}
+		for _, vc := range versionConfigs() {
+			byVersion[vc.Name] = append(byVersion[vc.Name], units[vc.Name])
+		}
+		rows = append(rows, []string{
+			model.String(), f1(units["astar-v1"]), f1(units["astar-v2"]), f1(units["astar-v3"]),
+		})
+	}
+	table(w, "A* versions vs. edge-cost model (time units, 20x20 grid, diagonal)",
+		[]string{"cost model", "v1", "v2", "v3"}, rows)
+	fmt.Fprintln(w)
+	versionChart(w, "Figure 11: Effect of edge-cost model on A* versions (0=uniform, 1=variance, 2=skewed)",
+		"cost model", []float64{0, 1, 2}, byVersion)
+	return nil
+}
+
+// runFigure12 compares the versions across path lengths on the 30×30 grid:
+// version 1 starts ahead on short paths and falls behind on long ones
+// (Section 5.3.1's crossover).
+func runFigure12(w io.Writer, cfg RunConfig) error {
+	const k = 30
+	kinds := []gridgen.PairKind{gridgen.Horizontal, gridgen.SemiDiagonal, gridgen.Diagonal}
+	g := gridgen.MustGenerate(gridgen.Config{K: k, Model: gridgen.Variance, Seed: cfg.seed()})
+	byVersion := map[string][]float64{}
+	var xs []float64
+	var rows [][]string
+	for _, kind := range kinds {
+		s, d := gridgen.Pair(k, kind, cfg.seed())
+		units, _, err := measureVersions(g, s, d)
+		if err != nil {
+			return fmt.Errorf("%v: %w", kind, err)
+		}
+		for _, vc := range versionConfigs() {
+			byVersion[vc.Name] = append(byVersion[vc.Name], units[vc.Name])
+		}
+		xs = append(xs, float64(gridgen.ManhattanEdges(k, kind)))
+		rows = append(rows, []string{
+			kind.String(), f1(units["astar-v1"]), f1(units["astar-v2"]), f1(units["astar-v3"]),
+		})
+	}
+	table(w, "A* versions vs. path length (time units, 30x30 grid, 20% variance)",
+		[]string{"path", "v1", "v2", "v3"}, rows)
+	fmt.Fprintln(w)
+	versionChart(w, "Figure 12: Effect of path length on A* versions", "path length L (edges)", xs, byVersion)
+	return nil
+}

@@ -1,0 +1,137 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Builder accumulates nodes and edges and produces an immutable Graph in
+// compressed sparse row form. The zero value is ready to use.
+//
+//	var b graph.Builder
+//	a := b.AddNode(0, 0)
+//	c := b.AddNode(1, 0)
+//	b.AddEdge(a, c, 1.0)
+//	g, err := b.Build()
+type Builder struct {
+	points []Point
+	edges  []Edge
+	names  map[string]NodeID
+}
+
+// NewBuilder returns a Builder with capacity hints for nodes and edges.
+func NewBuilder(nodeHint, edgeHint int) *Builder {
+	return &Builder{
+		points: make([]Point, 0, nodeHint),
+		edges:  make([]Edge, 0, edgeHint),
+	}
+}
+
+// NumNodes returns the number of nodes added so far.
+func (b *Builder) NumNodes() int { return len(b.points) }
+
+// NumEdges returns the number of directed edges added so far.
+func (b *Builder) NumEdges() int { return len(b.edges) }
+
+// AddNode adds a node at (x, y) and returns its id. IDs are assigned
+// densely in insertion order.
+func (b *Builder) AddNode(x, y float64) NodeID {
+	b.points = append(b.points, Point{X: x, Y: y})
+	return NodeID(len(b.points) - 1)
+}
+
+// Name attaches a landmark name to node u. Re-using a name moves it to the
+// new node. Naming an out-of-range node is reported at Build time.
+func (b *Builder) Name(u NodeID, name string) {
+	if b.names == nil {
+		b.names = make(map[string]NodeID)
+	}
+	b.names[name] = u
+}
+
+// AddEdge adds the directed edge (u, v) with cost c. Validation (range
+// checks, non-negative finite cost) is deferred to Build so call sites stay
+// clean; the Builder records everything it is given.
+func (b *Builder) AddEdge(u, v NodeID, c float64) {
+	b.edges = append(b.edges, Edge{Tail: u, Head: v, Cost: c})
+}
+
+// AddUndirectedEdge adds both directed edges (u, v) and (v, u) with cost c.
+// The paper represents each undirected road segment as two directed-edge
+// tuples in the edge relation (Section 4); this mirrors that convention.
+func (b *Builder) AddUndirectedEdge(u, v NodeID, c float64) {
+	b.AddEdge(u, v, c)
+	b.AddEdge(v, u, c)
+}
+
+// Build validates the accumulated nodes and edges and returns the graph.
+func (b *Builder) Build() (*Graph, error) {
+	n := len(b.points)
+	for _, e := range b.edges {
+		if e.Tail < 0 || int(e.Tail) >= n || e.Head < 0 || int(e.Head) >= n {
+			return nil, fmt.Errorf("graph: edge (%d,%d) references unknown node (have %d nodes)", e.Tail, e.Head, n)
+		}
+		if e.Cost < 0 || math.IsNaN(e.Cost) || math.IsInf(e.Cost, 0) {
+			return nil, fmt.Errorf("graph: edge (%d,%d) has invalid cost %v", e.Tail, e.Head, e.Cost)
+		}
+	}
+	for name, u := range b.names {
+		if u < 0 || int(u) >= n {
+			return nil, fmt.Errorf("graph: name %q attached to unknown node %d", name, u)
+		}
+	}
+
+	// Counting sort by tail node gives CSR layout while preserving the
+	// insertion order of each node's arcs (stable bucket fill).
+	offsets := make([]int32, n+1)
+	for _, e := range b.edges {
+		offsets[e.Tail+1]++
+	}
+	for i := 1; i <= n; i++ {
+		offsets[i] += offsets[i-1]
+	}
+	heads := make([]NodeID, len(b.edges))
+	costs := make([]float64, len(b.edges))
+	next := append([]int32(nil), offsets[:n]...)
+	for _, e := range b.edges {
+		i := next[e.Tail]
+		next[e.Tail]++
+		heads[i] = e.Head
+		costs[i] = e.Cost
+	}
+
+	g := &Graph{
+		offsets: offsets,
+		heads:   heads,
+		costs:   costs,
+		points:  append([]Point(nil), b.points...),
+		labels:  make([]string, n),
+	}
+	if len(b.names) > 0 {
+		g.names = make(map[string]NodeID, len(b.names))
+		// Deterministic iteration keeps later-name-wins semantics stable
+		// when two names land on one node label slot.
+		keys := make([]string, 0, len(b.names))
+		for k := range b.names {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			u := b.names[k]
+			g.names[k] = u
+			g.labels[u] = k
+		}
+	}
+	return g, nil
+}
+
+// MustBuild is Build that panics on error, for tests and generators whose
+// inputs are known valid by construction.
+func (b *Builder) MustBuild() *Graph {
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}

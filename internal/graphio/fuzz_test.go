@@ -1,0 +1,47 @@
+package graphio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzRead exercises the reader on arbitrary input: errors are fine, panics
+// are not, and anything that parses must survive a write/read round trip.
+func FuzzRead(f *testing.F) {
+	seeds := []string{
+		"graph 2\nedge 0 1 1\n",
+		"graph 0\n",
+		"# comment only\n",
+		"graph 3\nnode 0 1.5 -2\nnode 2 0 0\nedge 0 2 0.5\nname 0 home\n",
+		"graph 1\nnode 0 nan 0\n",
+		"graph 2\nedge 0 1 -1\n",
+		"graph x\n",
+		"edge 0 1 1\n",
+		"graph 2\ngraph 2\n",
+		"graph 1\nvertex 0\n",
+		"graph 9999\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		g, err := Read(strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, g); err != nil {
+			// Whitespace labels cannot occur (the reader splits on
+			// whitespace), so a parsed graph must always write.
+			t.Fatalf("Write of parsed graph failed: %v", err)
+		}
+		back, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("round trip Read failed: %v\ninput: %q\nencoded: %q", err, src, buf.String())
+		}
+		if back.NumNodes() != g.NumNodes() || back.NumEdges() != g.NumEdges() {
+			t.Fatalf("round trip changed shape: %v vs %v", g, back)
+		}
+	})
+}

@@ -1,0 +1,183 @@
+// Package graphio reads and writes graphs in a plain text interchange
+// format, so maps can be saved, versioned and shared between the CLI tools
+// — the role the digitised map files played for the paper's group.
+//
+// The format is line-oriented UTF-8:
+//
+//	# comment
+//	graph <numNodes>
+//	node <id> <x> <y>
+//	edge <tail> <head> <cost>
+//	name <id> <label>
+//
+// `graph` must come first; the other sections may interleave. Node lines
+// are optional (missing nodes sit at the origin). Writers emit nodes in id
+// order and edges in tail-major order, so the encoding of a given graph is
+// canonical and diffable.
+package graphio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/graph"
+)
+
+// Write encodes g to w in the canonical text form.
+func Write(w io.Writer, g *graph.Graph) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# atis-paths graph: %d nodes, %d directed edges\n", g.NumNodes(), g.NumEdges())
+	fmt.Fprintf(bw, "graph %d\n", g.NumNodes())
+	for u := graph.NodeID(0); int(u) < g.NumNodes(); u++ {
+		p := g.Point(u)
+		fmt.Fprintf(bw, "node %d %s %s\n", u, formatFloat(p.X), formatFloat(p.Y))
+	}
+	for _, e := range g.Edges() {
+		fmt.Fprintf(bw, "edge %d %d %s\n", e.Tail, e.Head, formatFloat(e.Cost))
+	}
+	names := g.NamedNodes()
+	labels := make([]string, 0, len(names))
+	for label := range names {
+		labels = append(labels, label)
+	}
+	sort.Strings(labels)
+	for _, label := range labels {
+		if strings.ContainsAny(label, " \t\n") {
+			return fmt.Errorf("graphio: landmark label %q contains whitespace", label)
+		}
+		fmt.Fprintf(bw, "name %d %s\n", names[label], label)
+	}
+	return bw.Flush()
+}
+
+// formatFloat renders coordinates and costs compactly but losslessly.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Read decodes a graph from r, validating ids and costs.
+func Read(r io.Reader) (*graph.Graph, error) {
+	var (
+		numNodes = -1
+		coords   []graph.Point
+		edges    []graph.Edge
+		names    = map[string]graph.NodeID{}
+	)
+	parseID := func(s string, lineNo int) (graph.NodeID, error) {
+		id, err := strconv.Atoi(s)
+		if err != nil || id < 0 || id >= numNodes {
+			return 0, fmt.Errorf("graphio: line %d: node id %q out of range [0,%d)", lineNo, s, numNodes)
+		}
+		return graph.NodeID(id), nil
+	}
+	parseF := func(s string, lineNo int) (float64, error) {
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return 0, fmt.Errorf("graphio: line %d: bad number %q", lineNo, s)
+		}
+		return v, nil
+	}
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "graph":
+			if numNodes >= 0 {
+				return nil, fmt.Errorf("graphio: line %d: duplicate graph header", lineNo)
+			}
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("graphio: line %d: graph header wants one argument", lineNo)
+			}
+			n, err := strconv.Atoi(fields[1])
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("graphio: line %d: bad node count %q", lineNo, fields[1])
+			}
+			numNodes = n
+			coords = make([]graph.Point, n)
+		case "node":
+			if numNodes < 0 {
+				return nil, fmt.Errorf("graphio: line %d: node before graph header", lineNo)
+			}
+			if len(fields) != 4 {
+				return nil, fmt.Errorf("graphio: line %d: node wants: node <id> <x> <y>", lineNo)
+			}
+			id, err := parseID(fields[1], lineNo)
+			if err != nil {
+				return nil, err
+			}
+			x, err := parseF(fields[2], lineNo)
+			if err != nil {
+				return nil, err
+			}
+			y, err := parseF(fields[3], lineNo)
+			if err != nil {
+				return nil, err
+			}
+			coords[id] = graph.Point{X: x, Y: y}
+		case "edge":
+			if numNodes < 0 {
+				return nil, fmt.Errorf("graphio: line %d: edge before graph header", lineNo)
+			}
+			if len(fields) != 4 {
+				return nil, fmt.Errorf("graphio: line %d: edge wants: edge <tail> <head> <cost>", lineNo)
+			}
+			tail, err := parseID(fields[1], lineNo)
+			if err != nil {
+				return nil, err
+			}
+			head, err := parseID(fields[2], lineNo)
+			if err != nil {
+				return nil, err
+			}
+			cost, err := parseF(fields[3], lineNo)
+			if err != nil {
+				return nil, err
+			}
+			edges = append(edges, graph.Edge{Tail: tail, Head: head, Cost: cost})
+		case "name":
+			if numNodes < 0 {
+				return nil, fmt.Errorf("graphio: line %d: name before graph header", lineNo)
+			}
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("graphio: line %d: name wants: name <id> <label>", lineNo)
+			}
+			id, err := parseID(fields[1], lineNo)
+			if err != nil {
+				return nil, err
+			}
+			names[fields[2]] = id
+		default:
+			return nil, fmt.Errorf("graphio: line %d: unknown directive %q", lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("graphio: %w", err)
+	}
+	if numNodes < 0 {
+		return nil, fmt.Errorf("graphio: missing graph header")
+	}
+
+	b := graph.NewBuilder(numNodes, len(edges))
+	for _, p := range coords {
+		b.AddNode(p.X, p.Y)
+	}
+	for _, e := range edges {
+		b.AddEdge(e.Tail, e.Head, e.Cost)
+	}
+	for label, id := range names {
+		b.Name(id, label)
+	}
+	return b.Build()
+}

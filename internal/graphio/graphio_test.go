@@ -1,0 +1,172 @@
+package graphio
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/gridgen"
+	"repro/internal/mpls"
+)
+
+// roundTrip writes g and reads it back.
+func roundTrip(t *testing.T, g *graph.Graph) *graph.Graph {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := Write(&buf, g); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	return got
+}
+
+// assertEqualGraphs compares structure, coordinates, costs and names.
+func assertEqualGraphs(t *testing.T, want, got *graph.Graph) {
+	t.Helper()
+	if want.NumNodes() != got.NumNodes() || want.NumEdges() != got.NumEdges() {
+		t.Fatalf("shape: %v vs %v", want, got)
+	}
+	for u := graph.NodeID(0); int(u) < want.NumNodes(); u++ {
+		if want.Point(u) != got.Point(u) {
+			t.Fatalf("node %d coords %v vs %v", u, want.Point(u), got.Point(u))
+		}
+	}
+	we, ge := want.Edges(), got.Edges()
+	for i := range we {
+		if we[i] != ge[i] {
+			t.Fatalf("edge %d: %+v vs %+v", i, we[i], ge[i])
+		}
+	}
+	wn, gn := want.NamedNodes(), got.NamedNodes()
+	if len(wn) != len(gn) {
+		t.Fatalf("names: %v vs %v", wn, gn)
+	}
+	for k, v := range wn {
+		if gn[k] != v {
+			t.Fatalf("name %q: %d vs %d", k, v, gn[k])
+		}
+	}
+}
+
+func TestRoundTripGrid(t *testing.T) {
+	g := gridgen.MustGenerate(gridgen.Config{K: 8, Model: gridgen.Variance, Seed: 3})
+	assertEqualGraphs(t, g, roundTrip(t, g))
+}
+
+func TestRoundTripMinneapolis(t *testing.T) {
+	g := mpls.MustGenerate(mpls.Config{})
+	assertEqualGraphs(t, g, roundTrip(t, g))
+}
+
+func TestRoundTripEmptyGraph(t *testing.T) {
+	g := graph.NewBuilder(0, 0).MustBuild()
+	got := roundTrip(t, g)
+	if got.NumNodes() != 0 || got.NumEdges() != 0 {
+		t.Errorf("empty round trip: %v", got)
+	}
+}
+
+func TestRoundTripSpecialFloats(t *testing.T) {
+	b := graph.NewBuilder(2, 1)
+	b.AddNode(0.1+0.2, -1e-300) // values that lose precision under %f
+	b.AddNode(math.MaxFloat64/2, 3)
+	b.AddEdge(0, 1, 1e-9)
+	g := b.MustBuild()
+	assertEqualGraphs(t, g, roundTrip(t, g))
+}
+
+func TestWriteIsCanonical(t *testing.T) {
+	g := mpls.MustGenerate(mpls.Config{})
+	var a, b bytes.Buffer
+	if err := Write(&a, g); err != nil {
+		t.Fatal(err)
+	}
+	if err := Write(&b, g); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("two writes of the same graph differ")
+	}
+}
+
+func TestWriteRejectsWhitespaceLabels(t *testing.T) {
+	b := graph.NewBuilder(1, 0)
+	b.AddNode(0, 0)
+	b.Name(0, "down town")
+	g := b.MustBuild()
+	if err := Write(&bytes.Buffer{}, g); err == nil {
+		t.Error("whitespace label accepted")
+	}
+}
+
+func TestReadToleratesCommentsAndBlanks(t *testing.T) {
+	src := `
+# a map
+graph 2
+
+node 0 0 0
+# midway comment
+node 1 1 0
+edge 0 1 2.5
+name 0 home
+`
+	g, err := Read(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 2 || g.NumEdges() != 1 {
+		t.Errorf("parsed %v", g)
+	}
+	if id, ok := g.Lookup("home"); !ok || id != 0 {
+		t.Errorf("name: %v %v", id, ok)
+	}
+	if c, ok := g.ArcCost(0, 1); !ok || c != 2.5 {
+		t.Errorf("cost: %v %v", c, ok)
+	}
+}
+
+func TestReadDefaultsMissingNodesToOrigin(t *testing.T) {
+	g, err := Read(strings.NewReader("graph 3\nedge 0 2 1\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Point(1) != (graph.Point{}) {
+		t.Errorf("missing node at %v", g.Point(1))
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := []struct {
+		name, src string
+	}{
+		{"no header", "node 0 0 0\n"},
+		{"edge before header", "edge 0 1 1\n"},
+		{"name before header", "name 0 x\n"},
+		{"duplicate header", "graph 1\ngraph 1\n"},
+		{"bad node count", "graph x\n"},
+		{"negative node count", "graph -3\n"},
+		{"node id out of range", "graph 1\nnode 5 0 0\n"},
+		{"edge id out of range", "graph 1\nedge 0 7 1\n"},
+		{"name id out of range", "graph 1\nname 9 x\n"},
+		{"node arity", "graph 1\nnode 0 1\n"},
+		{"edge arity", "graph 1\nedge 0 0\n"},
+		{"name arity", "graph 1\nname 0\n"},
+		{"graph arity", "graph 1 2\n"},
+		{"bad float", "graph 1\nnode 0 zero 0\n"},
+		{"bad edge cost", "graph 2\nedge 0 1 cheap\n"},
+		{"negative edge cost", "graph 2\nedge 0 1 -1\n"},
+		{"unknown directive", "graph 1\nvertex 0\n"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := Read(strings.NewReader(tc.src)); err == nil {
+				t.Errorf("accepted %q", tc.src)
+			}
+		})
+	}
+}

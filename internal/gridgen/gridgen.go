@@ -1,0 +1,207 @@
+// Package gridgen generates the synthetic grid benchmark of Section 5.1 of
+// the paper: two-dimensional k×k grids with 4-neighbour connectivity, the
+// three edge-cost models (uniform, uniform with 20% variance, skewed), and
+// the benchmark node pairs (horizontal, semi-diagonal, diagonal, random).
+//
+// Layout convention: node (row, col) has id row*k + col and coordinates
+// (x, y) = (col, row). Each undirected grid segment is stored as two
+// directed edges (Section 4's relational convention), so a k×k grid has
+// 4·k·(k−1) directed edges — 3480 for the paper's 30×30 grid, matching the
+// |S| parameter of Table 4A.
+package gridgen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// CostModel selects one of the paper's three edge-cost models.
+type CostModel int
+
+const (
+	// Uniform assigns unit cost to every edge.
+	Uniform CostModel = iota
+	// Variance assigns 1 + v·U[0,1] per undirected segment (v = 0.2 in the
+	// paper: "uniform cost with 20% variation"). Both directions of a
+	// segment share the cost.
+	Variance
+	// Skewed assigns a small cost to the bottom-row horizontal edges and
+	// the right-column vertical edges, unit cost elsewhere. For the
+	// diagonal pair this creates a cheap L-shaped corridor that eliminates
+	// backtracking for estimator-based search — the paper's best case for
+	// A* version 3.
+	Skewed
+)
+
+// String names the model as the experiment tables do.
+func (m CostModel) String() string {
+	switch m {
+	case Uniform:
+		return "uniform"
+	case Variance:
+		return "20% variance"
+	case Skewed:
+		return "skewed"
+	default:
+		return fmt.Sprintf("CostModel(%d)", int(m))
+	}
+}
+
+// Config parameterises grid generation.
+type Config struct {
+	// K is the grid side: the grid has K×K nodes. Must be at least 2.
+	K int
+	// Model is the edge-cost model.
+	Model CostModel
+	// Seed drives the Variance model's pseudo-random costs. Runs with equal
+	// Config produce identical graphs.
+	Seed int64
+	// VarianceAmount overrides the Variance model's spread; 0 means the
+	// paper's 0.2.
+	VarianceAmount float64
+	// SkewCost overrides the Skewed model's cheap-edge cost; 0 means 0.1.
+	SkewCost float64
+}
+
+// Generate builds the grid graph for cfg.
+func Generate(cfg Config) (*graph.Graph, error) {
+	k := cfg.K
+	if k < 2 {
+		return nil, fmt.Errorf("gridgen: K = %d, need at least 2", k)
+	}
+	variance := cfg.VarianceAmount
+	if variance == 0 {
+		variance = 0.2
+	}
+	skew := cfg.SkewCost
+	if skew == 0 {
+		skew = 0.1
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	b := graph.NewBuilder(k*k, 4*k*(k-1))
+	for row := 0; row < k; row++ {
+		for col := 0; col < k; col++ {
+			b.AddNode(float64(col), float64(row))
+		}
+	}
+
+	cost := func(horizontal bool, row, col int) float64 {
+		switch cfg.Model {
+		case Uniform:
+			return 1
+		case Variance:
+			return 1 + variance*rng.Float64()
+		case Skewed:
+			if horizontal && row == 0 {
+				return skew // bottom-row corridor
+			}
+			if !horizontal && col == k-1 {
+				return skew // right-column corridor
+			}
+			return 1
+		default:
+			return 1
+		}
+	}
+
+	for row := 0; row < k; row++ {
+		for col := 0; col < k; col++ {
+			u := NodeAt(k, row, col)
+			if col+1 < k {
+				b.AddUndirectedEdge(u, NodeAt(k, row, col+1), cost(true, row, col))
+			}
+			if row+1 < k {
+				b.AddUndirectedEdge(u, NodeAt(k, row+1, col), cost(false, row, col))
+			}
+		}
+	}
+	return b.Build()
+}
+
+// MustGenerate is Generate that panics on error, for fixed valid configs.
+func MustGenerate(cfg Config) *graph.Graph {
+	g, err := Generate(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// NodeAt returns the id of the node at (row, col) in a k×k grid.
+func NodeAt(k, row, col int) graph.NodeID {
+	return graph.NodeID(row*k + col)
+}
+
+// PairKind selects one of the benchmark node pairs of Figure 4 and the
+// path-length experiment of Section 5.1.2.
+type PairKind int
+
+const (
+	// Horizontal: linearly opposite nodes along the bottom row,
+	// (0,0) → (0,k−1); the shortest grid path has k−1 edges.
+	Horizontal PairKind = iota
+	// SemiDiagonal: (0,0) → (k−1, ⌊(k−1)/2⌋); about 1.5·(k−1) edges.
+	SemiDiagonal
+	// Diagonal: diagonally opposite corners (0,0) → (k−1,k−1); 2·(k−1)
+	// edges, the grid diameter and the paper's worst case.
+	Diagonal
+	// Random: a uniformly random distinct pair (seeded; see Pair).
+	Random
+)
+
+// String names the pair as the experiment tables do.
+func (p PairKind) String() string {
+	switch p {
+	case Horizontal:
+		return "horizontal"
+	case SemiDiagonal:
+		return "semi-diagonal"
+	case Diagonal:
+		return "diagonal"
+	case Random:
+		return "random"
+	default:
+		return fmt.Sprintf("PairKind(%d)", int(p))
+	}
+}
+
+// Pair returns the (source, destination) nodes of the given kind for a k×k
+// grid. The Random kind derives the pair from seed; other kinds ignore it.
+func Pair(k int, kind PairKind, seed int64) (s, d graph.NodeID) {
+	switch kind {
+	case Horizontal:
+		return NodeAt(k, 0, 0), NodeAt(k, 0, k-1)
+	case SemiDiagonal:
+		return NodeAt(k, 0, 0), NodeAt(k, k-1, (k-1)/2)
+	case Diagonal:
+		return NodeAt(k, 0, 0), NodeAt(k, k-1, k-1)
+	case Random:
+		rng := rand.New(rand.NewSource(seed))
+		s = graph.NodeID(rng.Intn(k * k))
+		d = s
+		for d == s {
+			d = graph.NodeID(rng.Intn(k * k))
+		}
+		return s, d
+	default:
+		return NodeAt(k, 0, 0), NodeAt(k, k-1, k-1)
+	}
+}
+
+// ManhattanEdges returns the number of edges on any monotone shortest grid
+// path between the pair — the paper's path length L for uniform costs.
+func ManhattanEdges(k int, kind PairKind) int {
+	s, d := Pair(k, kind, 0)
+	sr, sc := int(s)/k, int(s)%k
+	dr, dc := int(d)/k, int(d)%k
+	abs := func(x int) int {
+		if x < 0 {
+			return -x
+		}
+		return x
+	}
+	return abs(sr-dr) + abs(sc-dc)
+}

@@ -1,0 +1,273 @@
+package gridgen
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestGenerateCounts(t *testing.T) {
+	for _, k := range []int{2, 3, 10, 20, 30} {
+		g := MustGenerate(Config{K: k})
+		if got, want := g.NumNodes(), k*k; got != want {
+			t.Errorf("k=%d: nodes = %d, want %d", k, got, want)
+		}
+		if got, want := g.NumEdges(), 4*k*(k-1); got != want {
+			t.Errorf("k=%d: edges = %d, want %d", k, got, want)
+		}
+	}
+}
+
+// The 30×30 grid must match Table 4A: |R| = 900 nodes, |S| = 3480 edges.
+func TestTable4AParameters(t *testing.T) {
+	g := MustGenerate(Config{K: 30})
+	if g.NumNodes() != 900 {
+		t.Errorf("|R| = %d, want 900", g.NumNodes())
+	}
+	if g.NumEdges() != 3480 {
+		t.Errorf("|S| = %d, want 3480", g.NumEdges())
+	}
+}
+
+func TestGenerateRejectsTinyK(t *testing.T) {
+	for _, k := range []int{-1, 0, 1} {
+		if _, err := Generate(Config{K: k}); err == nil {
+			t.Errorf("Generate accepted K=%d", k)
+		}
+	}
+}
+
+func TestUniformCosts(t *testing.T) {
+	g := MustGenerate(Config{K: 5, Model: Uniform})
+	for _, e := range g.Edges() {
+		if e.Cost != 1 {
+			t.Fatalf("uniform edge (%d,%d) cost %v", e.Tail, e.Head, e.Cost)
+		}
+	}
+}
+
+func TestVarianceCostsInRangeAndSymmetric(t *testing.T) {
+	g := MustGenerate(Config{K: 8, Model: Variance, Seed: 3})
+	sawVariation := false
+	for _, e := range g.Edges() {
+		if e.Cost < 1 || e.Cost > 1.2 {
+			t.Fatalf("variance edge cost %v outside [1, 1.2]", e.Cost)
+		}
+		if e.Cost != 1 {
+			sawVariation = true
+		}
+		// Paired directions share the segment cost.
+		back, ok := g.ArcCost(e.Head, e.Tail)
+		if !ok {
+			t.Fatalf("grid edge (%d,%d) has no reverse", e.Tail, e.Head)
+		}
+		if back != e.Cost {
+			t.Fatalf("asymmetric segment cost: %v vs %v", e.Cost, back)
+		}
+	}
+	if !sawVariation {
+		t.Error("variance model produced all-unit costs")
+	}
+}
+
+func TestVarianceAmountOverride(t *testing.T) {
+	g := MustGenerate(Config{K: 6, Model: Variance, Seed: 1, VarianceAmount: 0.5})
+	max := 1.0
+	for _, e := range g.Edges() {
+		if e.Cost > max {
+			max = e.Cost
+		}
+	}
+	if max <= 1.2 {
+		t.Errorf("override to 0.5 variance had no effect (max %v)", max)
+	}
+	if max > 1.5 {
+		t.Errorf("cost %v above 1.5", max)
+	}
+}
+
+func TestVarianceDeterminism(t *testing.T) {
+	a := MustGenerate(Config{K: 7, Model: Variance, Seed: 99})
+	b := MustGenerate(Config{K: 7, Model: Variance, Seed: 99})
+	ea, eb := a.Edges(), b.Edges()
+	for i := range ea {
+		if ea[i] != eb[i] {
+			t.Fatalf("same seed, different edge %d: %+v vs %+v", i, ea[i], eb[i])
+		}
+	}
+	c := MustGenerate(Config{K: 7, Model: Variance, Seed: 100})
+	ec := c.Edges()
+	same := true
+	for i := range ea {
+		if ea[i] != ec[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical graphs")
+	}
+}
+
+func TestSkewedCorridor(t *testing.T) {
+	const k = 6
+	g := MustGenerate(Config{K: k, Model: Skewed})
+	// Bottom-row horizontal edges are cheap.
+	for col := 0; col+1 < k; col++ {
+		c, ok := g.ArcCost(NodeAt(k, 0, col), NodeAt(k, 0, col+1))
+		if !ok || c != 0.1 {
+			t.Errorf("bottom edge col %d cost %v, want 0.1", col, c)
+		}
+	}
+	// Right-column vertical edges are cheap.
+	for row := 0; row+1 < k; row++ {
+		c, ok := g.ArcCost(NodeAt(k, row, k-1), NodeAt(k, row+1, k-1))
+		if !ok || c != 0.1 {
+			t.Errorf("right edge row %d cost %v, want 0.1", row, c)
+		}
+	}
+	// Interior edges are unit.
+	if c, _ := g.ArcCost(NodeAt(k, 2, 2), NodeAt(k, 2, 3)); c != 1 {
+		t.Errorf("interior horizontal cost %v, want 1", c)
+	}
+	if c, _ := g.ArcCost(NodeAt(k, 2, 2), NodeAt(k, 3, 2)); c != 1 {
+		t.Errorf("interior vertical cost %v, want 1", c)
+	}
+	// Top-row horizontal edges are NOT cheap.
+	if c, _ := g.ArcCost(NodeAt(k, k-1, 0), NodeAt(k, k-1, 1)); c != 1 {
+		t.Errorf("top-row cost %v, want 1", c)
+	}
+}
+
+func TestSkewCostOverride(t *testing.T) {
+	g := MustGenerate(Config{K: 4, Model: Skewed, SkewCost: 0.25})
+	if c, _ := g.ArcCost(NodeAt(4, 0, 0), NodeAt(4, 0, 1)); c != 0.25 {
+		t.Errorf("cost %v, want 0.25", c)
+	}
+}
+
+func TestNodeAtAndCoordinates(t *testing.T) {
+	const k = 5
+	g := MustGenerate(Config{K: k})
+	for row := 0; row < k; row++ {
+		for col := 0; col < k; col++ {
+			u := NodeAt(k, row, col)
+			p := g.Point(u)
+			if p.X != float64(col) || p.Y != float64(row) {
+				t.Fatalf("node (%d,%d) has coords %v", row, col, p)
+			}
+		}
+	}
+}
+
+func TestDegrees(t *testing.T) {
+	const k = 4
+	g := MustGenerate(Config{K: k})
+	// Corners have degree 2, edges 3, interior 4.
+	wantDegree := func(row, col int) int {
+		d := 4
+		if row == 0 || row == k-1 {
+			d--
+		}
+		if col == 0 || col == k-1 {
+			d--
+		}
+		return d
+	}
+	for row := 0; row < k; row++ {
+		for col := 0; col < k; col++ {
+			u := NodeAt(k, row, col)
+			if got, want := g.OutDegree(u), wantDegree(row, col); got != want {
+				t.Errorf("degree(%d,%d) = %d, want %d", row, col, got, want)
+			}
+		}
+	}
+}
+
+func TestPairs(t *testing.T) {
+	const k = 30
+	s, d := Pair(k, Horizontal, 0)
+	if s != NodeAt(k, 0, 0) || d != NodeAt(k, 0, 29) {
+		t.Errorf("horizontal pair = %d,%d", s, d)
+	}
+	s, d = Pair(k, Diagonal, 0)
+	if s != NodeAt(k, 0, 0) || d != NodeAt(k, 29, 29) {
+		t.Errorf("diagonal pair = %d,%d", s, d)
+	}
+	s, d = Pair(k, SemiDiagonal, 0)
+	if s != NodeAt(k, 0, 0) || d != NodeAt(k, 29, 14) {
+		t.Errorf("semi-diagonal pair = %d,%d", s, d)
+	}
+}
+
+func TestPairLengths(t *testing.T) {
+	// Path lengths L from the paper's setup: horizontal k−1, diagonal
+	// 2(k−1), semi-diagonal in between.
+	if got := ManhattanEdges(30, Horizontal); got != 29 {
+		t.Errorf("horizontal L = %d, want 29", got)
+	}
+	if got := ManhattanEdges(30, Diagonal); got != 58 {
+		t.Errorf("diagonal L = %d, want 58", got)
+	}
+	if got := ManhattanEdges(30, SemiDiagonal); got != 43 {
+		t.Errorf("semi-diagonal L = %d, want 43", got)
+	}
+}
+
+func TestRandomPair(t *testing.T) {
+	s1, d1 := Pair(10, Random, 5)
+	s2, d2 := Pair(10, Random, 5)
+	if s1 != s2 || d1 != d2 {
+		t.Error("random pair not deterministic for fixed seed")
+	}
+	if s1 == d1 {
+		t.Error("random pair degenerate (s == d)")
+	}
+	if s1 < 0 || int(s1) >= 100 || d1 < 0 || int(d1) >= 100 {
+		t.Errorf("random pair out of range: %d,%d", s1, d1)
+	}
+}
+
+func TestGridIsConnected(t *testing.T) {
+	g := MustGenerate(Config{K: 6, Model: Variance, Seed: 8})
+	// BFS from node 0 must reach all nodes.
+	seen := make([]bool, g.NumNodes())
+	queue := []graph.NodeID{0}
+	seen[0] = true
+	count := 1
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		g.Neighbors(u, func(a graph.Arc) {
+			if !seen[a.Head] {
+				seen[a.Head] = true
+				count++
+				queue = append(queue, a.Head)
+			}
+		})
+	}
+	if count != g.NumNodes() {
+		t.Errorf("reached %d of %d nodes", count, g.NumNodes())
+	}
+}
+
+func TestSkewedDiagonalCorridorIsCheapest(t *testing.T) {
+	// The L-shaped corridor (bottom row then right column) must be the
+	// cheapest route corner to corner: 2(k−1)·skew < any mixed route.
+	const k = 10
+	g := MustGenerate(Config{K: k, Model: Skewed})
+	var corridor float64
+	for col := 0; col+1 < k; col++ {
+		c, _ := g.ArcCost(NodeAt(k, 0, col), NodeAt(k, 0, col+1))
+		corridor += c
+	}
+	for row := 0; row+1 < k; row++ {
+		c, _ := g.ArcCost(NodeAt(k, row, k-1), NodeAt(k, row+1, k-1))
+		corridor += c
+	}
+	want := 2 * float64(k-1) * 0.1
+	if math.Abs(corridor-want) > 1e-9 {
+		t.Errorf("corridor cost %v, want %v", corridor, want)
+	}
+}

@@ -1,0 +1,343 @@
+// Package httpapi exposes the route package's three ATIS facilities over
+// HTTP with JSON responses. cmd/atis-server is a thin wrapper around
+// Handler; the package exists so the API surface is testable with
+// net/http/httptest.
+//
+//	GET  /route?from=A&to=B&algo=astar-euclidean&weight=1   route computation
+//	POST /evaluate  {"nodes":[1,2,3]}                       route evaluation
+//	GET  /display?from=A&to=B                               route display (text map)
+//	POST /traffic   {"x":16,"y":16,"radius":4,"factor":2}   regional congestion
+//	POST /traffic/reset                                     restore free flow
+//	GET  /map                                               map metadata
+package httpapi
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"strconv"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/route"
+)
+
+// Server serves one route.Service.
+type Server struct {
+	svc *route.Service
+}
+
+// NewServer wraps svc.
+func NewServer(svc *route.Service) *Server { return &Server{svc: svc} }
+
+// Handler returns the API's http.Handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/route", s.handleRoute)
+	mux.HandleFunc("/evaluate", s.handleEvaluate)
+	mux.HandleFunc("/display", s.handleDisplay)
+	mux.HandleFunc("/traffic", s.handleTraffic)
+	mux.HandleFunc("/traffic/reset", s.handleTrafficReset)
+	mux.HandleFunc("/reachable", s.handleReachable)
+	mux.HandleFunc("/directions", s.handleDirections)
+	mux.HandleFunc("/alternates", s.handleAlternates)
+	mux.HandleFunc("/map", s.handleMap)
+	return mux
+}
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	if encErr := json.NewEncoder(w).Encode(map[string]string{"error": err.Error()}); encErr != nil {
+		log.Printf("httpapi: encoding error response: %v", encErr)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		log.Printf("httpapi: encoding response: %v", err)
+	}
+}
+
+// resolve maps a landmark name or numeric id onto a node.
+func (s *Server) resolve(spec string) (graph.NodeID, error) {
+	g := s.svc.Graph()
+	if id, ok := g.Lookup(spec); ok {
+		return id, nil
+	}
+	n, err := strconv.Atoi(spec)
+	if err != nil || n < 0 || n >= g.NumNodes() {
+		return 0, fmt.Errorf("unknown node %q", spec)
+	}
+	return graph.NodeID(n), nil
+}
+
+// RouteResponse is /route's JSON body. Cost is -1 when no route exists
+// (JSON has no +Inf).
+type RouteResponse struct {
+	Found      bool        `json:"found"`
+	Cost       float64     `json:"cost"`
+	Nodes      []int32     `json:"nodes,omitempty"`
+	Algorithm  string      `json:"algorithm"`
+	Iterations int         `json:"iterations"`
+	Evaluation *Evaluation `json:"evaluation,omitempty"`
+}
+
+// Evaluation is the JSON form of route.Evaluation.
+type Evaluation struct {
+	Hops            int     `json:"hops"`
+	Distance        float64 `json:"distance"`
+	BaseCost        float64 `json:"baseCost"`
+	CurrentCost     float64 `json:"currentCost"`
+	CongestionRatio float64 `json:"congestionRatio"`
+	CongestedHops   int     `json:"congestedHops"`
+}
+
+func evalToBody(ev route.Evaluation) *Evaluation {
+	return &Evaluation{
+		Hops:            ev.Hops,
+		Distance:        ev.Distance,
+		BaseCost:        ev.BaseCost,
+		CurrentCost:     ev.CurrentCost,
+		CongestionRatio: ev.CongestionRatio,
+		CongestedHops:   ev.CongestedHops,
+	}
+}
+
+func (s *Server) computeOptions(r *http.Request) (core.Options, error) {
+	opts := core.Options{}
+	if a := r.URL.Query().Get("algo"); a != "" {
+		algo, err := core.ParseAlgorithm(a)
+		if err != nil {
+			return opts, err
+		}
+		opts.Algorithm = algo
+	}
+	if ws := r.URL.Query().Get("weight"); ws != "" {
+		w, err := strconv.ParseFloat(ws, 64)
+		if err != nil || w < 0 {
+			return opts, fmt.Errorf("bad weight %q", ws)
+		}
+		opts.Weight = w
+	}
+	return opts, nil
+}
+
+func (s *Server) routeFromQuery(r *http.Request) (core.Route, error) {
+	from, err := s.resolve(r.URL.Query().Get("from"))
+	if err != nil {
+		return core.Route{}, err
+	}
+	to, err := s.resolve(r.URL.Query().Get("to"))
+	if err != nil {
+		return core.Route{}, err
+	}
+	opts, err := s.computeOptions(r)
+	if err != nil {
+		return core.Route{}, err
+	}
+	return s.svc.Compute(from, to, opts)
+}
+
+func (s *Server) handleRoute(w http.ResponseWriter, r *http.Request) {
+	rt, err := s.routeFromQuery(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	resp := RouteResponse{
+		Found:      rt.Found,
+		Cost:       rt.Cost,
+		Algorithm:  rt.Algorithm.String(),
+		Iterations: rt.Trace.Iterations,
+	}
+	if rt.Found {
+		for _, u := range rt.Path.Nodes {
+			resp.Nodes = append(resp.Nodes, int32(u))
+		}
+		if ev, err := s.svc.Evaluate(rt.Path); err == nil {
+			resp.Evaluation = evalToBody(ev)
+		}
+	} else {
+		resp.Cost = -1
+	}
+	writeJSON(w, resp)
+}
+
+func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, fmt.Errorf("POST required"))
+		return
+	}
+	var body struct {
+		Nodes []int32 `json:"nodes"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	p := graph.Path{}
+	for _, n := range body.Nodes {
+		p.Nodes = append(p.Nodes, graph.NodeID(n))
+	}
+	ev, err := s.svc.Evaluate(p)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, evalToBody(ev))
+}
+
+func (s *Server) handleDisplay(w http.ResponseWriter, r *http.Request) {
+	rt, err := s.routeFromQuery(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprint(w, s.svc.Display(rt.Path, 80, 40))
+}
+
+func (s *Server) handleTraffic(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, fmt.Errorf("POST required"))
+		return
+	}
+	var body struct {
+		X, Y, Radius, Factor float64
+	}
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	n, err := s.svc.ApplyRegionCongestion(graph.Point{X: body.X, Y: body.Y}, body.Radius, body.Factor)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, map[string]int{"affectedEdges": n})
+}
+
+func (s *Server) handleTrafficReset(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, fmt.Errorf("POST required"))
+		return
+	}
+	s.svc.ResetTraffic()
+	writeJSON(w, map[string]string{"status": "free flow restored"})
+}
+
+// handleDirections returns turn-by-turn guidance for the computed route:
+// GET /directions?from=A&to=B[&algo=…].
+func (s *Server) handleDirections(w http.ResponseWriter, r *http.Request) {
+	rt, err := s.routeFromQuery(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	if !rt.Found {
+		httpError(w, http.StatusNotFound, fmt.Errorf("no route"))
+		return
+	}
+	ins, err := s.svc.Directions(rt.Path)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	type step struct {
+		Action   string  `json:"action"`
+		Heading  string  `json:"heading,omitempty"`
+		Distance float64 `json:"distance"`
+		Segments int     `json:"segments"`
+		At       int32   `json:"at"`
+	}
+	steps := make([]step, 0, len(ins))
+	for _, in := range ins {
+		steps = append(steps, step{
+			Action: in.Action, Heading: in.Heading,
+			Distance: in.Distance, Segments: in.Segments, At: int32(in.At),
+		})
+	}
+	writeJSON(w, map[string]any{"cost": rt.Cost, "steps": steps})
+}
+
+// handleAlternates lists up to k loopless routes:
+// GET /alternates?from=A&to=B&k=3.
+func (s *Server) handleAlternates(w http.ResponseWriter, r *http.Request) {
+	from, err := s.resolve(r.URL.Query().Get("from"))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	to, err := s.resolve(r.URL.Query().Get("to"))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	k := 3
+	if ks := r.URL.Query().Get("k"); ks != "" {
+		k, err = strconv.Atoi(ks)
+		if err != nil || k < 1 || k > 16 {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("bad k %q (want 1..16)", ks))
+			return
+		}
+	}
+	routes, err := s.svc.Alternates(from, to, k)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	type alt struct {
+		Cost  float64 `json:"cost"`
+		Nodes []int32 `json:"nodes"`
+	}
+	alts := make([]alt, 0, len(routes))
+	for _, rt := range routes {
+		a := alt{Cost: rt.Cost}
+		for _, u := range rt.Path.Nodes {
+			a.Nodes = append(a.Nodes, int32(u))
+		}
+		alts = append(alts, a)
+	}
+	writeJSON(w, map[string]any{"count": len(alts), "routes": alts})
+}
+
+// handleReachable answers the isochrone query:
+// GET /reachable?from=A&budget=5 → {"count":N,"nodes":{"17":3.2,…}}.
+func (s *Server) handleReachable(w http.ResponseWriter, r *http.Request) {
+	from, err := s.resolve(r.URL.Query().Get("from"))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	budget, err := strconv.ParseFloat(r.URL.Query().Get("budget"), 64)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("bad budget %q", r.URL.Query().Get("budget")))
+		return
+	}
+	reach, err := s.svc.Reachable(from, budget)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	nodes := make(map[string]float64, len(reach))
+	for u, c := range reach {
+		nodes[strconv.Itoa(int(u))] = c
+	}
+	writeJSON(w, map[string]any{"count": len(reach), "nodes": nodes})
+}
+
+func (s *Server) handleMap(w http.ResponseWriter, _ *http.Request) {
+	g := s.svc.Graph()
+	landmarks := map[string]int32{}
+	for name, id := range g.NamedNodes() {
+		landmarks[name] = int32(id)
+	}
+	writeJSON(w, map[string]any{
+		"nodes":     g.NumNodes(),
+		"edges":     g.NumEdges(),
+		"landmarks": landmarks,
+	})
+}

@@ -1,0 +1,301 @@
+package httpapi
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/mpls"
+	"repro/internal/route"
+)
+
+func newTestServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	g := mpls.MustGenerate(mpls.Config{})
+	ts := httptest.NewServer(NewServer(route.NewService(g)).Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func getJSON(t *testing.T, url string, out any) *http.Response {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decode %s: %v", url, err)
+		}
+	}
+	return resp
+}
+
+func postJSON(t *testing.T, url, body string, out any) *http.Response {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decode %s: %v", url, err)
+		}
+	}
+	return resp
+}
+
+func TestRouteEndpoint(t *testing.T) {
+	ts := newTestServer(t)
+	var rr RouteResponse
+	resp := getJSON(t, ts.URL+"/route?from=G&to=D", &rr)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if !rr.Found || rr.Cost <= 0 || len(rr.Nodes) < 2 {
+		t.Errorf("route response: %+v", rr)
+	}
+	if rr.Algorithm != "astar-euclidean" {
+		t.Errorf("default algorithm %q", rr.Algorithm)
+	}
+	if rr.Evaluation == nil || rr.Evaluation.Hops != len(rr.Nodes)-1 {
+		t.Errorf("evaluation: %+v", rr.Evaluation)
+	}
+}
+
+func TestRouteEndpointNumericIDsAndAlgo(t *testing.T) {
+	ts := newTestServer(t)
+	var rr RouteResponse
+	getJSON(t, ts.URL+"/route?from=0&to=1&algo=dijkstra", &rr)
+	if rr.Algorithm != "dijkstra" {
+		t.Errorf("algorithm %q", rr.Algorithm)
+	}
+}
+
+func TestRouteEndpointErrors(t *testing.T) {
+	ts := newTestServer(t)
+	for _, q := range []string{
+		"from=ZZZ&to=D",
+		"from=G&to=99999",
+		"from=G&to=D&algo=quantum",
+		"from=G&to=D&weight=-2",
+		"from=G&to=D&weight=abc",
+	} {
+		resp := getJSON(t, ts.URL+"/route?"+q, nil)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", q, resp.StatusCode)
+		}
+	}
+}
+
+func TestEvaluateEndpoint(t *testing.T) {
+	ts := newTestServer(t)
+	var rr RouteResponse
+	getJSON(t, ts.URL+"/route?from=G&to=D", &rr)
+
+	nodes, _ := json.Marshal(map[string]any{"nodes": rr.Nodes})
+	var ev Evaluation
+	resp := postJSON(t, ts.URL+"/evaluate", string(nodes), &ev)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ev.Hops != len(rr.Nodes)-1 || ev.CongestionRatio != 1 {
+		t.Errorf("evaluation: %+v", ev)
+	}
+	// Method and body validation.
+	if resp := getJSON(t, ts.URL+"/evaluate", nil); resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /evaluate: %d", resp.StatusCode)
+	}
+	if resp := postJSON(t, ts.URL+"/evaluate", "{bad json", nil); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad json: %d", resp.StatusCode)
+	}
+	if resp := postJSON(t, ts.URL+"/evaluate", `{"nodes":[0,999]}`, nil); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("non-path: %d", resp.StatusCode)
+	}
+}
+
+func TestDisplayEndpoint(t *testing.T) {
+	ts := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/display?from=G&to=D")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	buf := make([]byte, 64*1024)
+	n, _ := resp.Body.Read(buf)
+	body := string(buf[:n])
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	for _, want := range []string{"S", "D", "."} {
+		if !strings.Contains(body, want) {
+			t.Errorf("display missing %q", want)
+		}
+	}
+}
+
+func TestTrafficRoundTrip(t *testing.T) {
+	ts := newTestServer(t)
+	var before RouteResponse
+	getJSON(t, ts.URL+"/route?from=C&to=D&algo=dijkstra", &before)
+
+	var applied map[string]int
+	resp := postJSON(t, ts.URL+"/traffic", `{"x":16,"y":16,"radius":5,"factor":4}`, &applied)
+	if resp.StatusCode != http.StatusOK || applied["affectedEdges"] == 0 {
+		t.Fatalf("traffic: %d %v", resp.StatusCode, applied)
+	}
+
+	var during RouteResponse
+	getJSON(t, ts.URL+"/route?from=C&to=D&algo=dijkstra", &during)
+	if during.Cost <= before.Cost {
+		t.Errorf("congestion did not raise the best cost: %v vs %v", during.Cost, before.Cost)
+	}
+
+	resp = postJSON(t, ts.URL+"/traffic/reset", "", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("reset: %d", resp.StatusCode)
+	}
+	var after RouteResponse
+	getJSON(t, ts.URL+"/route?from=C&to=D&algo=dijkstra", &after)
+	if after.Cost != before.Cost {
+		t.Errorf("reset did not restore: %v vs %v", after.Cost, before.Cost)
+	}
+
+	// Validation paths.
+	if resp := getJSON(t, ts.URL+"/traffic", nil); resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /traffic: %d", resp.StatusCode)
+	}
+	if resp := postJSON(t, ts.URL+"/traffic", `{"factor":-1}`, nil); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("negative factor: %d", resp.StatusCode)
+	}
+	if resp := getJSON(t, ts.URL+"/traffic/reset", nil); resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /traffic/reset: %d", resp.StatusCode)
+	}
+}
+
+func TestReachableEndpoint(t *testing.T) {
+	ts := newTestServer(t)
+	var out struct {
+		Count int                `json:"count"`
+		Nodes map[string]float64 `json:"nodes"`
+	}
+	resp := getJSON(t, ts.URL+"/reachable?from=G&budget=3", &out)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if out.Count == 0 || out.Count != len(out.Nodes) {
+		t.Errorf("reachable: %+v", out)
+	}
+	for _, c := range out.Nodes {
+		if c > 3 {
+			t.Errorf("cost %v above budget", c)
+		}
+	}
+	if resp := getJSON(t, ts.URL+"/reachable?from=G&budget=oops", nil); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad budget: %d", resp.StatusCode)
+	}
+	if resp := getJSON(t, ts.URL+"/reachable?from=ZZZ&budget=1", nil); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad origin: %d", resp.StatusCode)
+	}
+	if resp := getJSON(t, ts.URL+"/reachable?from=G&budget=-1", nil); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("negative budget: %d", resp.StatusCode)
+	}
+}
+
+func TestDirectionsEndpoint(t *testing.T) {
+	ts := newTestServer(t)
+	var out struct {
+		Cost  float64 `json:"cost"`
+		Steps []struct {
+			Action   string  `json:"action"`
+			Heading  string  `json:"heading"`
+			Distance float64 `json:"distance"`
+		} `json:"steps"`
+	}
+	resp := getJSON(t, ts.URL+"/directions?from=E&to=F", &out)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if len(out.Steps) < 2 {
+		t.Fatalf("steps: %+v", out.Steps)
+	}
+	if out.Steps[0].Action != "depart" || out.Steps[len(out.Steps)-1].Action != "arrive" {
+		t.Errorf("bookends: %+v", out.Steps)
+	}
+	if resp := getJSON(t, ts.URL+"/directions?from=ZZZ&to=F", nil); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad origin: %d", resp.StatusCode)
+	}
+}
+
+func TestAlternatesEndpoint(t *testing.T) {
+	ts := newTestServer(t)
+	var out struct {
+		Count  int `json:"count"`
+		Routes []struct {
+			Cost  float64 `json:"cost"`
+			Nodes []int32 `json:"nodes"`
+		} `json:"routes"`
+	}
+	resp := getJSON(t, ts.URL+"/alternates?from=G&to=D&k=3", &out)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if out.Count != 3 || len(out.Routes) != 3 {
+		t.Fatalf("alternates: %+v", out)
+	}
+	for i := 1; i < len(out.Routes); i++ {
+		if out.Routes[i].Cost < out.Routes[i-1].Cost {
+			t.Errorf("alternates out of order: %v", out.Routes)
+		}
+	}
+	if resp := getJSON(t, ts.URL+"/alternates?from=G&to=D&k=99", nil); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("huge k: %d", resp.StatusCode)
+	}
+	if resp := getJSON(t, ts.URL+"/alternates?from=G&to=D&k=zero", nil); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad k: %d", resp.StatusCode)
+	}
+}
+
+func TestMapEndpoint(t *testing.T) {
+	ts := newTestServer(t)
+	var m struct {
+		Nodes     int              `json:"nodes"`
+		Edges     int              `json:"edges"`
+		Landmarks map[string]int32 `json:"landmarks"`
+	}
+	getJSON(t, ts.URL+"/map", &m)
+	if m.Nodes != 1089 || m.Edges < 3000 {
+		t.Errorf("map meta: %+v", m)
+	}
+	if len(m.Landmarks) != 7 {
+		t.Errorf("landmarks: %v", m.Landmarks)
+	}
+}
+
+func TestNoRouteReportsMinusOne(t *testing.T) {
+	// Lake nodes are isolated; routing to one yields found=false, cost -1.
+	g := mpls.MustGenerate(mpls.Config{})
+	isolated := graph.Invalid
+	for u := graph.NodeID(0); int(u) < g.NumNodes(); u++ {
+		if g.OutDegree(u) == 0 {
+			isolated = u
+			break
+		}
+	}
+	if isolated == graph.Invalid {
+		t.Skip("no isolated node on this map")
+	}
+	ts := httptest.NewServer(NewServer(route.NewService(g)).Handler())
+	defer ts.Close()
+	var rr RouteResponse
+	getJSON(t, ts.URL+"/route?from=G&to="+strconv.Itoa(int(isolated)), &rr)
+	if rr.Found || rr.Cost != -1 {
+		t.Errorf("unreachable route: %+v", rr)
+	}
+}

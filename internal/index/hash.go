@@ -1,0 +1,200 @@
+// Package index provides the two access methods of the paper's physical
+// design (Section 4): a random-hash primary index on the edge relation's
+// Begin-node field — the structure behind "fetch(u.adjacencyList)" — and a
+// multi-level static ISAM index on the node relation's node-id field, whose
+// level count is the I_l parameter of the cost model (Table 4A: 3 levels).
+//
+// Both indexes are page-backed on the simulated disk, so index traversal
+// shows up in the block-I/O accounting exactly as the cost model charges it.
+package index
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/relation"
+	"repro/internal/storage"
+)
+
+// Entry is one index posting: a key and the rid of the tuple holding it.
+type Entry struct {
+	Key int32
+	RID relation.RID
+}
+
+const (
+	hashEntrySize  = 12 // key int32, page int32, slot uint16 (padded to 4)
+	hashHeaderSize = 6  // count uint16, next page int32
+)
+
+// Hash is a static-bucket chained hash index over int32 keys. Keys may
+// repeat (the edge relation has one posting per out-edge). Buckets are
+// chains of pages; the bucket directory is memory-resident like the
+// relation catalog.
+type Hash struct {
+	name    string
+	pool    *storage.BufferPool
+	buckets []storage.PageID
+	pages   []storage.PageID // every page ever allocated, for reclamation
+	entries int
+	perPage int
+}
+
+// NewHash creates an empty hash index with the given bucket count.
+func NewHash(name string, pool *storage.BufferPool, numBuckets int) (*Hash, error) {
+	if numBuckets <= 0 {
+		return nil, fmt.Errorf("index %s: bucket count %d must be positive", name, numBuckets)
+	}
+	perPage := (pool.Disk().PageSize() - hashHeaderSize) / hashEntrySize
+	if perPage <= 0 {
+		return nil, fmt.Errorf("index %s: page size %d too small", name, pool.Disk().PageSize())
+	}
+	buckets := make([]storage.PageID, numBuckets)
+	for i := range buckets {
+		buckets[i] = storage.InvalidPage
+	}
+	return &Hash{name: name, pool: pool, buckets: buckets, perPage: perPage}, nil
+}
+
+// NumEntries returns the number of postings.
+func (h *Hash) NumEntries() int { return h.entries }
+
+// NumBuckets returns the directory size.
+func (h *Hash) NumBuckets() int { return len(h.buckets) }
+
+// Pages returns the ids of every page the index has allocated, for storage
+// reclamation when the index is dropped.
+func (h *Hash) Pages() []storage.PageID {
+	return append([]storage.PageID(nil), h.pages...)
+}
+
+// bucketOf maps a key to its bucket. Multiplicative hashing scrambles
+// sequential node ids across buckets ("random hash" in the paper).
+func (h *Hash) bucketOf(key int32) int {
+	x := uint32(key) * 2654435761 // Knuth's multiplicative constant
+	return int(x % uint32(len(h.buckets)))
+}
+
+func hashPageCount(data []byte) int { return int(binary.LittleEndian.Uint16(data)) }
+func setHashPageCount(data []byte, n int) {
+	binary.LittleEndian.PutUint16(data, uint16(n))
+}
+func hashPageNext(data []byte) storage.PageID {
+	return storage.PageID(int32(binary.LittleEndian.Uint32(data[2:])))
+}
+func setHashPageNext(data []byte, id storage.PageID) {
+	binary.LittleEndian.PutUint32(data[2:], uint32(int32(id)))
+}
+
+func putHashEntry(data []byte, i int, e Entry) {
+	off := hashHeaderSize + i*hashEntrySize
+	binary.LittleEndian.PutUint32(data[off:], uint32(e.Key))
+	binary.LittleEndian.PutUint32(data[off+4:], uint32(int32(e.RID.Page)))
+	binary.LittleEndian.PutUint32(data[off+8:], uint32(e.RID.Slot))
+}
+
+func getHashEntry(data []byte, i int) Entry {
+	off := hashHeaderSize + i*hashEntrySize
+	return Entry{
+		Key: int32(binary.LittleEndian.Uint32(data[off:])),
+		RID: relation.RID{
+			Page: storage.PageID(int32(binary.LittleEndian.Uint32(data[off+4:]))),
+			Slot: uint16(binary.LittleEndian.Uint32(data[off+8:])),
+		},
+	}
+}
+
+// Insert adds a posting. Duplicate keys are allowed; duplicate (key, rid)
+// pairs are the caller's concern.
+func (h *Hash) Insert(key int32, rid relation.RID) error {
+	b := h.bucketOf(key)
+	// Insert at the head page if it has room; otherwise prepend a page.
+	if h.buckets[b] != storage.InvalidPage {
+		frame, err := h.pool.Get(h.buckets[b])
+		if err != nil {
+			return err
+		}
+		data := frame.Data()
+		if n := hashPageCount(data); n < h.perPage {
+			putHashEntry(data, n, Entry{Key: key, RID: rid})
+			setHashPageCount(data, n+1)
+			frame.MarkDirty()
+			h.pool.Unpin(frame)
+			h.entries++
+			return nil
+		}
+		h.pool.Unpin(frame)
+	}
+	frame, err := h.pool.NewPage()
+	if err != nil {
+		return err
+	}
+	h.pages = append(h.pages, frame.ID())
+	data := frame.Data()
+	setHashPageNext(data, h.buckets[b])
+	putHashEntry(data, 0, Entry{Key: key, RID: rid})
+	setHashPageCount(data, 1)
+	frame.MarkDirty()
+	h.buckets[b] = frame.ID()
+	h.pool.Unpin(frame)
+	h.entries++
+	return nil
+}
+
+// Lookup visits every posting whose key equals key. fn returns false to
+// stop early.
+func (h *Hash) Lookup(key int32, fn func(rid relation.RID) (bool, error)) error {
+	page := h.buckets[h.bucketOf(key)]
+	for page != storage.InvalidPage {
+		frame, err := h.pool.Get(page)
+		if err != nil {
+			return err
+		}
+		data := frame.Data()
+		n := hashPageCount(data)
+		for i := 0; i < n; i++ {
+			e := getHashEntry(data, i)
+			if e.Key != key {
+				continue
+			}
+			cont, err := fn(e.RID)
+			if err != nil || !cont {
+				h.pool.Unpin(frame)
+				return err
+			}
+		}
+		next := hashPageNext(data)
+		h.pool.Unpin(frame)
+		page = next
+	}
+	return nil
+}
+
+// Delete removes one posting matching (key, rid) exactly, reporting whether
+// it was found. The slot is backfilled from the page's last entry.
+func (h *Hash) Delete(key int32, rid relation.RID) (bool, error) {
+	page := h.buckets[h.bucketOf(key)]
+	for page != storage.InvalidPage {
+		frame, err := h.pool.Get(page)
+		if err != nil {
+			return false, err
+		}
+		data := frame.Data()
+		n := hashPageCount(data)
+		for i := 0; i < n; i++ {
+			e := getHashEntry(data, i)
+			if e.Key == key && e.RID == rid {
+				putHashEntry(data, i, getHashEntry(data, n-1))
+				setHashPageCount(data, n-1)
+				frame.MarkDirty()
+				h.pool.Unpin(frame)
+				h.entries--
+				return true, nil
+			}
+		}
+		next := hashPageNext(data)
+		h.pool.Unpin(frame)
+		page = next
+	}
+	return false, nil
+}

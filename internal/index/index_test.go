@@ -1,0 +1,293 @@
+package index
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/relation"
+	"repro/internal/storage"
+)
+
+func newPool(pageSize, frames int) *storage.BufferPool {
+	return storage.NewBufferPool(storage.NewDisk(pageSize), frames)
+}
+
+func rid(p, s int) relation.RID {
+	return relation.RID{Page: storage.PageID(p), Slot: uint16(s)}
+}
+
+func TestHashInsertLookup(t *testing.T) {
+	h, err := NewHash("s_begin", newPool(256, 8), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Edge relation style: several postings per key.
+	h.Insert(5, rid(0, 1))
+	h.Insert(5, rid(0, 2))
+	h.Insert(7, rid(1, 0))
+	if h.NumEntries() != 3 {
+		t.Errorf("entries = %d", h.NumEntries())
+	}
+	var got []relation.RID
+	err = h.Lookup(5, func(r relation.RID) (bool, error) {
+		got = append(got, r)
+		return true, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("lookup(5) = %v", got)
+	}
+	var miss int
+	h.Lookup(99, func(relation.RID) (bool, error) { miss++; return true, nil })
+	if miss != 0 {
+		t.Errorf("lookup(99) visited %d postings", miss)
+	}
+}
+
+func TestHashLookupEarlyStop(t *testing.T) {
+	h, _ := NewHash("x", newPool(256, 8), 4)
+	for i := 0; i < 10; i++ {
+		h.Insert(1, rid(0, i))
+	}
+	count := 0
+	h.Lookup(1, func(relation.RID) (bool, error) {
+		count++
+		return count < 3, nil
+	})
+	if count != 3 {
+		t.Errorf("visited %d, want 3", count)
+	}
+}
+
+func TestHashPageOverflow(t *testing.T) {
+	// Tiny pages force chains: (64-6)/12 = 4 entries per page.
+	h, _ := NewHash("x", newPool(64, 8), 1) // single bucket: worst case chain
+	const n = 50
+	for i := 0; i < n; i++ {
+		if err := h.Insert(int32(i%5), rid(i, 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	total := 0
+	for k := int32(0); k < 5; k++ {
+		h.Lookup(k, func(relation.RID) (bool, error) { total++; return true, nil })
+	}
+	if total != n {
+		t.Errorf("found %d postings, want %d", total, n)
+	}
+}
+
+func TestHashDelete(t *testing.T) {
+	h, _ := NewHash("x", newPool(256, 8), 4)
+	h.Insert(1, rid(0, 0))
+	h.Insert(1, rid(0, 1))
+	ok, err := h.Delete(1, rid(0, 0))
+	if err != nil || !ok {
+		t.Fatalf("Delete = %v, %v", ok, err)
+	}
+	if ok, _ := h.Delete(1, rid(0, 0)); ok {
+		t.Error("double delete reported found")
+	}
+	if ok, _ := h.Delete(9, rid(0, 0)); ok {
+		t.Error("delete of absent key reported found")
+	}
+	var got []relation.RID
+	h.Lookup(1, func(r relation.RID) (bool, error) { got = append(got, r); return true, nil })
+	if len(got) != 1 || got[0] != rid(0, 1) {
+		t.Errorf("after delete: %v", got)
+	}
+	if h.NumEntries() != 1 {
+		t.Errorf("entries = %d", h.NumEntries())
+	}
+}
+
+func TestHashValidation(t *testing.T) {
+	if _, err := NewHash("x", newPool(256, 8), 0); err == nil {
+		t.Error("zero buckets accepted")
+	}
+	if _, err := NewHash("x", newPool(8, 8), 4); err == nil {
+		t.Error("page too small accepted")
+	}
+}
+
+func TestHashManyKeysDistribution(t *testing.T) {
+	h, _ := NewHash("x", newPool(4096, 64), 32)
+	const n = 2000
+	for i := 0; i < n; i++ {
+		if err := h.Insert(int32(i), rid(i/100, i%100)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		found := false
+		h.Lookup(int32(i), func(r relation.RID) (bool, error) {
+			if r == rid(i/100, i%100) {
+				found = true
+			}
+			return true, nil
+		})
+		if !found {
+			t.Fatalf("key %d lost", i)
+		}
+	}
+	if h.NumBuckets() != 32 {
+		t.Errorf("buckets = %d", h.NumBuckets())
+	}
+}
+
+func TestISAMEmpty(t *testing.T) {
+	ix, err := BuildISAM("r_id", newPool(256, 8), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.Levels() != 0 || ix.NumEntries() != 0 {
+		t.Errorf("levels=%d entries=%d", ix.Levels(), ix.NumEntries())
+	}
+	if _, ok, err := ix.Lookup(3); ok || err != nil {
+		t.Errorf("lookup on empty = %v, %v", ok, err)
+	}
+}
+
+func TestISAMSingleLevel(t *testing.T) {
+	var postings []Entry
+	for i := 0; i < 10; i++ {
+		postings = append(postings, Entry{Key: int32(i * 2), RID: rid(i, 0)})
+	}
+	ix, err := BuildISAM("r_id", newPool(4096, 8), postings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.Levels() != 1 {
+		t.Errorf("levels = %d, want 1", ix.Levels())
+	}
+	for i := 0; i < 10; i++ {
+		r, ok, err := ix.Lookup(int32(i * 2))
+		if err != nil || !ok || r != rid(i, 0) {
+			t.Errorf("lookup(%d) = %v,%v,%v", i*2, r, ok, err)
+		}
+		if _, ok, _ := ix.Lookup(int32(i*2 + 1)); ok {
+			t.Errorf("lookup(%d) found a ghost", i*2+1)
+		}
+	}
+	// Keys below the minimum and above the maximum.
+	if _, ok, _ := ix.Lookup(-5); ok {
+		t.Error("lookup(-5) found a ghost")
+	}
+	if _, ok, _ := ix.Lookup(100); ok {
+		t.Error("lookup(100) found a ghost")
+	}
+}
+
+func TestISAMMultiLevel(t *testing.T) {
+	// Page size 64: leaves hold (64-2)/12 = 5 entries, internal pages
+	// (64-2)/8 = 7 children. 1000 keys → 200 leaves → 29 internal → 5 → 1:
+	// 4 levels.
+	var postings []Entry
+	const n = 1000
+	for i := 0; i < n; i++ {
+		postings = append(postings, Entry{Key: int32(i), RID: rid(i/7, i%7)})
+	}
+	ix, err := BuildISAM("r_id", newPool(64, 16), postings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.Levels() < 3 {
+		t.Errorf("levels = %d, want a genuinely multi-level index", ix.Levels())
+	}
+	if ix.NumEntries() != n {
+		t.Errorf("entries = %d", ix.NumEntries())
+	}
+	for i := 0; i < n; i++ {
+		r, ok, err := ix.Lookup(int32(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok || r != rid(i/7, i%7) {
+			t.Fatalf("lookup(%d) = %v, %v", i, r, ok)
+		}
+	}
+	if _, ok, _ := ix.Lookup(n); ok {
+		t.Error("lookup past max found a ghost")
+	}
+}
+
+func TestISAMUnsortedInputAndDuplicates(t *testing.T) {
+	// Input arrives unsorted; BuildISAM must sort it.
+	postings := []Entry{{Key: 5, RID: rid(5, 0)}, {Key: 1, RID: rid(1, 0)}, {Key: 3, RID: rid(3, 0)}}
+	ix, err := BuildISAM("x", newPool(256, 8), postings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []int32{1, 3, 5} {
+		if _, ok, _ := ix.Lookup(k); !ok {
+			t.Errorf("lookup(%d) missed", k)
+		}
+	}
+	// Duplicates are an error: node ids are unique.
+	if _, err := BuildISAM("x", newPool(256, 8), []Entry{{Key: 1}, {Key: 1}}); err == nil {
+		t.Error("duplicate keys accepted")
+	}
+}
+
+func TestISAMLookupCostsLevelsReads(t *testing.T) {
+	var postings []Entry
+	for i := 0; i < 500; i++ {
+		postings = append(postings, Entry{Key: int32(i), RID: rid(i, 0)})
+	}
+	pool := newPool(64, 4) // tiny pool: every page access goes to disk-ish
+	ix, err := BuildISAM("x", pool, postings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With a pool too small to cache the index, each lookup reads ≈ Levels
+	// pages. Measure an average over fresh keys.
+	disk := pool.Disk()
+	before := disk.Stats().Reads
+	const probes = 100
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < probes; i++ {
+		if _, ok, err := ix.Lookup(int32(rng.Intn(500))); err != nil || !ok {
+			t.Fatal("probe failed")
+		}
+	}
+	reads := disk.Stats().Reads - before
+	perLookup := float64(reads) / probes
+	if perLookup > float64(ix.Levels())+0.5 {
+		t.Errorf("%.2f reads per lookup for %d levels", perLookup, ix.Levels())
+	}
+}
+
+// Property: ISAM agrees with a map oracle on 3000 random unique keys.
+func TestISAMRandomOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(123))
+	oracle := map[int32]relation.RID{}
+	var postings []Entry
+	for len(oracle) < 3000 {
+		k := int32(rng.Intn(1 << 20))
+		if _, dup := oracle[k]; dup {
+			continue
+		}
+		r := rid(rng.Intn(1000), rng.Intn(64))
+		oracle[k] = r
+		postings = append(postings, Entry{Key: k, RID: r})
+	}
+	ix, err := BuildISAM("x", newPool(512, 64), postings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, want := range oracle {
+		got, ok, err := ix.Lookup(k)
+		if err != nil || !ok || got != want {
+			t.Fatalf("lookup(%d) = %v,%v,%v; want %v", k, got, ok, err, want)
+		}
+	}
+	// Probe absent keys.
+	for i := 0; i < 500; i++ {
+		k := int32(rng.Intn(1<<20)) | (1 << 21) // outside the inserted range
+		if _, ok, _ := ix.Lookup(k); ok {
+			t.Fatalf("ghost key %d found", k)
+		}
+	}
+}

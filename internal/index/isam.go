@@ -1,0 +1,187 @@
+package index
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"repro/internal/relation"
+	"repro/internal/storage"
+)
+
+const (
+	isamLeafEntrySize     = 12 // key int32, page int32, slot (4)
+	isamInternalEntrySize = 8  // separator key int32, child page int32
+	isamHeaderSize        = 2  // count uint16
+)
+
+// ISAM is a static multi-level index over unique int32 keys, built once
+// from a sorted posting list — the classic INGRES primary index structure
+// the paper assumes on the node relation. Its level count is the I_l
+// parameter of the cost model: a lookup reads exactly Levels() pages.
+//
+// ISAM is immutable after construction. The node relation is preloaded with
+// every node before the search begins (cost step "Indexing and Sorting the
+// node-relation", C_3 of Table 2), and tuples are updated in place
+// afterwards, so their rids — and hence this index — never change.
+type ISAM struct {
+	name    string
+	pool    *storage.BufferPool
+	root    storage.PageID
+	pages   []storage.PageID // every page of the index, for reclamation
+	levels  int              // number of page reads per lookup (≥ 1); 0 for empty index
+	entries int
+}
+
+// BuildISAM constructs the index from postings, which it sorts by key.
+// Duplicate keys are rejected: the node relation's node-id is unique.
+func BuildISAM(name string, pool *storage.BufferPool, postings []Entry) (*ISAM, error) {
+	sorted := append([]Entry(nil), postings...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Key < sorted[j].Key })
+	for i := 1; i < len(sorted); i++ {
+		if sorted[i].Key == sorted[i-1].Key {
+			return nil, fmt.Errorf("index %s: duplicate key %d", name, sorted[i].Key)
+		}
+	}
+	ix := &ISAM{name: name, pool: pool, root: storage.InvalidPage, entries: len(sorted)}
+	if len(sorted) == 0 {
+		return ix, nil
+	}
+
+	pageSize := pool.Disk().PageSize()
+	leafPer := (pageSize - isamHeaderSize) / isamLeafEntrySize
+	internalPer := (pageSize - isamHeaderSize) / isamInternalEntrySize
+	if leafPer <= 0 || internalPer <= 1 {
+		return nil, fmt.Errorf("index %s: page size %d too small", name, pageSize)
+	}
+
+	// Leaf level.
+	type levelEntry struct {
+		firstKey int32
+		page     storage.PageID
+	}
+	var level []levelEntry
+	for start := 0; start < len(sorted); start += leafPer {
+		end := start + leafPer
+		if end > len(sorted) {
+			end = len(sorted)
+		}
+		frame, err := pool.NewPage()
+		if err != nil {
+			return nil, err
+		}
+		ix.pages = append(ix.pages, frame.ID())
+		data := frame.Data()
+		binary.LittleEndian.PutUint16(data, uint16(end-start))
+		for i, e := range sorted[start:end] {
+			off := isamHeaderSize + i*isamLeafEntrySize
+			binary.LittleEndian.PutUint32(data[off:], uint32(e.Key))
+			binary.LittleEndian.PutUint32(data[off+4:], uint32(int32(e.RID.Page)))
+			binary.LittleEndian.PutUint32(data[off+8:], uint32(e.RID.Slot))
+		}
+		frame.MarkDirty()
+		level = append(level, levelEntry{firstKey: sorted[start].Key, page: frame.ID()})
+		pool.Unpin(frame)
+	}
+	ix.levels = 1
+
+	// Internal levels until a single root remains.
+	for len(level) > 1 {
+		var parent []levelEntry
+		for start := 0; start < len(level); start += internalPer {
+			end := start + internalPer
+			if end > len(level) {
+				end = len(level)
+			}
+			frame, err := pool.NewPage()
+			if err != nil {
+				return nil, err
+			}
+			ix.pages = append(ix.pages, frame.ID())
+			data := frame.Data()
+			binary.LittleEndian.PutUint16(data, uint16(end-start))
+			for i, c := range level[start:end] {
+				off := isamHeaderSize + i*isamInternalEntrySize
+				binary.LittleEndian.PutUint32(data[off:], uint32(c.firstKey))
+				binary.LittleEndian.PutUint32(data[off+4:], uint32(int32(c.page)))
+			}
+			frame.MarkDirty()
+			parent = append(parent, levelEntry{firstKey: level[start].firstKey, page: frame.ID()})
+			pool.Unpin(frame)
+		}
+		level = parent
+		ix.levels++
+	}
+	ix.root = level[0].page
+	return ix, nil
+}
+
+// Levels returns the number of page reads a lookup performs — the cost
+// model's I_l. An empty index has zero levels.
+func (ix *ISAM) Levels() int { return ix.levels }
+
+// NumEntries returns the number of indexed keys.
+func (ix *ISAM) NumEntries() int { return ix.entries }
+
+// Pages returns the ids of every page of the index, for storage reclamation
+// when the index is dropped.
+func (ix *ISAM) Pages() []storage.PageID {
+	return append([]storage.PageID(nil), ix.pages...)
+}
+
+// Lookup finds the rid for key, reporting whether the key exists.
+func (ix *ISAM) Lookup(key int32) (relation.RID, bool, error) {
+	if ix.root == storage.InvalidPage {
+		return relation.RID{}, false, nil
+	}
+	page := ix.root
+	for depth := ix.levels; depth > 1; depth-- {
+		frame, err := ix.pool.Get(page)
+		if err != nil {
+			return relation.RID{}, false, err
+		}
+		data := frame.Data()
+		n := int(binary.LittleEndian.Uint16(data))
+		// Largest child whose first key ≤ key; keys below the first
+		// separator cannot exist (the first separator is the global min).
+		child := storage.InvalidPage
+		for i := n - 1; i >= 0; i-- {
+			off := isamHeaderSize + i*isamInternalEntrySize
+			first := int32(binary.LittleEndian.Uint32(data[off:]))
+			if first <= key {
+				child = storage.PageID(int32(binary.LittleEndian.Uint32(data[off+4:])))
+				break
+			}
+		}
+		ix.pool.Unpin(frame)
+		if child == storage.InvalidPage {
+			return relation.RID{}, false, nil
+		}
+		page = child
+	}
+	frame, err := ix.pool.Get(page)
+	if err != nil {
+		return relation.RID{}, false, err
+	}
+	defer ix.pool.Unpin(frame)
+	data := frame.Data()
+	n := int(binary.LittleEndian.Uint16(data))
+	lo, hi := 0, n-1
+	for lo <= hi {
+		mid := (lo + hi) / 2
+		off := isamHeaderSize + mid*isamLeafEntrySize
+		k := int32(binary.LittleEndian.Uint32(data[off:]))
+		switch {
+		case k == key:
+			return relation.RID{
+				Page: storage.PageID(int32(binary.LittleEndian.Uint32(data[off+4:]))),
+				Slot: uint16(binary.LittleEndian.Uint32(data[off+8:])),
+			}, true, nil
+		case k < key:
+			lo = mid + 1
+		default:
+			hi = mid - 1
+		}
+	}
+	return relation.RID{}, false, nil
+}

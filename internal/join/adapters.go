@@ -1,0 +1,31 @@
+package join
+
+import (
+	"repro/internal/index"
+	"repro/internal/relation"
+)
+
+// HashProber adapts a hash index to the Prober interface.
+type HashProber struct {
+	Index *index.Hash
+}
+
+// Probe visits the rid of every posting with the given key.
+func (p HashProber) Probe(key int32, fn func(relation.RID) (bool, error)) error {
+	return p.Index.Lookup(key, fn)
+}
+
+// ISAMProber adapts an ISAM index (unique keys) to the Prober interface.
+type ISAMProber struct {
+	Index *index.ISAM
+}
+
+// Probe visits the single rid for key, if present.
+func (p ISAMProber) Probe(key int32, fn func(relation.RID) (bool, error)) error {
+	rid, ok, err := p.Index.Lookup(key)
+	if err != nil || !ok {
+		return err
+	}
+	_, err = fn(rid)
+	return err
+}

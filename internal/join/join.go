@@ -1,0 +1,299 @@
+// Package join implements the four join strategies the paper's query
+// optimizer simulation chooses among (Section 4): (1) hash join,
+// (2) nested-loop join, (3) sort-merge join, and (4) primary-key (index)
+// join. Every strategy produces the same multiset of result pairs; they
+// differ only in the block I/O they generate, which is what the cost
+// function F(B1, B2, B3) models.
+//
+// The join the algorithms actually compute is "adjacency fetch": current
+// node tuples from the node relation R joined with the edge relation S on
+// R.id = S.begin. The specs here are general equi-joins on int32 columns so
+// the strategies can be tested and benchmarked independently of the search
+// algorithms.
+package join
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/relation"
+	"repro/internal/storage"
+	"repro/internal/tuple"
+)
+
+// Strategy selects a join algorithm.
+type Strategy int
+
+const (
+	// NestedLoop scans the inner relation once per outer tuple.
+	NestedLoop Strategy = iota
+	// Hash builds an in-memory hash table on the inner relation's key and
+	// probes it with the outer tuples.
+	Hash
+	// SortMerge sorts both inputs by key and merges, pairing equal-key runs.
+	SortMerge
+	// PrimaryKey probes the inner relation's primary index once per outer
+	// tuple — the paper's fourth strategy, "Primary Key Join".
+	PrimaryKey
+)
+
+// String names the strategy as the optimizer reports it.
+func (s Strategy) String() string {
+	switch s {
+	case NestedLoop:
+		return "nested-loop"
+	case Hash:
+		return "hash"
+	case SortMerge:
+		return "sort-merge"
+	case PrimaryKey:
+		return "primary-key"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// Strategies lists all four, for sweeps and the optimizer's argmin.
+func Strategies() []Strategy {
+	return []Strategy{NestedLoop, Hash, SortMerge, PrimaryKey}
+}
+
+// Prober abstracts an index probe on the inner relation for the PrimaryKey
+// strategy: it visits the rid of every inner tuple whose key equals key.
+type Prober interface {
+	Probe(key int32, fn func(relation.RID) (bool, error)) error
+}
+
+// Spec describes an equi-join Left ⋈ Right on int32 key columns. An
+// optional filter restricts the outer (left) input — the engine uses it to
+// join only the "current" node tuples, per the algorithms' step 6/7.
+type Spec struct {
+	Left, Right *relation.Relation
+	// LeftKey and RightKey are column indexes of the join keys (Int32).
+	LeftKey, RightKey int
+	// LeftFilter, when non-nil, keeps only outer tuples it returns true for.
+	LeftFilter func(vals []tuple.Value) bool
+	// RightIndex must be set for the PrimaryKey strategy.
+	RightIndex Prober
+}
+
+func (sp Spec) validate() error {
+	if sp.Left == nil || sp.Right == nil {
+		return fmt.Errorf("join: nil relation")
+	}
+	check := func(r *relation.Relation, col int, side string) error {
+		if col < 0 || col >= r.Schema().NumFields() {
+			return fmt.Errorf("join: %s key column %d out of range", side, col)
+		}
+		if r.Schema().Field(col).Kind != tuple.Int32 {
+			return fmt.Errorf("join: %s key column %q is not int32", side, r.Schema().Field(col).Name)
+		}
+		return nil
+	}
+	if err := check(sp.Left, sp.LeftKey, "left"); err != nil {
+		return err
+	}
+	return check(sp.Right, sp.RightKey, "right")
+}
+
+// EmitFunc receives one joined pair. The slices are only valid during the
+// call; copy what you keep. Returning false stops the join early.
+type EmitFunc func(left, right []tuple.Value) (bool, error)
+
+// Execute runs the join with the chosen strategy.
+func Execute(strategy Strategy, sp Spec, emit EmitFunc) error {
+	if err := sp.validate(); err != nil {
+		return err
+	}
+	switch strategy {
+	case NestedLoop:
+		return nestedLoop(sp, emit)
+	case Hash:
+		return hashJoin(sp, emit)
+	case SortMerge:
+		return sortMerge(sp, emit)
+	case PrimaryKey:
+		return primaryKey(sp, emit)
+	default:
+		return fmt.Errorf("join: unknown strategy %d", int(strategy))
+	}
+}
+
+// stopScan is the sentinel used to unwind an early stop requested by emit.
+var stopScan = fmt.Errorf("join: stop")
+
+// nestedLoop is a block nested loop: buffer the (filtered) outer tuples of
+// one page, then scan the inner relation once for the whole page — the
+// B1 + B1·B2 read pattern the optimizer's formula models. Pages whose
+// tuples are all filtered out skip their inner scan.
+func nestedLoop(sp Spec, emit EmitFunc) error {
+	var (
+		page    storage.PageID = -1
+		started bool
+		block   [][]tuple.Value
+	)
+	flush := func() error {
+		if len(block) == 0 {
+			return nil
+		}
+		err := sp.Right.Scan(func(_ relation.RID, rvals []tuple.Value) (bool, error) {
+			k := rvals[sp.RightKey].Int()
+			for _, l := range block {
+				if l[sp.LeftKey].Int() != k {
+					continue
+				}
+				cont, err := emit(l, rvals)
+				if err == nil && !cont {
+					err = stopScan
+				}
+				if err != nil {
+					return false, err
+				}
+			}
+			return true, nil
+		})
+		block = block[:0]
+		return err
+	}
+	err := sp.Left.Scan(func(rid relation.RID, lvals []tuple.Value) (bool, error) {
+		if started && rid.Page != page {
+			if err := flush(); err != nil {
+				return false, err
+			}
+		}
+		started = true
+		page = rid.Page
+		if sp.LeftFilter == nil || sp.LeftFilter(lvals) {
+			block = append(block, append([]tuple.Value(nil), lvals...))
+		}
+		return true, nil
+	})
+	if err == nil {
+		err = flush()
+	}
+	if err == stopScan {
+		return nil
+	}
+	return err
+}
+
+// hashJoin: build on the inner (right) side, probe with the outer.
+func hashJoin(sp Spec, emit EmitFunc) error {
+	table := make(map[int32][][]tuple.Value)
+	err := sp.Right.Scan(func(_ relation.RID, rvals []tuple.Value) (bool, error) {
+		cp := append([]tuple.Value(nil), rvals...)
+		k := cp[sp.RightKey].Int()
+		table[k] = append(table[k], cp)
+		return true, nil
+	})
+	if err != nil {
+		return err
+	}
+	err = sp.Left.Scan(func(_ relation.RID, lvals []tuple.Value) (bool, error) {
+		if sp.LeftFilter != nil && !sp.LeftFilter(lvals) {
+			return true, nil
+		}
+		for _, rvals := range table[lvals[sp.LeftKey].Int()] {
+			cont, err := emit(lvals, rvals)
+			if err != nil || !cont {
+				if err == nil {
+					err = stopScan
+				}
+				return false, err
+			}
+		}
+		return true, nil
+	})
+	if err == stopScan {
+		return nil
+	}
+	return err
+}
+
+// sortMerge: materialize both sides sorted by key and merge equal-key runs.
+func sortMerge(sp Spec, emit EmitFunc) error {
+	load := func(r *relation.Relation, keyCol int, filter func([]tuple.Value) bool) ([][]tuple.Value, error) {
+		var out [][]tuple.Value
+		err := r.Scan(func(_ relation.RID, vals []tuple.Value) (bool, error) {
+			if filter != nil && !filter(vals) {
+				return true, nil
+			}
+			out = append(out, append([]tuple.Value(nil), vals...))
+			return true, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		sort.SliceStable(out, func(i, j int) bool {
+			return out[i][keyCol].Int() < out[j][keyCol].Int()
+		})
+		return out, nil
+	}
+	left, err := load(sp.Left, sp.LeftKey, sp.LeftFilter)
+	if err != nil {
+		return err
+	}
+	right, err := load(sp.Right, sp.RightKey, nil)
+	if err != nil {
+		return err
+	}
+	i, j := 0, 0
+	for i < len(left) && j < len(right) {
+		lk := left[i][sp.LeftKey].Int()
+		rk := right[j][sp.RightKey].Int()
+		switch {
+		case lk < rk:
+			i++
+		case lk > rk:
+			j++
+		default:
+			// Pair the full equal-key runs.
+			jEnd := j
+			for jEnd < len(right) && right[jEnd][sp.RightKey].Int() == rk {
+				jEnd++
+			}
+			for ; i < len(left) && left[i][sp.LeftKey].Int() == lk; i++ {
+				for jj := j; jj < jEnd; jj++ {
+					cont, err := emit(left[i], right[jj])
+					if err != nil || !cont {
+						return err
+					}
+				}
+			}
+			j = jEnd
+		}
+	}
+	return nil
+}
+
+// primaryKey: probe the inner index per outer tuple and fetch matches.
+func primaryKey(sp Spec, emit EmitFunc) error {
+	if sp.RightIndex == nil {
+		return fmt.Errorf("join: primary-key strategy requires Spec.RightIndex")
+	}
+	err := sp.Left.Scan(func(_ relation.RID, lvals []tuple.Value) (bool, error) {
+		if sp.LeftFilter != nil && !sp.LeftFilter(lvals) {
+			return true, nil
+		}
+		l := append([]tuple.Value(nil), lvals...)
+		err := sp.RightIndex.Probe(l[sp.LeftKey].Int(), func(rid relation.RID) (bool, error) {
+			rvals, err := sp.Right.Get(rid)
+			if err != nil {
+				return false, err
+			}
+			cont, err := emit(l, rvals)
+			if err == nil && !cont {
+				err = stopScan
+			}
+			return cont, err
+		})
+		if err != nil {
+			return false, err
+		}
+		return true, nil
+	})
+	if err == stopScan {
+		return nil
+	}
+	return err
+}

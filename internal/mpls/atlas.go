@@ -1,0 +1,131 @@
+package mpls
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// The paper's Minneapolis records carried more than geometry: "the data
+// about each segment includes x and y position of the two nodes, average
+// speed for the segment, average occupancy, and road type". This file adds
+// those attributes. The preliminary experiments of Section 5.2 used only
+// distance as the edge cost; the TravelTime metric below is the natural
+// next step the data was collected for, and the route package's dynamic
+// congestion builds on it.
+
+// RoadClass is the segment's road type.
+type RoadClass int
+
+const (
+	// Local streets: the default.
+	Local RoadClass = iota
+	// Highway arterials: the periodic through-streets of the lattice.
+	Highway
+	// Freeway: the one-way pair through the centre.
+	Freeway
+)
+
+// String names the class.
+func (c RoadClass) String() string {
+	switch c {
+	case Local:
+		return "local"
+	case Highway:
+		return "highway"
+	case Freeway:
+		return "freeway"
+	default:
+		return fmt.Sprintf("RoadClass(%d)", int(c))
+	}
+}
+
+// SpeedMPH returns the class's free-flow average speed.
+func (c RoadClass) SpeedMPH() float64 {
+	switch c {
+	case Freeway:
+		return 55
+	case Highway:
+		return 40
+	default:
+		return 25
+	}
+}
+
+// Metric selects what the generated edge costs mean.
+type Metric int
+
+const (
+	// Distance costs are euclidean segment lengths (the paper's
+	// preliminary experiments).
+	Distance Metric = iota
+	// TravelTime costs are free-flow traversal minutes:
+	// distance / speed × 60, with the map's unit taken as one mile.
+	TravelTime
+)
+
+// String names the metric.
+func (m Metric) String() string {
+	switch m {
+	case Distance:
+		return "distance"
+	case TravelTime:
+		return "travel-time"
+	default:
+		return fmt.Sprintf("Metric(%d)", int(m))
+	}
+}
+
+// Segment is one undirected road segment's attribute record.
+type Segment struct {
+	From, To  graph.NodeID
+	Class     RoadClass
+	Distance  float64 // euclidean length in map units (miles)
+	SpeedMPH  float64 // free-flow average speed
+	Occupancy float64 // average occupancy in [0, 1): reported data
+}
+
+// TravelMinutes returns the segment's free-flow traversal time.
+func (s Segment) TravelMinutes() float64 {
+	return s.Distance / s.SpeedMPH * 60
+}
+
+// Atlas carries per-segment attributes keyed by either direction.
+type Atlas struct {
+	segments map[[2]graph.NodeID]Segment
+}
+
+// Segment returns the attribute record for the directed edge (u, v), if it
+// exists. Both directions of a two-way segment share one record.
+func (a *Atlas) Segment(u, v graph.NodeID) (Segment, bool) {
+	s, ok := a.segments[[2]graph.NodeID{u, v}]
+	return s, ok
+}
+
+// NumSegments returns the number of directed edges with attributes.
+func (a *Atlas) NumSegments() int { return len(a.segments) }
+
+// ClassCounts tallies directed edges per road class.
+func (a *Atlas) ClassCounts() map[RoadClass]int {
+	out := map[RoadClass]int{}
+	for _, s := range a.segments {
+		out[s.Class]++
+	}
+	return out
+}
+
+// classify returns the road class of the lattice segment (by endpoint
+// lattice coordinates). Rows 16/17 are the freeway pair; every eighth row
+// and column is a highway arterial.
+func classify(r1, c1, r2, c2 int) RoadClass {
+	if r1 == r2 && (r1 == 16 || r1 == 17) {
+		return Freeway
+	}
+	if r1 == r2 && r1%8 == 0 {
+		return Highway
+	}
+	if c1 == c2 && c1%8 == 0 {
+		return Highway
+	}
+	return Local
+}

@@ -1,0 +1,389 @@
+// Package mpls synthesises a road network with the published statistics of
+// the paper's Minneapolis data set (Section 5.2): 1089 nodes and ≈3300
+// directed edges of highway and freeway segments covering a 20-square-mile
+// area, with
+//
+//   - a dense downtown core whose street grid is rotated against the map
+//     axes ("the highways and freeways are not parallel to the x or y
+//     axis"),
+//   - lakes interrupting the lower-left corner,
+//   - the Mississippi river flowing north to southeast through the
+//     upper-right quadrant, crossed only by a few bridges,
+//   - one-way freeway pairs ("edges that connected freeway segments were
+//     one-way, making the resulting graph directed"), and
+//   - euclidean distance as the edge cost ("we used only the distance
+//     between edges as the edge cost").
+//
+// The original digitised map is not available; this generator is the
+// substitution documented in DESIGN.md. It preserves the properties the
+// paper's experiments exercise: the manhattan estimator is inadmissible on
+// the rotated downtown geometry, the two long diagonals interact differently
+// with the downtown slope (A→B against it, C→D along it), and the short
+// pairs (G→D, E→F) sit in the regime where estimator-based search wins.
+//
+// Everything is deterministic for a given Config.
+package mpls
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// Side is the base lattice side: 33×33 = 1089 nodes, the paper's node count.
+const Side = 33
+
+// Config parameterises generation.
+type Config struct {
+	// Seed drives coordinate jitter and sparsification; the default 1993
+	// (the paper's year) is used when zero.
+	Seed int64
+	// TargetEdges is the directed-edge budget; 0 means the paper's 3300.
+	TargetEdges int
+	// Metric selects the edge-cost semantics: Distance (the paper's
+	// preliminary experiments, the default) or TravelTime (free-flow
+	// minutes from each segment's road class and speed).
+	Metric Metric
+}
+
+// PaperPath is one of the four measured routes of Table 8.
+type PaperPath struct {
+	Name     string
+	From, To string
+}
+
+// PaperPaths lists Table 8's routes: two long diagonals and two short hops.
+func PaperPaths() []PaperPath {
+	return []PaperPath{
+		{Name: "A to B", From: "A", To: "B"},
+		{Name: "C to D", From: "C", To: "D"},
+		{Name: "G to D", From: "G", To: "D"},
+		{Name: "E to F", From: "E", To: "F"},
+	}
+}
+
+// segment is an undirected lattice road segment between two node ids.
+type segment struct{ a, b int }
+
+// center of the map and of the rotated downtown core.
+const (
+	centerX, centerY = 16.0, 16.0
+	downtownRadius   = 5.5
+	downtownAngle    = math.Pi / 6 // 30°: the downtown slope
+)
+
+// lake blobs in the lower-left corner: (x, y, radius).
+var lakes = [][3]float64{
+	{6, 6, 2.3},
+	{10, 3.5, 1.7},
+}
+
+// inLake reports whether lattice point (x, y) is under water.
+func inLake(x, y float64) bool {
+	for _, l := range lakes {
+		dx, dy := x-l[0], y-l[1]
+		if dx*dx+dy*dy <= l[2]*l[2] {
+			return true
+		}
+	}
+	return false
+}
+
+// riverSide classifies a point against the river, a band around the curve
+// running from the north edge (x≈22, y=32) southeast to the east edge
+// (x=32, y≈20): the line x + y = 54 restricted to the upper-right quadrant.
+// Returns -1 below/left of the river, +1 above/right, 0 when the point is
+// outside the river's quadrant (no river there).
+func riverSide(x, y float64) int {
+	if x < 18 || y < 18 {
+		return 0
+	}
+	if x+y < 54 {
+		return -1
+	}
+	return 1
+}
+
+// bridges are the column positions (by lattice x of the southwest endpoint)
+// where edges may cross the river.
+var bridges = map[int]bool{20: true, 25: true, 30: true}
+
+// crossesRiver reports whether the lattice segment (r1,c1)-(r2,c2) crosses
+// the river away from a bridge.
+func crossesRiver(c1, r1, c2, r2 int) bool {
+	s1 := riverSide(float64(c1), float64(r1))
+	s2 := riverSide(float64(c2), float64(r2))
+	if s1 == 0 || s2 == 0 || s1 == s2 {
+		return false
+	}
+	// A bridge carries the crossing if either endpoint column is a bridge
+	// column; bridges are vertical-ish crossings.
+	return !bridges[c1] || !bridges[c2]
+}
+
+// Generate builds the synthetic Minneapolis graph.
+func Generate(cfg Config) (*graph.Graph, error) {
+	g, _, err := GenerateWithAtlas(cfg)
+	return g, err
+}
+
+// GenerateWithAtlas builds the graph together with the per-segment
+// attribute records (road class, speed, occupancy) of Section 5.2's data
+// description.
+func GenerateWithAtlas(cfg Config) (*graph.Graph, *Atlas, error) {
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1993
+	}
+	target := cfg.TargetEdges
+	if target == 0 {
+		target = 3300
+	}
+	if cfg.Metric != Distance && cfg.Metric != TravelTime {
+		return nil, nil, fmt.Errorf("mpls: unknown metric %v", cfg.Metric)
+	}
+	rng := rand.New(rand.NewSource(seed))
+
+	// 1. Node coordinates: jittered lattice, rotated+condensed downtown.
+	coords := make([]graph.Point, Side*Side)
+	nodeAt := func(row, col int) int { return row*Side + col }
+	for row := 0; row < Side; row++ {
+		for col := 0; col < Side; col++ {
+			x := float64(col)
+			y := float64(row)
+			dx, dy := x-centerX, y-centerY
+			dist := math.Hypot(dx, dy)
+			if dist <= downtownRadius {
+				// Downtown: rotate around the centre. The inner core is
+				// fully rotated; the rotation fades over the outer two
+				// rings so streets connect smoothly to the outlying grid.
+				// Lengths are preserved (no condensation): the geometry is
+				// skewed against the axes without granting cheap shortcuts,
+				// which is precisely what makes the manhattan estimator
+				// inadmissible without letting it collapse.
+				blend := (downtownRadius - dist) / 2
+				if blend > 1 {
+					blend = 1
+				}
+				angle := downtownAngle * blend
+				cosA, sinA := math.Cos(angle), math.Sin(angle)
+				rx := dx*cosA - dy*sinA
+				ry := dx*sinA + dy*cosA
+				x = centerX + rx
+				y = centerY + ry
+			} else {
+				// Outlying areas: mild jitter so roads are not ruler-drawn.
+				x += (rng.Float64() - 0.5) * 0.3
+				y += (rng.Float64() - 0.5) * 0.3
+			}
+			coords[nodeAt(row, col)] = graph.Point{X: x, Y: y}
+		}
+	}
+
+	// 2. Candidate undirected segments: the lattice, minus water.
+	var segs []segment
+	addIfDry := func(r1, c1, r2, c2 int) {
+		if inLake(float64(c1), float64(r1)) || inLake(float64(c2), float64(r2)) {
+			return
+		}
+		if crossesRiver(c1, r1, c2, r2) {
+			return
+		}
+		segs = append(segs, segment{nodeAt(r1, c1), nodeAt(r2, c2)})
+	}
+	for row := 0; row < Side; row++ {
+		for col := 0; col < Side; col++ {
+			if col+1 < Side {
+				addIfDry(row, col, row, col+1)
+			}
+			if row+1 < Side {
+				addIfDry(row, col, row+1, col)
+			}
+		}
+	}
+
+	// 3. Freeway one-way pair: row 16 eastbound, row 17 westbound. Collect
+	// the segment set once; direction is applied when emitting edges.
+	oneWayEast := make(map[segment]bool)
+	oneWayWest := make(map[segment]bool)
+	for _, s := range segs {
+		ra, ca := s.a/Side, s.a%Side
+		rb, cb := s.b/Side, s.b%Side
+		if ra == rb && ra == 16 && cb == ca+1 {
+			oneWayEast[s] = true
+		}
+		if ra == rb && ra == 17 && cb == ca+1 {
+			oneWayWest[s] = true
+		}
+	}
+
+	// 4. Sparsify toward the target edge budget while preserving
+	// connectivity: a randomised spanning forest of the dry lattice is
+	// protected; other segments are removed at random.
+	protected := spanningForest(Side*Side, segs, rng)
+	directedCount := func() int {
+		n := 0
+		for _, s := range segs {
+			switch {
+			case oneWayEast[s], oneWayWest[s]:
+				n++
+			default:
+				n += 2
+			}
+		}
+		return n
+	}
+	// Removal order over non-protected segments. Segments in the A→B
+	// anti-diagonal corridor (away from downtown) are removed first: the
+	// sparser road network there forces detours, which is what makes the
+	// A→B diagonal backtrack more than C→D in the paper's Table 8 ("the
+	// path from point A to point B is against the slope of the downtown
+	// area, resulting in more backtracking").
+	inABCorridor := func(s segment) bool {
+		ra, ca := s.a/Side, s.a%Side
+		antiDiag := math.Abs(float64(ra+ca) - float64(Side-1))
+		mainDiag := math.Abs(float64(ra - ca))
+		return antiDiag <= 4 && mainDiag > 8
+	}
+	var corridor, rest []int
+	for i, s := range segs {
+		if protected[s] || oneWayEast[s] || oneWayWest[s] {
+			continue
+		}
+		if inABCorridor(s) {
+			corridor = append(corridor, i)
+		} else {
+			rest = append(rest, i)
+		}
+	}
+	rng.Shuffle(len(corridor), func(i, j int) { corridor[i], corridor[j] = corridor[j], corridor[i] })
+	rng.Shuffle(len(rest), func(i, j int) { rest[i], rest[j] = rest[j], rest[i] })
+	removable := append(corridor, rest...)
+	removed := make([]bool, len(segs))
+	have := directedCount()
+	for _, i := range removable {
+		if have <= target {
+			break
+		}
+		removed[i] = true
+		have -= 2
+	}
+
+	// 5. Emit the graph under the configured metric, recording each
+	// segment's attribute record (road class, speed, occupancy) on the way.
+	b := graph.NewBuilder(Side*Side, have)
+	for _, p := range coords {
+		b.AddNode(p.X, p.Y)
+	}
+	atlas := &Atlas{segments: make(map[[2]graph.NodeID]Segment, have)}
+	for i, s := range segs {
+		if removed[i] {
+			continue
+		}
+		u, v := graph.NodeID(s.a), graph.NodeID(s.b)
+		seg := Segment{
+			From:      u,
+			To:        v,
+			Class:     classify(s.a/Side, s.a%Side, s.b/Side, s.b%Side),
+			Distance:  coords[s.a].EuclideanDistance(coords[s.b]),
+			Occupancy: rng.Float64() * 0.8,
+		}
+		seg.SpeedMPH = seg.Class.SpeedMPH()
+		cost := seg.Distance
+		if cfg.Metric == TravelTime {
+			cost = seg.TravelMinutes()
+		}
+		switch {
+		case oneWayEast[s]:
+			b.AddEdge(u, v, cost)
+			atlas.segments[[2]graph.NodeID{u, v}] = seg
+		case oneWayWest[s]:
+			b.AddEdge(v, u, cost)
+			atlas.segments[[2]graph.NodeID{v, u}] = seg
+		default:
+			b.AddUndirectedEdge(u, v, cost)
+			atlas.segments[[2]graph.NodeID{u, v}] = seg
+			atlas.segments[[2]graph.NodeID{v, u}] = seg
+		}
+	}
+
+	// 6. Landmarks (Table 8). A→B runs against the downtown slope,
+	// C→D along it; G→D and E→F are the short pairs.
+	name := func(label string, row, col int) {
+		b.Name(nearestDry(row, col), label)
+	}
+	name("A", 2, 30)  // southeast corner area
+	name("B", 30, 2)  // northwest corner area
+	name("C", 2, 2)   // southwest (beyond the lakes)
+	name("D", 30, 30) // northeast, across the river
+	name("G", 28, 27) // near D
+	name("E", 8, 19)  // mid-map short hop …
+	name("F", 12, 23) // … to here
+	g, err := b.Build()
+	if err != nil {
+		return nil, nil, err
+	}
+	return g, atlas, nil
+}
+
+// MustGenerate is Generate that panics on error.
+func MustGenerate(cfg Config) *graph.Graph {
+	g, err := Generate(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// nearestDry returns the lattice node closest to (row, col) that is not in
+// a lake, searching outward ring by ring.
+func nearestDry(row, col int) graph.NodeID {
+	for radius := 0; radius < Side; radius++ {
+		for dr := -radius; dr <= radius; dr++ {
+			for dc := -radius; dc <= radius; dc++ {
+				r, c := row+dr, col+dc
+				if r < 0 || r >= Side || c < 0 || c >= Side {
+					continue
+				}
+				if !inLake(float64(c), float64(r)) {
+					return graph.NodeID(r*Side + c)
+				}
+			}
+		}
+	}
+	panic(fmt.Sprintf("mpls: no dry node near (%d,%d)", row, col))
+}
+
+// spanningForest returns a protected-segment set forming a spanning forest
+// of the dry lattice, chosen in random order so sparsification is unbiased.
+func spanningForest(n int, segs []segment, rng *rand.Rand) map[segment]bool {
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	order := make([]int, len(segs))
+	for i := range order {
+		order[i] = i
+	}
+	rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+	protected := make(map[segment]bool, n)
+	for _, i := range order {
+		s := segs[i]
+		ra, rb := find(s.a), find(s.b)
+		if ra != rb {
+			parent[ra] = rb
+			protected[s] = true
+		}
+	}
+	return protected
+}

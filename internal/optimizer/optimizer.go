@@ -1,0 +1,177 @@
+// Package optimizer implements the query-optimizer simulation of Section 4:
+// algebraic I/O-cost formulas for the four join strategies and the chooser
+// F(B1, B2, B3) that "uses the input parameters to choose the cheapest join
+// strategy from among four viable choices". The paper implemented this
+// simulation in C to predict INGRES execution within ten percent; here the
+// same formulas both drive the engine's runtime strategy choice and feed the
+// analytical cost model of the costmodel package.
+//
+// All costs are in the paper's abstract time units (Table 4A): a block read
+// costs TRead, a block write TWrite, and a tuple update TUpdate.
+package optimizer
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/join"
+)
+
+// Params carries the device and layout constants of Table 4A.
+type Params struct {
+	// TRead is the time to read one block (0.035 units).
+	TRead float64
+	// TWrite is the time to write one block (0.05 units).
+	TWrite float64
+	// TUpdate is the time to update one tuple (t_read + t_write = 0.085).
+	TUpdate float64
+	// ISAMLevels is the node-relation index depth I_l (3).
+	ISAMLevels int
+	// CreateCost is I, the cost of creating a temporary relation (0.5).
+	CreateCost float64
+	// DeleteCost is D_t, the cost of deleting all tuples of a temporary
+	// relation (0.5).
+	DeleteCost float64
+	// BlockSize is B in bytes (4096).
+	BlockSize int
+	// BfS, BfR, BfRS are the blocking factors of the edge relation, the
+	// node relation and their concatenation (128, 256, 86 records/block).
+	BfS, BfR, BfRS int
+}
+
+// DefaultParams returns the Table 4A values.
+func DefaultParams() Params {
+	return Params{
+		TRead:      0.035,
+		TWrite:     0.05,
+		TUpdate:    0.085,
+		ISAMLevels: 3,
+		CreateCost: 0.5,
+		DeleteCost: 0.5,
+		BlockSize:  4096,
+		BfS:        128,
+		BfR:        256,
+		BfRS:       86,
+	}
+}
+
+// JoinInput describes one join instance for costing: block counts of the
+// outer input (B1), inner input (B2) and result (B3), plus the outer tuple
+// count (index strategies pay per probe, not per block).
+type JoinInput struct {
+	B1, B2, B3  int
+	OuterTuples int
+}
+
+func (in JoinInput) validate() error {
+	if in.B1 < 0 || in.B2 < 0 || in.B3 < 0 || in.OuterTuples < 0 {
+		return fmt.Errorf("optimizer: negative join input %+v", in)
+	}
+	return nil
+}
+
+// JoinCost returns the estimated cost of executing the join with the given
+// strategy.
+func JoinCost(s join.Strategy, p Params, in JoinInput) (float64, error) {
+	if err := in.validate(); err != nil {
+		return 0, err
+	}
+	b1, b2, b3 := float64(in.B1), float64(in.B2), float64(in.B3)
+	switch s {
+	case join.NestedLoop:
+		// The paper's example formula: read the outer once, the inner once
+		// per outer block, write the result.
+		return b1*p.TRead + b1*b2*p.TRead + b3*p.TWrite, nil
+	case join.Hash:
+		// One pass over each input to build and probe, write the result.
+		return b1*p.TRead + b2*p.TRead + b3*p.TWrite, nil
+	case join.SortMerge:
+		// Sort each input (log passes of read+write), then a merging pass.
+		sortCost := func(b float64) float64 {
+			if b <= 1 {
+				return 0
+			}
+			return b * math.Ceil(math.Log2(b)) * (p.TRead + p.TWrite)
+		}
+		return sortCost(b1) + sortCost(b2) + (b1+b2)*p.TRead + b3*p.TWrite, nil
+	case join.PrimaryKey:
+		// Read the outer, then per outer tuple descend the inner's index
+		// (I_l page reads) and fetch the tuple page.
+		probes := float64(in.OuterTuples)
+		return b1*p.TRead + probes*float64(p.ISAMLevels+1)*p.TRead + b3*p.TWrite, nil
+	default:
+		return 0, fmt.Errorf("optimizer: unknown strategy %v", s)
+	}
+}
+
+// Choice is the chooser's result: the winning strategy, its cost, and the
+// full per-strategy breakdown for explain output.
+type Choice struct {
+	Strategy join.Strategy
+	Cost     float64
+	All      map[join.Strategy]float64
+}
+
+// Choose evaluates all four strategies and returns the cheapest — the
+// paper's function F. Ties go to the earlier strategy in Strategies()
+// order, keeping plans deterministic.
+func Choose(p Params, in JoinInput) (Choice, error) {
+	c := Choice{Cost: math.Inf(1), All: make(map[join.Strategy]float64, 4)}
+	for _, s := range join.Strategies() {
+		cost, err := JoinCost(s, p, in)
+		if err != nil {
+			return Choice{}, err
+		}
+		c.All[s] = cost
+		if cost < c.Cost {
+			c.Cost = cost
+			c.Strategy = s
+		}
+	}
+	return c, nil
+}
+
+// Explain renders the per-strategy cost breakdown with the winner marked,
+// for trace output and the CLI tools.
+func (c Choice) Explain() string {
+	var sb strings.Builder
+	for _, s := range join.Strategies() {
+		marker := "  "
+		if s == c.Strategy {
+			marker = "->"
+		}
+		fmt.Fprintf(&sb, "%s %-12s %10.3f units\n", marker, s, c.All[s])
+	}
+	return sb.String()
+}
+
+// F is the paper's join cost function: the cost of the cheapest strategy
+// for the given block counts. It panics only on negative inputs, which are
+// caller bugs.
+func F(p Params, in JoinInput) float64 {
+	c, err := Choose(p, in)
+	if err != nil {
+		panic(err)
+	}
+	return c.Cost
+}
+
+// Blocks converts a tuple count to blocks under a blocking factor, the
+// ⌈n/Bf⌉ computation used throughout the cost tables.
+func Blocks(tuples, blockingFactor int) int {
+	if tuples <= 0 || blockingFactor <= 0 {
+		return 0
+	}
+	return (tuples + blockingFactor - 1) / blockingFactor
+}
+
+// SelectCost estimates retrieving tuples matching a key predicate:
+// via the primary index if hasIndex (I_l descent plus one tuple page), else
+// a full scan of the relation's blocks.
+func SelectCost(p Params, relationBlocks int, hasIndex bool) float64 {
+	if hasIndex {
+		return float64(p.ISAMLevels+1) * p.TRead
+	}
+	return float64(relationBlocks) * p.TRead
+}

@@ -1,0 +1,208 @@
+package optimizer
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/join"
+)
+
+func TestDefaultParamsMatchTable4A(t *testing.T) {
+	p := DefaultParams()
+	if p.TRead != 0.035 || p.TWrite != 0.05 || p.TUpdate != 0.085 {
+		t.Errorf("latencies: %+v", p)
+	}
+	if p.ISAMLevels != 3 || p.BlockSize != 4096 {
+		t.Errorf("levels/block: %+v", p)
+	}
+	if p.BfS != 128 || p.BfR != 256 || p.BfRS != 86 {
+		t.Errorf("blocking factors: %+v", p)
+	}
+	if p.CreateCost != 0.5 || p.DeleteCost != 0.5 {
+		t.Errorf("create/delete: %+v", p)
+	}
+}
+
+func TestNestedLoopFormula(t *testing.T) {
+	// The paper's example: F = B1·t_read + B1·B2·t_read + B3·t_write.
+	p := DefaultParams()
+	in := JoinInput{B1: 2, B2: 28, B3: 1}
+	got, err := JoinCost(join.NestedLoop, p, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 2*0.035 + 2*28*0.035 + 1*0.05
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("nested loop = %v, want %v", got, want)
+	}
+}
+
+func TestHashBeatsNestedLoopOnLargeInputs(t *testing.T) {
+	p := DefaultParams()
+	in := JoinInput{B1: 50, B2: 50, B3: 10, OuterTuples: 50 * p.BfR}
+	nl, _ := JoinCost(join.NestedLoop, p, in)
+	h, _ := JoinCost(join.Hash, p, in)
+	if h >= nl {
+		t.Errorf("hash %v not below nested loop %v on large inputs", h, nl)
+	}
+}
+
+func TestPrimaryKeyWinsForSingleTupleOuter(t *testing.T) {
+	// One current node probing a 28-block edge relation: the index join
+	// must win — this is why the DB algorithms fetch adjacency by index.
+	p := DefaultParams()
+	in := JoinInput{B1: 1, B2: 28, B3: 1, OuterTuples: 1}
+	choice, err := Choose(p, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if choice.Strategy != join.PrimaryKey {
+		t.Errorf("chose %v (costs %v)", choice.Strategy, choice.All)
+	}
+	if len(choice.All) != 4 {
+		t.Errorf("breakdown has %d strategies", len(choice.All))
+	}
+}
+
+func TestChooseIsArgmin(t *testing.T) {
+	p := DefaultParams()
+	cases := []JoinInput{
+		{B1: 1, B2: 1, B3: 1, OuterTuples: 1},
+		{B1: 4, B2: 28, B3: 1, OuterTuples: 1000},
+		{B1: 100, B2: 100, B3: 50, OuterTuples: 25000},
+		{B1: 0, B2: 0, B3: 0, OuterTuples: 0},
+	}
+	for _, in := range cases {
+		choice, err := Choose(p, in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for s, c := range choice.All {
+			if c < choice.Cost {
+				t.Errorf("input %+v: %v costs %v < chosen %v", in, s, c, choice.Cost)
+			}
+		}
+		if choice.All[choice.Strategy] != choice.Cost {
+			t.Errorf("input %+v: chosen cost inconsistent", in)
+		}
+	}
+}
+
+func TestExplain(t *testing.T) {
+	p := DefaultParams()
+	choice, err := Choose(p, JoinInput{B1: 1, B2: 28, B3: 1, OuterTuples: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := choice.Explain()
+	for _, want := range []string{"->", "nested-loop", "hash", "sort-merge", "primary-key", "units"} {
+		if !containsStr(out, want) {
+			t.Errorf("Explain missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func containsStr(haystack, needle string) bool {
+	for i := 0; i+len(needle) <= len(haystack); i++ {
+		if haystack[i:i+len(needle)] == needle {
+			return true
+		}
+	}
+	return false
+}
+
+func TestFEqualsChooseCost(t *testing.T) {
+	p := DefaultParams()
+	in := JoinInput{B1: 3, B2: 17, B3: 2, OuterTuples: 40}
+	choice, _ := Choose(p, in)
+	if F(p, in) != choice.Cost {
+		t.Error("F and Choose disagree")
+	}
+}
+
+func TestNegativeInputsRejected(t *testing.T) {
+	p := DefaultParams()
+	if _, err := JoinCost(join.Hash, p, JoinInput{B1: -1}); err == nil {
+		t.Error("negative B1 accepted")
+	}
+	if _, err := Choose(p, JoinInput{B3: -2}); err == nil {
+		t.Error("negative B3 accepted by Choose")
+	}
+	if _, err := JoinCost(join.Strategy(7), p, JoinInput{}); err == nil {
+		t.Error("unknown strategy accepted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("F did not panic on negative input")
+		}
+	}()
+	F(p, JoinInput{B1: -1})
+}
+
+func TestSortMergeZeroBlocksIsFinite(t *testing.T) {
+	p := DefaultParams()
+	c, err := JoinCost(join.SortMerge, p, JoinInput{})
+	if err != nil || math.IsNaN(c) || math.IsInf(c, 0) || c != 0 {
+		t.Errorf("sort-merge on empty = %v, %v", c, err)
+	}
+	// Single-block inputs need no sort passes.
+	c, _ = JoinCost(join.SortMerge, p, JoinInput{B1: 1, B2: 1, B3: 1})
+	want := 2*p.TRead + p.TWrite
+	if math.Abs(c-want) > 1e-12 {
+		t.Errorf("single-block sort-merge = %v, want %v", c, want)
+	}
+}
+
+func TestBlocks(t *testing.T) {
+	cases := []struct{ tuples, bf, want int }{
+		{0, 10, 0},
+		{1, 10, 1},
+		{10, 10, 1},
+		{11, 10, 2},
+		{900, 256, 4},
+		{3480, 128, 28},
+		{5, 0, 0},
+		{-3, 10, 0},
+	}
+	for _, c := range cases {
+		if got := Blocks(c.tuples, c.bf); got != c.want {
+			t.Errorf("Blocks(%d,%d) = %d, want %d", c.tuples, c.bf, got, c.want)
+		}
+	}
+}
+
+func TestSelectCost(t *testing.T) {
+	p := DefaultParams()
+	if got, want := SelectCost(p, 10, true), 4*0.035; math.Abs(got-want) > 1e-12 {
+		t.Errorf("indexed select = %v, want %v", got, want)
+	}
+	if got, want := SelectCost(p, 10, false), 10*0.035; math.Abs(got-want) > 1e-12 {
+		t.Errorf("scan select = %v, want %v", got, want)
+	}
+}
+
+// Property: costs are non-negative and monotone in each block count.
+func TestCostMonotonicityProperty(t *testing.T) {
+	p := DefaultParams()
+	f := func(b1, b2, b3, extra uint8) bool {
+		base := JoinInput{B1: int(b1), B2: int(b2), B3: int(b3), OuterTuples: int(b1) * p.BfR}
+		bigger := base
+		bigger.B2 += int(extra)
+		bigger.OuterTuples = bigger.B1 * p.BfR
+		for _, s := range join.Strategies() {
+			c0, err := JoinCost(s, p, base)
+			if err != nil || c0 < 0 {
+				return false
+			}
+			c1, err := JoinCost(s, p, bigger)
+			if err != nil || c1+1e-9 < c0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,280 @@
+// Package pqueue provides the priority queues used by the in-memory search
+// algorithms: an indexed binary min-heap with decrease-key (the standard
+// frontier-set structure for Dijkstra and A*), and a plain binary min-heap
+// without indexing (used by the "allow duplicates" frontier-management
+// ablation, one of the design decisions Section 4 of the paper discusses).
+//
+// Items are dense non-negative integer keys — node ids in practice — with
+// float64 priorities. Ties are broken by the smaller key so that runs are
+// fully deterministic, which the experiment harness relies on when matching
+// the paper's iteration counts.
+package pqueue
+
+import "fmt"
+
+// Indexed is a binary min-heap over dense integer items in [0, capacity)
+// supporting O(log n) push, pop-min and update (decrease- or increase-key).
+// Each item may appear at most once.
+type Indexed struct {
+	items []int     // heap of item keys
+	prio  []float64 // parallel priorities
+	tie   []float64 // secondary priorities, compared when prio ties
+	pos   []int     // pos[item] = index in items, or -1 if absent
+}
+
+// NewIndexed returns an indexed heap able to hold items 0..capacity-1.
+func NewIndexed(capacity int) *Indexed {
+	pos := make([]int, capacity)
+	for i := range pos {
+		pos[i] = -1
+	}
+	return &Indexed{pos: pos}
+}
+
+// Len returns the number of items currently queued.
+func (h *Indexed) Len() int { return len(h.items) }
+
+// Contains reports whether item is currently queued.
+func (h *Indexed) Contains(item int) bool {
+	return item >= 0 && item < len(h.pos) && h.pos[item] >= 0
+}
+
+// Priority returns the queued priority of item; ok is false if the item is
+// not queued.
+func (h *Indexed) Priority(item int) (p float64, ok bool) {
+	if !h.Contains(item) {
+		return 0, false
+	}
+	return h.prio[h.pos[item]], true
+}
+
+// Push inserts item with the given priority and a zero tie-break key. It
+// panics if the item is out of range or already queued: both indicate a
+// logic error in the caller, the same class of bug as indexing a slice out
+// of bounds.
+func (h *Indexed) Push(item int, priority float64) { h.PushTie(item, priority, 0) }
+
+// PushTie inserts item with a priority and a secondary tie-break key: among
+// equal priorities, smaller tie wins (and equal ties fall back to the
+// smaller item key). A* uses tie = −g to prefer the deeper node when f
+// values tie, the standard way to avoid plateau flooding on uniform grids.
+func (h *Indexed) PushTie(item int, priority, tie float64) {
+	if item < 0 || item >= len(h.pos) {
+		panic(fmt.Sprintf("pqueue: item %d out of range [0,%d)", item, len(h.pos)))
+	}
+	if h.pos[item] >= 0 {
+		panic(fmt.Sprintf("pqueue: item %d pushed twice; use Update", item))
+	}
+	h.items = append(h.items, item)
+	h.prio = append(h.prio, priority)
+	h.tie = append(h.tie, tie)
+	h.pos[item] = len(h.items) - 1
+	h.up(len(h.items) - 1)
+}
+
+// Update changes the priority of a queued item (zero tie-break key),
+// restoring heap order whether the priority decreased or increased.
+func (h *Indexed) Update(item int, priority float64) { h.UpdateTie(item, priority, 0) }
+
+// UpdateTie changes the priority and tie-break key of a queued item.
+func (h *Indexed) UpdateTie(item int, priority, tie float64) {
+	if !h.Contains(item) {
+		panic(fmt.Sprintf("pqueue: Update of item %d which is not queued", item))
+	}
+	i := h.pos[item]
+	h.prio[i] = priority
+	h.tie[i] = tie
+	h.up(i)
+	h.down(h.pos[item])
+}
+
+// PushOrUpdate inserts the item if absent, otherwise updates its priority.
+func (h *Indexed) PushOrUpdate(item int, priority float64) {
+	h.PushOrUpdateTie(item, priority, 0)
+}
+
+// PushOrUpdateTie inserts the item if absent, otherwise updates its priority
+// and tie-break key.
+func (h *Indexed) PushOrUpdateTie(item int, priority, tie float64) {
+	if h.Contains(item) {
+		h.UpdateTie(item, priority, tie)
+	} else {
+		h.PushTie(item, priority, tie)
+	}
+}
+
+// Peek returns the minimum item and its priority without removing it. ok is
+// false when the heap is empty.
+func (h *Indexed) Peek() (item int, priority float64, ok bool) {
+	if len(h.items) == 0 {
+		return 0, 0, false
+	}
+	return h.items[0], h.prio[0], true
+}
+
+// PopMin removes and returns the item with the smallest priority (smallest
+// key among ties). ok is false when the heap is empty.
+func (h *Indexed) PopMin() (item int, priority float64, ok bool) {
+	if len(h.items) == 0 {
+		return 0, 0, false
+	}
+	item, priority = h.items[0], h.prio[0]
+	last := len(h.items) - 1
+	h.swap(0, last)
+	h.pos[item] = -1
+	h.items = h.items[:last]
+	h.prio = h.prio[:last]
+	h.tie = h.tie[:last]
+	if last > 0 {
+		h.down(0)
+	}
+	return item, priority, true
+}
+
+// Remove deletes a queued item regardless of its position, reporting whether
+// it was present.
+func (h *Indexed) Remove(item int) bool {
+	if !h.Contains(item) {
+		return false
+	}
+	i := h.pos[item]
+	last := len(h.items) - 1
+	h.swap(i, last)
+	h.pos[item] = -1
+	h.items = h.items[:last]
+	h.prio = h.prio[:last]
+	h.tie = h.tie[:last]
+	if i < last {
+		h.down(i)
+		h.up(i)
+	}
+	return true
+}
+
+// less orders heap slots by (priority, tie, item key) for determinism.
+func (h *Indexed) less(i, j int) bool {
+	if h.prio[i] != h.prio[j] {
+		return h.prio[i] < h.prio[j]
+	}
+	if h.tie[i] != h.tie[j] {
+		return h.tie[i] < h.tie[j]
+	}
+	return h.items[i] < h.items[j]
+}
+
+func (h *Indexed) swap(i, j int) {
+	h.items[i], h.items[j] = h.items[j], h.items[i]
+	h.prio[i], h.prio[j] = h.prio[j], h.prio[i]
+	h.tie[i], h.tie[j] = h.tie[j], h.tie[i]
+	h.pos[h.items[i]] = i
+	h.pos[h.items[j]] = j
+}
+
+func (h *Indexed) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			return
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+func (h *Indexed) down(i int) {
+	n := len(h.items)
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && h.less(l, smallest) {
+			smallest = l
+		}
+		if r < n && h.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		h.swap(i, smallest)
+		i = smallest
+	}
+}
+
+// Entry is one queued (item, priority, tie) triple of a plain heap.
+type Entry struct {
+	Item     int
+	Priority float64
+	Tie      float64
+}
+
+// Plain is a binary min-heap that permits duplicate items. It backs the
+// "allow duplicates in the frontierSet" strategy from Section 4 of the
+// paper, where stale entries are skipped at pop time by the caller.
+type Plain struct {
+	entries []Entry
+}
+
+// NewPlain returns an empty plain heap with the given capacity hint.
+func NewPlain(capacityHint int) *Plain {
+	return &Plain{entries: make([]Entry, 0, capacityHint)}
+}
+
+// Len returns the number of queued entries, counting duplicates.
+func (h *Plain) Len() int { return len(h.entries) }
+
+// Push inserts an entry; duplicates of the same item are allowed.
+func (h *Plain) Push(item int, priority float64) { h.PushTie(item, priority, 0) }
+
+// PushTie inserts an entry with a secondary tie-break key.
+func (h *Plain) PushTie(item int, priority, tie float64) {
+	h.entries = append(h.entries, Entry{Item: item, Priority: priority, Tie: tie})
+	i := len(h.entries) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.lessEntry(i, parent) {
+			break
+		}
+		h.entries[i], h.entries[parent] = h.entries[parent], h.entries[i]
+		i = parent
+	}
+}
+
+// PopMin removes and returns the minimum entry; ok is false when empty.
+func (h *Plain) PopMin() (e Entry, ok bool) {
+	if len(h.entries) == 0 {
+		return Entry{}, false
+	}
+	e = h.entries[0]
+	last := len(h.entries) - 1
+	h.entries[0] = h.entries[last]
+	h.entries = h.entries[:last]
+	i := 0
+	n := len(h.entries)
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && h.lessEntry(l, smallest) {
+			smallest = l
+		}
+		if r < n && h.lessEntry(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		h.entries[i], h.entries[smallest] = h.entries[smallest], h.entries[i]
+		i = smallest
+	}
+	return e, true
+}
+
+func (h *Plain) lessEntry(i, j int) bool {
+	a, b := h.entries[i], h.entries[j]
+	if a.Priority != b.Priority {
+		return a.Priority < b.Priority
+	}
+	if a.Tie != b.Tie {
+		return a.Tie < b.Tie
+	}
+	return a.Item < b.Item
+}

@@ -1,0 +1,205 @@
+package quel
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/dbms"
+	"repro/internal/tuple"
+)
+
+// bigSession loads a multi-page relation with a hash index on begin and an
+// ISAM on a unique id column.
+func bigSession(t *testing.T) (*Session, *dbms.Database) {
+	t.Helper()
+	db := dbms.New(dbms.Options{PageSize: 512, PoolFrames: 64})
+	_, err := db.CreateRelation("edges", tuple.MustSchema(
+		tuple.Field{Name: "id", Kind: tuple.Int32},
+		tuple.Field{Name: "begin", Kind: tuple.Int32},
+		tuple.Field{Name: "cost", Kind: tuple.Float64},
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.CreateHashIndex("edges", "begin", 16); err != nil {
+		t.Fatal(err)
+	}
+	for i := int32(0); i < 600; i++ {
+		if _, err := db.Insert("edges", []tuple.Value{
+			tuple.I32(i), tuple.I32(i % 50), tuple.F64(float64(i) / 10),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := db.BuildISAM("edges", "id"); err != nil {
+		t.Fatal(err)
+	}
+	s := NewSession(db)
+	if _, err := s.Execute("RANGE OF e IS edges"); err != nil {
+		t.Fatal(err)
+	}
+	return s, db
+}
+
+func pageRequests(db *dbms.Database) int64 {
+	st := db.Pool().Stats()
+	return st.Hits + st.Misses
+}
+
+func TestIndexedEqualityUsesHashProbe(t *testing.T) {
+	s, db := bigSession(t)
+	// Hash-indexed equality: must answer without a full scan.
+	before := pageRequests(db)
+	res := mustExec(t, s, "RETRIEVE (e.all) WHERE e.begin = 7")
+	probeReqs := pageRequests(db) - before
+	if res.Count != 12 { // 600 tuples, 50 begin values
+		t.Fatalf("count = %d, want 12", res.Count)
+	}
+
+	// Unindexed predicate with the same selectivity: full scan.
+	before = pageRequests(db)
+	res2 := mustExec(t, s, "RETRIEVE (e.all) WHERE e.cost < 1.2")
+	scanReqs := pageRequests(db) - before
+	if res2.Count != 12 {
+		t.Fatalf("scan count = %d, want 12", res2.Count)
+	}
+	if probeReqs >= scanReqs {
+		t.Errorf("indexed probe used %d page requests, scan %d: probe must be cheaper", probeReqs, scanReqs)
+	}
+}
+
+func TestIndexedEqualityViaISAM(t *testing.T) {
+	s, db := bigSession(t)
+	before := pageRequests(db)
+	res := mustExec(t, s, "RETRIEVE (e.cost) WHERE e.id = 123")
+	reqs := pageRequests(db) - before
+	if res.Count != 1 || res.Rows[0][0].Float() != 12.3 {
+		t.Fatalf("result: %+v", res)
+	}
+	// ISAM descent + tuple fetch: a handful of pages, not a 600-tuple scan.
+	if reqs > 6 {
+		t.Errorf("ISAM-backed retrieve used %d page requests", reqs)
+	}
+}
+
+func TestIndexedEqualityWithResidualPredicate(t *testing.T) {
+	s, _ := bigSession(t)
+	// begin = 7 selects ids {7, 57, 107, …}; the residual keeps cost > 20,
+	// i.e. ids > 200.
+	res := mustExec(t, s, "RETRIEVE (e.id) WHERE e.begin = 7 AND e.cost > 20.0")
+	if res.Count != 8 {
+		t.Fatalf("count = %d, want 8", res.Count)
+	}
+	for _, row := range res.Rows {
+		if row[0].Int() <= 200 || row[0].Int()%50 != 7 {
+			t.Errorf("row %v fails the combined predicate", row)
+		}
+	}
+}
+
+func TestExplain(t *testing.T) {
+	s, _ := bigSession(t)
+	res := mustExec(t, s, "EXPLAIN RETRIEVE (e.all) WHERE e.begin = 7")
+	if !strings.Contains(res.Plan, "index probe") {
+		t.Errorf("plan = %q, want an index probe", res.Plan)
+	}
+	res = mustExec(t, s, "EXPLAIN RETRIEVE (e.all) WHERE e.cost < 1.2")
+	if !strings.Contains(res.Plan, "full scan") {
+		t.Errorf("plan = %q, want a full scan", res.Plan)
+	}
+	// Residual predicates are reported.
+	res = mustExec(t, s, "EXPLAIN RETRIEVE (e.id) WHERE e.begin = 7 AND e.cost > 2.0")
+	if !strings.Contains(res.Plan, "1 residual") {
+		t.Errorf("plan = %q, want residual count", res.Plan)
+	}
+	// EXPLAIN must not execute: no rows come back.
+	if res.Count != 0 || len(res.Rows) != 0 {
+		t.Errorf("EXPLAIN produced rows: %+v", res)
+	}
+	// Only RETRIEVE is explainable; errors still validate fields.
+	if _, err := s.Execute("EXPLAIN DELETE e"); err == nil {
+		t.Error("EXPLAIN DELETE accepted")
+	}
+	if _, err := s.Execute("EXPLAIN RETRIEVE (e.ghost)"); err == nil {
+		t.Error("EXPLAIN with ghost field accepted")
+	}
+}
+
+func TestIndexedEqualityMissingKey(t *testing.T) {
+	s, _ := bigSession(t)
+	res := mustExec(t, s, "RETRIEVE (e.all) WHERE e.id = 999999")
+	if res.Count != 0 {
+		t.Errorf("ghost key matched %d rows", res.Count)
+	}
+}
+
+// The probe and scan paths must agree on every qualification shape.
+func TestProbeAndScanAgree(t *testing.T) {
+	s, _ := bigSession(t)
+	for _, q := range []string{
+		"RETRIEVE (e.id) WHERE e.begin = 3",
+		"RETRIEVE (e.id) WHERE e.begin = 3 AND e.cost >= 10.0",
+		"RETRIEVE (e.id) WHERE e.id = 40",
+	} {
+		indexed := mustExec(t, s, q)
+		// Force the scan path by inverting the comparison order with a
+		// tautology the scanner ignores... simpler: compare against the
+		// equivalent filter evaluated client-side over e.all.
+		all := mustExec(t, s, "RETRIEVE (e.all)")
+		want := 0
+		for _, row := range all.Rows {
+			id, begin, cost := row[0].Int(), row[1].Int(), row[2].Float()
+			switch q {
+			case "RETRIEVE (e.id) WHERE e.begin = 3":
+				if begin == 3 {
+					want++
+				}
+			case "RETRIEVE (e.id) WHERE e.begin = 3 AND e.cost >= 10.0":
+				if begin == 3 && cost >= 10.0 {
+					want++
+				}
+			default:
+				if id == 40 {
+					want++
+				}
+			}
+		}
+		if indexed.Count != want {
+			t.Errorf("%s: %d rows, brute force %d", q, indexed.Count, want)
+		}
+	}
+}
+
+func BenchmarkRetrieveIndexedVsScan(b *testing.B) {
+	db := dbms.New(dbms.Options{PageSize: 512, PoolFrames: 64})
+	db.CreateRelation("edges", tuple.MustSchema(
+		tuple.Field{Name: "id", Kind: tuple.Int32},
+		tuple.Field{Name: "begin", Kind: tuple.Int32},
+		tuple.Field{Name: "cost", Kind: tuple.Float64},
+	))
+	db.CreateHashIndex("edges", "begin", 16)
+	for i := int32(0); i < 2000; i++ {
+		if _, err := db.Insert("edges", []tuple.Value{tuple.I32(i), tuple.I32(i % 50), tuple.F64(1)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	s := NewSession(db)
+	if _, err := s.Execute("RANGE OF e IS edges"); err != nil {
+		b.Fatal(err)
+	}
+	b.Run("indexed", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := s.Execute(fmt.Sprintf("RETRIEVE (e.id) WHERE e.begin = %d", i%50)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("scan", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := s.Execute(fmt.Sprintf("RETRIEVE (e.id) WHERE e.cost = %d.5", i%50)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,46 @@
+package quel_test
+
+import (
+	"fmt"
+
+	"repro/internal/dbms"
+	"repro/internal/quel"
+	"repro/internal/tuple"
+)
+
+// ExampleSession runs the QUEL subset end to end: declare a range variable,
+// append tuples, qualify a retrieve, replace in place.
+func ExampleSession() {
+	db := dbms.New(dbms.Options{})
+	if _, err := db.CreateRelation("edges", tuple.MustSchema(
+		tuple.Field{Name: "begin", Kind: tuple.Int32},
+		tuple.Field{Name: "end", Kind: tuple.Int32},
+		tuple.Field{Name: "cost", Kind: tuple.Float64},
+	)); err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	s := quel.NewSession(db)
+	for _, stmt := range []string{
+		"RANGE OF e IS edges",
+		"APPEND TO edges (begin = 1, end = 2, cost = 1.5)",
+		"APPEND TO edges (begin = 1, end = 3, cost = 4.0)",
+		"REPLACE e (cost = 2.0) WHERE e.end = 3",
+	} {
+		if _, err := s.Execute(stmt); err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+	}
+	res, err := s.Execute("RETRIEVE (e.end, e.cost) WHERE e.begin = 1 AND e.cost < 3.0")
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	for _, row := range res.Rows {
+		fmt.Printf("end=%s cost=%s\n", row[0], row[1])
+	}
+	// Output:
+	// end=2 cost=1.5
+	// end=3 cost=2
+}

@@ -1,0 +1,385 @@
+package quel
+
+import (
+	"fmt"
+
+	"repro/internal/dbms"
+	"repro/internal/optimizer"
+	"repro/internal/relation"
+	"repro/internal/tuple"
+)
+
+// Result is the outcome of executing one statement: projected rows for
+// RETRIEVE, an affected-tuple count for the mutating statements, a plan
+// description for EXPLAIN.
+type Result struct {
+	Columns []string
+	Rows    [][]tuple.Value
+	Count   int
+	Plan    string
+}
+
+// Session executes statements against one database, tracking range-variable
+// declarations across statements the way an EQUEL program's preamble does.
+type Session struct {
+	db     *dbms.Database
+	ranges map[string]string // range var -> relation name
+}
+
+// NewSession opens a session on db.
+func NewSession(db *dbms.Database) *Session {
+	return &Session{db: db, ranges: make(map[string]string)}
+}
+
+// Execute parses and runs one statement.
+func (s *Session) Execute(src string) (Result, error) {
+	st, err := Parse(src)
+	if err != nil {
+		return Result{}, err
+	}
+	return s.Run(st)
+}
+
+// Run executes a parsed statement.
+func (s *Session) Run(st Statement) (Result, error) {
+	switch st := st.(type) {
+	case RangeStmt:
+		if _, err := s.db.Relation(st.Relation); err != nil {
+			return Result{}, err
+		}
+		s.ranges[st.Var] = st.Relation
+		return Result{}, nil
+	case RetrieveStmt:
+		return s.runRetrieve(st)
+	case AppendStmt:
+		return s.runAppend(st)
+	case ReplaceStmt:
+		return s.runReplace(st)
+	case DeleteStmt:
+		return s.runDelete(st)
+	case ExplainStmt:
+		return s.runExplain(st)
+	default:
+		return Result{}, fmt.Errorf("quel: unhandled statement %T", st)
+	}
+}
+
+// runExplain describes the access path runRetrieve would take, with the
+// optimizer's cost estimate for it, without touching tuple pages.
+func (s *Session) runExplain(st ExplainStmt) (Result, error) {
+	ret, ok := st.Target.(RetrieveStmt)
+	if !ok {
+		return Result{}, fmt.Errorf("quel: EXPLAIN supports RETRIEVE, got %T", st.Target)
+	}
+	relName, r, err := s.resolve(ret.Var)
+	if err != nil {
+		return Result{}, err
+	}
+	// Validate the statement exactly as execution would.
+	if _, err := compile(r.Schema(), ret.Where); err != nil {
+		return Result{}, err
+	}
+	for _, f := range ret.Fields {
+		if _, err := r.Schema().Index(f); err != nil {
+			return Result{}, err
+		}
+	}
+	params := s.db.Params()
+	var plan string
+	if _, probe, rest := s.indexableEquality(relName, r.Schema(), ret.Where); probe != nil {
+		cost := optimizer.SelectCost(params, r.Blocks(), true)
+		plan = fmt.Sprintf("index probe on %s (est. %.3f units, %d residual predicates)", relName, cost, len(rest))
+	} else {
+		cost := optimizer.SelectCost(params, r.Blocks(), false)
+		plan = fmt.Sprintf("full scan of %s (%d blocks, est. %.3f units)", relName, r.Blocks(), cost)
+	}
+	return Result{Plan: plan}, nil
+}
+
+// resolve maps a range variable to its relation.
+func (s *Session) resolve(rangeVar string) (string, *relation.Relation, error) {
+	relName, ok := s.ranges[rangeVar]
+	if !ok {
+		return "", nil, fmt.Errorf("quel: range variable %q not declared (use RANGE OF %s IS <relation>)", rangeVar, rangeVar)
+	}
+	r, err := s.db.Relation(relName)
+	if err != nil {
+		return "", nil, err
+	}
+	return relName, r, nil
+}
+
+// compile turns a qualification into a tuple predicate, validating fields
+// against the schema.
+func compile(sch *tuple.Schema, where []Comparison) (func([]tuple.Value) bool, error) {
+	type test struct {
+		col int
+		op  string
+		val tuple.Value
+	}
+	var tests []test
+	for _, c := range where {
+		col, err := sch.Index(c.Field)
+		if err != nil {
+			return nil, err
+		}
+		v, err := literalFor(sch.Field(col).Kind, c.Value, c.IsInt)
+		if err != nil {
+			return nil, fmt.Errorf("quel: field %q: %w", c.Field, err)
+		}
+		tests = append(tests, test{col: col, op: c.Op, val: v})
+	}
+	return func(vals []tuple.Value) bool {
+		for _, t := range tests {
+			got := vals[t.col]
+			var ok bool
+			switch t.op {
+			case "=":
+				ok = got.Equal(t.val)
+			case "!=":
+				ok = !got.Equal(t.val)
+			case "<":
+				ok = got.Less(t.val)
+			case "<=":
+				ok = got.Less(t.val) || got.Equal(t.val)
+			case ">":
+				ok = t.val.Less(got)
+			case ">=":
+				ok = t.val.Less(got) || got.Equal(t.val)
+			}
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}, nil
+}
+
+// literalFor coerces a parsed numeric literal to the field's kind. Integer
+// literals widen to float; float literals must not target int32 fields.
+func literalFor(kind tuple.Kind, v float64, isInt bool) (tuple.Value, error) {
+	switch kind {
+	case tuple.Int32:
+		if !isInt {
+			return tuple.Value{}, fmt.Errorf("float literal %v for int32 field", v)
+		}
+		return tuple.I32(int32(v)), nil
+	default:
+		return tuple.F64(v), nil
+	}
+}
+
+func (s *Session) runRetrieve(st RetrieveStmt) (Result, error) {
+	relName, r, err := s.resolve(st.Var)
+	if err != nil {
+		return Result{}, err
+	}
+	sch := r.Schema()
+	pred, err := compile(sch, st.Where)
+	if err != nil {
+		return Result{}, err
+	}
+	var cols []int
+	var names []string
+	if st.All {
+		for i := 0; i < sch.NumFields(); i++ {
+			cols = append(cols, i)
+			names = append(names, sch.Field(i).Name)
+		}
+	}
+	for _, f := range st.Fields {
+		col, err := sch.Index(f)
+		if err != nil {
+			return Result{}, err
+		}
+		cols = append(cols, col)
+		names = append(names, f)
+	}
+	res := Result{Columns: names}
+	project := func(vals []tuple.Value) {
+		row := make([]tuple.Value, len(cols))
+		for i, c := range cols {
+			row[i] = vals[c]
+		}
+		res.Rows = append(res.Rows, row)
+	}
+
+	// Access-path selection: an equality predicate on an indexed int32
+	// column is answered by an index probe instead of a scan — the select
+	// strategy choice of the paper's optimizer simulation (SelectCost).
+	if key, probe, rest := s.indexableEquality(relName, sch, st.Where); probe != nil {
+		restPred, err := compile(sch, rest)
+		if err != nil {
+			return Result{}, err
+		}
+		err = probe(key, func(rid relation.RID) (bool, error) {
+			vals, err := r.Get(rid)
+			if err != nil {
+				return false, err
+			}
+			if restPred(vals) {
+				project(vals)
+			}
+			return true, nil
+		})
+		res.Count = len(res.Rows)
+		return res, err
+	}
+
+	err = r.Scan(func(_ relation.RID, vals []tuple.Value) (bool, error) {
+		if pred(vals) {
+			project(vals)
+		}
+		return true, nil
+	})
+	res.Count = len(res.Rows)
+	return res, err
+}
+
+// probeFunc visits the rids matching an index key.
+type probeFunc func(key int32, fn func(relation.RID) (bool, error)) error
+
+// indexableEquality finds the first `field = literal` comparison whose
+// column has a hash or ISAM index, returning the probe key, the probe
+// function, and the remaining comparisons to apply as a residual filter.
+// It returns a nil probe when no index applies.
+func (s *Session) indexableEquality(relName string, sch *tuple.Schema, where []Comparison) (int32, probeFunc, []Comparison) {
+	for i, c := range where {
+		if c.Op != "=" || !c.IsInt {
+			continue
+		}
+		col, err := sch.Index(c.Field)
+		if err != nil || sch.Field(col).Kind != tuple.Int32 {
+			continue
+		}
+		rest := append(append([]Comparison(nil), where[:i]...), where[i+1:]...)
+		if h, err := s.db.HashIndex(relName, c.Field); err == nil {
+			return int32(c.Value), h.Lookup, rest
+		}
+		if ix, err := s.db.ISAM(relName, c.Field); err == nil {
+			probe := func(key int32, fn func(relation.RID) (bool, error)) error {
+				rid, ok, err := ix.Lookup(key)
+				if err != nil || !ok {
+					return err
+				}
+				_, err = fn(rid)
+				return err
+			}
+			return int32(c.Value), probe, rest
+		}
+	}
+	return 0, nil, nil
+}
+
+func (s *Session) runAppend(st AppendStmt) (Result, error) {
+	r, err := s.db.Relation(st.Relation)
+	if err != nil {
+		return Result{}, err
+	}
+	sch := r.Schema()
+	if len(st.Assigns) != sch.NumFields() {
+		return Result{}, fmt.Errorf("quel: APPEND sets %d of %d fields of %s (all fields are required)",
+			len(st.Assigns), sch.NumFields(), st.Relation)
+	}
+	vals := make([]tuple.Value, sch.NumFields())
+	seen := make(map[int]bool)
+	for _, a := range st.Assigns {
+		col, err := sch.Index(a.Field)
+		if err != nil {
+			return Result{}, err
+		}
+		if seen[col] {
+			return Result{}, fmt.Errorf("quel: field %q assigned twice", a.Field)
+		}
+		seen[col] = true
+		v, err := literalFor(sch.Field(col).Kind, a.Value, a.IsInt)
+		if err != nil {
+			return Result{}, fmt.Errorf("quel: field %q: %w", a.Field, err)
+		}
+		vals[col] = v
+	}
+	if _, err := s.db.Insert(st.Relation, vals); err != nil {
+		return Result{}, err
+	}
+	return Result{Count: 1}, nil
+}
+
+func (s *Session) runReplace(st ReplaceStmt) (Result, error) {
+	relName, r, err := s.resolve(st.Var)
+	if err != nil {
+		return Result{}, err
+	}
+	sch := r.Schema()
+	pred, err := compile(sch, st.Where)
+	if err != nil {
+		return Result{}, err
+	}
+	type change struct {
+		col int
+		val tuple.Value
+	}
+	var changes []change
+	for _, a := range st.Assigns {
+		col, err := sch.Index(a.Field)
+		if err != nil {
+			return Result{}, err
+		}
+		v, err := literalFor(sch.Field(col).Kind, a.Value, a.IsInt)
+		if err != nil {
+			return Result{}, fmt.Errorf("quel: field %q: %w", a.Field, err)
+		}
+		changes = append(changes, change{col: col, val: v})
+	}
+	// Collect matches first: mutating while scanning the same pages is
+	// safe for in-place REPLACE but collecting keeps semantics obvious.
+	type match struct {
+		rid  relation.RID
+		vals []tuple.Value
+	}
+	var matches []match
+	err = r.Scan(func(rid relation.RID, vals []tuple.Value) (bool, error) {
+		if pred(vals) {
+			matches = append(matches, match{rid, append([]tuple.Value(nil), vals...)})
+		}
+		return true, nil
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	for _, m := range matches {
+		for _, c := range changes {
+			m.vals[c.col] = c.val
+		}
+		if err := s.db.Update(relName, m.rid, m.vals); err != nil {
+			return Result{}, err
+		}
+	}
+	return Result{Count: len(matches)}, nil
+}
+
+func (s *Session) runDelete(st DeleteStmt) (Result, error) {
+	relName, r, err := s.resolve(st.Var)
+	if err != nil {
+		return Result{}, err
+	}
+	pred, err := compile(r.Schema(), st.Where)
+	if err != nil {
+		return Result{}, err
+	}
+	var rids []relation.RID
+	err = r.Scan(func(rid relation.RID, vals []tuple.Value) (bool, error) {
+		if pred(vals) {
+			rids = append(rids, rid)
+		}
+		return true, nil
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	for _, rid := range rids {
+		if err := s.db.Delete(relName, rid); err != nil {
+			return Result{}, err
+		}
+	}
+	return Result{Count: len(rids)}, nil
+}

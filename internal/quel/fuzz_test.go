@@ -1,0 +1,44 @@
+package quel
+
+import "testing"
+
+// FuzzParse exercises the lexer and parser on arbitrary input: they must
+// return errors, never panic or hang. `go test` runs the seed corpus; `go
+// test -fuzz=FuzzParse ./internal/quel` explores further.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"RANGE OF e IS edges",
+		"RETRIEVE (e.all)",
+		"RETRIEVE (e.begin, e.cost) WHERE e.begin = 3 AND e.cost < 2.5",
+		"APPEND TO edges (begin = 1, end = 2, cost = 1.5)",
+		"REPLACE n (status = 2) WHERE n.id = 17",
+		"DELETE n WHERE n.status = 1",
+		"",
+		"((((",
+		"RETRIEVE (e.all) WHERE",
+		"APPEND TO t (a = -,)",
+		"delete x where x.y != -0.5",
+		"RANGE RANGE RANGE",
+		"REPLACE e () WHERE e.a = 1",
+		"RETRIEVE (e.all) WHERE e.a = 1 AND",
+		"!!!",
+		"RETRIEVE (e.a) WHERE e.b >= 99999999999999999999",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		st, err := Parse(src)
+		if err != nil {
+			return
+		}
+		// Parsed statements must print and re-parse to the same AST.
+		printed, ok := st.(interface{ String() string })
+		if !ok {
+			t.Fatalf("statement %T has no String", st)
+		}
+		if _, err := Parse(printed.String()); err != nil {
+			t.Fatalf("re-parse of %q (from %q) failed: %v", printed.String(), src, err)
+		}
+	})
+}

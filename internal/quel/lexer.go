@@ -1,0 +1,113 @@
+// Package quel implements a small subset of QUEL, the query language of
+// INGRES that the paper's EQUEL host programs embedded (Section 5.3 quotes
+// QUEL's REPLACE, APPEND and DELETE by name). The subset covers what the
+// path-computation programs use:
+//
+//	RANGE OF e IS edges
+//	RETRIEVE (e.begin, e.cost) WHERE e.begin = 3 AND e.cost < 2.5
+//	RETRIEVE (e.all)
+//	APPEND TO edges (begin = 1, end = 2, cost = 1.5)
+//	REPLACE e (status = 2) WHERE e.id = 17
+//	DELETE e WHERE e.status = 1
+//	EXPLAIN RETRIEVE (e.all) WHERE e.begin = 3
+//
+// Statements address one range variable (single-relation predicates); the
+// engine's join machinery is exercised through the dbms package directly.
+package quel
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies lexer output.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokLParen
+	tokRParen
+	tokComma
+	tokDot
+	tokOp // = != < <= > >=
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+// lex splits src into tokens. Keywords are returned as tokIdent; the parser
+// matches them case-insensitively.
+func lex(src string) ([]token, error) {
+	var toks []token
+	i := 0
+	for i < len(src) {
+		c := rune(src[i])
+		switch {
+		case unicode.IsSpace(c):
+			i++
+		case c == '(':
+			toks = append(toks, token{tokLParen, "(", i})
+			i++
+		case c == ')':
+			toks = append(toks, token{tokRParen, ")", i})
+			i++
+		case c == ',':
+			toks = append(toks, token{tokComma, ",", i})
+			i++
+		case c == '.':
+			toks = append(toks, token{tokDot, ".", i})
+			i++
+		case c == '=':
+			toks = append(toks, token{tokOp, "=", i})
+			i++
+		case c == '!':
+			if i+1 < len(src) && src[i+1] == '=' {
+				toks = append(toks, token{tokOp, "!=", i})
+				i += 2
+			} else {
+				return nil, fmt.Errorf("quel: stray '!' at %d", i)
+			}
+		case c == '<' || c == '>':
+			op := string(c)
+			if i+1 < len(src) && src[i+1] == '=' {
+				op += "="
+				i++
+			}
+			toks = append(toks, token{tokOp, op, i})
+			i++
+		case unicode.IsDigit(c) || c == '-':
+			start := i
+			i++
+			for i < len(src) && (unicode.IsDigit(rune(src[i])) || src[i] == '.') {
+				i++
+			}
+			text := src[start:i]
+			if text == "-" {
+				return nil, fmt.Errorf("quel: stray '-' at %d", start)
+			}
+			toks = append(toks, token{tokNumber, text, start})
+		case unicode.IsLetter(c) || c == '_':
+			start := i
+			for i < len(src) && (unicode.IsLetter(rune(src[i])) || unicode.IsDigit(rune(src[i])) || src[i] == '_') {
+				i++
+			}
+			toks = append(toks, token{tokIdent, src[start:i], start})
+		default:
+			return nil, fmt.Errorf("quel: unexpected character %q at %d", c, i)
+		}
+	}
+	toks = append(toks, token{tokEOF, "", len(src)})
+	return toks, nil
+}
+
+// isKeyword matches an identifier token against a keyword,
+// case-insensitively.
+func (t token) isKeyword(kw string) bool {
+	return t.kind == tokIdent && strings.EqualFold(t.text, kw)
+}

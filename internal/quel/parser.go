@@ -1,0 +1,341 @@
+package quel
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Statement is the parsed form of one QUEL statement.
+type Statement interface{ stmt() }
+
+// RangeStmt declares a range variable: RANGE OF e IS edges.
+type RangeStmt struct {
+	Var      string
+	Relation string
+}
+
+// RetrieveStmt projects columns of one range variable with an optional
+// qualification: RETRIEVE (e.f1, e.f2) WHERE …. All=true means (e.all).
+type RetrieveStmt struct {
+	Var    string
+	Fields []string
+	All    bool
+	Where  []Comparison
+}
+
+// AppendStmt inserts a tuple: APPEND TO edges (f = v, …).
+type AppendStmt struct {
+	Relation string
+	Assigns  []Assignment
+}
+
+// ReplaceStmt updates qualifying tuples in place: REPLACE e (f = v) WHERE ….
+type ReplaceStmt struct {
+	Var     string
+	Assigns []Assignment
+	Where   []Comparison
+}
+
+// DeleteStmt removes qualifying tuples: DELETE e WHERE ….
+type DeleteStmt struct {
+	Var   string
+	Where []Comparison
+}
+
+// ExplainStmt describes the access path a statement would use without
+// executing it: EXPLAIN RETRIEVE (…) WHERE ….
+type ExplainStmt struct {
+	Target Statement
+}
+
+func (RangeStmt) stmt()    {}
+func (RetrieveStmt) stmt() {}
+func (AppendStmt) stmt()   {}
+func (ReplaceStmt) stmt()  {}
+func (DeleteStmt) stmt()   {}
+func (ExplainStmt) stmt()  {}
+
+// Assignment sets a field to a numeric literal.
+type Assignment struct {
+	Field string
+	Value float64
+	IsInt bool
+}
+
+// Comparison qualifies tuples: var.field OP literal. Conjunction only (AND),
+// like the paper's programs.
+type Comparison struct {
+	Field string
+	Op    string
+	Value float64
+	IsInt bool
+}
+
+type parser struct {
+	toks []token
+	i    int
+}
+
+func (p *parser) peek() token { return p.toks[p.i] }
+func (p *parser) next() token {
+	t := p.toks[p.i]
+	if t.kind != tokEOF {
+		p.i++
+	}
+	return t
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	t := p.next()
+	if !t.isKeyword(kw) {
+		return fmt.Errorf("quel: expected %q at %d, got %q", kw, t.pos, t.text)
+	}
+	return nil
+}
+
+func (p *parser) expectKind(k tokenKind, what string) (token, error) {
+	t := p.next()
+	if t.kind != k {
+		return t, fmt.Errorf("quel: expected %s at %d, got %q", what, t.pos, t.text)
+	}
+	return t, nil
+}
+
+// Parse parses one statement.
+func Parse(src string) (Statement, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	head := p.next()
+	var st Statement
+	switch {
+	case head.isKeyword("explain"):
+		inner := p.next()
+		if !inner.isKeyword("retrieve") {
+			return nil, fmt.Errorf("quel: EXPLAIN supports RETRIEVE, got %q", inner.text)
+		}
+		var target Statement
+		target, err = p.parseRetrieve()
+		if err == nil {
+			st = ExplainStmt{Target: target}
+		}
+	case head.isKeyword("range"):
+		st, err = p.parseRange()
+	case head.isKeyword("retrieve"):
+		st, err = p.parseRetrieve()
+	case head.isKeyword("append"):
+		st, err = p.parseAppend()
+	case head.isKeyword("replace"):
+		st, err = p.parseReplace()
+	case head.isKeyword("delete"):
+		st, err = p.parseDelete()
+	default:
+		return nil, fmt.Errorf("quel: unknown statement %q", head.text)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if t := p.next(); t.kind != tokEOF {
+		return nil, fmt.Errorf("quel: trailing input %q at %d", t.text, t.pos)
+	}
+	return st, nil
+}
+
+func (p *parser) parseRange() (Statement, error) {
+	if err := p.expectKeyword("of"); err != nil {
+		return nil, err
+	}
+	v, err := p.expectKind(tokIdent, "range variable")
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("is"); err != nil {
+		return nil, err
+	}
+	rel, err := p.expectKind(tokIdent, "relation name")
+	if err != nil {
+		return nil, err
+	}
+	return RangeStmt{Var: v.text, Relation: rel.text}, nil
+}
+
+func (p *parser) parseRetrieve() (Statement, error) {
+	if _, err := p.expectKind(tokLParen, "'('"); err != nil {
+		return nil, err
+	}
+	st := RetrieveStmt{}
+	for {
+		v, err := p.expectKind(tokIdent, "range variable")
+		if err != nil {
+			return nil, err
+		}
+		if st.Var == "" {
+			st.Var = v.text
+		} else if st.Var != v.text {
+			return nil, fmt.Errorf("quel: multiple range variables %q and %q (subset supports one)", st.Var, v.text)
+		}
+		if _, err := p.expectKind(tokDot, "'.'"); err != nil {
+			return nil, err
+		}
+		f, err := p.expectKind(tokIdent, "field name")
+		if err != nil {
+			return nil, err
+		}
+		if f.isKeyword("all") {
+			st.All = true
+		} else {
+			st.Fields = append(st.Fields, f.text)
+		}
+		if p.peek().kind == tokComma {
+			p.next()
+			continue
+		}
+		break
+	}
+	if _, err := p.expectKind(tokRParen, "')'"); err != nil {
+		return nil, err
+	}
+	where, err := p.parseOptionalWhere(st.Var)
+	if err != nil {
+		return nil, err
+	}
+	st.Where = where
+	return st, nil
+}
+
+func (p *parser) parseAppend() (Statement, error) {
+	if err := p.expectKeyword("to"); err != nil {
+		return nil, err
+	}
+	rel, err := p.expectKind(tokIdent, "relation name")
+	if err != nil {
+		return nil, err
+	}
+	assigns, err := p.parseAssignments()
+	if err != nil {
+		return nil, err
+	}
+	return AppendStmt{Relation: rel.text, Assigns: assigns}, nil
+}
+
+func (p *parser) parseReplace() (Statement, error) {
+	v, err := p.expectKind(tokIdent, "range variable")
+	if err != nil {
+		return nil, err
+	}
+	assigns, err := p.parseAssignments()
+	if err != nil {
+		return nil, err
+	}
+	where, err := p.parseOptionalWhere(v.text)
+	if err != nil {
+		return nil, err
+	}
+	return ReplaceStmt{Var: v.text, Assigns: assigns, Where: where}, nil
+}
+
+func (p *parser) parseDelete() (Statement, error) {
+	v, err := p.expectKind(tokIdent, "range variable")
+	if err != nil {
+		return nil, err
+	}
+	where, err := p.parseOptionalWhere(v.text)
+	if err != nil {
+		return nil, err
+	}
+	return DeleteStmt{Var: v.text, Where: where}, nil
+}
+
+func (p *parser) parseAssignments() ([]Assignment, error) {
+	if _, err := p.expectKind(tokLParen, "'('"); err != nil {
+		return nil, err
+	}
+	var out []Assignment
+	for {
+		f, err := p.expectKind(tokIdent, "field name")
+		if err != nil {
+			return nil, err
+		}
+		op, err := p.expectKind(tokOp, "'='")
+		if err != nil {
+			return nil, err
+		}
+		if op.text != "=" {
+			return nil, fmt.Errorf("quel: assignment needs '=', got %q at %d", op.text, op.pos)
+		}
+		v, isInt, err := p.parseNumber()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Assignment{Field: f.text, Value: v, IsInt: isInt})
+		if p.peek().kind == tokComma {
+			p.next()
+			continue
+		}
+		break
+	}
+	if _, err := p.expectKind(tokRParen, "')'"); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func (p *parser) parseOptionalWhere(rangeVar string) ([]Comparison, error) {
+	if !p.peek().isKeyword("where") {
+		return nil, nil
+	}
+	p.next()
+	var out []Comparison
+	for {
+		v, err := p.expectKind(tokIdent, "range variable")
+		if err != nil {
+			return nil, err
+		}
+		if v.text != rangeVar {
+			return nil, fmt.Errorf("quel: qualification uses %q but statement ranges over %q", v.text, rangeVar)
+		}
+		if _, err := p.expectKind(tokDot, "'.'"); err != nil {
+			return nil, err
+		}
+		f, err := p.expectKind(tokIdent, "field name")
+		if err != nil {
+			return nil, err
+		}
+		op, err := p.expectKind(tokOp, "comparison operator")
+		if err != nil {
+			return nil, err
+		}
+		val, isInt, err := p.parseNumber()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Comparison{Field: f.text, Op: op.text, Value: val, IsInt: isInt})
+		if p.peek().isKeyword("and") {
+			p.next()
+			continue
+		}
+		break
+	}
+	return out, nil
+}
+
+func (p *parser) parseNumber() (float64, bool, error) {
+	t, err := p.expectKind(tokNumber, "numeric literal")
+	if err != nil {
+		return 0, false, err
+	}
+	v, err := strconv.ParseFloat(t.text, 64)
+	if err != nil {
+		return 0, false, fmt.Errorf("quel: bad number %q at %d", t.text, t.pos)
+	}
+	isInt := true
+	for _, c := range t.text {
+		if c == '.' {
+			isInt = false
+			break
+		}
+	}
+	return v, isInt, nil
+}

@@ -1,0 +1,76 @@
+package quel
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// This file renders parsed statements back to QUEL text. Printing is
+// canonical (upper-case keywords, single spaces), and Parse∘String is the
+// identity on the AST — the property test relies on it.
+
+func formatLiteral(v float64, isInt bool) string {
+	if isInt {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	s := strconv.FormatFloat(v, 'g', -1, 64)
+	// Ensure the literal round-trips as a float: it must contain a '.'
+	// (the lexer has no exponent support, and IsInt detection is
+	// dot-based).
+	if !strings.Contains(s, ".") {
+		s += ".0"
+	}
+	return s
+}
+
+func formatAssigns(assigns []Assignment) string {
+	parts := make([]string, len(assigns))
+	for i, a := range assigns {
+		parts[i] = fmt.Sprintf("%s = %s", a.Field, formatLiteral(a.Value, a.IsInt))
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}
+
+func formatWhere(rangeVar string, where []Comparison) string {
+	if len(where) == 0 {
+		return ""
+	}
+	parts := make([]string, len(where))
+	for i, c := range where {
+		parts[i] = fmt.Sprintf("%s.%s %s %s", rangeVar, c.Field, c.Op, formatLiteral(c.Value, c.IsInt))
+	}
+	return " WHERE " + strings.Join(parts, " AND ")
+}
+
+// String renders RANGE OF v IS relation.
+func (s RangeStmt) String() string {
+	return fmt.Sprintf("RANGE OF %s IS %s", s.Var, s.Relation)
+}
+
+// String renders RETRIEVE (…) [WHERE …].
+func (s RetrieveStmt) String() string {
+	var targets []string
+	if s.All {
+		targets = append(targets, s.Var+".all")
+	}
+	for _, f := range s.Fields {
+		targets = append(targets, s.Var+"."+f)
+	}
+	return fmt.Sprintf("RETRIEVE (%s)%s", strings.Join(targets, ", "), formatWhere(s.Var, s.Where))
+}
+
+// String renders APPEND TO relation (…).
+func (s AppendStmt) String() string {
+	return fmt.Sprintf("APPEND TO %s %s", s.Relation, formatAssigns(s.Assigns))
+}
+
+// String renders REPLACE v (…) [WHERE …].
+func (s ReplaceStmt) String() string {
+	return fmt.Sprintf("REPLACE %s %s%s", s.Var, formatAssigns(s.Assigns), formatWhere(s.Var, s.Where))
+}
+
+// String renders DELETE v [WHERE …].
+func (s DeleteStmt) String() string {
+	return fmt.Sprintf("DELETE %s%s", s.Var, formatWhere(s.Var, s.Where))
+}

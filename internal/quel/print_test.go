@@ -1,0 +1,124 @@
+package quel
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func TestStringForms(t *testing.T) {
+	cases := []string{
+		"RANGE OF e IS edges",
+		"RETRIEVE (e.all)",
+		"RETRIEVE (e.begin, e.cost) WHERE e.begin = 3 AND e.cost < 2.5",
+		"APPEND TO edges (begin = 1, end = 2, cost = 1.5)",
+		"REPLACE n (status = 2) WHERE n.id = 17",
+		"DELETE n WHERE n.status = 1",
+		"DELETE n",
+	}
+	for _, src := range cases {
+		st, err := Parse(src)
+		if err != nil {
+			t.Fatalf("%s: %v", src, err)
+		}
+		printed := fmt.Sprint(st)
+		if printed != src {
+			t.Errorf("Parse(%q).String() = %q", src, printed)
+		}
+	}
+}
+
+// Property: printing a random statement and re-parsing it reproduces the
+// same AST.
+func TestPrintParseRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	fields := []string{"id", "status", "pathcost", "begin", "x2"}
+	ops := []string{"=", "!=", "<", "<=", ">", ">="}
+
+	randLiteral := func() (float64, bool) {
+		if rng.Intn(2) == 0 {
+			return float64(rng.Intn(2001) - 1000), true
+		}
+		// Floats restricted to representable short decimals.
+		return float64(rng.Intn(1000)) + 0.25, false
+	}
+	randWhere := func(n int) []Comparison {
+		var out []Comparison
+		for i := 0; i < n; i++ {
+			v, isInt := randLiteral()
+			out = append(out, Comparison{
+				Field: fields[rng.Intn(len(fields))],
+				Op:    ops[rng.Intn(len(ops))],
+				Value: v,
+				IsInt: isInt,
+			})
+		}
+		return out
+	}
+	randAssigns := func(n int) []Assignment {
+		var out []Assignment
+		for i := 0; i < n; i++ {
+			v, isInt := randLiteral()
+			out = append(out, Assignment{
+				Field: fields[rng.Intn(len(fields))],
+				Value: v,
+				IsInt: isInt,
+			})
+		}
+		return out
+	}
+
+	for trial := 0; trial < 300; trial++ {
+		var st Statement
+		switch rng.Intn(5) {
+		case 0:
+			st = RangeStmt{Var: "v", Relation: "rel"}
+		case 1:
+			rs := RetrieveStmt{Var: "v", Where: randWhere(rng.Intn(3))}
+			if rng.Intn(2) == 0 {
+				rs.All = true
+			} else {
+				for i := 0; i <= rng.Intn(3); i++ {
+					rs.Fields = append(rs.Fields, fields[rng.Intn(len(fields))])
+				}
+			}
+			st = rs
+		case 2:
+			st = AppendStmt{Relation: "rel", Assigns: randAssigns(1 + rng.Intn(3))}
+		case 3:
+			st = ReplaceStmt{Var: "v", Assigns: randAssigns(1 + rng.Intn(3)), Where: randWhere(rng.Intn(3))}
+		default:
+			st = DeleteStmt{Var: "v", Where: randWhere(rng.Intn(3))}
+		}
+		printed := fmt.Sprint(st)
+		back, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("trial %d: Parse(%q): %v", trial, printed, err)
+		}
+		if !reflect.DeepEqual(st, back) {
+			t.Fatalf("trial %d: round trip changed AST:\n in: %#v\nout: %#v\ntext: %s", trial, st, back, printed)
+		}
+	}
+}
+
+// Robustness: Parse must return errors, never panic, on arbitrary input.
+func TestParseNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	alphabet := "RETRIVApndlcwho e.()=!<>,0123456789_ \t"
+	for trial := 0; trial < 2000; trial++ {
+		n := rng.Intn(40)
+		buf := make([]byte, n)
+		for i := range buf {
+			buf[i] = alphabet[rng.Intn(len(alphabet))]
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("Parse(%q) panicked: %v", buf, r)
+				}
+			}()
+			_, _ = Parse(string(buf)) //nolint:errcheck // errors expected
+		}()
+	}
+}

@@ -1,0 +1,223 @@
+package quel
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dbms"
+	"repro/internal/tuple"
+)
+
+func newSession(t *testing.T) *Session {
+	t.Helper()
+	db := dbms.New(dbms.Options{})
+	_, err := db.CreateRelation("edges", tuple.MustSchema(
+		tuple.Field{Name: "begin", Kind: tuple.Int32},
+		tuple.Field{Name: "end", Kind: tuple.Int32},
+		tuple.Field{Name: "cost", Kind: tuple.Float64},
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewSession(db)
+}
+
+func mustExec(t *testing.T, s *Session, stmt string) Result {
+	t.Helper()
+	res, err := s.Execute(stmt)
+	if err != nil {
+		t.Fatalf("%s: %v", stmt, err)
+	}
+	return res
+}
+
+func seed(t *testing.T, s *Session) {
+	t.Helper()
+	mustExec(t, s, "RANGE OF e IS edges")
+	mustExec(t, s, "APPEND TO edges (begin = 1, end = 2, cost = 1.5)")
+	mustExec(t, s, "APPEND TO edges (begin = 1, end = 3, cost = 2.5)")
+	mustExec(t, s, "APPEND TO edges (begin = 2, end = 3, cost = 0.5)")
+}
+
+func TestRangeAndRetrieveAll(t *testing.T) {
+	s := newSession(t)
+	seed(t, s)
+	res := mustExec(t, s, "RETRIEVE (e.all)")
+	if res.Count != 3 || len(res.Rows) != 3 {
+		t.Fatalf("count = %d", res.Count)
+	}
+	if len(res.Columns) != 3 || res.Columns[0] != "begin" {
+		t.Errorf("columns = %v", res.Columns)
+	}
+}
+
+func TestRetrieveProjectionAndWhere(t *testing.T) {
+	s := newSession(t)
+	seed(t, s)
+	res := mustExec(t, s, "RETRIEVE (e.end, e.cost) WHERE e.begin = 1")
+	if res.Count != 2 {
+		t.Fatalf("count = %d", res.Count)
+	}
+	if res.Columns[0] != "end" || res.Columns[1] != "cost" {
+		t.Errorf("columns = %v", res.Columns)
+	}
+	res = mustExec(t, s, "RETRIEVE (e.all) WHERE e.begin = 1 AND e.cost > 2.0")
+	if res.Count != 1 || res.Rows[0][1].Int() != 3 {
+		t.Errorf("conjunction: %+v", res)
+	}
+	res = mustExec(t, s, "RETRIEVE (e.all) WHERE e.cost <= 1.5")
+	if res.Count != 2 {
+		t.Errorf("<= matched %d", res.Count)
+	}
+	res = mustExec(t, s, "RETRIEVE (e.all) WHERE e.begin != 1")
+	if res.Count != 1 {
+		t.Errorf("!= matched %d", res.Count)
+	}
+	res = mustExec(t, s, "RETRIEVE (e.all) WHERE e.cost >= 2.5")
+	if res.Count != 1 {
+		t.Errorf(">= matched %d", res.Count)
+	}
+	res = mustExec(t, s, "RETRIEVE (e.all) WHERE e.cost < 0.1")
+	if res.Count != 0 {
+		t.Errorf("empty match returned %d", res.Count)
+	}
+}
+
+func TestReplace(t *testing.T) {
+	s := newSession(t)
+	seed(t, s)
+	res := mustExec(t, s, "REPLACE e (cost = 9.0) WHERE e.begin = 1")
+	if res.Count != 2 {
+		t.Fatalf("replaced %d", res.Count)
+	}
+	check := mustExec(t, s, "RETRIEVE (e.all) WHERE e.cost >= 9.0")
+	if check.Count != 2 {
+		t.Errorf("after replace: %d rows at 9.0", check.Count)
+	}
+	// Unqualified REPLACE hits everything.
+	res = mustExec(t, s, "REPLACE e (end = 7)")
+	if res.Count != 3 {
+		t.Errorf("unqualified replace hit %d", res.Count)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	s := newSession(t)
+	seed(t, s)
+	res := mustExec(t, s, "DELETE e WHERE e.begin = 1")
+	if res.Count != 2 {
+		t.Fatalf("deleted %d", res.Count)
+	}
+	if left := mustExec(t, s, "RETRIEVE (e.all)"); left.Count != 1 {
+		t.Errorf("left %d rows", left.Count)
+	}
+	// Unqualified DELETE empties the relation.
+	mustExec(t, s, "DELETE e")
+	if left := mustExec(t, s, "RETRIEVE (e.all)"); left.Count != 0 {
+		t.Errorf("after delete all: %d rows", left.Count)
+	}
+}
+
+func TestCaseInsensitiveKeywords(t *testing.T) {
+	s := newSession(t)
+	mustExec(t, s, "range of e is edges")
+	mustExec(t, s, "append to edges (begin = 1, end = 2, cost = 1.0)")
+	res := mustExec(t, s, "retrieve (e.all) where e.begin = 1")
+	if res.Count != 1 {
+		t.Errorf("count = %d", res.Count)
+	}
+}
+
+func TestNegativeLiterals(t *testing.T) {
+	s := newSession(t)
+	mustExec(t, s, "RANGE OF e IS edges")
+	mustExec(t, s, "APPEND TO edges (begin = -1, end = 2, cost = 1.0)")
+	res := mustExec(t, s, "RETRIEVE (e.all) WHERE e.begin = -1")
+	if res.Count != 1 {
+		t.Errorf("count = %d", res.Count)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	s := newSession(t)
+	seed(t, s)
+	cases := []struct {
+		name, stmt string
+	}{
+		{"undeclared range var", "RETRIEVE (x.all)"},
+		{"unknown relation", "RANGE OF z IS ghosts"},
+		{"unknown field", "RETRIEVE (e.ghost)"},
+		{"unknown field in where", "RETRIEVE (e.all) WHERE e.ghost = 1"},
+		{"float into int field", "APPEND TO edges (begin = 1.5, end = 2, cost = 1)"},
+		{"missing fields in append", "APPEND TO edges (begin = 1)"},
+		{"duplicate assign", "APPEND TO edges (begin = 1, begin = 2, cost = 1)"},
+		{"trailing garbage", "RETRIEVE (e.all) nonsense"},
+		{"wrong range var in where", "RETRIEVE (e.all) WHERE f.begin = 1"},
+		{"two range vars", "RETRIEVE (e.begin, f.end)"},
+		{"bad operator in assign", "REPLACE e (cost < 2)"},
+		{"unknown statement", "FROBNICATE e"},
+		{"stray bang", "RETRIEVE (e.all) WHERE e.begin ! 1"},
+		{"stray dash", "RETRIEVE (e.all) WHERE e.begin = -"},
+		{"unterminated list", "RETRIEVE (e.all"},
+		{"unexpected char", "RETRIEVE (e.all) WHERE e.begin = 1 ; drop"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := s.Execute(tc.stmt); err == nil {
+				t.Errorf("%q executed without error", tc.stmt)
+			}
+		})
+	}
+}
+
+func TestParseShapes(t *testing.T) {
+	st, err := Parse("REPLACE n (status = 2, pathcost = 1.5) WHERE n.id = 7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, ok := st.(ReplaceStmt)
+	if !ok {
+		t.Fatalf("parsed %T", st)
+	}
+	if rep.Var != "n" || len(rep.Assigns) != 2 || len(rep.Where) != 1 {
+		t.Errorf("parsed %+v", rep)
+	}
+	if rep.Assigns[0].Field != "status" || !rep.Assigns[0].IsInt {
+		t.Errorf("assign 0 = %+v", rep.Assigns[0])
+	}
+	if rep.Assigns[1].IsInt {
+		t.Error("1.5 parsed as int")
+	}
+	if rep.Where[0].Op != "=" || rep.Where[0].Value != 7 {
+		t.Errorf("where = %+v", rep.Where[0])
+	}
+}
+
+// The EQUEL flavour of the paper's inner loop, runnable end to end: mark a
+// node current, fetch its neighbours, relax one, close it.
+func TestPaperStyleProgram(t *testing.T) {
+	db := dbms.New(dbms.Options{})
+	if _, err := db.CreateRelation("r", tuple.MustSchema(
+		tuple.Field{Name: "id", Kind: tuple.Int32},
+		tuple.Field{Name: "status", Kind: tuple.Int32},
+		tuple.Field{Name: "pathcost", Kind: tuple.Float64},
+	)); err != nil {
+		t.Fatal(err)
+	}
+	s := NewSession(db)
+	mustExec(t, s, "RANGE OF n IS r")
+	for i := 0; i < 4; i++ {
+		mustExec(t, s, strings.ReplaceAll("APPEND TO r (id = X, status = 0, pathcost = 999.0)", "X", string(rune('0'+i))))
+	}
+	mustExec(t, s, "REPLACE n (status = 3, pathcost = 0.0) WHERE n.id = 0")
+	res := mustExec(t, s, "RETRIEVE (n.id) WHERE n.status = 3")
+	if res.Count != 1 || res.Rows[0][0].Int() != 0 {
+		t.Fatalf("current selection: %+v", res)
+	}
+	mustExec(t, s, "REPLACE n (status = 1, pathcost = 1.0) WHERE n.id = 1")
+	mustExec(t, s, "REPLACE n (status = 2) WHERE n.id = 0")
+	open := mustExec(t, s, "RETRIEVE (n.id, n.pathcost) WHERE n.status = 1")
+	if open.Count != 1 || open.Rows[0][1].Float() != 1.0 {
+		t.Errorf("open set: %+v", open)
+	}
+}

@@ -1,0 +1,337 @@
+package relation
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/storage"
+	"repro/internal/tuple"
+)
+
+func newTestRelation(t *testing.T, pageSize, poolFrames int) *Relation {
+	t.Helper()
+	disk := storage.NewDisk(pageSize)
+	pool := storage.NewBufferPool(disk, poolFrames)
+	s := tuple.MustSchema(
+		tuple.Field{Name: "id", Kind: tuple.Int32},
+		tuple.Field{Name: "cost", Kind: tuple.Float64},
+	)
+	r, err := New("test", s, pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func row(id int32, cost float64) []tuple.Value {
+	return []tuple.Value{tuple.I32(id), tuple.F64(cost)}
+}
+
+func TestNewValidation(t *testing.T) {
+	disk := storage.NewDisk(64)
+	pool := storage.NewBufferPool(disk, 4)
+	if _, err := New("empty", tuple.MustSchema(), pool); err == nil {
+		t.Error("zero-width schema accepted")
+	}
+	big := tuple.MustSchema(
+		tuple.Field{Name: "a", Kind: tuple.Float64},
+		tuple.Field{Name: "b", Kind: tuple.Float64},
+		tuple.Field{Name: "c", Kind: tuple.Float64},
+		tuple.Field{Name: "d", Kind: tuple.Float64},
+		tuple.Field{Name: "e", Kind: tuple.Float64},
+		tuple.Field{Name: "f", Kind: tuple.Float64},
+		tuple.Field{Name: "g", Kind: tuple.Float64},
+		tuple.Field{Name: "h", Kind: tuple.Float64},
+	)
+	if _, err := New("big", big, pool); err == nil {
+		t.Error("tuple larger than page accepted")
+	}
+}
+
+func TestInsertGet(t *testing.T) {
+	r := newTestRelation(t, 256, 8)
+	rid, err := r.Insert(row(7, 2.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals, err := r.Get(rid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vals[0].Int() != 7 || vals[1].Float() != 2.5 {
+		t.Errorf("Get = %v", vals)
+	}
+	if r.NumTuples() != 1 || r.Blocks() != 1 {
+		t.Errorf("tuples=%d blocks=%d", r.NumTuples(), r.Blocks())
+	}
+	if r.Name() != "test" {
+		t.Errorf("Name = %q", r.Name())
+	}
+}
+
+func TestMultiPageGrowth(t *testing.T) {
+	r := newTestRelation(t, 128, 16)
+	per := r.SlotsPerPage()
+	n := per*3 + 1
+	for i := 0; i < n; i++ {
+		if _, err := r.Insert(row(int32(i), float64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if r.Blocks() != 4 {
+		t.Errorf("blocks = %d, want 4 (slots/page = %d)", r.Blocks(), per)
+	}
+	if r.NumTuples() != n {
+		t.Errorf("tuples = %d, want %d", r.NumTuples(), n)
+	}
+}
+
+func TestScanVisitsAll(t *testing.T) {
+	r := newTestRelation(t, 128, 16)
+	want := map[int32]float64{}
+	for i := int32(0); i < 50; i++ {
+		want[i] = float64(i) * 1.5
+		if _, err := r.Insert(row(i, float64(i)*1.5)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := map[int32]float64{}
+	err := r.Scan(func(_ RID, vals []tuple.Value) (bool, error) {
+		got[vals[0].Int()] = vals[1].Float()
+		return true, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("scan saw %d tuples, want %d", len(got), len(want))
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Errorf("id %d: %v != %v", k, got[k], v)
+		}
+	}
+}
+
+func TestScanEarlyStop(t *testing.T) {
+	r := newTestRelation(t, 128, 16)
+	for i := int32(0); i < 20; i++ {
+		r.Insert(row(i, 0))
+	}
+	count := 0
+	err := r.Scan(func(_ RID, _ []tuple.Value) (bool, error) {
+		count++
+		return count < 5, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 5 {
+		t.Errorf("visited %d, want 5", count)
+	}
+}
+
+func TestScanPropagatesError(t *testing.T) {
+	r := newTestRelation(t, 128, 16)
+	r.Insert(row(1, 1))
+	wantErr := fmt.Errorf("boom")
+	err := r.Scan(func(_ RID, _ []tuple.Value) (bool, error) {
+		return false, wantErr
+	})
+	if err != wantErr {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestUpdateInPlace(t *testing.T) {
+	r := newTestRelation(t, 128, 16)
+	rid, _ := r.Insert(row(1, 1))
+	blocksBefore := r.Blocks()
+	if err := r.Update(rid, row(1, 9.5)); err != nil {
+		t.Fatal(err)
+	}
+	vals, _ := r.Get(rid)
+	if vals[1].Float() != 9.5 {
+		t.Errorf("after update: %v", vals)
+	}
+	if r.Blocks() != blocksBefore || r.NumTuples() != 1 {
+		t.Error("REPLACE changed relation shape")
+	}
+}
+
+func TestUpdateField(t *testing.T) {
+	r := newTestRelation(t, 128, 16)
+	rid, _ := r.Insert(row(3, 1.5))
+	if err := r.UpdateField(rid, 1, tuple.F64(7.25)); err != nil {
+		t.Fatal(err)
+	}
+	vals, _ := r.Get(rid)
+	if vals[0].Int() != 3 || vals[1].Float() != 7.25 {
+		t.Errorf("after UpdateField: %v", vals)
+	}
+	if err := r.UpdateField(rid, 1, tuple.I32(1)); err == nil {
+		t.Error("kind mismatch accepted")
+	}
+	if err := r.UpdateField(rid, 5, tuple.I32(1)); err == nil {
+		t.Error("column out of range accepted")
+	}
+}
+
+func TestDeleteAndReuse(t *testing.T) {
+	r := newTestRelation(t, 128, 16)
+	var rids []RID
+	per := r.SlotsPerPage()
+	for i := 0; i < per; i++ { // fill exactly one page
+		rid, _ := r.Insert(row(int32(i), 0))
+		rids = append(rids, rid)
+	}
+	if r.Blocks() != 1 {
+		t.Fatalf("blocks = %d", r.Blocks())
+	}
+	if err := r.Delete(rids[2]); err != nil {
+		t.Fatal(err)
+	}
+	if r.NumTuples() != per-1 {
+		t.Errorf("tuples = %d", r.NumTuples())
+	}
+	if _, err := r.Get(rids[2]); err == nil {
+		t.Error("Get of deleted tuple succeeded")
+	}
+	if err := r.Delete(rids[2]); err == nil {
+		t.Error("double delete succeeded")
+	}
+	// Next insert reuses the hole instead of growing the file.
+	rid, err := r.Insert(row(99, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Blocks() != 1 {
+		t.Errorf("insert after delete grew file to %d blocks", r.Blocks())
+	}
+	if rid != rids[2] {
+		t.Errorf("hole not reused: got %v want %v", rid, rids[2])
+	}
+}
+
+func TestBadRIDs(t *testing.T) {
+	r := newTestRelation(t, 128, 16)
+	rid, _ := r.Insert(row(1, 1))
+	if _, err := r.Get(RID{Page: 99, Slot: 0}); err == nil {
+		t.Error("foreign page accepted")
+	}
+	if _, err := r.Get(RID{Page: rid.Page, Slot: 999}); err == nil {
+		t.Error("slot out of range accepted")
+	}
+	if err := r.Update(RID{Page: 99, Slot: 0}, row(1, 1)); err == nil {
+		t.Error("update of foreign page accepted")
+	}
+	if err := r.Delete(RID{Page: 99, Slot: 0}); err == nil {
+		t.Error("delete of foreign page accepted")
+	}
+}
+
+func TestScanField(t *testing.T) {
+	r := newTestRelation(t, 128, 16)
+	for i := int32(0); i < 30; i++ {
+		r.Insert(row(i, float64(i)))
+	}
+	var sum int32
+	err := r.ScanField(0, func(_ RID, v tuple.Value) (bool, error) {
+		sum += v.Int()
+		return true, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum != 29*30/2 {
+		t.Errorf("sum = %d", sum)
+	}
+}
+
+func TestSurvivesPoolPressure(t *testing.T) {
+	// Pool with 2 frames forces constant eviction; data must survive.
+	r := newTestRelation(t, 128, 2)
+	const n = 100
+	rids := make([]RID, n)
+	for i := 0; i < n; i++ {
+		rid, err := r.Insert(row(int32(i), float64(i)*0.5))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rids[i] = rid
+	}
+	for i, rid := range rids {
+		vals, err := r.Get(rid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if vals[0].Int() != int32(i) || vals[1].Float() != float64(i)*0.5 {
+			t.Fatalf("tuple %d corrupted: %v", i, vals)
+		}
+	}
+}
+
+// Property-style: random interleavings of insert/update/delete tracked
+// against a map oracle.
+func TestRandomOpsAgainstOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	r := newTestRelation(t, 256, 4)
+	oracle := map[RID][2]float64{} // rid -> (id, cost)
+	var live []RID
+	for op := 0; op < 2000; op++ {
+		switch {
+		case len(live) == 0 || rng.Intn(3) == 0: // insert
+			id := rng.Int31n(1000)
+			cost := rng.Float64()
+			rid, err := r.Insert(row(id, cost))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, exists := oracle[rid]; exists {
+				t.Fatalf("op %d: rid %v handed out twice", op, rid)
+			}
+			oracle[rid] = [2]float64{float64(id), cost}
+			live = append(live, rid)
+		case rng.Intn(2) == 0: // update
+			i := rng.Intn(len(live))
+			rid := live[i]
+			id := rng.Int31n(1000)
+			cost := rng.Float64()
+			if err := r.Update(rid, row(id, cost)); err != nil {
+				t.Fatal(err)
+			}
+			oracle[rid] = [2]float64{float64(id), cost}
+		default: // delete
+			i := rng.Intn(len(live))
+			rid := live[i]
+			if err := r.Delete(rid); err != nil {
+				t.Fatal(err)
+			}
+			delete(oracle, rid)
+			live[i] = live[len(live)-1]
+			live = live[:len(live)-1]
+		}
+	}
+	if r.NumTuples() != len(oracle) {
+		t.Fatalf("NumTuples = %d, oracle %d", r.NumTuples(), len(oracle))
+	}
+	seen := 0
+	err := r.Scan(func(rid RID, vals []tuple.Value) (bool, error) {
+		want, ok := oracle[rid]
+		if !ok {
+			return false, fmt.Errorf("scan produced unknown rid %v", rid)
+		}
+		if float64(vals[0].Int()) != want[0] || vals[1].Float() != want[1] {
+			return false, fmt.Errorf("rid %v: got %v want %v", rid, vals, want)
+		}
+		seen++
+		return true, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seen != len(oracle) {
+		t.Errorf("scan saw %d, oracle %d", seen, len(oracle))
+	}
+}

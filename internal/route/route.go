@@ -1,0 +1,320 @@
+// Package route provides the three ATIS facilities of the paper's
+// introduction (Section 1.1) on top of the core planner:
+//
+//   - route computation — "locate a connected sequence of road segments
+//     from current location to destination",
+//   - route evaluation — "find the attributes of a given route between two
+//     points … travel time and traffic congestion information",
+//   - route display — "effectively communicate the optimal route to the
+//     traveller".
+//
+// It also models the real-time traffic feed the paper motivates ("an
+// effective navigation system with static route selection, coupled with
+// real-time traffic information"): congestion updates scale edge costs on a
+// private snapshot, and recomputation picks up the new costs.
+//
+// A Service is safe for concurrent use.
+package route
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/asciichart"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/search"
+)
+
+// Service owns a mutable snapshot of a road network and serves the three
+// ATIS facilities over it.
+type Service struct {
+	mu      sync.RWMutex
+	base    *graph.Graph // pristine costs, for congestion ratios and reset
+	current *graph.Graph // live costs
+	planner *core.Planner
+}
+
+// NewService snapshots g (deep copies) so traffic updates never touch the
+// caller's graph.
+func NewService(g *graph.Graph) *Service {
+	cur := g.Clone()
+	return &Service{
+		base:    g.Clone(),
+		current: cur,
+		planner: core.NewPlanner(cur),
+	}
+}
+
+// Graph returns the live graph snapshot. Callers must treat it as
+// read-only; use the traffic methods to change costs.
+func (s *Service) Graph() *graph.Graph {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.current
+}
+
+// Compute runs route computation between nodes.
+func (s *Service) Compute(from, to graph.NodeID, opts core.Options) (core.Route, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.planner.Route(from, to, opts)
+}
+
+// ComputeByName runs route computation between named landmarks.
+func (s *Service) ComputeByName(from, to string, opts core.Options) (core.Route, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.planner.RouteByName(from, to, opts)
+}
+
+// ComputeVia plans a route that visits every stop in order — the errand run
+// (home → school → work) an ATIS serves routinely. The result is the
+// concatenation of the per-leg routes: its cost is the sum of the leg costs
+// and its trace accumulates the legs' work. Found is false when any leg is
+// unreachable.
+func (s *Service) ComputeVia(stops []graph.NodeID, opts core.Options) (core.Route, error) {
+	if len(stops) < 2 {
+		return core.Route{}, fmt.Errorf("route: ComputeVia needs at least 2 stops, got %d", len(stops))
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	combined := core.Route{
+		Found:     true,
+		Algorithm: opts.Algorithm,
+		Path:      graph.Path{Nodes: []graph.NodeID{stops[0]}},
+	}
+	for i := 0; i+1 < len(stops); i++ {
+		leg, err := s.planner.Route(stops[i], stops[i+1], opts)
+		if err != nil {
+			return core.Route{}, fmt.Errorf("route: leg %d (%d→%d): %w", i, stops[i], stops[i+1], err)
+		}
+		if !leg.Found {
+			return core.Route{Found: false, Algorithm: opts.Algorithm, Cost: math.Inf(1)}, nil
+		}
+		combined.Cost += leg.Cost
+		combined.Path.Nodes = append(combined.Path.Nodes, leg.Path.Nodes[1:]...)
+		combined.Trace.Iterations += leg.Trace.Iterations
+		combined.Trace.Expansions += leg.Trace.Expansions
+		combined.Trace.Relaxations += leg.Trace.Relaxations
+		combined.Trace.Improvements += leg.Trace.Improvements
+		combined.Trace.Reopens += leg.Trace.Reopens
+		if leg.Trace.MaxFrontier > combined.Trace.MaxFrontier {
+			combined.Trace.MaxFrontier = leg.Trace.MaxFrontier
+		}
+	}
+	return combined, nil
+}
+
+// Evaluation is the attribute set of a given route (the paper's route
+// evaluation: "useful for selecting travel time by a familiar path").
+type Evaluation struct {
+	// Valid reports whether the node sequence is a path of the network.
+	Valid bool
+	// Hops is the number of road segments.
+	Hops int
+	// Distance is the geometric length (sum of straight-line segment
+	// lengths).
+	Distance float64
+	// BaseCost is the route's cost under free-flow (pristine) edge costs.
+	BaseCost float64
+	// CurrentCost is the route's cost under live (congested) edge costs —
+	// the travel-time attribute.
+	CurrentCost float64
+	// CongestionRatio is CurrentCost / BaseCost (1 = free flow).
+	CongestionRatio float64
+	// CongestedHops counts segments whose live cost exceeds base cost.
+	CongestedHops int
+}
+
+// Evaluate computes the attributes of path under the live network.
+func (s *Service) Evaluate(path graph.Path) (Evaluation, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ev := Evaluation{Hops: path.Len()}
+	if !path.ValidIn(s.current) {
+		return ev, fmt.Errorf("route: not a path of the network: %s", path)
+	}
+	ev.Valid = true
+	for i := 0; i+1 < len(path.Nodes); i++ {
+		u, v := path.Nodes[i], path.Nodes[i+1]
+		ev.Distance += s.current.Point(u).EuclideanDistance(s.current.Point(v))
+		cur, _ := s.current.ArcCost(u, v)
+		base, _ := s.base.ArcCost(u, v)
+		ev.CurrentCost += cur
+		ev.BaseCost += base
+		if cur > base {
+			ev.CongestedHops++
+		}
+	}
+	if ev.BaseCost > 0 {
+		ev.CongestionRatio = ev.CurrentCost / ev.BaseCost
+	} else {
+		ev.CongestionRatio = 1
+	}
+	return ev, nil
+}
+
+// Display renders the network with the route overlaid: road nodes as dots,
+// route nodes as 'o', endpoints as 'S' and 'D', landmarks by their names.
+func (s *Service) Display(path graph.Path, width, height int) string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	g := s.current
+	var pts []asciichart.Point
+	for u := graph.NodeID(0); int(u) < g.NumNodes(); u++ {
+		if g.OutDegree(u) == 0 {
+			continue // isolated (lake) nodes are water, not roads
+		}
+		p := g.Point(u)
+		pts = append(pts, asciichart.Point{X: p.X, Y: p.Y, Glyph: '.'})
+	}
+	for name, u := range g.NamedNodes() {
+		p := g.Point(u)
+		pts = append(pts, asciichart.Point{X: p.X, Y: p.Y, Glyph: name[0]})
+	}
+	for i, u := range path.Nodes {
+		p := g.Point(u)
+		glyph := byte('o')
+		if i == 0 {
+			glyph = 'S'
+		} else if i == len(path.Nodes)-1 {
+			glyph = 'D'
+		}
+		pts = append(pts, asciichart.Point{X: p.X, Y: p.Y, Glyph: glyph})
+	}
+	return asciichart.Map(pts, asciichart.Options{Width: width, Height: height})
+}
+
+// Alternates returns up to k loopless routes from from to to in increasing
+// cost order under live costs (Yen's algorithm) — the "offer the traveller
+// a choice" feature.
+func (s *Service) Alternates(from, to graph.NodeID, k int) ([]core.Route, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	results, err := search.KShortest(s.current, from, to, k)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]core.Route, 0, len(results))
+	for _, r := range results {
+		out = append(out, core.Route{
+			Found:     true,
+			Path:      r.Path,
+			Cost:      r.Cost,
+			Algorithm: core.Dijkstra,
+			Trace:     r.Trace,
+		})
+	}
+	return out, nil
+}
+
+// Nearest returns the road node closest to the point (x, y) — the map
+// matching step between a traveller's position (GPS, in a modern ATIS) and
+// the network. Isolated nodes (no roads) are skipped; ok is false when the
+// network has no road nodes at all.
+func (s *Service) Nearest(x, y float64) (graph.NodeID, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	g := s.current
+	p := graph.Point{X: x, Y: y}
+	best := graph.Invalid
+	bestDist := math.Inf(1)
+	for u := graph.NodeID(0); int(u) < g.NumNodes(); u++ {
+		if g.OutDegree(u) == 0 {
+			continue
+		}
+		if d := g.Point(u).EuclideanDistance(p); d < bestDist {
+			best, bestDist = u, d
+		}
+	}
+	return best, best != graph.Invalid
+}
+
+// Reachable returns every node within the given travel budget of from,
+// under live costs, with the cost of reaching each — the isochrone query
+// ("what can I reach in 15 minutes?").
+func (s *Service) Reachable(from graph.NodeID, budget float64) (map[graph.NodeID]float64, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return search.Within(s.current, from, budget)
+}
+
+// DisplayReachable renders the isochrone: reachable nodes as 'o', the
+// origin as 'S', the rest of the network as dots.
+func (s *Service) DisplayReachable(from graph.NodeID, budget float64, width, height int) (string, error) {
+	reach, err := s.Reachable(from, budget)
+	if err != nil {
+		return "", err
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	g := s.current
+	var pts []asciichart.Point
+	for u := graph.NodeID(0); int(u) < g.NumNodes(); u++ {
+		if g.OutDegree(u) == 0 {
+			continue
+		}
+		p := g.Point(u)
+		glyph := byte('.')
+		if _, ok := reach[u]; ok {
+			glyph = 'o'
+		}
+		pts = append(pts, asciichart.Point{X: p.X, Y: p.Y, Glyph: glyph})
+	}
+	p := g.Point(from)
+	pts = append(pts, asciichart.Point{X: p.X, Y: p.Y, Glyph: 'S'})
+	return asciichart.Map(pts, asciichart.Options{Width: width, Height: height}), nil
+}
+
+// ApplyCongestion scales the live cost of the directed segment (from, to)
+// and its reverse (if present) by factor ≥ 0; factor 2 doubles travel time.
+// It reports whether any edge changed.
+func (s *Service) ApplyCongestion(from, to graph.NodeID, factor float64) (bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	fwd, err := s.current.ScaleArcCost(from, to, factor)
+	if err != nil {
+		return false, err
+	}
+	rev, err := s.current.ScaleArcCost(to, from, factor)
+	if err != nil && !fwd {
+		return false, err
+	}
+	return fwd || rev, nil
+}
+
+// ApplyRegionCongestion scales every edge with both endpoints within radius
+// of center — a congested downtown at rush hour. It returns the number of
+// directed edges affected.
+func (s *Service) ApplyRegionCongestion(center graph.Point, radius, factor float64) (int, error) {
+	if factor < 0 {
+		return 0, fmt.Errorf("route: negative congestion factor %v", factor)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	affected := 0
+	for _, e := range s.current.Edges() {
+		if s.current.Point(e.Tail).EuclideanDistance(center) <= radius &&
+			s.current.Point(e.Head).EuclideanDistance(center) <= radius {
+			if _, err := s.current.SetArcCost(e.Tail, e.Head, e.Cost*factor); err != nil {
+				return affected, err
+			}
+			affected++
+		}
+	}
+	return affected, nil
+}
+
+// ResetTraffic restores every edge to its free-flow cost.
+func (s *Service) ResetTraffic() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, e := range s.base.Edges() {
+		// base and current share structure; Set cannot fail here.
+		if _, err := s.current.SetArcCost(e.Tail, e.Head, e.Cost); err != nil {
+			panic(fmt.Sprintf("route: snapshot structure diverged: %v", err))
+		}
+	}
+}

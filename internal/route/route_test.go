@@ -1,0 +1,210 @@
+package route
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/gridgen"
+	"repro/internal/mpls"
+)
+
+func gridService(t *testing.T, k int) *Service {
+	t.Helper()
+	return NewService(gridgen.MustGenerate(gridgen.Config{K: k, Model: gridgen.Uniform}))
+}
+
+func TestComputeBasic(t *testing.T) {
+	s := gridService(t, 6)
+	r, err := s.Compute(0, 35, core.Options{})
+	if err != nil || !r.Found {
+		t.Fatalf("Compute: %v found=%v", err, r.Found)
+	}
+	if r.Cost != 10 { // corner to corner on a 6×6 unit grid
+		t.Errorf("cost = %v, want 10", r.Cost)
+	}
+}
+
+func TestServiceSnapshotsCallerGraph(t *testing.T) {
+	g := gridgen.MustGenerate(gridgen.Config{K: 4})
+	s := NewService(g)
+	if _, err := s.ApplyCongestion(0, 1, 5); err != nil {
+		t.Fatal(err)
+	}
+	if c, _ := g.ArcCost(0, 1); c != 1 {
+		t.Error("service mutated the caller's graph")
+	}
+}
+
+func TestEvaluate(t *testing.T) {
+	s := gridService(t, 5)
+	r, err := s.Compute(0, 4, core.Options{}) // along the bottom row
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := s.Evaluate(r.Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ev.Valid || ev.Hops != 4 {
+		t.Errorf("evaluation = %+v", ev)
+	}
+	if math.Abs(ev.Distance-4) > 1e-9 {
+		t.Errorf("distance = %v, want 4", ev.Distance)
+	}
+	if ev.CongestionRatio != 1 || ev.CongestedHops != 0 {
+		t.Errorf("free flow evaluation = %+v", ev)
+	}
+	if math.Abs(ev.BaseCost-ev.CurrentCost) > 1e-12 {
+		t.Errorf("base %v != current %v under free flow", ev.BaseCost, ev.CurrentCost)
+	}
+}
+
+func TestEvaluateRejectsNonPath(t *testing.T) {
+	s := gridService(t, 5)
+	_, err := s.Evaluate(graph.Path{Nodes: []graph.NodeID{0, 7}})
+	if err == nil {
+		t.Error("non-path accepted")
+	}
+}
+
+func TestCongestionChangesRoutesAndEvaluation(t *testing.T) {
+	s := gridService(t, 5)
+	before, err := s.Compute(0, 4, core.Options{Algorithm: core.Dijkstra})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Congest the bottom row heavily.
+	for col := 0; col < 4; col++ {
+		u := gridgen.NodeAt(5, 0, col)
+		v := gridgen.NodeAt(5, 0, col+1)
+		if ok, err := s.ApplyCongestion(u, v, 10); err != nil || !ok {
+			t.Fatalf("congestion: %v %v", ok, err)
+		}
+	}
+	// The old route is now expensive…
+	ev, err := s.Evaluate(before.Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.CongestionRatio < 9.9 || ev.CongestedHops != 4 {
+		t.Errorf("evaluation after congestion = %+v", ev)
+	}
+	// …and recomputation routes around it.
+	after, err := s.Compute(0, 4, core.Options{Algorithm: core.Dijkstra})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Cost >= before.Cost*10 {
+		t.Errorf("recomputed cost %v did not avoid congestion", after.Cost)
+	}
+	same := len(after.Path.Nodes) == len(before.Path.Nodes)
+	if same {
+		for i := range after.Path.Nodes {
+			if after.Path.Nodes[i] != before.Path.Nodes[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("route unchanged despite 10× congestion on it")
+	}
+	// Reset restores free flow.
+	s.ResetTraffic()
+	reset, _ := s.Compute(0, 4, core.Options{Algorithm: core.Dijkstra})
+	if math.Abs(reset.Cost-before.Cost) > 1e-9 {
+		t.Errorf("after reset cost = %v, want %v", reset.Cost, before.Cost)
+	}
+}
+
+func TestApplyCongestionMissingEdge(t *testing.T) {
+	s := gridService(t, 4)
+	ok, err := s.ApplyCongestion(0, 15, 2) // opposite corners: no edge
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("congestion applied to a non-edge")
+	}
+	if _, err := s.ApplyCongestion(0, 1, -1); err == nil {
+		t.Error("negative factor accepted")
+	}
+}
+
+func TestApplyRegionCongestion(t *testing.T) {
+	s := gridService(t, 7)
+	n, err := s.ApplyRegionCongestion(graph.Point{X: 3, Y: 3}, 1.5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("region congestion affected nothing")
+	}
+	// An edge at the centre tripled; an edge at the corner did not.
+	c, _ := s.Graph().ArcCost(gridgen.NodeAt(7, 3, 3), gridgen.NodeAt(7, 3, 4))
+	if c != 3 {
+		t.Errorf("centre edge cost = %v, want 3", c)
+	}
+	c, _ = s.Graph().ArcCost(0, 1)
+	if c != 1 {
+		t.Errorf("corner edge cost = %v, want 1", c)
+	}
+	if _, err := s.ApplyRegionCongestion(graph.Point{}, 1, -2); err == nil {
+		t.Error("negative factor accepted")
+	}
+}
+
+func TestDisplayShowsRouteAndLandmarks(t *testing.T) {
+	s := NewService(mpls.MustGenerate(mpls.Config{}))
+	r, err := s.ComputeByName("G", "D", core.Options{})
+	if err != nil || !r.Found {
+		t.Fatalf("route G→D: %v found=%v", err, r.Found)
+	}
+	out := s.Display(r.Path, 66, 33)
+	for _, want := range []string{"S", "D", "o", "."} {
+		if !strings.Contains(out, want) {
+			t.Errorf("display missing %q", want)
+		}
+	}
+	// Landmarks not on the route still render.
+	if !strings.Contains(out, "A") {
+		t.Error("display missing landmark A")
+	}
+}
+
+func TestComputeByNameUnknown(t *testing.T) {
+	s := gridService(t, 4)
+	if _, err := s.ComputeByName("X", "Y", core.Options{}); err == nil {
+		t.Error("unknown landmarks accepted")
+	}
+}
+
+func TestConcurrentComputeAndTraffic(t *testing.T) {
+	s := NewService(mpls.MustGenerate(mpls.Config{}))
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 20; j++ {
+				if i%2 == 0 {
+					r, err := s.ComputeByName("C", "D", core.Options{})
+					if err != nil || !r.Found {
+						t.Errorf("compute: %v", err)
+						return
+					}
+				} else {
+					if _, err := s.ApplyRegionCongestion(graph.Point{X: 16, Y: 16}, 4, 1.1); err != nil {
+						t.Errorf("congestion: %v", err)
+						return
+					}
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,245 @@
+package search
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/estimator"
+	"repro/internal/graph"
+	"repro/internal/pqueue"
+)
+
+// SingleSource computes shortest-path costs from s to every node of g with
+// Dijkstra's algorithm run to exhaustion (no early termination). The
+// returned dist slice holds +Inf at unreachable nodes; prev is the
+// shortest-path tree. This is the single-source primitive the paper
+// contrasts the single-pair algorithms against, and the oracle used by the
+// property tests and by VerifyAdmissible.
+func SingleSource(g *graph.Graph, s graph.NodeID) (dist []float64, prev []graph.NodeID) {
+	n := g.NumNodes()
+	dist = make([]float64, n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	prev = make([]graph.NodeID, n)
+	for i := range prev {
+		prev[i] = graph.Invalid
+	}
+	if s < 0 || int(s) >= n {
+		return dist, prev
+	}
+	h := pqueue.NewIndexed(n)
+	dist[s] = 0
+	h.Push(int(s), 0)
+	for {
+		ui, du, ok := h.PopMin()
+		if !ok {
+			return dist, prev
+		}
+		u := graph.NodeID(ui)
+		g.Neighbors(u, func(a graph.Arc) {
+			nd := du + a.Cost
+			if nd < dist[a.Head] {
+				dist[a.Head] = nd
+				prev[a.Head] = u
+				h.PushOrUpdate(int(a.Head), nd)
+			}
+		})
+	}
+}
+
+// Bidirectional runs Dijkstra simultaneously from the source (forward) and
+// from the destination (backward over the reverse graph), stopping when the
+// frontiers' combined radius exceeds the best meeting cost. It returns the
+// same optimal cost as Dijkstra while typically expanding far fewer nodes on
+// long paths — one of the future-work speedups the paper's conclusion
+// gestures at. Trace.Iterations counts expansions across both directions.
+func Bidirectional(g *graph.Graph, s, d graph.NodeID) (Result, error) {
+	if err := validatePair(g, s, d); err != nil {
+		return Result{}, err
+	}
+	if s == d {
+		return Result{Found: true, Path: graph.Path{Nodes: []graph.NodeID{s}}, Cost: 0}, nil
+	}
+	rg := g.Reverse()
+	n := g.NumNodes()
+
+	distF := make([]float64, n)
+	distB := make([]float64, n)
+	for i := range distF {
+		distF[i] = math.Inf(1)
+		distB[i] = math.Inf(1)
+	}
+	prevF := make([]graph.NodeID, n)
+	nextB := make([]graph.NodeID, n) // successor toward d in the original graph
+	for i := range prevF {
+		prevF[i] = graph.Invalid
+		nextB[i] = graph.Invalid
+	}
+	closedF := make([]bool, n)
+	closedB := make([]bool, n)
+
+	hf := pqueue.NewIndexed(n)
+	hb := pqueue.NewIndexed(n)
+	distF[s] = 0
+	hf.Push(int(s), 0)
+	distB[d] = 0
+	hb.Push(int(d), 0)
+
+	best := math.Inf(1)
+	meet := graph.Invalid
+	var tr Trace
+
+	update := func(v graph.NodeID) {
+		if total := distF[v] + distB[v]; total < best {
+			best = total
+			meet = v
+		}
+	}
+
+	for hf.Len() > 0 || hb.Len() > 0 {
+		if combined := hf.Len() + hb.Len(); combined > tr.MaxFrontier {
+			tr.MaxFrontier = combined
+		}
+		// Termination: once the smallest keys on both sides sum to at least
+		// the best meeting cost, no better path remains.
+		_, pf, okf := hf.Peek()
+		_, pb, okb := hb.Peek()
+		if !okf {
+			pf = math.Inf(1)
+		}
+		if !okb {
+			pb = math.Inf(1)
+		}
+		if pf+pb >= best {
+			break
+		}
+		// Expand the side with the smaller key (balanced growth).
+		if pf <= pb {
+			ui, du, _ := hf.PopMin()
+			u := graph.NodeID(ui)
+			closedF[u] = true
+			tr.Iterations++
+			tr.Expansions++
+			g.Neighbors(u, func(a graph.Arc) {
+				tr.Relaxations++
+				v := a.Head
+				if closedF[v] {
+					return
+				}
+				nd := du + a.Cost
+				if nd < distF[v] {
+					distF[v] = nd
+					prevF[v] = u
+					tr.Improvements++
+					hf.PushOrUpdate(int(v), nd)
+					update(v)
+				}
+			})
+			update(u)
+		} else {
+			ui, du, _ := hb.PopMin()
+			u := graph.NodeID(ui)
+			closedB[u] = true
+			tr.Iterations++
+			tr.Expansions++
+			rg.Neighbors(u, func(a graph.Arc) {
+				tr.Relaxations++
+				v := a.Head
+				if closedB[v] {
+					return
+				}
+				nd := du + a.Cost
+				if nd < distB[v] {
+					distB[v] = nd
+					nextB[v] = u
+					tr.Improvements++
+					hb.PushOrUpdate(int(v), nd)
+					update(v)
+				}
+			})
+			update(u)
+		}
+	}
+
+	if meet == graph.Invalid || math.IsInf(best, 1) {
+		return notFound(tr), nil
+	}
+	// Stitch: s → … → meet from the forward tree, then meet → … → d from the
+	// backward tree's successor pointers.
+	forward := graph.BuildPath(prevF, s, meet)
+	nodes := append([]graph.NodeID(nil), forward.Nodes...)
+	for at := nextB[meet]; at != graph.Invalid; {
+		nodes = append(nodes, at)
+		if at == d {
+			break
+		}
+		at = nextB[at]
+	}
+	if len(nodes) == 0 || nodes[len(nodes)-1] != d || nodes[0] != s {
+		return notFound(tr), nil
+	}
+	return Result{Found: true, Path: graph.Path{Nodes: nodes}, Cost: best, Trace: tr}, nil
+}
+
+// Within computes the budget-bounded reachable set: every node whose
+// shortest-path cost from s is at most budget, with those costs. It is
+// Dijkstra cut off at the budget — the isochrone ("everywhere within 15
+// minutes") query an ATIS answers for trip planning, and a direct payoff of
+// early-terminating single-source search: work is proportional to the
+// region size, not the map size.
+func Within(g *graph.Graph, s graph.NodeID, budget float64) (map[graph.NodeID]float64, error) {
+	if s < 0 || int(s) >= g.NumNodes() {
+		return nil, fmt.Errorf("search: source %d out of range [0,%d)", s, g.NumNodes())
+	}
+	if budget < 0 || math.IsNaN(budget) {
+		return nil, fmt.Errorf("search: budget %v must be non-negative", budget)
+	}
+	n := g.NumNodes()
+	dist := make([]float64, n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	h := pqueue.NewIndexed(n)
+	dist[s] = 0
+	h.Push(int(s), 0)
+	out := make(map[graph.NodeID]float64)
+	for {
+		ui, du, ok := h.PopMin()
+		if !ok || du > budget {
+			return out, nil
+		}
+		u := graph.NodeID(ui)
+		out[u] = du
+		g.Neighbors(u, func(a graph.Arc) {
+			nd := du + a.Cost
+			if nd < dist[a.Head] && nd <= budget {
+				dist[a.Head] = nd
+				h.PushOrUpdate(int(a.Head), nd)
+			}
+		})
+	}
+}
+
+// VerifyAdmissible checks an estimator empirically against destination d: it
+// computes the true remaining cost h*(u) for every node u (one backward
+// Dijkstra over the reverse graph) and returns every node whose estimate
+// exceeds h*(u) by more than eps. An empty slice means the estimator is
+// admissible for this destination; the paper's Section 5.3 observation that
+// manhattan distance is inadmissible on the Minneapolis map is reproduced by
+// this check.
+func VerifyAdmissible(g *graph.Graph, est *estimator.Estimator, d graph.NodeID, eps float64) []estimator.Violation {
+	rg := g.Reverse()
+	trueCost, _ := SingleSource(rg, d)
+	var out []estimator.Violation
+	for u := graph.NodeID(0); int(u) < g.NumNodes(); u++ {
+		if math.IsInf(trueCost[u], 1) {
+			continue // unreachable: any finite estimate is fine
+		}
+		e := est.Estimate(g, u, d)
+		if e > trueCost[u]+eps {
+			out = append(out, estimator.Violation{U: u, D: d, Estimate: e, TrueCost: trueCost[u]})
+		}
+	}
+	return out
+}

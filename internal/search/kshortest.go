@@ -1,0 +1,163 @@
+package search
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/graph"
+	"repro/internal/pqueue"
+)
+
+// KShortest returns up to k loopless paths from s to d in increasing cost
+// order, using Yen's algorithm over restricted Dijkstra runs. Alternate
+// routes are a staple ATIS feature — the traveller picks among the best few
+// routes, trading distance against familiarity — and a natural extension of
+// the paper's single-pair computation.
+//
+// The result is empty when no path exists. Ties are returned in a
+// deterministic order.
+func KShortest(g *graph.Graph, s, d graph.NodeID, k int) ([]Result, error) {
+	if err := validatePair(g, s, d); err != nil {
+		return nil, err
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("search: k = %d, want at least 1", k)
+	}
+	first, err := Dijkstra(g, s, d)
+	if err != nil {
+		return nil, err
+	}
+	if !first.Found {
+		return nil, nil
+	}
+
+	accepted := []Result{first}
+	seen := map[string]bool{pathKey(first.Path): true}
+	var candidates []Result
+
+	for len(accepted) < k {
+		prev := accepted[len(accepted)-1].Path.Nodes
+		// Each node of the previous path except the destination serves as a
+		// spur node.
+		for j := 0; j+1 < len(prev); j++ {
+			spur := prev[j]
+			root := prev[:j+1]
+
+			// Ban the outgoing edges that previously-accepted paths with
+			// the same root take from the spur node, and the root's interior
+			// nodes, forcing a genuinely new continuation.
+			bannedEdges := map[[2]graph.NodeID]bool{}
+			for _, a := range accepted {
+				nodes := a.Path.Nodes
+				if len(nodes) > j+1 && equalPrefix(nodes, root) {
+					bannedEdges[[2]graph.NodeID{nodes[j], nodes[j+1]}] = true
+				}
+			}
+			bannedNodes := make([]bool, g.NumNodes())
+			for _, u := range root[:len(root)-1] {
+				bannedNodes[u] = true
+			}
+
+			spurRes := restrictedDijkstra(g, spur, d, bannedNodes, bannedEdges)
+			if !spurRes.Found {
+				continue
+			}
+			rootCost, err := (graph.Path{Nodes: append([]graph.NodeID(nil), root...)}).CostIn(g)
+			if err != nil {
+				return nil, err
+			}
+			total := append(append([]graph.NodeID(nil), root[:len(root)-1]...), spurRes.Path.Nodes...)
+			cand := Result{
+				Found: true,
+				Path:  graph.Path{Nodes: total},
+				Cost:  rootCost + spurRes.Cost,
+			}
+			key := pathKey(cand.Path)
+			if !seen[key] {
+				seen[key] = true
+				candidates = append(candidates, cand)
+			}
+		}
+		if len(candidates) == 0 {
+			break
+		}
+		// Deterministic extraction: cheapest candidate, ties by node
+		// sequence.
+		sort.Slice(candidates, func(i, j int) bool {
+			if candidates[i].Cost != candidates[j].Cost {
+				return candidates[i].Cost < candidates[j].Cost
+			}
+			return pathKey(candidates[i].Path) < pathKey(candidates[j].Path)
+		})
+		accepted = append(accepted, candidates[0])
+		candidates = candidates[1:]
+	}
+	return accepted, nil
+}
+
+// pathKey canonicalises a path for dedup.
+func pathKey(p graph.Path) string {
+	var sb strings.Builder
+	for _, u := range p.Nodes {
+		fmt.Fprintf(&sb, "%d,", u)
+	}
+	return sb.String()
+}
+
+func equalPrefix(nodes, prefix []graph.NodeID) bool {
+	if len(nodes) < len(prefix) {
+		return false
+	}
+	for i := range prefix {
+		if nodes[i] != prefix[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// restrictedDijkstra is Dijkstra that may not enter banned nodes nor take
+// banned edges. The source is allowed even if marked banned (spur nodes are
+// never banned by the caller, but defensive anyway).
+func restrictedDijkstra(g *graph.Graph, s, d graph.NodeID, bannedNodes []bool, bannedEdges map[[2]graph.NodeID]bool) Result {
+	n := g.NumNodes()
+	dist := make([]float64, n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	prev := make([]graph.NodeID, n)
+	for i := range prev {
+		prev[i] = graph.Invalid
+	}
+	closed := make([]bool, n)
+	h := pqueue.NewIndexed(n)
+	dist[s] = 0
+	h.Push(int(s), 0)
+	var tr Trace
+	for {
+		ui, du, ok := h.PopMin()
+		if !ok {
+			return notFound(tr)
+		}
+		u := graph.NodeID(ui)
+		closed[u] = true
+		if u == d {
+			return Result{Found: true, Path: graph.BuildPath(prev, s, d), Cost: du, Trace: tr}
+		}
+		tr.Iterations++
+		g.Neighbors(u, func(a graph.Arc) {
+			v := a.Head
+			if closed[v] || bannedNodes[v] || bannedEdges[[2]graph.NodeID{u, v}] {
+				return
+			}
+			nd := du + a.Cost
+			if nd < dist[v] {
+				dist[v] = nd
+				prev[v] = u
+				h.PushOrUpdate(int(v), nd)
+			}
+		})
+	}
+}

@@ -1,0 +1,211 @@
+package search
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/gridgen"
+)
+
+func TestKShortestSimple(t *testing.T) {
+	// Two disjoint routes 0→3: via 1 (cost 2) and via 2 (cost 3), plus the
+	// direct edge (cost 4).
+	b := graph.NewBuilder(4, 5)
+	for i := 0; i < 4; i++ {
+		b.AddNode(float64(i), 0)
+	}
+	b.AddEdge(0, 1, 1)
+	b.AddEdge(1, 3, 1)
+	b.AddEdge(0, 2, 1.5)
+	b.AddEdge(2, 3, 1.5)
+	b.AddEdge(0, 3, 4)
+	g := b.MustBuild()
+
+	paths, err := KShortest(g, 0, 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 3 {
+		t.Fatalf("got %d paths, want 3", len(paths))
+	}
+	wantCosts := []float64{2, 3, 4}
+	for i, p := range paths {
+		if math.Abs(p.Cost-wantCosts[i]) > 1e-12 {
+			t.Errorf("path %d cost %v, want %v", i, p.Cost, wantCosts[i])
+		}
+		if !p.Path.ValidIn(g) {
+			t.Errorf("path %d invalid: %v", i, p.Path.Nodes)
+		}
+	}
+}
+
+func TestKShortestFirstIsOptimal(t *testing.T) {
+	g := gridgen.MustGenerate(gridgen.Config{K: 10, Model: gridgen.Variance, Seed: 4})
+	s, d := gridgen.Pair(10, gridgen.SemiDiagonal, 0)
+	opt, _ := Dijkstra(g, s, d)
+	paths, err := KShortest(g, s, d, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 4 {
+		t.Fatalf("got %d paths", len(paths))
+	}
+	if math.Abs(paths[0].Cost-opt.Cost) > 1e-12 {
+		t.Errorf("first path cost %v != optimal %v", paths[0].Cost, opt.Cost)
+	}
+}
+
+func TestKShortestOrderedDistinctLoopless(t *testing.T) {
+	g := gridgen.MustGenerate(gridgen.Config{K: 8, Model: gridgen.Variance, Seed: 9})
+	s, d := gridgen.Pair(8, gridgen.Diagonal, 0)
+	paths, err := KShortest(g, s, d, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 8 {
+		t.Fatalf("got %d paths", len(paths))
+	}
+	seen := map[string]bool{}
+	for i, p := range paths {
+		if i > 0 && p.Cost < paths[i-1].Cost-1e-12 {
+			t.Errorf("path %d cost %v below previous %v", i, p.Cost, paths[i-1].Cost)
+		}
+		key := pathKey(p.Path)
+		if seen[key] {
+			t.Errorf("duplicate path %v", p.Path.Nodes)
+		}
+		seen[key] = true
+		// Loopless: no repeated nodes.
+		nodes := map[graph.NodeID]bool{}
+		for _, u := range p.Path.Nodes {
+			if nodes[u] {
+				t.Errorf("path %d revisits node %d", i, u)
+			}
+			nodes[u] = true
+		}
+		if c, err := p.Path.CostIn(g); err != nil || math.Abs(c-p.Cost) > 1e-9 {
+			t.Errorf("path %d reported cost %v but costs %v (%v)", i, p.Cost, c, err)
+		}
+	}
+}
+
+func TestKShortestNoPath(t *testing.T) {
+	b := graph.NewBuilder(2, 0)
+	b.AddNode(0, 0)
+	b.AddNode(1, 0)
+	g := b.MustBuild()
+	paths, err := KShortest(g, 0, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 0 {
+		t.Errorf("got %d paths across a disconnection", len(paths))
+	}
+}
+
+func TestKShortestExhaustsAlternatives(t *testing.T) {
+	// A path graph has exactly one loopless route.
+	b := graph.NewBuilder(3, 2)
+	for i := 0; i < 3; i++ {
+		b.AddNode(float64(i), 0)
+	}
+	b.AddEdge(0, 1, 1)
+	b.AddEdge(1, 2, 1)
+	g := b.MustBuild()
+	paths, err := KShortest(g, 0, 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 1 {
+		t.Errorf("got %d paths on a line, want 1", len(paths))
+	}
+}
+
+func TestKShortestValidation(t *testing.T) {
+	g := gridgen.MustGenerate(gridgen.Config{K: 3})
+	if _, err := KShortest(g, 0, 8, 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := KShortest(g, -1, 2, 1); err == nil {
+		t.Error("bad source accepted")
+	}
+	// k=1 equals Dijkstra.
+	paths, err := KShortest(g, 0, 8, 1)
+	if err != nil || len(paths) != 1 {
+		t.Fatalf("k=1: %v %d", err, len(paths))
+	}
+	dij, _ := Dijkstra(g, 0, 8)
+	if paths[0].Cost != dij.Cost {
+		t.Errorf("k=1 cost %v != dijkstra %v", paths[0].Cost, dij.Cost)
+	}
+}
+
+// Oracle property: on small random graphs, KShortest(k) must return the k
+// cheapest of all loopless paths found by brute-force enumeration.
+func TestKShortestAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 25; trial++ {
+		n := 4 + rng.Intn(4)
+		b := graph.NewBuilder(n, n*n)
+		for i := 0; i < n; i++ {
+			b.AddNode(rng.Float64(), rng.Float64())
+		}
+		for u := 0; u < n; u++ {
+			for v := 0; v < n; v++ {
+				if u != v && rng.Float64() < 0.5 {
+					b.AddEdge(graph.NodeID(u), graph.NodeID(v), 0.1+rng.Float64())
+				}
+			}
+		}
+		g := b.MustBuild()
+		s, d := graph.NodeID(0), graph.NodeID(n-1)
+
+		// Brute force: DFS enumerating all loopless paths.
+		var all []float64
+		var dfs func(u graph.NodeID, visited map[graph.NodeID]bool, cost float64)
+		dfs = func(u graph.NodeID, visited map[graph.NodeID]bool, cost float64) {
+			if u == d {
+				all = append(all, cost)
+				return
+			}
+			g.Neighbors(u, func(a graph.Arc) {
+				if visited[a.Head] {
+					return
+				}
+				visited[a.Head] = true
+				dfs(a.Head, visited, cost+a.Cost)
+				delete(visited, a.Head)
+			})
+		}
+		dfs(s, map[graph.NodeID]bool{s: true}, 0)
+		sortFloats(all)
+
+		const k = 4
+		paths, err := KShortest(g, s, d, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantLen := k
+		if len(all) < k {
+			wantLen = len(all)
+		}
+		if len(paths) != wantLen {
+			t.Fatalf("trial %d: got %d paths, brute force says %d (of %d total)", trial, len(paths), wantLen, len(all))
+		}
+		for i, p := range paths {
+			if math.Abs(p.Cost-all[i]) > 1e-9 {
+				t.Fatalf("trial %d: path %d cost %v, brute force %v", trial, i, p.Cost, all[i])
+			}
+		}
+	}
+}
+
+func sortFloats(xs []float64) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}

@@ -1,0 +1,292 @@
+// Package search implements the in-memory single-pair path-computation
+// algorithms of Section 3 of the paper:
+//
+//   - Iterative — the breadth-first, label-correcting transitive-closure
+//     style algorithm of Figure 1. It cannot terminate before exploring the
+//     whole reachable graph and its work is insensitive to path length.
+//   - Dijkstra — Figure 2: partial transitive closure with one-edge
+//     lookahead. Terminates as soon as the destination is selected from the
+//     frontier (Lemma 2).
+//   - A* — Figure 3: best-first search ordered by actual cost plus an
+//     estimator f(u, d). Terminates when the destination is selected; with
+//     an admissible estimator the returned path is optimal (Lemma 3).
+//
+// Beyond the paper's three candidates, the package provides bidirectional
+// Dijkstra and weighted A* (via a scaled estimator) as the
+// optimality/speed-tradeoff extensions the paper's conclusion proposes, plus
+// the frontier-management variants (linear-scan selection, duplicates
+// allowed) from the design-decision analysis of Sections 4 and 5.3.
+//
+// All algorithms return a Result carrying the path, its cost, and a Trace
+// with the iteration counts the paper reports: Iterations is frontier
+// *rounds* for Iterative and *expansions* (selections of a non-destination
+// node) for Dijkstra and A*, matching Tables 5–8.
+package search
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/estimator"
+	"repro/internal/graph"
+)
+
+// Trace records the work an algorithm performed; the experiment harness
+// compares these counters against the paper's tables.
+type Trace struct {
+	// Iterations is the paper's headline counter: frontier rounds for the
+	// Iterative algorithm, node expansions for Dijkstra and A*.
+	Iterations int
+	// Expansions counts adjacency-list fetches (every node whose neighbours
+	// were examined). For Dijkstra/A* it equals Iterations.
+	Expansions int
+	// Relaxations counts examined edges.
+	Relaxations int
+	// Improvements counts label decreases (path revisions).
+	Improvements int
+	// Reopens counts closed nodes whose label later improved — the
+	// "backtracking" the paper attributes varying costs to. Non-zero only
+	// for label-correcting search or A* with an inadmissible estimator.
+	Reopens int
+	// MaxFrontier is the high-water mark of the frontier set size.
+	MaxFrontier int
+}
+
+// Result is the outcome of a single-pair computation.
+type Result struct {
+	// Found reports whether any path from source to destination exists.
+	Found bool
+	// Path is the discovered path (empty when !Found).
+	Path graph.Path
+	// Cost is the cost of Path; +Inf when !Found.
+	Cost float64
+	// Trace is the work accounting for this run.
+	Trace Trace
+}
+
+// validatePair checks endpoints before a run.
+func validatePair(g *graph.Graph, s, d graph.NodeID) error {
+	n := graph.NodeID(g.NumNodes())
+	if s < 0 || s >= n {
+		return fmt.Errorf("search: source %d out of range [0,%d)", s, n)
+	}
+	if d < 0 || d >= n {
+		return fmt.Errorf("search: destination %d out of range [0,%d)", d, n)
+	}
+	return nil
+}
+
+// notFound builds the canonical "no path" result.
+func notFound(tr Trace) Result {
+	return Result{Found: false, Cost: math.Inf(1), Trace: tr}
+}
+
+// Iterative runs the breadth-first label-correcting algorithm of Figure 1.
+// Every round removes the whole frontier, fetches each member's adjacency
+// list, relaxes the out-edges, and inserts improved neighbours into the next
+// frontier (duplicate avoidance, the strategy the paper prefers in
+// Section 4). The algorithm terminates when the frontier empties, i.e. it
+// settles shortest paths from the source to every reachable node, then
+// reports the one to d. Requires non-negative edge costs (Lemma 1).
+func Iterative(g *graph.Graph, s, d graph.NodeID) (Result, error) {
+	if err := validatePair(g, s, d); err != nil {
+		return Result{}, err
+	}
+	n := g.NumNodes()
+	dist := make([]float64, n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	prev := make([]graph.NodeID, n)
+	for i := range prev {
+		prev[i] = graph.Invalid
+	}
+	inFrontier := make([]bool, n)
+
+	dist[s] = 0
+	frontier := []graph.NodeID{s}
+	inFrontier[s] = true
+
+	var tr Trace
+	for len(frontier) > 0 {
+		tr.Iterations++
+		if len(frontier) > tr.MaxFrontier {
+			tr.MaxFrontier = len(frontier)
+		}
+		next := frontier[:0:0] // fresh slice; frontier is consumed wholesale
+		for _, u := range frontier {
+			inFrontier[u] = false
+			tr.Expansions++
+			g.Neighbors(u, func(a graph.Arc) {
+				tr.Relaxations++
+				nd := dist[u] + a.Cost
+				if nd < dist[a.Head] {
+					if !math.IsInf(dist[a.Head], 1) && !inFrontier[a.Head] {
+						tr.Reopens++
+					}
+					dist[a.Head] = nd
+					prev[a.Head] = u
+					tr.Improvements++
+					if !inFrontier[a.Head] {
+						inFrontier[a.Head] = true
+						next = append(next, a.Head)
+					}
+				}
+			})
+		}
+		frontier = next
+	}
+
+	if math.IsInf(dist[d], 1) {
+		return notFound(tr), nil
+	}
+	return Result{
+		Found: true,
+		Path:  graph.BuildPath(prev, s, d),
+		Cost:  dist[d],
+		Trace: tr,
+	}, nil
+}
+
+// Dijkstra runs the algorithm of Figure 2 with early termination: the run
+// stops as soon as the destination is selected from the frontier, at which
+// point its label is the shortest-path cost (Lemma 2). Closed nodes are
+// never reopened, which is sound for non-negative costs.
+func Dijkstra(g *graph.Graph, s, d graph.NodeID) (Result, error) {
+	return BestFirst(g, s, d, Options{Estimator: estimator.Zero()})
+}
+
+// AStar runs the best-first algorithm of Figure 3 with the given estimator.
+// Following the paper's pseudo-code, a closed node whose label improves is
+// reopened (re-enters the frontier); with admissible estimators this never
+// happens and the result is optimal, with inadmissible ones (manhattan on a
+// road map) it bounds the damage while still not guaranteeing optimality.
+func AStar(g *graph.Graph, s, d graph.NodeID, est *estimator.Estimator) (Result, error) {
+	return BestFirst(g, s, d, Options{Estimator: est, AllowReopen: true})
+}
+
+// FrontierKind selects the data structure behind "select u from frontierSet
+// with minimum cost" — the implementation decision Section 5.3 studies.
+type FrontierKind int
+
+const (
+	// FrontierHeap uses an indexed binary heap with decrease-key: the
+	// efficient main-memory choice.
+	FrontierHeap FrontierKind = iota
+	// FrontierScan keeps frontier members in a dense array and selects the
+	// minimum by a full scan, mirroring the relational implementation where
+	// selection is a scan of the open tuples (paper Section 5.3).
+	FrontierScan
+	// FrontierDuplicates allows duplicate frontier entries (no
+	// decrease-key); stale entries are skipped at selection time. This is
+	// the "allowing duplicates leads to redundant iterations" strategy of
+	// Section 4, kept for the ablation bench.
+	FrontierDuplicates
+)
+
+// String names the kind for reports.
+func (k FrontierKind) String() string {
+	switch k {
+	case FrontierHeap:
+		return "heap"
+	case FrontierScan:
+		return "scan"
+	case FrontierDuplicates:
+		return "duplicates"
+	default:
+		return fmt.Sprintf("FrontierKind(%d)", int(k))
+	}
+}
+
+// Options configures BestFirst.
+type Options struct {
+	// Estimator orders the frontier by dist + estimate. nil means the zero
+	// estimator, i.e. Dijkstra.
+	Estimator *estimator.Estimator
+	// Frontier selects the frontier data structure; default FrontierHeap.
+	Frontier FrontierKind
+	// AllowReopen permits a closed node whose label improves to re-enter
+	// the frontier (paper Figure 3 semantics). Dijkstra (Figure 2) keeps it
+	// false: its insertion guard checks frontier ∪ explored.
+	AllowReopen bool
+}
+
+// BestFirst is the engine behind Dijkstra and AStar: repeatedly select the
+// frontier node minimising dist(u) + f(u, d), close it, stop if it is the
+// destination, otherwise relax its out-edges.
+func BestFirst(g *graph.Graph, s, d graph.NodeID, opts Options) (Result, error) {
+	if err := validatePair(g, s, d); err != nil {
+		return Result{}, err
+	}
+	n := g.NumNodes()
+	dist := make([]float64, n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	prev := make([]graph.NodeID, n)
+	for i := range prev {
+		prev[i] = graph.Invalid
+	}
+	closed := make([]bool, n)
+
+	front := newFrontier(opts.Frontier, n)
+	est := opts.Estimator
+
+	dist[s] = 0
+	front.push(int(s), est.Estimate(g, s, d), 0)
+
+	var tr Trace
+	for {
+		if front.len() > tr.MaxFrontier {
+			tr.MaxFrontier = front.len()
+		}
+		ui, ok := front.popMin()
+		if !ok {
+			return notFound(tr), nil
+		}
+		u := graph.NodeID(ui)
+		if closed[u] && !opts.AllowReopen {
+			// Stale duplicate entry (FrontierDuplicates without reopening).
+			continue
+		}
+		if closed[u] {
+			// Reopened pop under FrontierDuplicates: only process if it
+			// actually carries the current label; popMin for the other
+			// frontier kinds never yields a closed node.
+			closed[u] = false
+		}
+		closed[u] = true
+		if u == d {
+			return Result{
+				Found: true,
+				Path:  graph.BuildPath(prev, s, d),
+				Cost:  dist[d],
+				Trace: tr,
+			}, nil
+		}
+		tr.Iterations++
+		tr.Expansions++
+		g.Neighbors(u, func(a graph.Arc) {
+			tr.Relaxations++
+			v := a.Head
+			nd := dist[u] + a.Cost
+			if nd >= dist[v] {
+				return
+			}
+			if closed[v] {
+				if !opts.AllowReopen {
+					return // Figure 2: never revisit explored nodes
+				}
+				closed[v] = false
+				tr.Reopens++
+			}
+			dist[v] = nd
+			prev[v] = u
+			tr.Improvements++
+			// Tie-break by −dist: among equal f the deeper node wins, so a
+			// perfect estimator walks straight to the destination instead of
+			// flooding the f-plateau.
+			front.pushOrUpdate(int(v), nd+est.Estimate(g, v, d), -nd)
+		})
+	}
+}

@@ -1,0 +1,91 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 || s.Mean != 0 || s.StdDev != 0 {
+		t.Errorf("empty summary = %+v", s)
+	}
+}
+
+func TestSummarizeSingle(t *testing.T) {
+	s := Summarize([]float64{5})
+	if s.N != 1 || s.Mean != 5 || s.StdDev != 0 || s.Min != 5 || s.Max != 5 || s.Median != 5 {
+		t.Errorf("single summary = %+v", s)
+	}
+}
+
+func TestSummarizeKnownValues(t *testing.T) {
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.Mean != 5 {
+		t.Errorf("mean = %v", s.Mean)
+	}
+	// Sample stddev of this classic set is sqrt(32/7).
+	if want := math.Sqrt(32.0 / 7.0); math.Abs(s.StdDev-want) > 1e-12 {
+		t.Errorf("stddev = %v, want %v", s.StdDev, want)
+	}
+	if s.Min != 2 || s.Max != 9 {
+		t.Errorf("min/max = %v/%v", s.Min, s.Max)
+	}
+	if s.Median != 4.5 {
+		t.Errorf("median = %v", s.Median)
+	}
+}
+
+func TestMedianOdd(t *testing.T) {
+	s := Summarize([]float64{9, 1, 5})
+	if s.Median != 5 {
+		t.Errorf("median = %v", s.Median)
+	}
+}
+
+func TestSample(t *testing.T) {
+	var smp Sample
+	for i := 1; i <= 4; i++ {
+		smp.Add(float64(i))
+	}
+	if smp.N() != 4 {
+		t.Errorf("N = %d", smp.N())
+	}
+	if got := smp.Summary().Mean; got != 2.5 {
+		t.Errorf("mean = %v", got)
+	}
+	vals := smp.Values()
+	vals[0] = 99
+	if smp.Summary().Mean != 2.5 {
+		t.Error("Values returned live slice")
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3})
+	if got := s.String(); got != "2.000 ± 1.000 (n=3)" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+// Properties: min ≤ median ≤ max, min ≤ mean ≤ max, stddev ≥ 0.
+func TestSummaryInvariants(t *testing.T) {
+	f := func(xs []float64) bool {
+		for _, x := range xs {
+			if math.IsNaN(x) || math.Abs(x) > 1e150 {
+				return true // overflow territory, out of scope
+			}
+		}
+		s := Summarize(xs)
+		if s.N == 0 {
+			return len(xs) == 0
+		}
+		return s.Min <= s.Median+1e-9 && s.Median <= s.Max+1e-9 &&
+			s.Min <= s.Mean+1e-9 && s.Mean <= s.Max+1e-9 &&
+			s.StdDev >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,189 @@
+package storage
+
+import (
+	"container/list"
+	"fmt"
+)
+
+// PoolStats counts buffer-pool activity. Physical I/O is on the Disk's
+// counters; these record cache behaviour.
+type PoolStats struct {
+	Hits      int64 // page found in the pool
+	Misses    int64 // page faulted in from disk
+	Evictions int64 // frames reclaimed
+	Flushes   int64 // dirty pages written back
+}
+
+// Frame is a pinned page in the buffer pool. Callers read and mutate the
+// page through Data, call MarkDirty after mutating, and must Unpin the frame
+// when done; a pinned frame is never evicted.
+type Frame struct {
+	id      PageID
+	data    []byte
+	dirty   bool
+	pins    int
+	lruElem *list.Element // position in the unpinned LRU list, nil while pinned
+}
+
+// ID returns the page id held by this frame.
+func (f *Frame) ID() PageID { return f.id }
+
+// Data returns the page contents. The slice aliases pool memory and is valid
+// only while the frame is pinned.
+func (f *Frame) Data() []byte { return f.data }
+
+// MarkDirty records that the page was modified so the pool writes it back
+// before eviction (or on FlushAll).
+func (f *Frame) MarkDirty() { f.dirty = true }
+
+// BufferPool caches disk pages in a bounded set of frames with LRU
+// replacement of unpinned pages. It is not safe for concurrent use; each
+// database owns one pool, mirroring the paper's single-user INGRES setup
+// ("we used Ingres in single-user mode to reduce overhead").
+type BufferPool struct {
+	disk     *Disk
+	capacity int
+	frames   map[PageID]*Frame
+	lru      *list.List // front = most recently unpinned
+	stats    PoolStats
+}
+
+// NewBufferPool returns a pool of the given capacity (frames) over disk.
+// Capacity ≤ 0 selects 64 frames, a deliberately small default so block I/O
+// is observable on the paper's graph sizes.
+func NewBufferPool(disk *Disk, capacity int) *BufferPool {
+	if capacity <= 0 {
+		capacity = 64
+	}
+	return &BufferPool{
+		disk:     disk,
+		capacity: capacity,
+		frames:   make(map[PageID]*Frame, capacity),
+		lru:      list.New(),
+	}
+}
+
+// Capacity returns the number of frames.
+func (bp *BufferPool) Capacity() int { return bp.capacity }
+
+// Stats returns a snapshot of the pool counters.
+func (bp *BufferPool) Stats() PoolStats { return bp.stats }
+
+// Disk exposes the underlying device (for stats snapshots).
+func (bp *BufferPool) Disk() *Disk { return bp.disk }
+
+// Get pins page id, faulting it in from disk if needed, and returns its
+// frame. Every Get must be paired with an Unpin.
+func (bp *BufferPool) Get(id PageID) (*Frame, error) {
+	if f, ok := bp.frames[id]; ok {
+		bp.stats.Hits++
+		bp.pin(f)
+		return f, nil
+	}
+	bp.stats.Misses++
+	f, err := bp.allocateFrame(id)
+	if err != nil {
+		return nil, err
+	}
+	if err := bp.disk.Read(id, f.data); err != nil {
+		delete(bp.frames, id)
+		return nil, err
+	}
+	bp.pin(f)
+	return f, nil
+}
+
+// NewPage allocates a fresh zeroed page on disk and returns it pinned. The
+// frame starts dirty so the page reaches disk even if never written again.
+func (bp *BufferPool) NewPage() (*Frame, error) {
+	id := bp.disk.Allocate()
+	f, err := bp.allocateFrame(id)
+	if err != nil {
+		return nil, err
+	}
+	f.dirty = true
+	bp.pin(f)
+	return f, nil
+}
+
+// Unpin releases one pin on the frame. Fully unpinned frames become eligible
+// for eviction. Unpinning an unpinned frame is a caller bug and panics.
+func (bp *BufferPool) Unpin(f *Frame) {
+	if f.pins <= 0 {
+		panic(fmt.Sprintf("storage: unpin of unpinned page %d", f.id))
+	}
+	f.pins--
+	if f.pins == 0 {
+		f.lruElem = bp.lru.PushFront(f)
+	}
+}
+
+// Discard drops the cached frame for page id, if any, without writing it
+// back — used when the page is about to be freed. Discarding a pinned page
+// is a caller bug and returns an error.
+func (bp *BufferPool) Discard(id PageID) error {
+	f, ok := bp.frames[id]
+	if !ok {
+		return nil
+	}
+	if f.pins > 0 {
+		return fmt.Errorf("storage: discard of pinned page %d", id)
+	}
+	if f.lruElem != nil {
+		bp.lru.Remove(f.lruElem)
+	}
+	delete(bp.frames, id)
+	return nil
+}
+
+// FlushAll writes every dirty cached page back to disk. Pinned pages are
+// flushed too (they stay cached and pinned).
+func (bp *BufferPool) FlushAll() error {
+	for _, f := range bp.frames {
+		if err := bp.flush(f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (bp *BufferPool) flush(f *Frame) error {
+	if !f.dirty {
+		return nil
+	}
+	if err := bp.disk.Write(f.id, f.data); err != nil {
+		return err
+	}
+	f.dirty = false
+	bp.stats.Flushes++
+	return nil
+}
+
+func (bp *BufferPool) pin(f *Frame) {
+	if f.pins == 0 && f.lruElem != nil {
+		bp.lru.Remove(f.lruElem)
+		f.lruElem = nil
+	}
+	f.pins++
+}
+
+// allocateFrame finds room for page id: reuse capacity if available,
+// otherwise evict the least recently used unpinned frame.
+func (bp *BufferPool) allocateFrame(id PageID) (*Frame, error) {
+	if len(bp.frames) >= bp.capacity {
+		victimElem := bp.lru.Back()
+		if victimElem == nil {
+			return nil, fmt.Errorf("storage: buffer pool exhausted: all %d frames pinned", bp.capacity)
+		}
+		victim := victimElem.Value.(*Frame)
+		if err := bp.flush(victim); err != nil {
+			return nil, err
+		}
+		bp.lru.Remove(victimElem)
+		delete(bp.frames, victim.id)
+		bp.stats.Evictions++
+	}
+	f := &Frame{id: id, data: make([]byte, bp.disk.PageSize())}
+	bp.frames[id] = f
+	return f, nil
+}

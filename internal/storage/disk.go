@@ -1,0 +1,201 @@
+// Package storage provides the block-storage substrate the relational
+// engine runs on: a simulated disk of fixed-size pages with read/write
+// accounting, and an LRU buffer pool with pin/unpin semantics.
+//
+// The paper's cost model (Section 4) is denominated in block reads and
+// writes against 4 KiB blocks (Table 4A: B = 4096, t_read = 0.035,
+// t_write = 0.05 time units). The simulated disk counts physical block
+// transfers so the experiment harness can convert an execution trace into
+// the same time units, and the buffer pool reproduces the caching behaviour
+// a real DBMS would add on top.
+package storage
+
+import (
+	"fmt"
+	"sync"
+)
+
+// PageSize is the default block size in bytes, matching Table 4A's B.
+const PageSize = 4096
+
+// PageID identifies a page on a Disk. Valid ids are dense from 0.
+type PageID int32
+
+// InvalidPage is the sentinel for "no page", used in page-chain links.
+const InvalidPage PageID = -1
+
+// DiskStats counts physical block transfers.
+type DiskStats struct {
+	Reads  int64 // blocks read
+	Writes int64 // blocks written
+}
+
+// Sub returns the difference s − o, for measuring an interval between two
+// snapshots.
+func (s DiskStats) Sub(o DiskStats) DiskStats {
+	return DiskStats{Reads: s.Reads - o.Reads, Writes: s.Writes - o.Writes}
+}
+
+// TimeUnits converts the transfer counts into the paper's cost-model time
+// units given per-block read and write costs (Table 4A: 0.035 and 0.05).
+func (s DiskStats) TimeUnits(tRead, tWrite float64) float64 {
+	return float64(s.Reads)*tRead + float64(s.Writes)*tWrite
+}
+
+// Disk is an in-memory simulated block device. It is safe for concurrent
+// use; the engine above it is single-threaded per database but the route
+// server may host several databases.
+type Disk struct {
+	mu       sync.Mutex
+	pageSize int
+	pages    [][]byte
+	free     []PageID // freed page ids available for reuse
+	isFree   map[PageID]bool
+	stats    DiskStats
+
+	// Fault injection (simulated devices get to fail on demand): when a
+	// budget is ≥ 0, it counts down per operation and the operation that
+	// would take it below zero fails.
+	readBudget  int64
+	writeBudget int64
+}
+
+// NewDisk returns an empty disk with the given page size; pageSize ≤ 0
+// selects the default PageSize.
+func NewDisk(pageSize int) *Disk {
+	if pageSize <= 0 {
+		pageSize = PageSize
+	}
+	return &Disk{pageSize: pageSize, isFree: make(map[PageID]bool), readBudget: -1, writeBudget: -1}
+}
+
+// InjectFaults arms fault injection: the disk serves the next `reads` block
+// reads and `writes` block writes, then fails every further one with
+// ErrInjectedFault. Pass -1 to leave a direction unlimited. Arming with
+// (−1, −1) disarms. Fault injection is how the tests exercise the error
+// paths a real device exposes — flush failures during eviction, partial
+// loads, the crash the journal recovers from.
+func (d *Disk) InjectFaults(reads, writes int64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.readBudget = reads
+	d.writeBudget = writes
+}
+
+// ErrInjectedFault is returned by operations beyond an injected fault
+// budget.
+var ErrInjectedFault = fmt.Errorf("storage: injected device fault")
+
+// spend consumes one unit from a fault budget, reporting whether the
+// operation may proceed. Caller holds d.mu.
+func spend(budget *int64) bool {
+	if *budget < 0 {
+		return true
+	}
+	if *budget == 0 {
+		return false
+	}
+	*budget--
+	return true
+}
+
+// PageSize returns the disk's block size in bytes.
+func (d *Disk) PageSize() int { return d.pageSize }
+
+// NumPages returns the number of allocated pages.
+func (d *Disk) NumPages() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.pages)
+}
+
+// Allocate returns a zeroed page, reusing a freed page when one exists and
+// extending the device otherwise. Allocation itself is not counted as I/O;
+// the first write is.
+func (d *Disk) Allocate() PageID {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if n := len(d.free); n > 0 {
+		id := d.free[n-1]
+		d.free = d.free[:n-1]
+		delete(d.isFree, id)
+		clear(d.pages[id])
+		return id
+	}
+	d.pages = append(d.pages, make([]byte, d.pageSize))
+	return PageID(len(d.pages) - 1)
+}
+
+// Free returns a page to the allocator. Freeing an unallocated or
+// already-free page is an error; the page's contents become undefined.
+func (d *Disk) Free(id PageID) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if id < 0 || int(id) >= len(d.pages) {
+		return fmt.Errorf("storage: free of unallocated page %d", id)
+	}
+	if d.isFree[id] {
+		return fmt.Errorf("storage: double free of page %d", id)
+	}
+	d.free = append(d.free, id)
+	d.isFree[id] = true
+	return nil
+}
+
+// FreePages returns how many pages sit on the free list.
+func (d *Disk) FreePages() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.free)
+}
+
+// Read copies page id into buf (which must be at least one page long) and
+// counts one block read.
+func (d *Disk) Read(id PageID, buf []byte) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if id < 0 || int(id) >= len(d.pages) {
+		return fmt.Errorf("storage: read of unallocated page %d", id)
+	}
+	if len(buf) < d.pageSize {
+		return fmt.Errorf("storage: read buffer %d bytes < page size %d", len(buf), d.pageSize)
+	}
+	if !spend(&d.readBudget) {
+		return fmt.Errorf("read page %d: %w", id, ErrInjectedFault)
+	}
+	copy(buf, d.pages[id])
+	d.stats.Reads++
+	return nil
+}
+
+// Write stores buf as the contents of page id and counts one block write.
+func (d *Disk) Write(id PageID, buf []byte) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if id < 0 || int(id) >= len(d.pages) {
+		return fmt.Errorf("storage: write of unallocated page %d", id)
+	}
+	if len(buf) < d.pageSize {
+		return fmt.Errorf("storage: write buffer %d bytes < page size %d", len(buf), d.pageSize)
+	}
+	if !spend(&d.writeBudget) {
+		return fmt.Errorf("write page %d: %w", id, ErrInjectedFault)
+	}
+	copy(d.pages[id], buf)
+	d.stats.Writes++
+	return nil
+}
+
+// Stats returns a snapshot of the transfer counters.
+func (d *Disk) Stats() DiskStats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.stats
+}
+
+// ResetStats zeroes the transfer counters (between experiment phases).
+func (d *Disk) ResetStats() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.stats = DiskStats{}
+}

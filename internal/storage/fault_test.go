@@ -1,0 +1,115 @@
+package storage
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestInjectedReadFault(t *testing.T) {
+	d := NewDisk(64)
+	id := d.Allocate()
+	buf := make([]byte, 64)
+	d.InjectFaults(1, -1)
+	if err := d.Read(id, buf); err != nil {
+		t.Fatalf("first read within budget failed: %v", err)
+	}
+	err := d.Read(id, buf)
+	if !errors.Is(err, ErrInjectedFault) {
+		t.Fatalf("second read: %v, want injected fault", err)
+	}
+	// Disarm: reads flow again.
+	d.InjectFaults(-1, -1)
+	if err := d.Read(id, buf); err != nil {
+		t.Fatalf("read after disarm: %v", err)
+	}
+}
+
+func TestInjectedWriteFault(t *testing.T) {
+	d := NewDisk(64)
+	id := d.Allocate()
+	buf := make([]byte, 64)
+	d.InjectFaults(-1, 0)
+	if err := d.Write(id, buf); !errors.Is(err, ErrInjectedFault) {
+		t.Fatalf("write: %v, want injected fault", err)
+	}
+	if st := d.Stats(); st.Writes != 0 {
+		t.Errorf("failed write counted: %+v", st)
+	}
+}
+
+// Eviction must surface the flush failure to the caller that needed the
+// frame, not swallow it.
+func TestPoolEvictionFlushFaultPropagates(t *testing.T) {
+	d := NewDisk(64)
+	bp := NewBufferPool(d, 1)
+	f, err := bp.NewPage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Data()[0] = 1
+	f.MarkDirty()
+	bp.Unpin(f)
+
+	d.InjectFaults(-1, 0)
+	_, err = bp.NewPage() // must evict and flush the dirty page
+	if !errors.Is(err, ErrInjectedFault) {
+		t.Fatalf("NewPage over faulted flush: %v", err)
+	}
+	// After the fault clears, the pool is usable again and the dirty page
+	// still holds its data (the failed flush must not have corrupted it).
+	d.InjectFaults(-1, -1)
+	g, err := bp.NewPage()
+	if err != nil {
+		t.Fatalf("NewPage after disarm: %v", err)
+	}
+	bp.Unpin(g)
+	h, err := bp.Get(f.ID())
+	if err != nil {
+		t.Fatalf("reload original page: %v", err)
+	}
+	if h.Data()[0] != 1 {
+		t.Errorf("dirty data lost through failed flush: %d", h.Data()[0])
+	}
+	bp.Unpin(h)
+}
+
+func TestPoolGetReadFaultPropagates(t *testing.T) {
+	d := NewDisk(64)
+	bp := NewBufferPool(d, 2)
+	f, _ := bp.NewPage()
+	id := f.ID()
+	f.MarkDirty()
+	bp.Unpin(f)
+	if err := bp.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	// Evict it by filling the pool.
+	a, _ := bp.NewPage()
+	bp.Unpin(a)
+	b, _ := bp.NewPage()
+	bp.Unpin(b)
+
+	d.InjectFaults(0, -1)
+	if _, err := bp.Get(id); !errors.Is(err, ErrInjectedFault) {
+		t.Fatalf("Get over faulted read: %v", err)
+	}
+	// The failed fault-in must not leave a zombie frame behind.
+	d.InjectFaults(-1, -1)
+	g, err := bp.Get(id)
+	if err != nil {
+		t.Fatalf("Get after disarm: %v", err)
+	}
+	bp.Unpin(g)
+}
+
+func TestFlushAllFaultPropagates(t *testing.T) {
+	d := NewDisk(64)
+	bp := NewBufferPool(d, 4)
+	f, _ := bp.NewPage()
+	f.MarkDirty()
+	bp.Unpin(f)
+	d.InjectFaults(-1, 0)
+	if err := bp.FlushAll(); !errors.Is(err, ErrInjectedFault) {
+		t.Fatalf("FlushAll: %v", err)
+	}
+}

@@ -1,0 +1,284 @@
+// Package tuple defines fixed-width tuple schemas and their binary
+// encoding, the record format of the relational engine. Section 4 of the
+// paper stores graphs in two relations with fixed-layout tuples:
+//
+//	S (edge relation):  Begin-node, End-node, Edge-cost
+//	R (node relation):  node-id, x, y, status, path, path-cost
+//
+// Fixed-width records keep the blocking factors (Bf_s, Bf_r of Table 4A)
+// exact, which the cost model depends on.
+package tuple
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Kind is a field type.
+type Kind uint8
+
+const (
+	// Int32 is a 4-byte signed integer (node ids, status codes, links).
+	Int32 Kind = iota
+	// Float64 is an 8-byte IEEE 754 double (costs, coordinates).
+	Float64
+)
+
+// width returns the encoded size of the kind in bytes.
+func (k Kind) width() int {
+	switch k {
+	case Int32:
+		return 4
+	case Float64:
+		return 8
+	default:
+		panic(fmt.Sprintf("tuple: unknown kind %d", k))
+	}
+}
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case Int32:
+		return "int32"
+	case Float64:
+		return "float64"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Field is a named, typed column.
+type Field struct {
+	Name string
+	Kind Kind
+}
+
+// Value is one field value: a tagged union over the supported kinds. The
+// zero Value is an Int32 zero.
+type Value struct {
+	Kind Kind
+	I    int32
+	F    float64
+}
+
+// I32 wraps an int32 as a Value.
+func I32(v int32) Value { return Value{Kind: Int32, I: v} }
+
+// F64 wraps a float64 as a Value.
+func F64(v float64) Value { return Value{Kind: Float64, F: v} }
+
+// Int returns the int32 payload; it panics on kind mismatch, which marks a
+// schema bug at the call site.
+func (v Value) Int() int32 {
+	if v.Kind != Int32 {
+		panic(fmt.Sprintf("tuple: Int() on %s value", v.Kind))
+	}
+	return v.I
+}
+
+// Float returns the float64 payload; it panics on kind mismatch.
+func (v Value) Float() float64 {
+	if v.Kind != Float64 {
+		panic(fmt.Sprintf("tuple: Float() on %s value", v.Kind))
+	}
+	return v.F
+}
+
+// Equal compares two values; values of different kinds are never equal.
+// Float comparison is exact (the engine stores what it was given).
+func (v Value) Equal(o Value) bool {
+	if v.Kind != o.Kind {
+		return false
+	}
+	switch v.Kind {
+	case Int32:
+		return v.I == o.I
+	default:
+		return v.F == o.F
+	}
+}
+
+// Less orders two values of the same kind; it panics on kind mismatch.
+func (v Value) Less(o Value) bool {
+	if v.Kind != o.Kind {
+		panic(fmt.Sprintf("tuple: Less between %s and %s", v.Kind, o.Kind))
+	}
+	switch v.Kind {
+	case Int32:
+		return v.I < o.I
+	default:
+		return v.F < o.F
+	}
+}
+
+// String formats the value for debug output.
+func (v Value) String() string {
+	switch v.Kind {
+	case Int32:
+		return fmt.Sprintf("%d", v.I)
+	default:
+		return fmt.Sprintf("%g", v.F)
+	}
+}
+
+// Schema is an ordered list of fields with a fixed binary layout: fields are
+// encoded back to back in declaration order, little-endian.
+type Schema struct {
+	fields  []Field
+	offsets []int
+	size    int
+	byName  map[string]int
+}
+
+// NewSchema builds a schema from fields. Field names must be unique and
+// non-empty.
+func NewSchema(fields ...Field) (*Schema, error) {
+	s := &Schema{
+		fields:  append([]Field(nil), fields...),
+		offsets: make([]int, len(fields)),
+		byName:  make(map[string]int, len(fields)),
+	}
+	for i, f := range fields {
+		if f.Name == "" {
+			return nil, fmt.Errorf("tuple: field %d has empty name", i)
+		}
+		if _, dup := s.byName[f.Name]; dup {
+			return nil, fmt.Errorf("tuple: duplicate field %q", f.Name)
+		}
+		s.byName[f.Name] = i
+		s.offsets[i] = s.size
+		s.size += f.Kind.width()
+	}
+	return s, nil
+}
+
+// MustSchema is NewSchema that panics on error, for fixed literal schemas.
+func MustSchema(fields ...Field) *Schema {
+	s, err := NewSchema(fields...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Size returns the encoded tuple size in bytes.
+func (s *Schema) Size() int { return s.size }
+
+// NumFields returns the column count.
+func (s *Schema) NumFields() int { return len(s.fields) }
+
+// Field returns column i.
+func (s *Schema) Field(i int) Field { return s.fields[i] }
+
+// Index returns the position of the named column, or an error.
+func (s *Schema) Index(name string) (int, error) {
+	i, ok := s.byName[name]
+	if !ok {
+		return 0, fmt.Errorf("tuple: no field %q in schema %s", name, s)
+	}
+	return i, nil
+}
+
+// MustIndex is Index that panics, for columns known at compile time.
+func (s *Schema) MustIndex(name string) int {
+	i, err := s.Index(name)
+	if err != nil {
+		panic(err)
+	}
+	return i
+}
+
+// BlockingFactor returns how many tuples fit in a block of the given size —
+// the Bf quantities of Table 4A.
+func (s *Schema) BlockingFactor(blockSize int) int {
+	if s.size == 0 {
+		return 0
+	}
+	return blockSize / s.size
+}
+
+// Encode writes vals into buf (which must hold Size() bytes) after checking
+// arity and kinds.
+func (s *Schema) Encode(buf []byte, vals []Value) error {
+	if len(vals) != len(s.fields) {
+		return fmt.Errorf("tuple: %d values for %d fields", len(vals), len(s.fields))
+	}
+	if len(buf) < s.size {
+		return fmt.Errorf("tuple: buffer %d bytes < tuple size %d", len(buf), s.size)
+	}
+	for i, v := range vals {
+		f := s.fields[i]
+		if v.Kind != f.Kind {
+			return fmt.Errorf("tuple: field %q wants %s, got %s", f.Name, f.Kind, v.Kind)
+		}
+		off := s.offsets[i]
+		switch f.Kind {
+		case Int32:
+			binary.LittleEndian.PutUint32(buf[off:], uint32(v.I))
+		case Float64:
+			binary.LittleEndian.PutUint64(buf[off:], math.Float64bits(v.F))
+		}
+	}
+	return nil
+}
+
+// Decode reads a tuple from buf into a fresh value slice.
+func (s *Schema) Decode(buf []byte) ([]Value, error) {
+	vals := make([]Value, len(s.fields))
+	return vals, s.DecodeInto(buf, vals)
+}
+
+// DecodeInto reads a tuple from buf into vals, which must have the schema's
+// arity; it avoids the allocation of Decode on scan hot paths.
+func (s *Schema) DecodeInto(buf []byte, vals []Value) error {
+	if len(buf) < s.size {
+		return fmt.Errorf("tuple: buffer %d bytes < tuple size %d", len(buf), s.size)
+	}
+	if len(vals) != len(s.fields) {
+		return fmt.Errorf("tuple: %d value slots for %d fields", len(vals), len(s.fields))
+	}
+	for i, f := range s.fields {
+		off := s.offsets[i]
+		switch f.Kind {
+		case Int32:
+			vals[i] = I32(int32(binary.LittleEndian.Uint32(buf[off:])))
+		case Float64:
+			vals[i] = F64(math.Float64frombits(binary.LittleEndian.Uint64(buf[off:])))
+		}
+	}
+	return nil
+}
+
+// DecodeField reads only column i from buf, skipping the rest.
+func (s *Schema) DecodeField(buf []byte, i int) (Value, error) {
+	if i < 0 || i >= len(s.fields) {
+		return Value{}, fmt.Errorf("tuple: field index %d out of range", i)
+	}
+	if len(buf) < s.size {
+		return Value{}, fmt.Errorf("tuple: buffer %d bytes < tuple size %d", len(buf), s.size)
+	}
+	off := s.offsets[i]
+	switch s.fields[i].Kind {
+	case Int32:
+		return I32(int32(binary.LittleEndian.Uint32(buf[off:]))), nil
+	default:
+		return F64(math.Float64frombits(binary.LittleEndian.Uint64(buf[off:]))), nil
+	}
+}
+
+// String renders the schema as "(name kind, ...)".
+func (s *Schema) String() string {
+	var sb strings.Builder
+	sb.WriteByte('(')
+	for i, f := range s.fields {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		fmt.Fprintf(&sb, "%s %s", f.Name, f.Kind)
+	}
+	sb.WriteByte(')')
+	return sb.String()
+}

@@ -1,0 +1,208 @@
+package tuple
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func edgeSchema(t *testing.T) *Schema {
+	t.Helper()
+	s, err := NewSchema(
+		Field{"begin", Int32},
+		Field{"end", Int32},
+		Field{"cost", Float64},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestSchemaLayout(t *testing.T) {
+	s := edgeSchema(t)
+	if s.Size() != 16 {
+		t.Errorf("Size = %d, want 16 (4+4+8)", s.Size())
+	}
+	if s.NumFields() != 3 {
+		t.Errorf("NumFields = %d", s.NumFields())
+	}
+	if f := s.Field(2); f.Name != "cost" || f.Kind != Float64 {
+		t.Errorf("Field(2) = %+v", f)
+	}
+	if i, err := s.Index("end"); err != nil || i != 1 {
+		t.Errorf("Index(end) = %d, %v", i, err)
+	}
+	if _, err := s.Index("ghost"); err == nil {
+		t.Error("Index of unknown field succeeded")
+	}
+	if s.MustIndex("begin") != 0 {
+		t.Error("MustIndex(begin) != 0")
+	}
+	if s.String() != "(begin int32, end int32, cost float64)" {
+		t.Errorf("String = %q", s.String())
+	}
+}
+
+func TestSchemaValidation(t *testing.T) {
+	if _, err := NewSchema(Field{"", Int32}); err == nil {
+		t.Error("empty field name accepted")
+	}
+	if _, err := NewSchema(Field{"a", Int32}, Field{"a", Float64}); err == nil {
+		t.Error("duplicate field name accepted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustSchema did not panic on bad schema")
+		}
+	}()
+	MustSchema(Field{"", Int32})
+}
+
+func TestBlockingFactor(t *testing.T) {
+	s := edgeSchema(t) // 16 bytes
+	if bf := s.BlockingFactor(4096); bf != 256 {
+		t.Errorf("BlockingFactor(4096) = %d, want 256", bf)
+	}
+	empty := MustSchema()
+	if bf := empty.BlockingFactor(4096); bf != 0 {
+		t.Errorf("empty schema blocking factor = %d", bf)
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	s := edgeSchema(t)
+	buf := make([]byte, s.Size())
+	in := []Value{I32(7), I32(-9), F64(3.25)}
+	if err := s.Encode(buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := s.Decode(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range in {
+		if !in[i].Equal(out[i]) {
+			t.Errorf("field %d: %v != %v", i, in[i], out[i])
+		}
+	}
+}
+
+func TestEncodeErrors(t *testing.T) {
+	s := edgeSchema(t)
+	buf := make([]byte, s.Size())
+	if err := s.Encode(buf, []Value{I32(1)}); err == nil {
+		t.Error("arity mismatch accepted")
+	}
+	if err := s.Encode(buf, []Value{F64(1), I32(2), F64(3)}); err == nil {
+		t.Error("kind mismatch accepted")
+	}
+	if err := s.Encode(make([]byte, 3), []Value{I32(1), I32(2), F64(3)}); err == nil {
+		t.Error("short buffer accepted")
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	s := edgeSchema(t)
+	if _, err := s.Decode(make([]byte, 3)); err == nil {
+		t.Error("short buffer accepted")
+	}
+	vals := make([]Value, 1)
+	if err := s.DecodeInto(make([]byte, s.Size()), vals); err == nil {
+		t.Error("arity mismatch accepted")
+	}
+}
+
+func TestDecodeField(t *testing.T) {
+	s := edgeSchema(t)
+	buf := make([]byte, s.Size())
+	if err := s.Encode(buf, []Value{I32(5), I32(6), F64(-0.5)}); err != nil {
+		t.Fatal(err)
+	}
+	v, err := s.DecodeField(buf, 2)
+	if err != nil || v.Float() != -0.5 {
+		t.Errorf("DecodeField(2) = %v, %v", v, err)
+	}
+	v, err = s.DecodeField(buf, 0)
+	if err != nil || v.Int() != 5 {
+		t.Errorf("DecodeField(0) = %v, %v", v, err)
+	}
+	if _, err := s.DecodeField(buf, 9); err == nil {
+		t.Error("out-of-range field accepted")
+	}
+	if _, err := s.DecodeField(make([]byte, 2), 0); err == nil {
+		t.Error("short buffer accepted")
+	}
+}
+
+func TestValueAccessorsAndPanics(t *testing.T) {
+	if I32(3).Int() != 3 {
+		t.Error("Int round trip")
+	}
+	if F64(2.5).Float() != 2.5 {
+		t.Error("Float round trip")
+	}
+	assertPanics := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	assertPanics("Int on float", func() { F64(1).Int() })
+	assertPanics("Float on int", func() { I32(1).Float() })
+	assertPanics("Less across kinds", func() { I32(1).Less(F64(2)) })
+}
+
+func TestValueCompare(t *testing.T) {
+	if !I32(1).Less(I32(2)) || I32(2).Less(I32(1)) {
+		t.Error("int Less broken")
+	}
+	if !F64(1.5).Less(F64(2)) {
+		t.Error("float Less broken")
+	}
+	if I32(1).Equal(F64(1)) {
+		t.Error("cross-kind Equal true")
+	}
+	if !I32(4).Equal(I32(4)) || !F64(0.5).Equal(F64(0.5)) {
+		t.Error("Equal broken")
+	}
+	if I32(4).String() != "4" || F64(2.5).String() != "2.5" {
+		t.Error("String broken")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Int32.String() != "int32" || Float64.String() != "float64" {
+		t.Error("kind names wrong")
+	}
+	if Kind(9).String() != "Kind(9)" {
+		t.Errorf("unknown kind = %q", Kind(9).String())
+	}
+}
+
+// Property: encode/decode round-trips arbitrary values, including
+// special floats (NaN is excluded: NaN != NaN by design).
+func TestRoundTripProperty(t *testing.T) {
+	s := MustSchema(Field{"a", Int32}, Field{"b", Float64}, Field{"c", Int32})
+	f := func(a int32, bf float64, c int32) bool {
+		if math.IsNaN(bf) {
+			return true
+		}
+		buf := make([]byte, s.Size())
+		in := []Value{I32(a), F64(bf), I32(c)}
+		if err := s.Encode(buf, in); err != nil {
+			return false
+		}
+		out, err := s.Decode(buf)
+		if err != nil {
+			return false
+		}
+		return out[0].Int() == a && out[1].Float() == bf && out[2].Int() == c
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

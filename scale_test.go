@@ -1,0 +1,75 @@
+// Package-level scale tests: larger instances than the paper's, exercising
+// the full stack at sizes a modern laptop handles trivially but which shake
+// out quadratic accidents. Skipped under -short.
+package repro_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dbsearch"
+	"repro/internal/estimator"
+	"repro/internal/gridgen"
+	"repro/internal/search"
+)
+
+func TestScaleGrid50(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale test")
+	}
+	const k = 50 // 2500 nodes, 9800 directed edges
+	g := gridgen.MustGenerate(gridgen.Config{K: k, Model: gridgen.Variance, Seed: benchSeed})
+	s, d := gridgen.Pair(k, gridgen.Diagonal, benchSeed)
+
+	dij, err := search.Dijkstra(g, s, d)
+	if err != nil || !dij.Found {
+		t.Fatalf("dijkstra: %v", err)
+	}
+	ast, err := search.AStar(g, s, d, estimator.Manhattan())
+	if err != nil {
+		t.Fatal(err)
+	}
+	it, err := search.Iterative(g, s, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(dij.Cost-ast.Cost) > 1e-9 || math.Abs(dij.Cost-it.Cost) > 1e-9 {
+		t.Fatalf("costs disagree at scale: %v / %v / %v", dij.Cost, ast.Cost, it.Cost)
+	}
+	if it.Trace.Iterations != 2*(k-1)+1 {
+		t.Errorf("iterative rounds = %d, want %d", it.Trace.Iterations, 2*(k-1)+1)
+	}
+	if dij.Trace.Iterations < k*k-10 {
+		t.Errorf("dijkstra explored %d of %d", dij.Trace.Iterations, k*k)
+	}
+
+	// Alternates and landmarks still behave at this size.
+	paths, err := search.KShortest(g, s, gridgen.NodeAt(k, 5, 5), 3)
+	if err != nil || len(paths) != 3 {
+		t.Fatalf("k-shortest at scale: %v, %d paths", err, len(paths))
+	}
+}
+
+func TestScaleDBEngine30(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale test")
+	}
+	const k = 30
+	g := gridgen.MustGenerate(gridgen.Config{K: k, Model: gridgen.Variance, Seed: benchSeed})
+	m, err := dbsearch.OpenMap(g, dbsearch.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, d := gridgen.Pair(k, gridgen.Diagonal, benchSeed)
+	res, err := m.RunBestFirst(s, d, dbsearch.DijkstraConfig())
+	if err != nil || !res.Found {
+		t.Fatalf("db dijkstra at 30x30: %v", err)
+	}
+	if res.Iterations != 899 {
+		t.Errorf("iterations = %d, want 899 (Table 5)", res.Iterations)
+	}
+	oracle, _ := search.Dijkstra(g, s, d)
+	if math.Abs(res.Cost-oracle.Cost) > 1e-9 {
+		t.Errorf("db cost %v != oracle %v", res.Cost, oracle.Cost)
+	}
+}
