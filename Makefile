@@ -1,0 +1,32 @@
+# Tiered verification for the ATIS reproduction.
+#
+#   make test   — tier 1: build + unit tests (the seed gate)
+#   make check  — tier 2: vet + full suite under the race detector,
+#                 exercising the concurrent query engine (pooled
+#                 workspaces, route cache, batch fan-out)
+#   make bench  — regenerate the concurrent-engine benchmarks behind
+#                 BENCH_PR1.json
+
+GO ?= go
+
+.PHONY: build test vet race check bench bench-paper
+
+build:
+	$(GO) build ./...
+
+test: build
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+check: vet race
+
+bench:
+	$(GO) test -run xxx -bench 'RepeatedQueries|SearchParallel|RouteServiceParallel|BatchCompute|ALTPreprocess' -benchmem .
+
+bench-paper:
+	$(GO) test -run xxx -bench 'Table|Figure|Ablation' -benchmem .

@@ -1,0 +1,85 @@
+package httpapi
+
+import (
+	"net/http"
+	"testing"
+)
+
+type batchRouteBody struct {
+	Found bool    `json:"found"`
+	Cost  float64 `json:"cost"`
+	Nodes []int32 `json:"nodes"`
+	Error string  `json:"error"`
+}
+
+type batchBody struct {
+	Count  int              `json:"count"`
+	Routes []batchRouteBody `json:"routes"`
+}
+
+func TestBatchEndpoint(t *testing.T) {
+	ts := newTestServer(t)
+	var body batchBody
+	resp := postJSON(t, ts.URL+"/routes/batch",
+		`{"pairs":[{"from":"A","to":"B"},{"from":"B","to":"A"},{"from":"A","to":"nowhere"}],"algo":"dijkstra"}`,
+		&body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if body.Count != 3 || len(body.Routes) != 3 {
+		t.Fatalf("count = %d routes = %d, want 3", body.Count, len(body.Routes))
+	}
+	if !body.Routes[0].Found || body.Routes[0].Cost <= 0 {
+		t.Fatalf("route 0: %+v", body.Routes[0])
+	}
+	if !body.Routes[1].Found {
+		t.Fatalf("route 1: %+v", body.Routes[1])
+	}
+	if body.Routes[2].Error == "" || body.Routes[2].Cost != -1 {
+		t.Fatalf("route 2 must fail per-pair: %+v", body.Routes[2])
+	}
+
+	// A repeat of the same batch is served from the route cache.
+	postJSON(t, ts.URL+"/routes/batch", `{"pairs":[{"from":"A","to":"B"}]}`, nil)
+	postJSON(t, ts.URL+"/routes/batch", `{"pairs":[{"from":"A","to":"B"}]}`, nil)
+	var stats struct {
+		CacheHits      uint64 `json:"cacheHits"`
+		CacheMisses    uint64 `json:"cacheMisses"`
+		CostGeneration uint64 `json:"costGeneration"`
+	}
+	getJSON(t, ts.URL+"/stats", &stats)
+	if stats.CacheHits == 0 {
+		t.Fatalf("expected cache hits after repeated batch, got %+v", stats)
+	}
+}
+
+func TestBatchEndpointErrors(t *testing.T) {
+	ts := newTestServer(t)
+	if resp := postJSON(t, ts.URL+"/routes/batch", `{"pairs":[]}`, nil); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty batch: status = %d", resp.StatusCode)
+	}
+	if resp := postJSON(t, ts.URL+"/routes/batch", `{"pairs":[{"from":"A","to":"B"}],"algo":"warp-drive"}`, nil); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad algo: status = %d", resp.StatusCode)
+	}
+	resp, err := http.Get(ts.URL + "/routes/batch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET: status = %d", resp.StatusCode)
+	}
+}
+
+func TestStatsGenerationTracksTraffic(t *testing.T) {
+	ts := newTestServer(t)
+	var before, after struct {
+		CostGeneration uint64 `json:"costGeneration"`
+	}
+	getJSON(t, ts.URL+"/stats", &before)
+	postJSON(t, ts.URL+"/traffic", `{"x":16,"y":16,"radius":100,"factor":2}`, nil)
+	getJSON(t, ts.URL+"/stats", &after)
+	if after.CostGeneration != before.CostGeneration+1 {
+		t.Fatalf("generation %d → %d, want +1", before.CostGeneration, after.CostGeneration)
+	}
+}

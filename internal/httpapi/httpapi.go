@@ -4,11 +4,13 @@
 // net/http/httptest.
 //
 //	GET  /route?from=A&to=B&algo=astar-euclidean&weight=1   route computation
+//	POST /routes/batch {"pairs":[{"from":"A","to":"B"},…]}  batched computation
 //	POST /evaluate  {"nodes":[1,2,3]}                       route evaluation
 //	GET  /display?from=A&to=B                               route display (text map)
 //	POST /traffic   {"x":16,"y":16,"radius":4,"factor":2}   regional congestion
 //	POST /traffic/reset                                     restore free flow
 //	GET  /map                                               map metadata
+//	GET  /stats                                             cache/generation counters
 package httpapi
 
 import (
@@ -35,6 +37,8 @@ func NewServer(svc *route.Service) *Server { return &Server{svc: svc} }
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/route", s.handleRoute)
+	mux.HandleFunc("/routes/batch", s.handleBatch)
+	mux.HandleFunc("/stats", s.handleStats)
 	mux.HandleFunc("/evaluate", s.handleEvaluate)
 	mux.HandleFunc("/display", s.handleDisplay)
 	mux.HandleFunc("/traffic", s.handleTraffic)
@@ -164,6 +168,109 @@ func (s *Server) handleRoute(w http.ResponseWriter, r *http.Request) {
 		resp.Cost = -1
 	}
 	writeJSON(w, resp)
+}
+
+// maxBatchPairs bounds one /routes/batch request; larger fleets should
+// split their requests.
+const maxBatchPairs = 1024
+
+// handleBatch fans a slice of origin–destination pairs across the route
+// service's worker pool: POST /routes/batch
+// {"pairs":[{"from":"A","to":"B"},…],"algo":"dijkstra","weight":1}.
+// The response carries one entry per pair, positionally aligned; a bad
+// endpoint yields a per-entry error instead of failing the batch.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, fmt.Errorf("POST required"))
+		return
+	}
+	var body struct {
+		Pairs []struct {
+			From string `json:"from"`
+			To   string `json:"to"`
+		} `json:"pairs"`
+		Algo   string  `json:"algo"`
+		Weight float64 `json:"weight"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(body.Pairs) == 0 {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("empty batch"))
+		return
+	}
+	if len(body.Pairs) > maxBatchPairs {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("batch of %d pairs exceeds limit %d", len(body.Pairs), maxBatchPairs))
+		return
+	}
+	opts := core.Options{Weight: body.Weight}
+	if body.Algo != "" {
+		algo, err := core.ParseAlgorithm(body.Algo)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		opts.Algorithm = algo
+	}
+
+	type item struct {
+		RouteResponse
+		Error string `json:"error,omitempty"`
+	}
+	items := make([]item, len(body.Pairs))
+	pairs := make([]route.Pair, 0, len(body.Pairs))
+	idx := make([]int, 0, len(body.Pairs)) // items slot per resolvable pair
+	for i, p := range body.Pairs {
+		from, err := s.resolve(p.From)
+		if err != nil {
+			items[i] = item{RouteResponse: RouteResponse{Cost: -1}, Error: err.Error()}
+			continue
+		}
+		to, err := s.resolve(p.To)
+		if err != nil {
+			items[i] = item{RouteResponse: RouteResponse{Cost: -1}, Error: err.Error()}
+			continue
+		}
+		pairs = append(pairs, route.Pair{From: from, To: to})
+		idx = append(idx, i)
+	}
+
+	for j, res := range s.svc.ComputeBatch(pairs, opts) {
+		i := idx[j]
+		if res.Err != nil {
+			items[i] = item{RouteResponse: RouteResponse{Cost: -1}, Error: res.Err.Error()}
+			continue
+		}
+		rt := res.Route
+		resp := RouteResponse{
+			Found:      rt.Found,
+			Cost:       rt.Cost,
+			Algorithm:  rt.Algorithm.String(),
+			Iterations: rt.Trace.Iterations,
+		}
+		if rt.Found {
+			for _, u := range rt.Path.Nodes {
+				resp.Nodes = append(resp.Nodes, int32(u))
+			}
+		} else {
+			resp.Cost = -1
+		}
+		items[i] = item{RouteResponse: resp}
+	}
+	writeJSON(w, map[string]any{"count": len(items), "routes": items})
+}
+
+// handleStats reports the concurrent engine's counters:
+// GET /stats → {"cacheHits":…,"cacheMisses":…,"cacheEntries":…,"costGeneration":…}.
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	hits, misses, entries := s.svc.CacheStats()
+	writeJSON(w, map[string]any{
+		"cacheHits":      hits,
+		"cacheMisses":    misses,
+		"cacheEntries":   entries,
+		"costGeneration": s.svc.CostGeneration(),
+	})
 }
 
 func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {

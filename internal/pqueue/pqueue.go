@@ -34,6 +34,45 @@ func NewIndexed(capacity int) *Indexed {
 // Len returns the number of items currently queued.
 func (h *Indexed) Len() int { return len(h.items) }
 
+// Reset empties the heap while retaining all backing storage, so a pooled
+// workspace can reuse it across queries without reallocation. Cost is
+// O(queued items), not O(capacity): only the position entries of items
+// still queued need clearing.
+func (h *Indexed) Reset() {
+	for _, item := range h.items {
+		h.pos[item] = -1
+	}
+	h.items = h.items[:0]
+	h.prio = h.prio[:0]
+	h.tie = h.tie[:0]
+}
+
+// Grow extends the heap's item range to at least [0, capacity), retaining
+// queued entries and backing storage. It is a no-op when the heap already
+// covers the range.
+func (h *Indexed) Grow(capacity int) {
+	if capacity <= len(h.pos) {
+		return
+	}
+	if capacity <= cap(h.pos) {
+		old := len(h.pos)
+		h.pos = h.pos[:capacity]
+		for i := old; i < capacity; i++ {
+			h.pos[i] = -1
+		}
+		return
+	}
+	pos := make([]int, capacity)
+	copy(pos, h.pos)
+	for i := len(h.pos); i < capacity; i++ {
+		pos[i] = -1
+	}
+	h.pos = pos
+}
+
+// Capacity returns the item range [0, capacity) the heap accepts.
+func (h *Indexed) Capacity() int { return len(h.pos) }
+
 // Contains reports whether item is currently queued.
 func (h *Indexed) Contains(item int) bool {
 	return item >= 0 && item < len(h.pos) && h.pos[item] >= 0
@@ -221,6 +260,9 @@ func NewPlain(capacityHint int) *Plain {
 
 // Len returns the number of queued entries, counting duplicates.
 func (h *Plain) Len() int { return len(h.entries) }
+
+// Reset empties the heap while retaining the backing slice.
+func (h *Plain) Reset() { h.entries = h.entries[:0] }
 
 // Push inserts an entry; duplicates of the same item are allowed.
 func (h *Plain) Push(item int, priority float64) { h.PushTie(item, priority, 0) }

@@ -1,0 +1,58 @@
+package route
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// Pair is one origin–destination request of a batch.
+type Pair struct {
+	From, To graph.NodeID
+}
+
+// BatchResult is the outcome for one pair of a batch; Err is per-pair so a
+// single bad endpoint does not fail the rest of the batch.
+type BatchResult struct {
+	Route core.Route
+	Err   error
+}
+
+// ComputeBatch computes a route for every pair under opts, fanning the
+// pairs across a GOMAXPROCS-bounded worker pool. Results are positionally
+// aligned with pairs. Each worker query goes through Compute, so the batch
+// both profits from and feeds the route cache — a fleet of vehicles asking
+// for overlapping commutes is the paper's "millions of users" workload in
+// miniature. Workers claim pairs from a shared atomic counter, so skewed
+// per-pair costs stay balanced.
+func (s *Service) ComputeBatch(pairs []Pair, opts core.Options) []BatchResult {
+	out := make([]BatchResult, len(pairs))
+	if len(pairs) == 0 {
+		return out
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(pairs) {
+		workers = len(pairs)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(pairs) {
+					return
+				}
+				rt, err := s.Compute(pairs[i].From, pairs[i].To, opts)
+				out[i] = BatchResult{Route: rt, Err: err}
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}

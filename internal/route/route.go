@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/asciichart"
 	"repro/internal/core"
@@ -29,11 +30,26 @@ import (
 
 // Service owns a mutable snapshot of a road network and serves the three
 // ATIS facilities over it.
+//
+// Locking discipline: mu is a readers–writer lock over the cost snapshot.
+// Every query path (Compute, Evaluate, Display, Alternates, Nearest,
+// Reachable, Directions, …) takes mu.RLock, so arbitrarily many queries run
+// concurrently; only the traffic mutators (ApplyCongestion,
+// ApplyRegionCongestion, ResetTraffic) take the full mu.Lock. gen is the
+// cost generation: it is read under RLock and bumped under Lock by every
+// mutator, so a query's generation is always consistent with the costs it
+// read. The route cache is keyed on (endpoints, options, generation) and has
+// its own per-shard locks — never acquired while holding mu's write lock.
 type Service struct {
 	mu      sync.RWMutex
 	base    *graph.Graph // pristine costs, for congestion ratios and reset
 	current *graph.Graph // live costs
 	planner *core.Planner
+	gen     uint64 // cost generation; bumped by every traffic mutation
+
+	cache     *routeCache
+	cacheHits atomic.Uint64
+	cacheMiss atomic.Uint64
 }
 
 // NewService snapshots g (deep copies) so traffic updates never touch the
@@ -44,7 +60,23 @@ func NewService(g *graph.Graph) *Service {
 		base:    g.Clone(),
 		current: cur,
 		planner: core.NewPlanner(cur),
+		cache:   newRouteCache(defaultCacheCapacity),
 	}
+}
+
+// CostGeneration returns the current cost generation. It starts at zero and
+// increases by one on every traffic mutation; two equal generations imply
+// identical edge costs.
+func (s *Service) CostGeneration() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.gen
+}
+
+// CacheStats reports route-cache hits, misses, and resident entries since
+// the service was created.
+func (s *Service) CacheStats() (hits, misses uint64, entries int) {
+	return s.cacheHits.Load(), s.cacheMiss.Load(), s.cache.len()
 }
 
 // Graph returns the live graph snapshot. Callers must treat it as
@@ -55,18 +87,50 @@ func (s *Service) Graph() *graph.Graph {
 	return s.current
 }
 
-// Compute runs route computation between nodes.
+// Compute runs route computation between nodes, consulting the
+// generation-keyed cache first: repeated queries for the same endpoints and
+// options under unchanged traffic are served from memory without touching
+// the search engine. A traffic mutation bumps the cost generation, which
+// implicitly invalidates every cached route at once.
 func (s *Service) Compute(from, to graph.NodeID, opts core.Options) (core.Route, error) {
 	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.planner.Route(from, to, opts)
+	key := cacheKey{
+		from: from, to: to,
+		algo: opts.Algorithm, weight: opts.Weight, frontier: opts.Frontier,
+		gen: s.gen,
+	}
+	if rt, ok := s.cache.get(key); ok {
+		s.mu.RUnlock()
+		s.cacheHits.Add(1)
+		return rt, nil
+	}
+	rt, err := s.planner.Route(from, to, opts)
+	s.mu.RUnlock()
+	s.cacheMiss.Add(1)
+	if err != nil {
+		return rt, err
+	}
+	// Stored under the generation observed while holding RLock: if a traffic
+	// mutation landed after we released it, the entry sits under the old
+	// generation and will never be served.
+	s.cache.put(key, rt)
+	return rt, nil
 }
 
-// ComputeByName runs route computation between named landmarks.
+// ComputeByName runs route computation between named landmarks. Name
+// resolution uses the immutable graph structure, so the call shares
+// Compute's cache.
 func (s *Service) ComputeByName(from, to string, opts core.Options) (core.Route, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.planner.RouteByName(from, to, opts)
+	g := s.Graph()
+	f, ok := g.Lookup(from)
+	if !ok {
+		return core.Route{}, fmt.Errorf("route: unknown landmark %q", from)
+	}
+	t, ok := g.Lookup(to)
+	if !ok {
+		return core.Route{}, fmt.Errorf("route: unknown landmark %q", to)
+	}
+	return s.Compute(f, t, opts)
 }
 
 // ComputeVia plans a route that visits every stop in order — the errand run
@@ -282,6 +346,9 @@ func (s *Service) ApplyCongestion(from, to graph.NodeID, factor float64) (bool, 
 	if err != nil && !fwd {
 		return false, err
 	}
+	if fwd || rev {
+		s.gen++ // costs changed: retire every cached route
+	}
 	return fwd || rev, nil
 }
 
@@ -304,6 +371,9 @@ func (s *Service) ApplyRegionCongestion(center graph.Point, radius, factor float
 			affected++
 		}
 	}
+	if affected > 0 {
+		s.gen++ // costs changed: retire every cached route
+	}
 	return affected, nil
 }
 
@@ -317,4 +387,5 @@ func (s *Service) ResetTraffic() {
 			panic(fmt.Sprintf("route: snapshot structure diverged: %v", err))
 		}
 	}
+	s.gen++ // costs changed: retire every cached route
 }

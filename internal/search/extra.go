@@ -6,7 +6,6 @@ import (
 
 	"repro/internal/estimator"
 	"repro/internal/graph"
-	"repro/internal/pqueue"
 )
 
 // SingleSource computes shortest-path costs from s to every node of g with
@@ -28,7 +27,11 @@ func SingleSource(g *graph.Graph, s graph.NodeID) (dist []float64, prev []graph.
 	if s < 0 || int(s) >= n {
 		return dist, prev
 	}
-	h := pqueue.NewIndexed(n)
+	// dist and prev escape to the caller and must be fresh allocations; the
+	// heap does not, so it comes from the workspace pool.
+	ws := acquireWorkspace(n)
+	defer releaseWorkspace(ws)
+	h := ws.heap
 	dist[s] = 0
 	h.Push(int(s), 0)
 	for {
@@ -64,26 +67,20 @@ func Bidirectional(g *graph.Graph, s, d graph.NodeID) (Result, error) {
 	rg := g.Reverse()
 	n := g.NumNodes()
 
-	distF := make([]float64, n)
-	distB := make([]float64, n)
-	for i := range distF {
-		distF[i] = math.Inf(1)
-		distB[i] = math.Inf(1)
-	}
-	prevF := make([]graph.NodeID, n)
-	nextB := make([]graph.NodeID, n) // successor toward d in the original graph
-	for i := range prevF {
-		prevF[i] = graph.Invalid
-		nextB[i] = graph.Invalid
-	}
-	closedF := make([]bool, n)
-	closedB := make([]bool, n)
+	ws := acquireWorkspace(n)
+	defer releaseWorkspace(ws)
+	ws.ensureBackward(n)
+	// Forward labels: lbF.prev is the shortest-path tree from s. Backward
+	// labels: lbB.prev holds the successor toward d in the original graph.
+	lbF, lbB := &ws.fwd, &ws.bwd
 
-	hf := pqueue.NewIndexed(n)
-	hb := pqueue.NewIndexed(n)
-	distF[s] = 0
+	hf := ws.heap
+	hb := ws.bh
+	lbF.touch(s)
+	lbF.dist[s] = 0
 	hf.Push(int(s), 0)
-	distB[d] = 0
+	lbB.touch(d)
+	lbB.dist[d] = 0
 	hb.Push(int(d), 0)
 
 	best := math.Inf(1)
@@ -91,7 +88,7 @@ func Bidirectional(g *graph.Graph, s, d graph.NodeID) (Result, error) {
 	var tr Trace
 
 	update := func(v graph.NodeID) {
-		if total := distF[v] + distB[v]; total < best {
+		if total := lbF.distAt(v) + lbB.distAt(v); total < best {
 			best = total
 			meet = v
 		}
@@ -118,19 +115,20 @@ func Bidirectional(g *graph.Graph, s, d graph.NodeID) (Result, error) {
 		if pf <= pb {
 			ui, du, _ := hf.PopMin()
 			u := graph.NodeID(ui)
-			closedF[u] = true
+			lbF.flags[u] |= flagClosed
 			tr.Iterations++
 			tr.Expansions++
 			g.Neighbors(u, func(a graph.Arc) {
 				tr.Relaxations++
 				v := a.Head
-				if closedF[v] {
+				lbF.touch(v)
+				if lbF.flags[v]&flagClosed != 0 {
 					return
 				}
 				nd := du + a.Cost
-				if nd < distF[v] {
-					distF[v] = nd
-					prevF[v] = u
+				if nd < lbF.dist[v] {
+					lbF.dist[v] = nd
+					lbF.prev[v] = u
 					tr.Improvements++
 					hf.PushOrUpdate(int(v), nd)
 					update(v)
@@ -140,19 +138,20 @@ func Bidirectional(g *graph.Graph, s, d graph.NodeID) (Result, error) {
 		} else {
 			ui, du, _ := hb.PopMin()
 			u := graph.NodeID(ui)
-			closedB[u] = true
+			lbB.flags[u] |= flagClosed
 			tr.Iterations++
 			tr.Expansions++
 			rg.Neighbors(u, func(a graph.Arc) {
 				tr.Relaxations++
 				v := a.Head
-				if closedB[v] {
+				lbB.touch(v)
+				if lbB.flags[v]&flagClosed != 0 {
 					return
 				}
 				nd := du + a.Cost
-				if nd < distB[v] {
-					distB[v] = nd
-					nextB[v] = u
+				if nd < lbB.dist[v] {
+					lbB.dist[v] = nd
+					lbB.prev[v] = u
 					tr.Improvements++
 					hb.PushOrUpdate(int(v), nd)
 					update(v)
@@ -166,15 +165,16 @@ func Bidirectional(g *graph.Graph, s, d graph.NodeID) (Result, error) {
 		return notFound(tr), nil
 	}
 	// Stitch: s → … → meet from the forward tree, then meet → … → d from the
-	// backward tree's successor pointers.
-	forward := graph.BuildPath(prevF, s, meet)
+	// backward tree's successor pointers. Every node on the winning path was
+	// touched this query, so the pooled label arrays are safe to follow.
+	forward := graph.BuildPath(lbF.prev, s, meet)
 	nodes := append([]graph.NodeID(nil), forward.Nodes...)
-	for at := nextB[meet]; at != graph.Invalid; {
+	for at := lbB.prev[meet]; at != graph.Invalid; {
 		nodes = append(nodes, at)
 		if at == d {
 			break
 		}
-		at = nextB[at]
+		at = lbB.prev[at]
 	}
 	if len(nodes) == 0 || nodes[len(nodes)-1] != d || nodes[0] != s {
 		return notFound(tr), nil
@@ -196,12 +196,12 @@ func Within(g *graph.Graph, s graph.NodeID, budget float64) (map[graph.NodeID]fl
 		return nil, fmt.Errorf("search: budget %v must be non-negative", budget)
 	}
 	n := g.NumNodes()
-	dist := make([]float64, n)
-	for i := range dist {
-		dist[i] = math.Inf(1)
-	}
-	h := pqueue.NewIndexed(n)
-	dist[s] = 0
+	ws := acquireWorkspace(n)
+	defer releaseWorkspace(ws)
+	lb := &ws.fwd
+	h := ws.heap
+	lb.touch(s)
+	lb.dist[s] = 0
 	h.Push(int(s), 0)
 	out := make(map[graph.NodeID]float64)
 	for {
@@ -212,10 +212,12 @@ func Within(g *graph.Graph, s graph.NodeID, budget float64) (map[graph.NodeID]fl
 		u := graph.NodeID(ui)
 		out[u] = du
 		g.Neighbors(u, func(a graph.Arc) {
+			v := a.Head
+			lb.touch(v)
 			nd := du + a.Cost
-			if nd < dist[a.Head] && nd <= budget {
-				dist[a.Head] = nd
-				h.PushOrUpdate(int(a.Head), nd)
+			if nd < lb.dist[v] && nd <= budget {
+				lb.dist[v] = nd
+				h.PushOrUpdate(int(v), nd)
 			}
 		})
 	}

@@ -92,20 +92,17 @@ func Iterative(g *graph.Graph, s, d graph.NodeID) (Result, error) {
 	if err := validatePair(g, s, d); err != nil {
 		return Result{}, err
 	}
-	n := g.NumNodes()
-	dist := make([]float64, n)
-	for i := range dist {
-		dist[i] = math.Inf(1)
-	}
-	prev := make([]graph.NodeID, n)
-	for i := range prev {
-		prev[i] = graph.Invalid
-	}
-	inFrontier := make([]bool, n)
+	ws := acquireWorkspace(g.NumNodes())
+	defer releaseWorkspace(ws)
+	lb := &ws.fwd
 
-	dist[s] = 0
-	frontier := []graph.NodeID{s}
-	inFrontier[s] = true
+	lb.touch(s)
+	lb.dist[s] = 0
+	lb.flags[s] |= flagFrontier
+	// Two frontier buffers ping-pong across rounds; the workspace retains
+	// their grown backing arrays for the next query.
+	frontier := append(ws.frontier[:0], s)
+	next := ws.next[:0]
 
 	var tr Trace
 	for len(frontier) > 0 {
@@ -113,37 +110,39 @@ func Iterative(g *graph.Graph, s, d graph.NodeID) (Result, error) {
 		if len(frontier) > tr.MaxFrontier {
 			tr.MaxFrontier = len(frontier)
 		}
-		next := frontier[:0:0] // fresh slice; frontier is consumed wholesale
+		next = next[:0] // frontier is consumed wholesale
 		for _, u := range frontier {
-			inFrontier[u] = false
+			lb.flags[u] &^= flagFrontier
 			tr.Expansions++
 			g.Neighbors(u, func(a graph.Arc) {
 				tr.Relaxations++
-				nd := dist[u] + a.Cost
-				if nd < dist[a.Head] {
-					if !math.IsInf(dist[a.Head], 1) && !inFrontier[a.Head] {
+				lb.touch(a.Head)
+				nd := lb.dist[u] + a.Cost
+				if nd < lb.dist[a.Head] {
+					if !math.IsInf(lb.dist[a.Head], 1) && lb.flags[a.Head]&flagFrontier == 0 {
 						tr.Reopens++
 					}
-					dist[a.Head] = nd
-					prev[a.Head] = u
+					lb.dist[a.Head] = nd
+					lb.prev[a.Head] = u
 					tr.Improvements++
-					if !inFrontier[a.Head] {
-						inFrontier[a.Head] = true
+					if lb.flags[a.Head]&flagFrontier == 0 {
+						lb.flags[a.Head] |= flagFrontier
 						next = append(next, a.Head)
 					}
 				}
 			})
 		}
-		frontier = next
+		frontier, next = next, frontier
 	}
+	ws.frontier, ws.next = frontier, next
 
-	if math.IsInf(dist[d], 1) {
+	if math.IsInf(lb.distAt(d), 1) {
 		return notFound(tr), nil
 	}
 	return Result{
 		Found: true,
-		Path:  graph.BuildPath(prev, s, d),
-		Cost:  dist[d],
+		Path:  graph.BuildPath(lb.prev, s, d),
+		Cost:  lb.dist[d],
 		Trace: tr,
 	}, nil
 }
@@ -219,20 +218,15 @@ func BestFirst(g *graph.Graph, s, d graph.NodeID, opts Options) (Result, error) 
 		return Result{}, err
 	}
 	n := g.NumNodes()
-	dist := make([]float64, n)
-	for i := range dist {
-		dist[i] = math.Inf(1)
-	}
-	prev := make([]graph.NodeID, n)
-	for i := range prev {
-		prev[i] = graph.Invalid
-	}
-	closed := make([]bool, n)
+	ws := acquireWorkspace(n)
+	defer releaseWorkspace(ws)
+	lb := &ws.fwd
 
-	front := newFrontier(opts.Frontier, n)
+	front := ws.frontierFor(opts.Frontier, n)
 	est := opts.Estimator
 
-	dist[s] = 0
+	lb.touch(s)
+	lb.dist[s] = 0
 	front.push(int(s), est.Estimate(g, s, d), 0)
 
 	var tr Trace
@@ -245,22 +239,16 @@ func BestFirst(g *graph.Graph, s, d graph.NodeID, opts Options) (Result, error) 
 			return notFound(tr), nil
 		}
 		u := graph.NodeID(ui)
-		if closed[u] && !opts.AllowReopen {
+		if lb.flags[u]&flagClosed != 0 && !opts.AllowReopen {
 			// Stale duplicate entry (FrontierDuplicates without reopening).
 			continue
 		}
-		if closed[u] {
-			// Reopened pop under FrontierDuplicates: only process if it
-			// actually carries the current label; popMin for the other
-			// frontier kinds never yields a closed node.
-			closed[u] = false
-		}
-		closed[u] = true
+		lb.flags[u] |= flagClosed
 		if u == d {
 			return Result{
 				Found: true,
-				Path:  graph.BuildPath(prev, s, d),
-				Cost:  dist[d],
+				Path:  graph.BuildPath(lb.prev, s, d),
+				Cost:  lb.dist[d],
 				Trace: tr,
 			}, nil
 		}
@@ -269,19 +257,20 @@ func BestFirst(g *graph.Graph, s, d graph.NodeID, opts Options) (Result, error) 
 		g.Neighbors(u, func(a graph.Arc) {
 			tr.Relaxations++
 			v := a.Head
-			nd := dist[u] + a.Cost
-			if nd >= dist[v] {
+			lb.touch(v)
+			nd := lb.dist[u] + a.Cost
+			if nd >= lb.dist[v] {
 				return
 			}
-			if closed[v] {
+			if lb.flags[v]&flagClosed != 0 {
 				if !opts.AllowReopen {
 					return // Figure 2: never revisit explored nodes
 				}
-				closed[v] = false
+				lb.flags[v] &^= flagClosed
 				tr.Reopens++
 			}
-			dist[v] = nd
-			prev[v] = u
+			lb.dist[v] = nd
+			lb.prev[v] = u
 			tr.Improvements++
 			// Tie-break by −dist: among equal f the deeper node wins, so a
 			// perfect estimator walks straight to the destination instead of
