@@ -6,10 +6,13 @@
 #                 workspaces, route cache, batch fan-out)
 #   make bench  — regenerate the concurrent-engine benchmarks behind
 #                 BENCH_PR1.json
+#   make bench-telemetry — search kernel with telemetry off vs on; the
+#                 delta is the Recorder hook's cost (target < 2%), see
+#                 BENCH_PR2.json
 
 GO ?= go
 
-.PHONY: build test vet race check bench bench-paper
+.PHONY: build test vet race check bench bench-paper bench-telemetry
 
 build:
 	$(GO) build ./...
@@ -30,3 +33,6 @@ bench:
 
 bench-paper:
 	$(GO) test -run xxx -bench 'Table|Figure|Ablation' -benchmem .
+
+bench-telemetry:
+	$(GO) test -run xxx -bench 'TelemetryOverhead|PrometheusExport' -benchmem -benchtime 200x -count 3 .

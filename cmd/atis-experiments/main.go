@@ -7,6 +7,12 @@
 //
 // Each experiment prints a paper-style table and/or ASCII figure with the
 // paper's published numbers alongside where available.
+//
+// With -telemetry the run also installs the search-kernel recorder and
+// dumps the aggregated Prometheus-format counters (expansions, heap ops,
+// per-algorithm latency histograms) after the experiments — the same
+// instrument the server exports on /metrics, aimed at the same quantities
+// the paper's figures report.
 package main
 
 import (
@@ -16,17 +22,27 @@ import (
 	"strings"
 
 	"repro/internal/experiments"
+	"repro/internal/search"
+	"repro/internal/telemetry"
 )
 
 func main() {
 	var (
-		run    = flag.String("run", "all", "comma-separated experiment ids, or 'all'")
-		list   = flag.Bool("list", false, "list experiment ids and exit")
-		reps   = flag.Int("reps", 3, "wall-clock repetitions per measurement")
-		seed   = flag.Int64("seed", 1993, "workload seed")
-		skipDB = flag.Bool("skipdb", false, "skip the database-engine measurements (faster)")
+		run       = flag.String("run", "all", "comma-separated experiment ids, or 'all'")
+		list      = flag.Bool("list", false, "list experiment ids and exit")
+		reps      = flag.Int("reps", 3, "wall-clock repetitions per measurement")
+		seed      = flag.Int64("seed", 1993, "workload seed")
+		skipDB    = flag.Bool("skipdb", false, "skip the database-engine measurements (faster)")
+		withTelem = flag.Bool("telemetry", false, "record search-kernel telemetry and dump it after the run")
 	)
 	flag.Parse()
+
+	var reg *telemetry.Registry
+	if *withTelem {
+		reg = telemetry.NewRegistry()
+		search.EnableTelemetry(reg)
+		defer search.SetRecorder(nil)
+	}
 
 	if *list {
 		for _, e := range experiments.All() {
@@ -55,6 +71,14 @@ func main() {
 		fmt.Printf("\n##### %s — %s\n", e.ID, e.Title)
 		if err := e.Run(os.Stdout, cfg); err != nil {
 			fmt.Fprintf(os.Stderr, "atis-experiments: %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+	}
+
+	if reg != nil {
+		fmt.Printf("\n##### search-kernel telemetry (Prometheus text format)\n")
+		if err := reg.WriteText(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "atis-experiments: dumping telemetry: %v\n", err)
 			os.Exit(1)
 		}
 	}

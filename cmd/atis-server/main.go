@@ -1,32 +1,57 @@
 // Command atis-server exposes the three ATIS facilities over HTTP — route
 // computation, route evaluation and route display (paper Section 1.1) —
-// plus dynamic traffic updates. See internal/httpapi for the endpoints.
+// plus dynamic traffic updates and the observability surface. See
+// internal/httpapi for the endpoints.
 //
 //	atis-server -addr :8080 -map mpls
 //	curl 'localhost:8080/route?from=G&to=D&algo=astar-euclidean'
 //	curl -X POST localhost:8080/traffic -d '{"x":16,"y":16,"radius":4,"factor":2}'
+//	curl localhost:8080/metrics          # Prometheus text format
+//	atis-server -pprof                   # also mounts /debug/pprof/
+//
+// The server installs the search-kernel telemetry recorder, logs
+// structured lines via log/slog, and shuts down gracefully on SIGINT or
+// SIGTERM, draining in-flight requests before exiting.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
-	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"repro/internal/graph"
 	"repro/internal/gridgen"
 	"repro/internal/httpapi"
 	"repro/internal/mpls"
 	"repro/internal/route"
+	"repro/internal/search"
 )
 
 func main() {
 	var (
-		addr    = flag.String("addr", ":8080", "listen address")
-		mapKind = flag.String("map", "mpls", "map to serve: mpls | grid")
-		k       = flag.Int("k", 30, "grid side for -map grid")
-		seed    = flag.Int64("seed", 1993, "map seed")
+		addr        = flag.String("addr", ":8080", "listen address")
+		mapKind     = flag.String("map", "mpls", "map to serve: mpls | grid")
+		k           = flag.Int("k", 30, "grid side for -map grid")
+		seed        = flag.Int64("seed", 1993, "map seed")
+		enablePprof = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+		jsonLogs    = flag.Bool("log-json", false, "emit logs as JSON instead of text")
+		gracePeriod = flag.Duration("grace", 10*time.Second, "shutdown grace period for in-flight requests")
 	)
 	flag.Parse()
+
+	var h slog.Handler = slog.NewTextHandler(os.Stderr, nil)
+	if *jsonLogs {
+		h = slog.NewJSONHandler(os.Stderr, nil)
+	}
+	logger := slog.New(h)
+	slog.SetDefault(logger)
 
 	var g *graph.Graph
 	var err error
@@ -36,14 +61,62 @@ func main() {
 	case "grid":
 		g, err = gridgen.Generate(gridgen.Config{K: *k, Model: gridgen.Variance, Seed: *seed})
 	default:
-		log.Fatalf("atis-server: unknown map %q", *mapKind)
+		logger.Error("unknown map", "map", *mapKind)
+		os.Exit(1)
 	}
 	if err != nil {
-		log.Fatalf("atis-server: %v", err)
+		logger.Error("map generation failed", "err", err)
+		os.Exit(1)
 	}
 
-	srv := httpapi.NewServer(route.NewService(g))
-	log.Printf("atis-server: serving %s map (%d nodes, %d edges) on %s",
-		*mapKind, g.NumNodes(), g.NumEdges(), *addr)
-	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
+	svc := route.NewService(g)
+	// Route the search kernels' per-algorithm counters (expansions, heap
+	// ops, pool hits) into the same registry /metrics scrapes.
+	search.EnableTelemetry(svc.Registry())
+
+	api := httpapi.NewServer(svc, httpapi.WithLogger(logger))
+	mux := http.NewServeMux()
+	mux.Handle("/", api.Handler())
+	if *enablePprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		logger.Info("pprof enabled", "path", "/debug/pprof/")
+	}
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           mux,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       15 * time.Second,
+		WriteTimeout:      30 * time.Second,
+		IdleTimeout:       60 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	logger.Info("serving", "map", *mapKind, "nodes", g.NumNodes(), "edges", g.NumEdges(), "addr", *addr)
+
+	select {
+	case err := <-errCh:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			logger.Error("server failed", "err", err)
+			os.Exit(1)
+		}
+	case <-ctx.Done():
+		stop() // restore default signal handling: a second signal kills hard
+		logger.Info("shutting down", "grace", *gracePeriod)
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *gracePeriod)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			logger.Error("shutdown incomplete", "err", err)
+			os.Exit(1)
+		}
+		logger.Info("drained, bye")
+	}
 }

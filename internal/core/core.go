@@ -131,6 +131,7 @@ func (p *Planner) Route(from, to graph.NodeID, opts Options) (Route, error) {
 		res, err = search.BestFirst(p.g, from, to, search.Options{
 			Estimator: estimator.Zero(),
 			Frontier:  opts.Frontier,
+			Label:     opts.Algorithm.String(),
 		})
 	case Bidirectional:
 		res, err = search.Bidirectional(p.g, from, to)
@@ -146,6 +147,7 @@ func (p *Planner) Route(from, to graph.NodeID, opts Options) (Route, error) {
 			Estimator:   est,
 			Frontier:    opts.Frontier,
 			AllowReopen: true,
+			Label:       opts.Algorithm.String(),
 		})
 	default:
 		return Route{}, fmt.Errorf("core: unknown algorithm %v", opts.Algorithm)

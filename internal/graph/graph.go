@@ -16,6 +16,7 @@ package graph
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 )
 
 // NodeID identifies a node. IDs are dense integers in [0, NumNodes).
@@ -70,6 +71,18 @@ type Graph struct {
 	points  []Point
 	names   map[string]NodeID // optional landmark names; may be nil
 	labels  []string          // reverse of names; empty strings where unnamed
+
+	// costVersion counts cost mutations; ReverseView uses it to decide
+	// whether its cached reverse graph still reflects the current costs.
+	costVersion atomic.Uint64
+	rev         atomic.Pointer[reverseSnapshot]
+}
+
+// reverseSnapshot pairs a built reverse graph with the cost version it was
+// built under.
+type reverseSnapshot struct {
+	version uint64
+	g       *Graph
 }
 
 // NumNodes returns the number of nodes in the graph.
@@ -161,8 +174,16 @@ func (g *Graph) SetArcCost(u, v NodeID, c float64) (bool, error) {
 			found = true
 		}
 	}
+	if found {
+		g.costVersion.Add(1)
+	}
 	return found, nil
 }
+
+// CostVersion returns the number of cost mutations applied to the graph
+// since construction. Two reads returning the same version bracket a window
+// in which every edge cost was stable.
+func (g *Graph) CostVersion() uint64 { return g.costVersion.Load() }
 
 // ScaleArcCost multiplies the cost of every parallel directed edge (u, v) by
 // factor and reports whether such an edge exists. This is the primitive
@@ -181,6 +202,9 @@ func (g *Graph) ScaleArcCost(u, v NodeID, factor float64) (bool, error) {
 			g.costs[i] *= factor
 			found = true
 		}
+	}
+	if found {
+		g.costVersion.Add(1)
 	}
 	return found, nil
 }
@@ -298,6 +322,25 @@ func (g *Graph) Reverse() *Graph {
 	}
 	// The inputs came from a valid graph; Build cannot fail.
 	rg := b.MustBuild()
+	return rg
+}
+
+// ReverseView returns the reverse graph, rebuilding it only when edge costs
+// have changed since the last call — the cost-generation-aware cache that
+// closes the last per-query O(m) allocation in bidirectional search.
+//
+// Concurrent readers may race to build the first snapshot after a mutation;
+// both builds are correct and one simply wins the store. Callers must
+// uphold the package-wide contract that costs are not mutated concurrently
+// with reads (the route service serialises mutations behind its write
+// lock), and must treat the returned graph as read-only.
+func (g *Graph) ReverseView() *Graph {
+	v := g.costVersion.Load()
+	if snap := g.rev.Load(); snap != nil && snap.version == v {
+		return snap.g
+	}
+	rg := g.Reverse()
+	g.rev.Store(&reverseSnapshot{version: v, g: rg})
 	return rg
 }
 

@@ -1,0 +1,82 @@
+package graph
+
+import "testing"
+
+// buildTriangle returns a small directed graph for reverse-cache tests.
+func buildTriangle(t *testing.T) *Graph {
+	t.Helper()
+	b := NewBuilder(3, 3)
+	b.AddNode(0, 0)
+	b.AddNode(1, 0)
+	b.AddNode(0, 1)
+	b.AddEdge(0, 1, 1)
+	b.AddEdge(1, 2, 2)
+	b.AddEdge(2, 0, 3)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestReverseViewCachesUntilCostChange(t *testing.T) {
+	g := buildTriangle(t)
+
+	r1 := g.ReverseView()
+	r2 := g.ReverseView()
+	if r1 != r2 {
+		t.Fatal("ReverseView rebuilt despite unchanged costs")
+	}
+	if c, ok := r1.ArcCost(1, 0); !ok || c != 1 {
+		t.Fatalf("reverse edge (1,0) cost = %v, %v; want 1, true", c, ok)
+	}
+
+	if _, err := g.SetArcCost(0, 1, 5); err != nil {
+		t.Fatal(err)
+	}
+	r3 := g.ReverseView()
+	if r3 == r1 {
+		t.Fatal("ReverseView served a stale reverse after a cost mutation")
+	}
+	if c, ok := r3.ArcCost(1, 0); !ok || c != 5 {
+		t.Fatalf("post-mutation reverse edge (1,0) cost = %v, %v; want 5, true", c, ok)
+	}
+	if r4 := g.ReverseView(); r4 != r3 {
+		t.Fatal("ReverseView rebuilt again without a mutation")
+	}
+}
+
+func TestCostVersionBumpsOnMutation(t *testing.T) {
+	g := buildTriangle(t)
+	v0 := g.CostVersion()
+	if _, err := g.ScaleArcCost(0, 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if g.CostVersion() != v0+1 {
+		t.Fatalf("ScaleArcCost did not bump the cost version: %d → %d", v0, g.CostVersion())
+	}
+	// A miss (no such edge) must not bump.
+	v1 := g.CostVersion()
+	if found, err := g.SetArcCost(0, 2, 9); err != nil || found {
+		t.Fatalf("SetArcCost(0,2) = %v, %v; want false, nil", found, err)
+	}
+	if g.CostVersion() != v1 {
+		t.Fatal("cost version bumped on a no-op mutation")
+	}
+}
+
+func TestCloneDoesNotShareReverseCache(t *testing.T) {
+	g := buildTriangle(t)
+	r := g.ReverseView()
+	c := g.Clone()
+	if cr := c.ReverseView(); cr == r {
+		t.Fatal("clone shares the original's cached reverse")
+	}
+	// Mutating the clone must not disturb the original's cache.
+	if _, err := c.SetArcCost(0, 1, 7); err != nil {
+		t.Fatal(err)
+	}
+	if g.ReverseView() != r {
+		t.Fatal("mutating a clone invalidated the original's reverse cache")
+	}
+}

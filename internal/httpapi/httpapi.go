@@ -11,57 +11,92 @@
 //	POST /traffic/reset                                     restore free flow
 //	GET  /map                                               map metadata
 //	GET  /stats                                             cache/generation counters
+//	GET  /metrics                                           Prometheus text format
+//
+// Every endpoint runs behind the instrumentation middleware (see
+// middleware.go): per-request trace ids surfaced in X-Request-ID,
+// latency/status/in-flight metrics, and structured access logs.
 package httpapi
 
 import (
 	"encoding/json"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"strconv"
 
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/route"
+	"repro/internal/telemetry"
 )
 
 // Server serves one route.Service.
 type Server struct {
-	svc *route.Service
+	svc      *route.Service
+	log      *slog.Logger
+	reg      *telemetry.Registry
+	inFlight *telemetry.Gauge
 }
 
-// NewServer wraps svc.
-func NewServer(svc *route.Service) *Server { return &Server{svc: svc} }
+// Option customises a Server.
+type Option func(*Server)
 
-// Handler returns the API's http.Handler.
+// WithLogger routes the server's structured logs to l (default
+// slog.Default()).
+func WithLogger(l *slog.Logger) Option { return func(s *Server) { s.log = l } }
+
+// NewServer wraps svc. HTTP metrics are recorded into the service's
+// registry, so GET /metrics exposes the whole stack — HTTP layer, route
+// service, and (when enabled via search.EnableTelemetry) the search
+// kernels — from one scrape.
+func NewServer(svc *route.Service, opts ...Option) *Server {
+	s := &Server{svc: svc, log: slog.Default(), reg: svc.Registry()}
+	s.inFlight = s.reg.Gauge("atis_http_in_flight", "HTTP requests currently being served.")
+	for _, o := range opts {
+		o(s)
+	}
+	return s
+}
+
+// Handler returns the API's http.Handler with every endpoint instrumented.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/route", s.handleRoute)
-	mux.HandleFunc("/routes/batch", s.handleBatch)
-	mux.HandleFunc("/stats", s.handleStats)
-	mux.HandleFunc("/evaluate", s.handleEvaluate)
-	mux.HandleFunc("/display", s.handleDisplay)
-	mux.HandleFunc("/traffic", s.handleTraffic)
-	mux.HandleFunc("/traffic/reset", s.handleTrafficReset)
-	mux.HandleFunc("/reachable", s.handleReachable)
-	mux.HandleFunc("/directions", s.handleDirections)
-	mux.HandleFunc("/alternates", s.handleAlternates)
-	mux.HandleFunc("/map", s.handleMap)
+	endpoints := []struct {
+		pattern string
+		h       http.HandlerFunc
+	}{
+		{"/route", s.handleRoute},
+		{"/routes/batch", s.handleBatch},
+		{"/stats", s.handleStats},
+		{"/evaluate", s.handleEvaluate},
+		{"/display", s.handleDisplay},
+		{"/traffic", s.handleTraffic},
+		{"/traffic/reset", s.handleTrafficReset},
+		{"/reachable", s.handleReachable},
+		{"/directions", s.handleDirections},
+		{"/alternates", s.handleAlternates},
+		{"/map", s.handleMap},
+		{"/metrics", s.reg.Handler().ServeHTTP},
+	}
+	for _, ep := range endpoints {
+		mux.Handle(ep.pattern, s.instrument(ep.pattern, ep.h))
+	}
 	return mux
 }
 
-func httpError(w http.ResponseWriter, code int, err error) {
+func (s *Server) httpError(w http.ResponseWriter, r *http.Request, code int, err error) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
 	if encErr := json.NewEncoder(w).Encode(map[string]string{"error": err.Error()}); encErr != nil {
-		log.Printf("httpapi: encoding error response: %v", encErr)
+		s.log.Warn("encoding error response", "request_id", RequestID(r.Context()), "err", encErr)
 	}
 }
 
-func writeJSON(w http.ResponseWriter, v any) {
+func (s *Server) writeJSON(w http.ResponseWriter, r *http.Request, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	if err := json.NewEncoder(w).Encode(v); err != nil {
-		log.Printf("httpapi: encoding response: %v", err)
+		s.log.Warn("encoding response", "request_id", RequestID(r.Context()), "err", err)
 	}
 }
 
@@ -148,7 +183,7 @@ func (s *Server) routeFromQuery(r *http.Request) (core.Route, error) {
 func (s *Server) handleRoute(w http.ResponseWriter, r *http.Request) {
 	rt, err := s.routeFromQuery(r)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
+		s.httpError(w, r, http.StatusBadRequest, err)
 		return
 	}
 	resp := RouteResponse{
@@ -167,7 +202,7 @@ func (s *Server) handleRoute(w http.ResponseWriter, r *http.Request) {
 	} else {
 		resp.Cost = -1
 	}
-	writeJSON(w, resp)
+	s.writeJSON(w, r, resp)
 }
 
 // maxBatchPairs bounds one /routes/batch request; larger fleets should
@@ -181,7 +216,7 @@ const maxBatchPairs = 1024
 // endpoint yields a per-entry error instead of failing the batch.
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		httpError(w, http.StatusMethodNotAllowed, fmt.Errorf("POST required"))
+		s.httpError(w, r, http.StatusMethodNotAllowed, fmt.Errorf("POST required"))
 		return
 	}
 	var body struct {
@@ -193,22 +228,22 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		Weight float64 `json:"weight"`
 	}
 	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
-		httpError(w, http.StatusBadRequest, err)
+		s.httpError(w, r, http.StatusBadRequest, err)
 		return
 	}
 	if len(body.Pairs) == 0 {
-		httpError(w, http.StatusBadRequest, fmt.Errorf("empty batch"))
+		s.httpError(w, r, http.StatusBadRequest, fmt.Errorf("empty batch"))
 		return
 	}
 	if len(body.Pairs) > maxBatchPairs {
-		httpError(w, http.StatusBadRequest, fmt.Errorf("batch of %d pairs exceeds limit %d", len(body.Pairs), maxBatchPairs))
+		s.httpError(w, r, http.StatusBadRequest, fmt.Errorf("batch of %d pairs exceeds limit %d", len(body.Pairs), maxBatchPairs))
 		return
 	}
 	opts := core.Options{Weight: body.Weight}
 	if body.Algo != "" {
 		algo, err := core.ParseAlgorithm(body.Algo)
 		if err != nil {
-			httpError(w, http.StatusBadRequest, err)
+			s.httpError(w, r, http.StatusBadRequest, err)
 			return
 		}
 		opts.Algorithm = algo
@@ -258,14 +293,14 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		}
 		items[i] = item{RouteResponse: resp}
 	}
-	writeJSON(w, map[string]any{"count": len(items), "routes": items})
+	s.writeJSON(w, r, map[string]any{"count": len(items), "routes": items})
 }
 
 // handleStats reports the concurrent engine's counters:
 // GET /stats → {"cacheHits":…,"cacheMisses":…,"cacheEntries":…,"costGeneration":…}.
-func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	hits, misses, entries := s.svc.CacheStats()
-	writeJSON(w, map[string]any{
+	s.writeJSON(w, r, map[string]any{
 		"cacheHits":      hits,
 		"cacheMisses":    misses,
 		"cacheEntries":   entries,
@@ -275,14 +310,14 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 
 func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		httpError(w, http.StatusMethodNotAllowed, fmt.Errorf("POST required"))
+		s.httpError(w, r, http.StatusMethodNotAllowed, fmt.Errorf("POST required"))
 		return
 	}
 	var body struct {
 		Nodes []int32 `json:"nodes"`
 	}
 	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
-		httpError(w, http.StatusBadRequest, err)
+		s.httpError(w, r, http.StatusBadRequest, err)
 		return
 	}
 	p := graph.Path{}
@@ -291,16 +326,16 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 	}
 	ev, err := s.svc.Evaluate(p)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
+		s.httpError(w, r, http.StatusBadRequest, err)
 		return
 	}
-	writeJSON(w, evalToBody(ev))
+	s.writeJSON(w, r, evalToBody(ev))
 }
 
 func (s *Server) handleDisplay(w http.ResponseWriter, r *http.Request) {
 	rt, err := s.routeFromQuery(r)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
+		s.httpError(w, r, http.StatusBadRequest, err)
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -309,31 +344,31 @@ func (s *Server) handleDisplay(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleTraffic(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		httpError(w, http.StatusMethodNotAllowed, fmt.Errorf("POST required"))
+		s.httpError(w, r, http.StatusMethodNotAllowed, fmt.Errorf("POST required"))
 		return
 	}
 	var body struct {
 		X, Y, Radius, Factor float64
 	}
 	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
-		httpError(w, http.StatusBadRequest, err)
+		s.httpError(w, r, http.StatusBadRequest, err)
 		return
 	}
 	n, err := s.svc.ApplyRegionCongestion(graph.Point{X: body.X, Y: body.Y}, body.Radius, body.Factor)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
+		s.httpError(w, r, http.StatusBadRequest, err)
 		return
 	}
-	writeJSON(w, map[string]int{"affectedEdges": n})
+	s.writeJSON(w, r, map[string]int{"affectedEdges": n})
 }
 
 func (s *Server) handleTrafficReset(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		httpError(w, http.StatusMethodNotAllowed, fmt.Errorf("POST required"))
+		s.httpError(w, r, http.StatusMethodNotAllowed, fmt.Errorf("POST required"))
 		return
 	}
 	s.svc.ResetTraffic()
-	writeJSON(w, map[string]string{"status": "free flow restored"})
+	s.writeJSON(w, r, map[string]string{"status": "free flow restored"})
 }
 
 // handleDirections returns turn-by-turn guidance for the computed route:
@@ -341,16 +376,16 @@ func (s *Server) handleTrafficReset(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleDirections(w http.ResponseWriter, r *http.Request) {
 	rt, err := s.routeFromQuery(r)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
+		s.httpError(w, r, http.StatusBadRequest, err)
 		return
 	}
 	if !rt.Found {
-		httpError(w, http.StatusNotFound, fmt.Errorf("no route"))
+		s.httpError(w, r, http.StatusNotFound, fmt.Errorf("no route"))
 		return
 	}
 	ins, err := s.svc.Directions(rt.Path)
 	if err != nil {
-		httpError(w, http.StatusInternalServerError, err)
+		s.httpError(w, r, http.StatusInternalServerError, err)
 		return
 	}
 	type step struct {
@@ -367,7 +402,7 @@ func (s *Server) handleDirections(w http.ResponseWriter, r *http.Request) {
 			Distance: in.Distance, Segments: in.Segments, At: int32(in.At),
 		})
 	}
-	writeJSON(w, map[string]any{"cost": rt.Cost, "steps": steps})
+	s.writeJSON(w, r, map[string]any{"cost": rt.Cost, "steps": steps})
 }
 
 // handleAlternates lists up to k loopless routes:
@@ -375,25 +410,25 @@ func (s *Server) handleDirections(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleAlternates(w http.ResponseWriter, r *http.Request) {
 	from, err := s.resolve(r.URL.Query().Get("from"))
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
+		s.httpError(w, r, http.StatusBadRequest, err)
 		return
 	}
 	to, err := s.resolve(r.URL.Query().Get("to"))
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
+		s.httpError(w, r, http.StatusBadRequest, err)
 		return
 	}
 	k := 3
 	if ks := r.URL.Query().Get("k"); ks != "" {
 		k, err = strconv.Atoi(ks)
 		if err != nil || k < 1 || k > 16 {
-			httpError(w, http.StatusBadRequest, fmt.Errorf("bad k %q (want 1..16)", ks))
+			s.httpError(w, r, http.StatusBadRequest, fmt.Errorf("bad k %q (want 1..16)", ks))
 			return
 		}
 	}
 	routes, err := s.svc.Alternates(from, to, k)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
+		s.httpError(w, r, http.StatusBadRequest, err)
 		return
 	}
 	type alt struct {
@@ -408,7 +443,7 @@ func (s *Server) handleAlternates(w http.ResponseWriter, r *http.Request) {
 		}
 		alts = append(alts, a)
 	}
-	writeJSON(w, map[string]any{"count": len(alts), "routes": alts})
+	s.writeJSON(w, r, map[string]any{"count": len(alts), "routes": alts})
 }
 
 // handleReachable answers the isochrone query:
@@ -416,33 +451,33 @@ func (s *Server) handleAlternates(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleReachable(w http.ResponseWriter, r *http.Request) {
 	from, err := s.resolve(r.URL.Query().Get("from"))
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
+		s.httpError(w, r, http.StatusBadRequest, err)
 		return
 	}
 	budget, err := strconv.ParseFloat(r.URL.Query().Get("budget"), 64)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, fmt.Errorf("bad budget %q", r.URL.Query().Get("budget")))
+		s.httpError(w, r, http.StatusBadRequest, fmt.Errorf("bad budget %q", r.URL.Query().Get("budget")))
 		return
 	}
 	reach, err := s.svc.Reachable(from, budget)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
+		s.httpError(w, r, http.StatusBadRequest, err)
 		return
 	}
 	nodes := make(map[string]float64, len(reach))
 	for u, c := range reach {
 		nodes[strconv.Itoa(int(u))] = c
 	}
-	writeJSON(w, map[string]any{"count": len(reach), "nodes": nodes})
+	s.writeJSON(w, r, map[string]any{"count": len(reach), "nodes": nodes})
 }
 
-func (s *Server) handleMap(w http.ResponseWriter, _ *http.Request) {
+func (s *Server) handleMap(w http.ResponseWriter, r *http.Request) {
 	g := s.svc.Graph()
 	landmarks := map[string]int32{}
 	for name, id := range g.NamedNodes() {
 		landmarks[name] = int32(id)
 	}
-	writeJSON(w, map[string]any{
+	s.writeJSON(w, r, map[string]any{
 		"nodes":     g.NumNodes(),
 		"edges":     g.NumEdges(),
 		"landmarks": landmarks,

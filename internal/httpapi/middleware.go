@@ -1,0 +1,116 @@
+package httpapi
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// ctxKey is the private type for request-scoped context values.
+type ctxKey int
+
+const requestIDKey ctxKey = iota
+
+// RequestID returns the trace id assigned to the request, or "" outside an
+// instrumented handler. The same id is echoed to the client in the
+// X-Request-ID response header, so a traveller's complaint and the server's
+// structured log line can be joined on it.
+func RequestID(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey).(string)
+	return id
+}
+
+// requestIDSeq disambiguates ids if the random source ever fails.
+var requestIDSeq atomic.Uint64
+
+// newRequestID returns a 16-hex-char random trace id.
+func newRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return fmt.Sprintf("req-%d", requestIDSeq.Add(1))
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// statusWriter captures the response status and body size for the access
+// log and the status-code counters.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(b)
+	w.bytes += n
+	return n, err
+}
+
+// instrument wraps one endpoint with the serving-stack middleware:
+//
+//   - a per-request trace id, honoured from an incoming X-Request-ID header
+//     or freshly generated, echoed in the response and stored in the
+//     request context for handlers and log lines;
+//   - atis_http_requests_total{path,method,code}, an
+//     atis_http_request_seconds{path} latency histogram, and the
+//     atis_http_in_flight gauge;
+//   - one structured access-log line per request.
+//
+// pattern is the mux registration pattern, used as the path label so metric
+// cardinality stays bounded by the route table, not by client input.
+func (s *Server) instrument(pattern string, h http.HandlerFunc) http.Handler {
+	latency := s.reg.Histogram("atis_http_request_seconds",
+		"HTTP request latency.", nil, telemetry.L("path", pattern))
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := r.Header.Get("X-Request-ID")
+		if id == "" {
+			id = newRequestID()
+		}
+		w.Header().Set("X-Request-ID", id)
+		r = r.WithContext(context.WithValue(r.Context(), requestIDKey, id))
+
+		s.inFlight.Inc()
+		defer s.inFlight.Dec()
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w}
+		h(sw, r)
+		elapsed := time.Since(start)
+
+		if sw.status == 0 {
+			sw.status = http.StatusOK // handler wrote nothing at all
+		}
+		latency.Observe(elapsed.Seconds())
+		s.reg.Counter("atis_http_requests_total", "HTTP requests by path, method, and status code.",
+			telemetry.L("path", pattern),
+			telemetry.L("method", r.Method),
+			telemetry.L("code", strconv.Itoa(sw.status)),
+		).Inc()
+
+		s.log.LogAttrs(r.Context(), slog.LevelInfo, "request",
+			slog.String("request_id", id),
+			slog.String("method", r.Method),
+			slog.String("path", r.URL.Path),
+			slog.Int("status", sw.status),
+			slog.Int("bytes", sw.bytes),
+			slog.Duration("duration", elapsed),
+		)
+	})
+}

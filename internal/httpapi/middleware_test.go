@@ -1,0 +1,289 @@
+package httpapi
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/mpls"
+	"repro/internal/route"
+	"repro/internal/search"
+	"repro/internal/telemetry"
+)
+
+// newInstrumentedServer returns a test server plus the route service behind
+// it, so tests can assert against the shared registry.
+func newInstrumentedServer(t *testing.T) (*httptest.Server, *route.Service) {
+	t.Helper()
+	svc := route.NewService(mpls.MustGenerate(mpls.Config{}))
+	srv := NewServer(svc, WithLogger(slog.New(slog.NewTextHandler(io.Discard, nil))))
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return ts, svc
+}
+
+func TestRequestIDGeneratedAndEchoed(t *testing.T) {
+	ts, _ := newInstrumentedServer(t)
+	resp, err := http.Get(ts.URL + "/map")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	id := resp.Header.Get("X-Request-ID")
+	if !regexp.MustCompile(`^[0-9a-f]{16}$`).MatchString(id) {
+		t.Fatalf("generated X-Request-ID = %q, want 16 hex chars", id)
+	}
+}
+
+func TestRequestIDHonoredWhenSupplied(t *testing.T) {
+	ts, _ := newInstrumentedServer(t)
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/map", nil)
+	req.Header.Set("X-Request-ID", "trace-abc-123")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get("X-Request-ID"); got != "trace-abc-123" {
+		t.Fatalf("X-Request-ID = %q, want the caller's trace-abc-123", got)
+	}
+}
+
+// TestStatusCodeCounters drives requests with known outcomes and asserts
+// the middleware accounted each under the right (path, method, code) series.
+func TestStatusCodeCounters(t *testing.T) {
+	ts, svc := newInstrumentedServer(t)
+
+	get := func(path string, wantStatus int) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != wantStatus {
+			t.Fatalf("GET %s = %d, want %d", path, resp.StatusCode, wantStatus)
+		}
+	}
+	get("/route?from=A&to=B", http.StatusOK)
+	get("/route?from=A&to=B", http.StatusOK)
+	get("/route?from=nope&to=B", http.StatusBadRequest)
+	get("/traffic", http.StatusMethodNotAllowed) // GET on a POST endpoint
+
+	reg := svc.Registry()
+	check := func(path, method string, code, want int) {
+		t.Helper()
+		got := reg.Counter("atis_http_requests_total", "",
+			telemetry.L("path", path), telemetry.L("method", method),
+			telemetry.L("code", fmt.Sprint(code))).Value()
+		if got != uint64(want) {
+			t.Errorf("requests{%s,%s,%d} = %d, want %d", path, method, code, got, want)
+		}
+	}
+	check("/route", "GET", 200, 2)
+	check("/route", "GET", 400, 1)
+	check("/traffic", "GET", 405, 1)
+}
+
+// TestLatencyHistogramPerPath asserts each served path accrues histogram
+// observations under its own label.
+func TestLatencyHistogramPerPath(t *testing.T) {
+	ts, svc := newInstrumentedServer(t)
+	for i := 0; i < 3; i++ {
+		resp, err := http.Get(ts.URL + "/stats")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+	h := svc.Registry().Histogram("atis_http_request_seconds", "", nil, telemetry.L("path", "/stats"))
+	if got := h.Count(); got != 3 {
+		t.Fatalf("latency histogram count for /stats = %d, want 3", got)
+	}
+	if h.Sum() < 0 {
+		t.Fatalf("latency sum negative: %v", h.Sum())
+	}
+}
+
+// TestMetricsEndpoint asserts GET /metrics serves Prometheus text covering
+// the whole stack: HTTP middleware, route cache, and — with the recorder
+// enabled — the search kernels.
+func TestMetricsEndpoint(t *testing.T) {
+	ts, svc := newInstrumentedServer(t)
+	search.EnableTelemetry(svc.Registry())
+	defer search.SetRecorder(nil)
+
+	// One cold route (miss + one search run), one warm (hit, no search).
+	for i := 0; i < 2; i++ {
+		resp, err := http.Get(ts.URL + "/route?from=A&to=B&algo=dijkstra")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("Content-Type = %q, want Prometheus text 0.0.4", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := string(body)
+	for _, want := range []string{
+		`atis_http_requests_total{code="200",method="GET",path="/route"} 2`,
+		`atis_http_request_seconds_count{path="/route"} 2`,
+		"atis_http_in_flight 1", // the /metrics scrape itself
+		`atis_route_cache_requests_total{result="miss"} 1`,
+		`atis_route_cache_requests_total{result="hit"} 1`,
+		`atis_search_runs_total{algo="dijkstra"} 1`,
+		`atis_search_expansions_total{algo="dijkstra"}`,
+		`atis_search_heap_pushes_total{algo="dijkstra"}`,
+		`atis_route_compute_seconds_count{algo="dijkstra"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+	if t.Failed() {
+		t.Logf("full export:\n%s", out)
+	}
+}
+
+// TestStatsMatchesMetrics is the satellite guarantee: the legacy /stats JSON
+// and /metrics read the same instruments and can never disagree.
+func TestStatsMatchesMetrics(t *testing.T) {
+	ts, _ := newInstrumentedServer(t)
+	for i := 0; i < 3; i++ {
+		resp, err := http.Get(ts.URL + "/route?from=A&to=C")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+
+	var stats struct {
+		CacheHits   uint64 `json:"cacheHits"`
+		CacheMisses uint64 `json:"cacheMisses"`
+	}
+	getJSON(t, ts.URL+"/stats", &stats)
+	if stats.CacheHits != 2 || stats.CacheMisses != 1 {
+		t.Fatalf("/stats = %+v, want 2 hits / 1 miss", stats)
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{
+		fmt.Sprintf(`atis_route_cache_requests_total{result="hit"} %d`, stats.CacheHits),
+		fmt.Sprintf(`atis_route_cache_requests_total{result="miss"} %d`, stats.CacheMisses),
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("/metrics missing %q — /stats and /metrics disagree", want)
+		}
+	}
+}
+
+// TestCounterConsistencyUnderLoad is the -race stress gate: parallel route
+// queries race with traffic mutations and scrapes, then the summed request
+// counters must equal the requests issued.
+func TestCounterConsistencyUnderLoad(t *testing.T) {
+	ts, svc := newInstrumentedServer(t)
+	search.EnableTelemetry(svc.Registry())
+	defer search.SetRecorder(nil)
+
+	const readers, perReader, writers, perWriter = 8, 25, 2, 10
+	var wg sync.WaitGroup
+	for i := 0; i < readers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < perReader; j++ {
+				algo := []string{"dijkstra", "astar-euclidean", "bidirectional"}[j%3]
+				resp, err := http.Get(fmt.Sprintf("%s/route?from=%d&to=%d&algo=%s", ts.URL, i, 40+j%20, algo))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}(i)
+	}
+	for i := 0; i < writers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < perWriter; j++ {
+				body := `{"x":16,"y":16,"radius":30,"factor":1.5}`
+				resp, err := http.Post(ts.URL+"/traffic", "application/json", strings.NewReader(body))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}()
+	}
+	// Concurrent scrapes must not disturb the counters.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for j := 0; j < 5; j++ {
+			resp, err := http.Get(ts.URL + "/metrics")
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	}()
+	wg.Wait()
+
+	reg := svc.Registry()
+	routeTotal := uint64(0)
+	for _, code := range []string{"200", "400", "404"} {
+		routeTotal += reg.Counter("atis_http_requests_total",
+			"", telemetry.L("path", "/route"), telemetry.L("method", "GET"),
+			telemetry.L("code", code)).Value()
+	}
+	if want := uint64(readers * perReader); routeTotal != want {
+		t.Errorf("summed /route request counters = %d, want %d", routeTotal, want)
+	}
+	if got := reg.Counter("atis_http_requests_total", "",
+		telemetry.L("path", "/traffic"), telemetry.L("method", "POST"),
+		telemetry.L("code", "200")).Value(); got != writers*perWriter {
+		t.Errorf("/traffic POST 200 = %d, want %d", got, writers*perWriter)
+	}
+	if got := reg.Counter("atis_traffic_updates_total", "").Value(); got != writers*perWriter {
+		t.Errorf("atis_traffic_updates_total = %d, want %d", got, writers*perWriter)
+	}
+	hits, misses, _ := svc.CacheStats()
+	if hits+misses != uint64(readers*perReader) {
+		t.Errorf("cache hits+misses = %d, want %d (every /route is exactly one lookup)",
+			hits+misses, readers*perReader)
+	}
+	// In-flight gauge must settle back to zero once the load drains.
+	if got := reg.Gauge("atis_http_in_flight", "").Value(); got != 0 {
+		t.Errorf("atis_http_in_flight = %d after drain, want 0", got)
+	}
+}

@@ -20,7 +20,21 @@ type Indexed struct {
 	prio  []float64 // parallel priorities
 	tie   []float64 // secondary priorities, compared when prio ties
 	pos   []int     // pos[item] = index in items, or -1 if absent
+	ops   OpStats   // since the last Reset (or construction)
 }
+
+// OpStats counts heap operations since the last Reset. The search kernels
+// read it once per query to report heap work through the telemetry layer;
+// the fields are plain integers because a heap is owned by exactly one
+// query at a time.
+type OpStats struct {
+	Pushes  uint64 // successful Push/PushTie insertions
+	Pops    uint64 // successful PopMin removals
+	Updates uint64 // Update/UpdateTie priority changes (decrease- or increase-key)
+}
+
+// OpStats returns the operation counts accumulated since the last Reset.
+func (h *Indexed) OpStats() OpStats { return h.ops }
 
 // NewIndexed returns an indexed heap able to hold items 0..capacity-1.
 func NewIndexed(capacity int) *Indexed {
@@ -45,6 +59,7 @@ func (h *Indexed) Reset() {
 	h.items = h.items[:0]
 	h.prio = h.prio[:0]
 	h.tie = h.tie[:0]
+	h.ops = OpStats{}
 }
 
 // Grow extends the heap's item range to at least [0, capacity), retaining
@@ -109,6 +124,7 @@ func (h *Indexed) PushTie(item int, priority, tie float64) {
 	h.tie = append(h.tie, tie)
 	h.pos[item] = len(h.items) - 1
 	h.up(len(h.items) - 1)
+	h.ops.Pushes++
 }
 
 // Update changes the priority of a queued item (zero tie-break key),
@@ -125,6 +141,7 @@ func (h *Indexed) UpdateTie(item int, priority, tie float64) {
 	h.tie[i] = tie
 	h.up(i)
 	h.down(h.pos[item])
+	h.ops.Updates++
 }
 
 // PushOrUpdate inserts the item if absent, otherwise updates its priority.
@@ -167,6 +184,7 @@ func (h *Indexed) PopMin() (item int, priority float64, ok bool) {
 	if last > 0 {
 		h.down(0)
 	}
+	h.ops.Pops++
 	return item, priority, true
 }
 

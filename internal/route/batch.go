@@ -33,6 +33,8 @@ func (s *Service) ComputeBatch(pairs []Pair, opts core.Options) []BatchResult {
 	if len(pairs) == 0 {
 		return out
 	}
+	s.batchRequests.Inc()
+	s.batchPairs.Add(uint64(len(pairs)))
 	workers := runtime.GOMAXPROCS(0)
 	if workers > len(pairs) {
 		workers = len(pairs)

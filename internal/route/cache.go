@@ -8,6 +8,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/search"
+	"repro/internal/telemetry"
 )
 
 // cacheKey identifies one cached route computation. The cost generation is
@@ -58,6 +59,8 @@ type cacheShard struct {
 // routeCache is the sharded LRU behind Service.Compute.
 type routeCache struct {
 	shards [cacheShardCount]cacheShard
+	// evictions, when set, counts LRU evictions for the telemetry layer.
+	evictions *telemetry.Counter
 }
 
 const (
@@ -112,6 +115,9 @@ func (c *routeCache) put(k cacheKey, rt core.Route) {
 		oldest := s.order.Back()
 		s.order.Remove(oldest)
 		delete(s.table, oldest.Value.(*cacheEntry).key)
+		if c.evictions != nil {
+			c.evictions.Inc()
+		}
 	}
 	s.table[k] = s.order.PushFront(&cacheEntry{key: k, route: cloneRoute(rt)})
 }

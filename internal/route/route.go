@@ -20,12 +20,13 @@ import (
 	"fmt"
 	"math"
 	"sync"
-	"sync/atomic"
+	"time"
 
 	"repro/internal/asciichart"
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/search"
+	"repro/internal/telemetry"
 )
 
 // Service owns a mutable snapshot of a road network and serves the three
@@ -47,22 +48,65 @@ type Service struct {
 	planner *core.Planner
 	gen     uint64 // cost generation; bumped by every traffic mutation
 
-	cache     *routeCache
-	cacheHits atomic.Uint64
-	cacheMiss atomic.Uint64
+	cache *routeCache
+
+	// Telemetry. The registry is the single source of truth for every
+	// service counter: CacheStats and the legacy /stats payload read the
+	// same instruments /metrics exports, so the two cannot disagree.
+	reg            *telemetry.Registry
+	cacheHits      *telemetry.Counter
+	cacheMiss      *telemetry.Counter
+	computeSeconds map[core.Algorithm]*telemetry.Histogram
+	batchRequests  *telemetry.Counter
+	batchPairs     *telemetry.Counter
+	trafficUpdates *telemetry.Counter
 }
 
 // NewService snapshots g (deep copies) so traffic updates never touch the
-// caller's graph.
+// caller's graph. The service records its metrics into a private registry;
+// use NewServiceWithRegistry to share one.
 func NewService(g *graph.Graph) *Service {
+	return NewServiceWithRegistry(g, telemetry.NewRegistry())
+}
+
+// NewServiceWithRegistry is NewService recording into reg.
+func NewServiceWithRegistry(g *graph.Graph, reg *telemetry.Registry) *Service {
 	cur := g.Clone()
-	return &Service{
+	s := &Service{
 		base:    g.Clone(),
 		current: cur,
 		planner: core.NewPlanner(cur),
 		cache:   newRouteCache(defaultCacheCapacity),
+
+		reg: reg,
+		cacheHits: reg.Counter("atis_route_cache_requests_total",
+			"Route computations by cache outcome.", telemetry.L("result", "hit")),
+		cacheMiss: reg.Counter("atis_route_cache_requests_total",
+			"Route computations by cache outcome.", telemetry.L("result", "miss")),
+		computeSeconds: make(map[core.Algorithm]*telemetry.Histogram),
+		batchRequests: reg.Counter("atis_route_batch_requests_total",
+			"ComputeBatch invocations."),
+		batchPairs: reg.Counter("atis_route_batch_pairs_total",
+			"Origin-destination pairs fanned out by ComputeBatch."),
+		trafficUpdates: reg.Counter("atis_traffic_updates_total",
+			"Traffic mutations applied (congestion, region congestion, reset)."),
 	}
+	s.cache.evictions = reg.Counter("atis_route_cache_evictions_total",
+		"Routes evicted from the LRU cache.")
+	for _, a := range core.Algorithms() {
+		s.computeSeconds[a] = reg.Histogram("atis_route_compute_seconds",
+			"Wall time of uncached route computations.", nil, telemetry.L("algo", a.String()))
+	}
+	reg.GaugeFunc("atis_route_cache_entries",
+		"Routes resident in the cache.", func() float64 { return float64(s.cache.len()) })
+	reg.GaugeFunc("atis_traffic_generation",
+		"Current cost generation (bumps on every traffic mutation).",
+		func() float64 { return float64(s.CostGeneration()) })
+	return s
 }
+
+// Registry returns the registry holding the service's metrics.
+func (s *Service) Registry() *telemetry.Registry { return s.reg }
 
 // CostGeneration returns the current cost generation. It starts at zero and
 // increases by one on every traffic mutation; two equal generations imply
@@ -74,9 +118,10 @@ func (s *Service) CostGeneration() uint64 {
 }
 
 // CacheStats reports route-cache hits, misses, and resident entries since
-// the service was created.
+// the service was created. The values are read from the same telemetry
+// instruments /metrics exports.
 func (s *Service) CacheStats() (hits, misses uint64, entries int) {
-	return s.cacheHits.Load(), s.cacheMiss.Load(), s.cache.len()
+	return s.cacheHits.Value(), s.cacheMiss.Value(), s.cache.len()
 }
 
 // Graph returns the live graph snapshot. Callers must treat it as
@@ -101,14 +146,18 @@ func (s *Service) Compute(from, to graph.NodeID, opts core.Options) (core.Route,
 	}
 	if rt, ok := s.cache.get(key); ok {
 		s.mu.RUnlock()
-		s.cacheHits.Add(1)
+		s.cacheHits.Inc()
 		return rt, nil
 	}
+	start := time.Now()
 	rt, err := s.planner.Route(from, to, opts)
 	s.mu.RUnlock()
-	s.cacheMiss.Add(1)
+	s.cacheMiss.Inc()
 	if err != nil {
 		return rt, err
+	}
+	if h, ok := s.computeSeconds[opts.Algorithm]; ok {
+		h.Observe(time.Since(start).Seconds())
 	}
 	// Stored under the generation observed while holding RLock: if a traffic
 	// mutation landed after we released it, the entry sits under the old
@@ -348,6 +397,7 @@ func (s *Service) ApplyCongestion(from, to graph.NodeID, factor float64) (bool, 
 	}
 	if fwd || rev {
 		s.gen++ // costs changed: retire every cached route
+		s.trafficUpdates.Inc()
 	}
 	return fwd || rev, nil
 }
@@ -373,6 +423,7 @@ func (s *Service) ApplyRegionCongestion(center graph.Point, radius, factor float
 	}
 	if affected > 0 {
 		s.gen++ // costs changed: retire every cached route
+		s.trafficUpdates.Inc()
 	}
 	return affected, nil
 }
@@ -388,4 +439,5 @@ func (s *Service) ResetTraffic() {
 		}
 	}
 	s.gen++ // costs changed: retire every cached route
+	s.trafficUpdates.Inc()
 }

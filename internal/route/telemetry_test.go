@@ -1,0 +1,109 @@
+package route
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/mpls"
+	"repro/internal/telemetry"
+)
+
+// TestStatsAndRegistryAgree is the fold-the-legacy-/stats guarantee:
+// CacheStats and the Prometheus export read the same instruments, so the
+// two views can never drift apart.
+func TestStatsAndRegistryAgree(t *testing.T) {
+	g := mpls.MustGenerate(mpls.Config{Seed: 1})
+	svc := NewService(g)
+	a, _ := g.Lookup("A")
+	b, _ := g.Lookup("B")
+
+	if _, err := svc.Compute(a, b, core.Options{}); err != nil { // miss
+		t.Fatal(err)
+	}
+	if _, err := svc.Compute(a, b, core.Options{}); err != nil { // hit
+		t.Fatal(err)
+	}
+	hits, misses, _ := svc.CacheStats()
+	if hits != 1 || misses != 1 {
+		t.Fatalf("CacheStats = %d hits, %d misses; want 1, 1", hits, misses)
+	}
+
+	reg := svc.Registry()
+	if got := reg.Counter("atis_route_cache_requests_total", "", telemetry.L("result", "hit")).Value(); got != hits {
+		t.Fatalf("registry hit counter %d != CacheStats hits %d", got, hits)
+	}
+	if got := reg.Counter("atis_route_cache_requests_total", "", telemetry.L("result", "miss")).Value(); got != misses {
+		t.Fatalf("registry miss counter %d != CacheStats misses %d", got, misses)
+	}
+
+	var sb strings.Builder
+	if err := reg.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`atis_route_cache_requests_total{result="hit"} 1`,
+		`atis_route_cache_requests_total{result="miss"} 1`,
+		`atis_route_compute_seconds_count{algo="astar-euclidean"} 1`,
+		"atis_route_cache_entries 1",
+		"atis_traffic_generation 0",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("export missing %q\nexport:\n%s", want, out)
+		}
+	}
+}
+
+func TestTrafficUpdateCounterAndGenerationGauge(t *testing.T) {
+	g := mpls.MustGenerate(mpls.Config{Seed: 1})
+	svc := NewService(g)
+	if _, err := svc.ApplyRegionCongestion(graph.Point{X: 16, Y: 16}, 50, 2); err != nil {
+		t.Fatal(err)
+	}
+	svc.ResetTraffic()
+	if got := svc.Registry().Counter("atis_traffic_updates_total", "").Value(); got != 2 {
+		t.Fatalf("atis_traffic_updates_total = %d, want 2", got)
+	}
+	var sb strings.Builder
+	if err := svc.Registry().WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "atis_traffic_generation 2") {
+		t.Errorf("export missing generation gauge at 2:\n%s", sb.String())
+	}
+}
+
+// TestEvictionCounter overflows a single-entry-per-shard cache and checks
+// every LRU eviction is accounted.
+func TestEvictionCounter(t *testing.T) {
+	c := newRouteCache(cacheShardCount) // one entry per shard
+	reg := telemetry.NewRegistry()
+	c.evictions = reg.Counter("atis_route_cache_evictions_total", "LRU evictions.")
+	// Enough distinct keys that some shard sees a second insert.
+	for i := 0; i < 64; i++ {
+		c.put(cacheKey{from: graph.NodeID(i), to: graph.NodeID(i + 1)}, core.Route{Cost: float64(i)})
+	}
+	inserted, resident := uint64(64), uint64(c.len())
+	if got := c.evictions.Value(); got != inserted-resident {
+		t.Fatalf("evictions = %d, want inserted-resident = %d", got, inserted-resident)
+	}
+	if c.evictions.Value() == 0 {
+		t.Fatal("64 keys over 16 single-entry shards must evict at least once")
+	}
+}
+
+func TestBatchCounters(t *testing.T) {
+	g := mpls.MustGenerate(mpls.Config{Seed: 1})
+	svc := NewService(g)
+	pairs := []Pair{{From: 0, To: 1}, {From: 1, To: 2}, {From: 2, To: 3}}
+	svc.ComputeBatch(pairs, core.Options{Algorithm: core.Dijkstra})
+	reg := svc.Registry()
+	if got := reg.Counter("atis_route_batch_requests_total", "").Value(); got != 1 {
+		t.Fatalf("batch requests = %d, want 1", got)
+	}
+	if got := reg.Counter("atis_route_batch_pairs_total", "").Value(); got != 3 {
+		t.Fatalf("batch pairs = %d, want 3", got)
+	}
+}

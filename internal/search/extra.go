@@ -3,6 +3,7 @@ package search
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"repro/internal/estimator"
 	"repro/internal/graph"
@@ -57,14 +58,20 @@ func SingleSource(g *graph.Graph, s graph.NodeID) (dist []float64, prev []graph.
 // same optimal cost as Dijkstra while typically expanding far fewer nodes on
 // long paths — one of the future-work speedups the paper's conclusion
 // gestures at. Trace.Iterations counts expansions across both directions.
-func Bidirectional(g *graph.Graph, s, d graph.NodeID) (Result, error) {
+func Bidirectional(g *graph.Graph, s, d graph.NodeID) (res Result, err error) {
 	if err := validatePair(g, s, d); err != nil {
 		return Result{}, err
+	}
+	if rec := activeRecorder(); rec != nil {
+		defer observeRun(rec, "bidirectional", time.Now(), &res, &err)
 	}
 	if s == d {
 		return Result{Found: true, Path: graph.Path{Nodes: []graph.NodeID{s}}, Cost: 0}, nil
 	}
-	rg := g.Reverse()
+	// ReverseView caches the reverse graph keyed on the cost version, so a
+	// stream of queries under stable traffic shares one reverse instead of
+	// paying an O(m) rebuild per call (the last per-query O(m) allocation).
+	rg := g.ReverseView()
 	n := g.NumNodes()
 
 	ws := acquireWorkspace(n)
@@ -161,6 +168,10 @@ func Bidirectional(g *graph.Graph, s, d graph.NodeID) (Result, error) {
 		}
 	}
 
+	fs, bs := hf.OpStats(), hb.OpStats()
+	tr.HeapPushes = fs.Pushes + bs.Pushes
+	tr.HeapPops = fs.Pops + bs.Pops
+
 	if meet == graph.Invalid || math.IsInf(best, 1) {
 		return notFound(tr), nil
 	}
@@ -231,7 +242,7 @@ func Within(g *graph.Graph, s graph.NodeID, budget float64) (map[graph.NodeID]fl
 // manhattan distance is inadmissible on the Minneapolis map is reproduced by
 // this check.
 func VerifyAdmissible(g *graph.Graph, est *estimator.Estimator, d graph.NodeID, eps float64) []estimator.Violation {
-	rg := g.Reverse()
+	rg := g.ReverseView()
 	trueCost, _ := SingleSource(rg, d)
 	var out []estimator.Violation
 	for u := graph.NodeID(0); int(u) < g.NumNodes(); u++ {

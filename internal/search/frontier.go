@@ -17,6 +17,9 @@ type frontier interface {
 	pushOrUpdate(item int, priority, tie float64)
 	popMin() (item int, ok bool)
 	len() int
+	// ops reports insertions and removals performed so far this query, for
+	// Trace.HeapPushes/HeapPops.
+	ops() (pushes, pops uint64)
 }
 
 func newFrontier(kind FrontierKind, capacity int) frontier {
@@ -46,6 +49,10 @@ func (f *heapFrontier) popMin() (int, bool) {
 	item, _, ok := f.h.PopMin()
 	return item, ok
 }
+func (f *heapFrontier) ops() (uint64, uint64) {
+	st := f.h.OpStats()
+	return st.Pushes, st.Pops
+}
 
 // scanFrontier keeps priorities in a dense array and selects the minimum by
 // scanning the open members, the way a relational scan over status = "open"
@@ -58,6 +65,8 @@ type scanFrontier struct {
 	open    []bool
 	members []int // unordered open list with lazy deletion markers in open[]
 	n       int   // live member count
+	pushes  uint64
+	pops    uint64
 }
 
 func newScanFrontier(capacity int) *scanFrontier {
@@ -79,6 +88,7 @@ func (f *scanFrontier) push(item int, priority, tie float64) {
 	f.tie[item] = tie
 	f.members = append(f.members, item)
 	f.n++
+	f.pushes++
 }
 
 func (f *scanFrontier) pushOrUpdate(item int, priority, tie float64) {
@@ -113,24 +123,35 @@ func (f *scanFrontier) popMin() (int, bool) {
 	}
 	f.open[bestItem] = false
 	f.n--
+	f.pops++
 	return bestItem, true
 }
+
+func (f *scanFrontier) ops() (uint64, uint64) { return f.pushes, f.pops }
 
 // dupFrontier allows duplicates; pushOrUpdate degrades to push, creating the
 // redundant entries Section 4 warns about. Stale pops are filtered by the
 // caller via its closed[] set.
 type dupFrontier struct {
-	h *pqueue.Plain
+	h      *pqueue.Plain
+	pushes uint64
+	pops   uint64
 }
 
 func (f *dupFrontier) push(item int, priority, tie float64) {
 	f.h.PushTie(item, priority, tie)
+	f.pushes++
 }
 func (f *dupFrontier) pushOrUpdate(item int, priority, tie float64) {
 	f.h.PushTie(item, priority, tie)
+	f.pushes++
 }
 func (f *dupFrontier) len() int { return f.h.Len() }
 func (f *dupFrontier) popMin() (int, bool) {
 	e, ok := f.h.PopMin()
+	if ok {
+		f.pops++
+	}
 	return e.Item, ok
 }
+func (f *dupFrontier) ops() (uint64, uint64) { return f.pushes, f.pops }

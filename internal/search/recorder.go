@@ -1,0 +1,146 @@
+package search
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/telemetry"
+)
+
+// Recorder observes completed search runs. The contract is deliberately
+// coarse: the kernels accumulate their work accounting in the per-query
+// Trace exactly as before, and a single ObserveSearch call delivers it when
+// the run finishes — nothing is recorded per node or per edge, so the hot
+// loops carry no instrumentation cost at all.
+//
+// Zero-cost-when-disabled contract: with no recorder installed (the
+// default), each entry point pays one atomic load and a nil check per
+// query; no timestamps are taken and no allocations happen. The telemetry
+// overhead benchmark (make bench-telemetry) holds this under 2%.
+type Recorder interface {
+	// ObserveSearch is called once per completed run with the algorithm
+	// label (for example "dijkstra" or "astar-euclidean"), the wall time of
+	// the run in seconds, and its Trace.
+	ObserveSearch(algo string, seconds float64, tr Trace)
+	// ObserveWorkspace is called on every workspace acquisition; pooled is
+	// false when the pool had to allocate a fresh workspace.
+	ObserveWorkspace(pooled bool)
+}
+
+// recorderBox wraps the interface in a concrete type so atomic.Value never
+// sees inconsistently typed stores.
+type recorderBox struct{ r Recorder }
+
+var recorder atomic.Value // recorderBox
+
+// SetRecorder installs r as the package's recorder; nil disables recording.
+// Installation is atomic and may happen while queries are in flight —
+// runs that already loaded the previous recorder finish against it.
+func SetRecorder(r Recorder) { recorder.Store(recorderBox{r: r}) }
+
+// activeRecorder returns the installed recorder, or nil when disabled.
+func activeRecorder() Recorder {
+	if b, ok := recorder.Load().(recorderBox); ok {
+		return b.r
+	}
+	return nil
+}
+
+// EnableTelemetry installs a RegistryRecorder writing to reg and returns
+// it. Call SetRecorder(nil) to disable again.
+func EnableTelemetry(reg *telemetry.Registry) *RegistryRecorder {
+	r := NewRegistryRecorder(reg)
+	SetRecorder(r)
+	return r
+}
+
+// RegistryRecorder is the standard Recorder: it forwards every observation
+// into a telemetry.Registry under the atis_search_* and atis_workspace_*
+// metric families, labelled by algorithm.
+type RegistryRecorder struct {
+	reg *telemetry.Registry
+
+	mu      sync.RWMutex
+	byAlgo  map[string]*algoInstruments
+	pooled  *telemetry.Counter
+	fresh   *telemetry.Counter
+	buckets []float64
+}
+
+// algoInstruments caches one algorithm label's instrument set so the
+// per-query path is a map read, not a registry lookup per counter.
+type algoInstruments struct {
+	runs         *telemetry.Counter
+	expansions   *telemetry.Counter
+	relaxations  *telemetry.Counter
+	improvements *telemetry.Counter
+	reopens      *telemetry.Counter
+	heapPushes   *telemetry.Counter
+	heapPops     *telemetry.Counter
+	frontierPeak *telemetry.Gauge
+	seconds      *telemetry.Histogram
+}
+
+// NewRegistryRecorder builds a recorder over reg without installing it.
+func NewRegistryRecorder(reg *telemetry.Registry) *RegistryRecorder {
+	return &RegistryRecorder{
+		reg:    reg,
+		byAlgo: make(map[string]*algoInstruments),
+		pooled: reg.Counter("atis_search_workspace_acquires_total",
+			"Search workspace acquisitions by pool outcome.", telemetry.L("result", "pooled")),
+		fresh: reg.Counter("atis_search_workspace_acquires_total",
+			"Search workspace acquisitions by pool outcome.", telemetry.L("result", "fresh")),
+	}
+}
+
+// instruments returns (building on first use) the instrument set for algo.
+func (r *RegistryRecorder) instruments(algo string) *algoInstruments {
+	r.mu.RLock()
+	ins, ok := r.byAlgo[algo]
+	r.mu.RUnlock()
+	if ok {
+		return ins
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if ins, ok = r.byAlgo[algo]; ok {
+		return ins
+	}
+	l := telemetry.L("algo", algo)
+	ins = &algoInstruments{
+		runs:         r.reg.Counter("atis_search_runs_total", "Completed search-kernel runs.", l),
+		expansions:   r.reg.Counter("atis_search_expansions_total", "Nodes expanded (adjacency fetches).", l),
+		relaxations:  r.reg.Counter("atis_search_relaxations_total", "Edges examined.", l),
+		improvements: r.reg.Counter("atis_search_improvements_total", "Label decreases (path revisions).", l),
+		reopens:      r.reg.Counter("atis_search_reopens_total", "Closed nodes reopened after a label improvement.", l),
+		heapPushes:   r.reg.Counter("atis_search_heap_pushes_total", "Frontier insertions.", l),
+		heapPops:     r.reg.Counter("atis_search_heap_pops_total", "Frontier removals.", l),
+		frontierPeak: r.reg.Gauge("atis_search_frontier_peak", "High-water mark of the frontier size across runs.", l),
+		seconds:      r.reg.Histogram("atis_search_seconds", "Search-kernel wall time per run.", nil, l),
+	}
+	r.byAlgo[algo] = ins
+	return ins
+}
+
+// ObserveSearch implements Recorder.
+func (r *RegistryRecorder) ObserveSearch(algo string, seconds float64, tr Trace) {
+	ins := r.instruments(algo)
+	ins.runs.Inc()
+	ins.expansions.Add(uint64(tr.Expansions))
+	ins.relaxations.Add(uint64(tr.Relaxations))
+	ins.improvements.Add(uint64(tr.Improvements))
+	ins.reopens.Add(uint64(tr.Reopens))
+	ins.heapPushes.Add(tr.HeapPushes)
+	ins.heapPops.Add(tr.HeapPops)
+	ins.frontierPeak.SetMax(int64(tr.MaxFrontier))
+	ins.seconds.Observe(seconds)
+}
+
+// ObserveWorkspace implements Recorder.
+func (r *RegistryRecorder) ObserveWorkspace(pooled bool) {
+	if pooled {
+		r.pooled.Inc()
+	} else {
+		r.fresh.Inc()
+	}
+}

@@ -26,6 +26,7 @@ package search
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"repro/internal/estimator"
 	"repro/internal/graph"
@@ -50,6 +51,11 @@ type Trace struct {
 	Reopens int
 	// MaxFrontier is the high-water mark of the frontier set size.
 	MaxFrontier int
+	// HeapPushes counts frontier insertions (heap pushes for the best-first
+	// algorithms, next-round appends for Iterative).
+	HeapPushes uint64
+	// HeapPops counts frontier removals (heap pops / round consumption).
+	HeapPops uint64
 }
 
 // Result is the outcome of a single-pair computation.
@@ -81,6 +87,16 @@ func notFound(tr Trace) Result {
 	return Result{Found: false, Cost: math.Inf(1), Trace: tr}
 }
 
+// observeRun forwards a completed run to rec. Callers obtain rec once via
+// activeRecorder before starting the clock so a recorder installed mid-run
+// never sees half a query, and skip the call entirely (taking no
+// timestamps) when recording is disabled.
+func observeRun(rec Recorder, algo string, start time.Time, res *Result, err *error) {
+	if *err == nil {
+		rec.ObserveSearch(algo, time.Since(start).Seconds(), res.Trace)
+	}
+}
+
 // Iterative runs the breadth-first label-correcting algorithm of Figure 1.
 // Every round removes the whole frontier, fetches each member's adjacency
 // list, relaxes the out-edges, and inserts improved neighbours into the next
@@ -88,9 +104,12 @@ func notFound(tr Trace) Result {
 // Section 4). The algorithm terminates when the frontier empties, i.e. it
 // settles shortest paths from the source to every reachable node, then
 // reports the one to d. Requires non-negative edge costs (Lemma 1).
-func Iterative(g *graph.Graph, s, d graph.NodeID) (Result, error) {
+func Iterative(g *graph.Graph, s, d graph.NodeID) (res Result, err error) {
 	if err := validatePair(g, s, d); err != nil {
 		return Result{}, err
+	}
+	if rec := activeRecorder(); rec != nil {
+		defer observeRun(rec, "iterative", time.Now(), &res, &err)
 	}
 	ws := acquireWorkspace(g.NumNodes())
 	defer releaseWorkspace(ws)
@@ -105,12 +124,14 @@ func Iterative(g *graph.Graph, s, d graph.NodeID) (Result, error) {
 	next := ws.next[:0]
 
 	var tr Trace
+	tr.HeapPushes++ // the seed node
 	for len(frontier) > 0 {
 		tr.Iterations++
 		if len(frontier) > tr.MaxFrontier {
 			tr.MaxFrontier = len(frontier)
 		}
-		next = next[:0] // frontier is consumed wholesale
+		tr.HeapPops += uint64(len(frontier)) // rounds consume the frontier wholesale
+		next = next[:0]
 		for _, u := range frontier {
 			lb.flags[u] &^= flagFrontier
 			tr.Expansions++
@@ -128,6 +149,7 @@ func Iterative(g *graph.Graph, s, d graph.NodeID) (Result, error) {
 					if lb.flags[a.Head]&flagFrontier == 0 {
 						lb.flags[a.Head] |= flagFrontier
 						next = append(next, a.Head)
+						tr.HeapPushes++
 					}
 				}
 			})
@@ -152,7 +174,7 @@ func Iterative(g *graph.Graph, s, d graph.NodeID) (Result, error) {
 // point its label is the shortest-path cost (Lemma 2). Closed nodes are
 // never reopened, which is sound for non-negative costs.
 func Dijkstra(g *graph.Graph, s, d graph.NodeID) (Result, error) {
-	return BestFirst(g, s, d, Options{Estimator: estimator.Zero()})
+	return BestFirst(g, s, d, Options{Estimator: estimator.Zero(), Label: "dijkstra"})
 }
 
 // AStar runs the best-first algorithm of Figure 3 with the given estimator.
@@ -161,7 +183,7 @@ func Dijkstra(g *graph.Graph, s, d graph.NodeID) (Result, error) {
 // happens and the result is optimal, with inadmissible ones (manhattan on a
 // road map) it bounds the damage while still not guaranteeing optimality.
 func AStar(g *graph.Graph, s, d graph.NodeID, est *estimator.Estimator) (Result, error) {
-	return BestFirst(g, s, d, Options{Estimator: est, AllowReopen: true})
+	return BestFirst(g, s, d, Options{Estimator: est, AllowReopen: true, Label: "astar"})
 }
 
 // FrontierKind selects the data structure behind "select u from frontierSet
@@ -208,14 +230,25 @@ type Options struct {
 	// the frontier (paper Figure 3 semantics). Dijkstra (Figure 2) keeps it
 	// false: its insertion guard checks frontier ∪ explored.
 	AllowReopen bool
+	// Label names the run for the telemetry Recorder ("dijkstra",
+	// "astar-euclidean", …). Empty means "best-first". It has no effect on
+	// the computation.
+	Label string
 }
 
 // BestFirst is the engine behind Dijkstra and AStar: repeatedly select the
 // frontier node minimising dist(u) + f(u, d), close it, stop if it is the
 // destination, otherwise relax its out-edges.
-func BestFirst(g *graph.Graph, s, d graph.NodeID, opts Options) (Result, error) {
+func BestFirst(g *graph.Graph, s, d graph.NodeID, opts Options) (res Result, err error) {
 	if err := validatePair(g, s, d); err != nil {
 		return Result{}, err
+	}
+	if rec := activeRecorder(); rec != nil {
+		algo := opts.Label
+		if algo == "" {
+			algo = "best-first"
+		}
+		defer observeRun(rec, algo, time.Now(), &res, &err)
 	}
 	n := g.NumNodes()
 	ws := acquireWorkspace(n)
@@ -236,6 +269,7 @@ func BestFirst(g *graph.Graph, s, d graph.NodeID, opts Options) (Result, error) 
 		}
 		ui, ok := front.popMin()
 		if !ok {
+			tr.HeapPushes, tr.HeapPops = front.ops()
 			return notFound(tr), nil
 		}
 		u := graph.NodeID(ui)
@@ -245,6 +279,7 @@ func BestFirst(g *graph.Graph, s, d graph.NodeID, opts Options) (Result, error) 
 		}
 		lb.flags[u] |= flagClosed
 		if u == d {
+			tr.HeapPushes, tr.HeapPops = front.ops()
 			return Result{
 				Found: true,
 				Path:  graph.BuildPath(lb.prev, s, d),

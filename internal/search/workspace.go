@@ -87,15 +87,21 @@ type Workspace struct {
 
 	frontier []graph.NodeID
 	next     []graph.NodeID
+
+	fresh bool // set by the pool's New; cleared on first acquisition
 }
 
-var workspacePool = sync.Pool{New: func() any { return new(Workspace) }}
+var workspacePool = sync.Pool{New: func() any { return &Workspace{fresh: true} }}
 
 // acquireWorkspace returns a workspace ready for a query over n nodes, with
 // the forward label set and main heap prepared. Backward state is prepared
 // lazily by ensureBackward.
 func acquireWorkspace(n int) *Workspace {
 	ws := workspacePool.Get().(*Workspace)
+	if rec := activeRecorder(); rec != nil {
+		rec.ObserveWorkspace(!ws.fresh)
+	}
+	ws.fresh = false
 	ws.fwd.reset(n)
 	if ws.heap == nil {
 		ws.heap = pqueue.NewIndexed(n)

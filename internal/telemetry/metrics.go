@@ -1,0 +1,128 @@
+// Package telemetry is the zero-dependency metrics core behind the serving
+// stack's observability: atomic counters, gauges, and fixed-bucket latency
+// histograms, collected in a Registry and exported in Prometheus text
+// format (see prometheus.go).
+//
+// The package exists because the paper's evaluation is built on observable
+// work counters — nodes expanded, iterations, tuples touched (Figures 5–8) —
+// and a serving stack that cannot report the same quantities per deployment
+// cannot be compared against it. Everything here is hand-rolled on
+// sync/atomic so the instruments are cheap enough to live on the query path:
+// a Counter.Add is one uncontended atomic add, a Histogram.Observe is one
+// atomic add per bucket boundary crossed plus a CAS for the sum.
+package telemetry
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric (events since process start).
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is an instantaneous integer value (in-flight requests, resident
+// entries, high-water marks).
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adds delta (negative deltas decrease).
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.v.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// SetMax raises the gauge to v if v exceeds the current value — the
+// high-water-mark operation (peak frontier size, peak in-flight).
+func (g *Gauge) SetMax(v int64) {
+	for {
+		cur := g.v.Load()
+		if v <= cur || g.v.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// DefBuckets are the default latency buckets in seconds, spanning the
+// microsecond-scale search kernels through second-scale HTTP tails.
+var DefBuckets = []float64{
+	5e-6, 1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4,
+	1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2, 0.1, 0.25, 0.5, 1, 2.5,
+}
+
+// Histogram is a fixed-bucket distribution. Buckets are cumulative at
+// export time (Prometheus `le` semantics) but stored per-interval so
+// Observe touches exactly one bucket counter.
+type Histogram struct {
+	bounds []float64       // upper bounds, strictly increasing
+	counts []atomic.Uint64 // len(bounds)+1; last is the +Inf overflow
+	count  atomic.Uint64
+	sum    atomic.Uint64 // float64 bits, CAS-updated
+}
+
+func newHistogram(buckets []float64) *Histogram {
+	if len(buckets) == 0 {
+		buckets = DefBuckets
+	}
+	bounds := append([]float64(nil), buckets...)
+	return &Histogram{
+		bounds: bounds,
+		counts: make([]atomic.Uint64, len(bounds)+1),
+	}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		nv := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, nv) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// snapshot returns cumulative bucket counts aligned with bounds, plus the
+// total (the +Inf bucket).
+func (h *Histogram) snapshot() (cumulative []uint64, total uint64) {
+	cumulative = make([]uint64, len(h.bounds))
+	var run uint64
+	for i := range h.bounds {
+		run += h.counts[i].Load()
+		cumulative[i] = run
+	}
+	total = run + h.counts[len(h.bounds)].Load()
+	return cumulative, total
+}

@@ -1,0 +1,97 @@
+package telemetry
+
+import (
+	"bufio"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+)
+
+// WriteText renders every registered metric in Prometheus text exposition
+// format (version 0.0.4): one HELP/TYPE header per family, then the series
+// in sorted label order. Output is deterministic for a given registry state,
+// which the golden tests rely on.
+func (r *Registry) WriteText(w io.Writer) error {
+	r.mu.RLock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fams := make([]*family, 0, len(names))
+	for _, name := range names {
+		fams = append(fams, r.families[name])
+	}
+	r.mu.RUnlock()
+
+	bw := bufio.NewWriter(w)
+	for _, f := range fams {
+		if f.help != "" {
+			bw.WriteString("# HELP " + f.name + " " + f.help + "\n")
+		}
+		bw.WriteString("# TYPE " + f.name + " " + f.kind.String() + "\n")
+		// Series order must not depend on registration order across runs.
+		labelSets := append([]string(nil), f.order...)
+		sort.Strings(labelSets)
+		for _, ls := range labelSets {
+			s := f.series[ls]
+			switch f.kind {
+			case kindCounter:
+				writeSeries(bw, f.name, ls, formatUint(s.counter.Value()))
+			case kindGauge:
+				writeSeries(bw, f.name, ls, strconv.FormatInt(s.gauge.Value(), 10))
+			case kindGaugeFunc:
+				writeSeries(bw, f.name, ls, formatFloat(s.gaugeFn()))
+			case kindHistogram:
+				h := s.histogram
+				cumulative, total := h.snapshot()
+				for i, bound := range h.bounds {
+					writeSeries(bw, f.name+"_bucket", joinLabels(ls, `le="`+formatFloat(bound)+`"`), formatUint(cumulative[i]))
+				}
+				writeSeries(bw, f.name+"_bucket", joinLabels(ls, `le="+Inf"`), formatUint(total))
+				writeSeries(bw, f.name+"_sum", ls, formatFloat(h.Sum()))
+				writeSeries(bw, f.name+"_count", ls, formatUint(h.Count()))
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// Handler returns an http.Handler serving the registry in Prometheus text
+// format — the GET /metrics endpoint.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		// Errors here mean the client went away mid-scrape; nothing to do.
+		_ = r.WriteText(w)
+	})
+}
+
+func writeSeries(w *bufio.Writer, name, labels, value string) {
+	w.WriteString(name)
+	if labels != "" {
+		w.WriteString("{" + labels + "}")
+	}
+	w.WriteString(" " + value + "\n")
+}
+
+func joinLabels(a, b string) string {
+	if a == "" {
+		return b
+	}
+	return a + "," + b
+}
+
+func formatUint(v uint64) string { return strconv.FormatUint(v, 10) }
+
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

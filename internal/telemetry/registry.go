@@ -1,0 +1,181 @@
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Label is one name="value" pair attached to a metric series.
+type Label struct {
+	Name, Value string
+}
+
+// L builds a Label.
+func L(name, value string) Label { return Label{Name: name, Value: value} }
+
+// metricKind discriminates the families a Registry can hold.
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindGaugeFunc
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindHistogram:
+		return "histogram"
+	default:
+		return "gauge"
+	}
+}
+
+// series is one labelled instance of a family.
+type series struct {
+	labels    string // canonical rendered label set, "" for none
+	counter   *Counter
+	gauge     *Gauge
+	gaugeFn   func() float64
+	histogram *Histogram
+}
+
+// family groups every series sharing a metric name.
+type family struct {
+	name    string
+	help    string
+	kind    metricKind
+	buckets []float64
+	series  map[string]*series
+	order   []string // label strings in first-registration order; sorted at export
+}
+
+// Registry is a set of named metric families. All methods are safe for
+// concurrent use; the getter methods are idempotent, so callers may either
+// pre-register their instruments or look them up on the fly — both return
+// the same underlying metric for the same (name, labels).
+type Registry struct {
+	mu       sync.RWMutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// Counter returns the counter named name with the given labels, creating it
+// on first use. It panics if name is already registered as a different kind
+// — that is a programming error on par with redeclaring a variable.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	s := r.lookup(kindCounter, name, help, nil, nil, labels)
+	return s.counter
+}
+
+// Gauge returns the gauge named name with the given labels.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	s := r.lookup(kindGauge, name, help, nil, nil, labels)
+	return s.gauge
+}
+
+// GaugeFunc registers a gauge whose value is computed by fn at export time —
+// for quantities that already live elsewhere (cache residency, cost
+// generation) and must never disagree with their source of truth.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	r.lookup(kindGaugeFunc, name, help, nil, fn, labels)
+}
+
+// Histogram returns the histogram named name with the given labels. buckets
+// are upper bounds in increasing order; nil means DefBuckets. Buckets are
+// fixed by the first registration of the family.
+func (r *Registry) Histogram(name, help string, buckets []float64, labels ...Label) *Histogram {
+	s := r.lookup(kindHistogram, name, help, buckets, nil, labels)
+	return s.histogram
+}
+
+// lookup finds or creates the (family, series) pair.
+func (r *Registry) lookup(kind metricKind, name, help string, buckets []float64, fn func() float64, labels []Label) *series {
+	ls := renderLabels(labels)
+	r.mu.RLock()
+	if f, ok := r.families[name]; ok {
+		if s, ok := f.series[ls]; ok && f.kind == kind {
+			r.mu.RUnlock()
+			return s
+		}
+	}
+	r.mu.RUnlock()
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, help: help, kind: kind, buckets: buckets, series: make(map[string]*series)}
+		r.families[name] = f
+	}
+	if f.kind != kind {
+		panic(fmt.Sprintf("telemetry: metric %q registered as %v, requested as %v", name, f.kind, kind))
+	}
+	s, ok := f.series[ls]
+	if !ok {
+		s = &series{labels: ls}
+		switch kind {
+		case kindCounter:
+			s.counter = &Counter{}
+		case kindGauge:
+			s.gauge = &Gauge{}
+		case kindGaugeFunc:
+			s.gaugeFn = fn
+		case kindHistogram:
+			s.histogram = newHistogram(f.buckets)
+		}
+		f.series[ls] = s
+		f.order = append(f.order, ls)
+	}
+	return s
+}
+
+// renderLabels canonicalises a label set: sorted by name, values escaped.
+func renderLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Name < ls[j].Name })
+	var b strings.Builder
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Name)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(l.Value))
+		b.WriteByte('"')
+	}
+	return b.String()
+}
+
+// escapeLabelValue applies the Prometheus text-format escapes.
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, c := range v {
+		switch c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(c)
+		}
+	}
+	return b.String()
+}

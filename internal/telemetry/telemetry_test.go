@@ -1,0 +1,162 @@
+package telemetry
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(41)
+	if got := c.Value(); got != 42 {
+		t.Fatalf("Value() = %d, want 42", got)
+	}
+}
+
+func TestGaugeSetMax(t *testing.T) {
+	var g Gauge
+	g.Set(10)
+	g.SetMax(5)
+	if got := g.Value(); got != 10 {
+		t.Fatalf("SetMax lowered the gauge: %d", got)
+	}
+	g.SetMax(25)
+	if got := g.Value(); got != 25 {
+		t.Fatalf("SetMax(25) → %d", got)
+	}
+	g.Dec()
+	if got := g.Value(); got != 24 {
+		t.Fatalf("Dec → %d", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := newHistogram([]float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1, 1.5, 3, 100} {
+		h.Observe(v)
+	}
+	cum, total := h.snapshot()
+	// ≤1: 0.5 and 1; ≤2: +1.5; ≤4: +3; +Inf: +100.
+	want := []uint64{2, 3, 4}
+	for i := range want {
+		if cum[i] != want[i] {
+			t.Errorf("bucket %d = %d, want %d", i, cum[i], want[i])
+		}
+	}
+	if total != 5 {
+		t.Errorf("total = %d, want 5", total)
+	}
+	if h.Count() != 5 {
+		t.Errorf("Count() = %d, want 5", h.Count())
+	}
+	if got, want := h.Sum(), 0.5+1+1.5+3+100; got != want {
+		t.Errorf("Sum() = %v, want %v", got, want)
+	}
+}
+
+func TestRegistryIdempotentLookup(t *testing.T) {
+	reg := NewRegistry()
+	a := reg.Counter("x_total", "help", L("k", "v"))
+	b := reg.Counter("x_total", "help", L("k", "v"))
+	if a != b {
+		t.Fatal("same (name, labels) returned distinct counters")
+	}
+	c := reg.Counter("x_total", "help", L("k", "w"))
+	if a == c {
+		t.Fatal("distinct labels returned the same counter")
+	}
+}
+
+func TestRegistryKindMismatchPanics(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("x_total", "help")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("registering x_total as a gauge should panic")
+		}
+	}()
+	reg.Gauge("x_total", "help")
+}
+
+// TestWriteTextGolden pins the exact Prometheus text rendering: family
+// ordering, HELP/TYPE headers, label escaping, and histogram expansion.
+func TestWriteTextGolden(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("atis_requests_total", "Requests served.", L("path", "/route"), L("code", "200")).Add(3)
+	reg.Counter("atis_requests_total", "Requests served.", L("path", "/route"), L("code", "400")).Inc()
+	reg.Gauge("atis_in_flight", "In-flight requests.").Set(2)
+	reg.GaugeFunc("atis_generation", "Cost generation.", func() float64 { return 7 })
+	h := reg.Histogram("atis_seconds", "Latency.", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(30)
+	reg.Counter("atis_weird_total", "Escapes.", L("q", "a\"b\\c\nd")).Inc()
+
+	var b strings.Builder
+	if err := reg.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP atis_generation Cost generation.
+# TYPE atis_generation gauge
+atis_generation 7
+# HELP atis_in_flight In-flight requests.
+# TYPE atis_in_flight gauge
+atis_in_flight 2
+# HELP atis_requests_total Requests served.
+# TYPE atis_requests_total counter
+atis_requests_total{code="200",path="/route"} 3
+atis_requests_total{code="400",path="/route"} 1
+# HELP atis_seconds Latency.
+# TYPE atis_seconds histogram
+atis_seconds_bucket{le="0.1"} 1
+atis_seconds_bucket{le="1"} 2
+atis_seconds_bucket{le="+Inf"} 3
+atis_seconds_sum 30.55
+atis_seconds_count 3
+# HELP atis_weird_total Escapes.
+# TYPE atis_weird_total counter
+atis_weird_total{q="a\"b\\c\nd"} 1
+`
+	if got := b.String(); got != want {
+		t.Errorf("WriteText mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// TestConcurrentInstruments hammers one registry from many goroutines; run
+// under -race this is the data-race gate for the metrics core.
+func TestConcurrentInstruments(t *testing.T) {
+	reg := NewRegistry()
+	const goroutines, iters = 8, 1000
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < iters; j++ {
+				reg.Counter("c_total", "h").Inc()
+				reg.Gauge("g", "h").SetMax(int64(j))
+				reg.Histogram("h_seconds", "h", nil).Observe(float64(j) * 1e-6)
+			}
+		}()
+	}
+	// Concurrent scrapes while writers run.
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var b strings.Builder
+			if err := reg.WriteText(&b); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := reg.Counter("c_total", "h").Value(); got != goroutines*iters {
+		t.Fatalf("c_total = %d, want %d", got, goroutines*iters)
+	}
+	if got := reg.Histogram("h_seconds", "h", nil).Count(); got != goroutines*iters {
+		t.Fatalf("h_seconds count = %d, want %d", got, goroutines*iters)
+	}
+}
