@@ -1,11 +1,14 @@
 package httpapi
 
 import (
+	"bufio"
 	"context"
 	"crypto/rand"
 	"encoding/hex"
 	"fmt"
+	"io"
 	"log/slog"
+	"net"
 	"net/http"
 	"strconv"
 	"sync/atomic"
@@ -30,6 +33,28 @@ func RequestID(ctx context.Context) string {
 
 // requestIDSeq disambiguates ids if the random source ever fails.
 var requestIDSeq atomic.Uint64
+
+// maxRequestIDLen bounds client-supplied trace ids; anything longer is
+// replaced rather than copied into every log line and response header.
+const maxRequestIDLen = 64
+
+// validRequestID reports whether a client-supplied X-Request-ID is safe to
+// propagate: 1–64 chars drawn from [A-Za-z0-9._-].
+func validRequestID(id string) bool {
+	if id == "" || len(id) > maxRequestIDLen {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '-', c == '_', c == '.':
+		default:
+			return false
+		}
+	}
+	return true
+}
 
 // newRequestID returns a 16-hex-char random trace id.
 func newRequestID() string {
@@ -64,6 +89,38 @@ func (w *statusWriter) Write(b []byte) (int, error) {
 	return n, err
 }
 
+// Unwrap exposes the underlying writer to http.ResponseController, so
+// handlers behind instrument() keep deadline and flush control.
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
+
+// Flush forwards to the underlying writer so streaming handlers keep
+// working when wrapped.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// Hijack forwards connection takeover (websocket upgrades) when the
+// underlying writer supports it.
+func (w *statusWriter) Hijack() (net.Conn, *bufio.ReadWriter, error) {
+	if h, ok := w.ResponseWriter.(http.Hijacker); ok {
+		return h.Hijack()
+	}
+	return nil, nil, fmt.Errorf("httpapi: underlying ResponseWriter does not support hijacking")
+}
+
+// ReadFrom keeps the sendfile fast path available; io.Copy picks up the
+// underlying writer's ReaderFrom when it has one.
+func (w *statusWriter) ReadFrom(r io.Reader) (int64, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := io.Copy(w.ResponseWriter, r)
+	w.bytes += int(n)
+	return n, err
+}
+
 // instrument wraps one endpoint with the serving-stack middleware:
 //
 //   - a per-request trace id, honoured from an incoming X-Request-ID header
@@ -81,7 +138,7 @@ func (s *Server) instrument(pattern string, h http.HandlerFunc) http.Handler {
 		"HTTP request latency.", nil, telemetry.L("path", pattern))
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		id := r.Header.Get("X-Request-ID")
-		if id == "" {
+		if !validRequestID(id) {
 			id = newRequestID()
 		}
 		w.Header().Set("X-Request-ID", id)

@@ -55,6 +55,56 @@ func TestRequestIDHonoredWhenSupplied(t *testing.T) {
 	}
 }
 
+// TestRequestIDRejectedWhenUnsafe asserts oversized or unsafe-charset
+// client ids are replaced with a fresh one instead of being echoed into the
+// response header and every log line.
+func TestRequestIDRejectedWhenUnsafe(t *testing.T) {
+	ts, _ := newInstrumentedServer(t)
+	fresh := regexp.MustCompile(`^[0-9a-f]{16}$`)
+	for name, id := range map[string]string{
+		"too long":     strings.Repeat("a", maxRequestIDLen+1),
+		"spaces":       "abc def",
+		"tab":          "abc\tdef",
+		"header-ish":   "abc,evil=1",
+		"curly braces": "{injected}",
+	} {
+		req, _ := http.NewRequest(http.MethodGet, ts.URL+"/map", nil)
+		req.Header.Set("X-Request-ID", id)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		got := resp.Header.Get("X-Request-ID")
+		if got == id || !fresh.MatchString(got) {
+			t.Errorf("%s: X-Request-ID = %q, want a fresh generated id", name, got)
+		}
+	}
+}
+
+// TestStatusWriterPassthroughs asserts the instrumented wrapper still
+// exposes the optional ResponseWriter capabilities of the writer beneath it.
+func TestStatusWriterPassthroughs(t *testing.T) {
+	rec := httptest.NewRecorder()
+	sw := &statusWriter{ResponseWriter: rec}
+	var _ http.Flusher = sw
+	var _ http.Hijacker = sw
+	var _ io.ReaderFrom = sw
+	sw.Flush() // httptest.ResponseRecorder implements http.Flusher
+	if !rec.Flushed {
+		t.Error("Flush did not reach the underlying writer")
+	}
+	if n, err := sw.ReadFrom(strings.NewReader("hello")); err != nil || n != 5 {
+		t.Errorf("ReadFrom = (%d, %v), want (5, nil)", n, err)
+	}
+	if sw.bytes != 5 || sw.status != http.StatusOK {
+		t.Errorf("ReadFrom accounting: bytes=%d status=%d", sw.bytes, sw.status)
+	}
+	if _, _, err := sw.Hijack(); err == nil {
+		t.Error("Hijack on a non-hijackable writer should error, not panic")
+	}
+}
+
 // TestStatusCodeCounters drives requests with known outcomes and asserts
 // the middleware accounted each under the right (path, method, code) series.
 func TestStatusCodeCounters(t *testing.T) {

@@ -14,15 +14,33 @@ import (
 // in sorted label order. Output is deterministic for a given registry state,
 // which the golden tests rely on.
 func (r *Registry) WriteText(w io.Writer) error {
+	// lookup() appends to f.order and writes f.series under the write lock
+	// whenever a first-time series is created, so both must be copied into a
+	// local snapshot before the read lock is released — rendering from the
+	// live maps would be a concurrent map read/write against any scrape that
+	// races a new label combination.
+	type famSnapshot struct {
+		name, help string
+		kind       metricKind
+		series     []*series
+	}
 	r.mu.RLock()
 	names := make([]string, 0, len(r.families))
 	for name := range r.families {
 		names = append(names, name)
 	}
 	sort.Strings(names)
-	fams := make([]*family, 0, len(names))
+	fams := make([]famSnapshot, 0, len(names))
 	for _, name := range names {
-		fams = append(fams, r.families[name])
+		f := r.families[name]
+		// Series order must not depend on registration order across runs.
+		labelSets := append([]string(nil), f.order...)
+		sort.Strings(labelSets)
+		ss := make([]*series, len(labelSets))
+		for i, ls := range labelSets {
+			ss[i] = f.series[ls]
+		}
+		fams = append(fams, famSnapshot{name: f.name, help: f.help, kind: f.kind, series: ss})
 	}
 	r.mu.RUnlock()
 
@@ -32,11 +50,8 @@ func (r *Registry) WriteText(w io.Writer) error {
 			bw.WriteString("# HELP " + f.name + " " + f.help + "\n")
 		}
 		bw.WriteString("# TYPE " + f.name + " " + f.kind.String() + "\n")
-		// Series order must not depend on registration order across runs.
-		labelSets := append([]string(nil), f.order...)
-		sort.Strings(labelSets)
-		for _, ls := range labelSets {
-			s := f.series[ls]
+		for _, s := range f.series {
+			ls := s.labels
 			switch f.kind {
 			case kindCounter:
 				writeSeries(bw, f.name, ls, formatUint(s.counter.Value()))
@@ -52,7 +67,9 @@ func (r *Registry) WriteText(w io.Writer) error {
 				}
 				writeSeries(bw, f.name+"_bucket", joinLabels(ls, `le="+Inf"`), formatUint(total))
 				writeSeries(bw, f.name+"_sum", ls, formatFloat(h.Sum()))
-				writeSeries(bw, f.name+"_count", ls, formatUint(h.Count()))
+				// _count is derived from the same bucket snapshot as +Inf so
+				// the two can never disagree within one exposition.
+				writeSeries(bw, f.name+"_count", ls, formatUint(total))
 			}
 		}
 	}

@@ -1,6 +1,8 @@
 package telemetry
 
 import (
+	"io"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -121,6 +123,60 @@ atis_weird_total{q="a\"b\\c\nd"} 1
 `
 	if got := b.String(); got != want {
 		t.Errorf("WriteText mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// TestConcurrentSeriesCreationDuringScrape races first-time series creation
+// (which appends to family.order and writes family.series under the write
+// lock) against WriteText scrapes. Before the exporter snapshotted those
+// structures under the read lock, this was a fatal concurrent map
+// read/write; under -race it is the regression gate for that bug.
+func TestConcurrentSeriesCreationDuringScrape(t *testing.T) {
+	reg := NewRegistry()
+	const goroutines, iters = 8, 100
+	var writers sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		i := i
+		writers.Add(1)
+		go func() {
+			defer writers.Done()
+			for j := 0; j < iters; j++ {
+				// Fresh label value every iteration → every lookup creates
+				// a new series while scrapes are mid-flight.
+				code := strconv.Itoa(i*iters + j)
+				reg.Counter("fresh_total", "h", L("code", code)).Inc()
+				reg.Histogram("fresh_seconds", "h", nil, L("code", code)).Observe(1e-6)
+			}
+		}()
+	}
+	done := make(chan struct{})
+	var scrapers sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		scrapers.Add(1)
+		go func() {
+			defer scrapers.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				if err := reg.WriteText(io.Discard); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	writers.Wait()
+	close(done)
+	scrapers.Wait()
+	var b strings.Builder
+	if err := reg.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(b.String(), "fresh_total{"); got != goroutines*iters {
+		t.Fatalf("fresh_total series = %d, want %d", got, goroutines*iters)
 	}
 }
 
