@@ -1,9 +1,14 @@
 # Tiered verification for the ATIS reproduction.
 #
 #   make test   — tier 1: build + unit tests (the seed gate)
-#   make check  — tier 2: vet + full suite under the race detector,
-#                 exercising the concurrent query engine (pooled
-#                 workspaces, route cache, batch fan-out)
+#   make lint   — atislint: project-specific analyzers enforcing the
+#                 engine's concurrency and hot-path invariants
+#                 (lockscope, costversion, poolpair, recorderguard)
+#   make check  — tier 2: vet + lint + full suite under the race
+#                 detector, exercising the concurrent query engine
+#                 (pooled workspaces, route cache, batch fan-out)
+#   make fuzz-short — 30-second bursts of every fuzz target (graphio
+#                 reader, quel parser, pqueue heap invariant)
 #   make bench  — regenerate the concurrent-engine benchmarks behind
 #                 BENCH_PR1.json
 #   make bench-telemetry — search kernel with telemetry off vs on; the
@@ -11,8 +16,9 @@
 #                 BENCH_PR2.json
 
 GO ?= go
+FUZZTIME ?= 30s
 
-.PHONY: build test vet race check bench bench-paper bench-telemetry
+.PHONY: build test vet lint race check fuzz-short bench bench-paper bench-telemetry
 
 build:
 	$(GO) build ./...
@@ -23,10 +29,18 @@ test: build
 vet:
 	$(GO) vet ./...
 
+lint:
+	$(GO) run ./cmd/atislint .
+
 race:
 	$(GO) test -race ./...
 
-check: vet race
+check: vet lint race
+
+fuzz-short:
+	$(GO) test -run '^$$' -fuzz FuzzRead -fuzztime $(FUZZTIME) ./internal/graphio
+	$(GO) test -run '^$$' -fuzz FuzzParse -fuzztime $(FUZZTIME) ./internal/quel
+	$(GO) test -run '^$$' -fuzz FuzzIndexed -fuzztime $(FUZZTIME) ./internal/pqueue
 
 bench:
 	$(GO) test -run xxx -bench 'RepeatedQueries|SearchParallel|RouteServiceParallel|BatchCompute|ALTPreprocess' -benchmem .

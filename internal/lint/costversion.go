@@ -1,0 +1,182 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// CostVersion flags writes to a graph's edge-cost storage that do not bump
+// the cost version in the same mutator. graph.ReverseView and the route
+// cache key their snapshots on CostVersion(); a mutator that changes
+// g.costs without g.costVersion.Add(1) silently serves stale reverse
+// graphs and stale cached routes — a correctness bug with no crash to
+// point at it.
+//
+// The pattern is structural so the fixture tests and any future
+// cost-versioned store are covered alike: a struct that declares both a
+// slice field named "costs" and a counter field named "costVersion" is a
+// cost-versioned store, and every function that writes (assigns, appends
+// to, clears, or copies into) the costs field of such a struct must also
+// call costVersion.Add on the same receiver. Construction through
+// composite literals (Builder.Build, Clone) does not trip the analyzer —
+// a literal initialises, it does not mutate.
+type CostVersion struct{}
+
+// NewCostVersion returns the analyzer.
+func NewCostVersion() *CostVersion { return &CostVersion{} }
+
+// Name implements Analyzer.
+func (*CostVersion) Name() string { return "costversion" }
+
+// Doc implements Analyzer.
+func (*CostVersion) Doc() string {
+	return "writes to versioned edge-cost storage must bump costVersion in the same mutator"
+}
+
+// Run implements Analyzer.
+func (a *CostVersion) Run(u *Unit) []Diagnostic {
+	costsFields := a.collectCostsFields(u)
+	if len(costsFields) == 0 {
+		return nil
+	}
+	var diags []Diagnostic
+	for _, f := range u.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			diags = append(diags, a.checkFunc(u, fd, costsFields)...)
+		}
+	}
+	return diags
+}
+
+// collectCostsFields finds the costs field of every struct that pairs it
+// with a costVersion field.
+func (a *CostVersion) collectCostsFields(u *Unit) map[*types.Var]bool {
+	out := make(map[*types.Var]bool)
+	for _, f := range u.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok || st.Fields == nil {
+				return true
+			}
+			var costs []*types.Var
+			hasVersion := false
+			for _, field := range st.Fields.List {
+				for _, name := range field.Names {
+					switch name.Name {
+					case "costs":
+						v, ok := u.Info.Defs[name].(*types.Var)
+						if !ok {
+							continue
+						}
+						if _, isSlice := v.Type().Underlying().(*types.Slice); isSlice {
+							costs = append(costs, v)
+						}
+					case "costVersion":
+						hasVersion = true
+					}
+				}
+			}
+			if hasVersion {
+				for _, v := range costs {
+					out[v] = true
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// costWrite is one detected mutation of a costs field.
+type costWrite struct {
+	sel  *ast.SelectorExpr
+	root string // receiver expression ("g")
+}
+
+// checkFunc reports costs writes in fd that lack a matching
+// costVersion.Add on the same receiver.
+func (a *CostVersion) checkFunc(u *Unit, fd *ast.FuncDecl, costsFields map[*types.Var]bool) []Diagnostic {
+	var writes []costWrite
+	bumped := make(map[string]bool) // receiver expressions with costVersion.Add calls
+
+	// costsSelector resolves e (possibly through indexing/slicing) to a
+	// selector of a tracked costs field.
+	costsSelector := func(e ast.Expr) *ast.SelectorExpr {
+		for {
+			switch x := e.(type) {
+			case *ast.IndexExpr:
+				e = x.X
+			case *ast.SliceExpr:
+				e = x.X
+			case *ast.ParenExpr:
+				e = x.X
+			case *ast.SelectorExpr:
+				sel, ok := u.Info.Selections[x]
+				if !ok || sel.Kind() != types.FieldVal {
+					return nil
+				}
+				if v, ok := sel.Obj().(*types.Var); ok && costsFields[v] {
+					return x
+				}
+				return nil
+			default:
+				return nil
+			}
+		}
+	}
+	record := func(e ast.Expr) {
+		if sel := costsSelector(e); sel != nil {
+			writes = append(writes, costWrite{sel: sel, root: types.ExprString(sel.X)})
+		}
+	}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range x.Lhs {
+				record(lhs)
+			}
+		case *ast.IncDecStmt:
+			record(x.X)
+		case *ast.CallExpr:
+			if id, ok := x.Fun.(*ast.Ident); ok {
+				switch id.Name {
+				case "clear":
+					if len(x.Args) == 1 {
+						record(x.Args[0])
+					}
+				case "copy":
+					if len(x.Args) == 2 {
+						record(x.Args[0])
+					}
+				}
+			}
+			// costVersion.Add(...) — note the receiver it bumps.
+			if sel, ok := x.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Add" {
+				if inner, ok := sel.X.(*ast.SelectorExpr); ok && inner.Sel.Name == "costVersion" {
+					bumped[types.ExprString(inner.X)] = true
+				}
+			}
+		}
+		return true
+	})
+
+	var diags []Diagnostic
+	for _, w := range writes {
+		if bumped[w.root] {
+			continue
+		}
+		diags = append(diags, Diagnostic{
+			Pos:      u.Position(w.sel.Sel.Pos()),
+			Analyzer: "costversion",
+			Message: fmt.Sprintf("write to %s without a %s.costVersion.Add bump in this mutator; ReverseView and the route cache would serve stale results",
+				types.ExprString(w.sel), w.root),
+		})
+	}
+	return diags
+}

@@ -1,0 +1,75 @@
+package lint
+
+import (
+	"strings"
+)
+
+// The suppression escape hatch: a comment of the form
+//
+//	//lint:ignore <analyzer> <reason>
+//
+// on the same line as a finding, or on the line directly above it,
+// suppresses that analyzer's findings there. The reason is mandatory —
+// an ignore without a justification is itself not honoured — because the
+// directive is a reviewed assertion ("caller holds d.mu") that replaces
+// the mechanical proof the analyzer could not complete. <analyzer> may be
+// a single name or "all".
+
+// ignoreDirective is one parsed //lint:ignore comment.
+type ignoreDirective struct {
+	file     string
+	line     int
+	analyzer string // name or "all"
+	reason   string
+}
+
+// ignoreSet indexes a unit's directives by file and line.
+type ignoreSet map[string]map[int][]ignoreDirective
+
+// collectIgnores parses every //lint:ignore directive in the unit.
+func collectIgnores(u *Unit) ignoreSet {
+	set := make(ignoreSet)
+	for _, f := range u.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//lint:ignore")
+				if !ok {
+					continue
+				}
+				fields := strings.Fields(text)
+				if len(fields) < 2 {
+					continue // no reason given: directive is inert
+				}
+				pos := u.Position(c.Pos())
+				d := ignoreDirective{
+					file:     pos.Filename,
+					line:     pos.Line,
+					analyzer: fields[0],
+					reason:   strings.Join(fields[1:], " "),
+				}
+				if set[d.file] == nil {
+					set[d.file] = make(map[int][]ignoreDirective)
+				}
+				set[d.file][d.line] = append(set[d.file][d.line], d)
+			}
+		}
+	}
+	return set
+}
+
+// suppresses reports whether a directive covers the diagnostic: matching
+// analyzer (or "all") on the diagnostic's line or the line above.
+func (s ignoreSet) suppresses(d Diagnostic) bool {
+	lines := s[d.Pos.Filename]
+	if lines == nil {
+		return false
+	}
+	for _, ln := range []int{d.Pos.Line, d.Pos.Line - 1} {
+		for _, dir := range lines[ln] {
+			if dir.analyzer == "all" || dir.analyzer == d.Analyzer {
+				return true
+			}
+		}
+	}
+	return false
+}

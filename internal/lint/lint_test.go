@@ -1,0 +1,146 @@
+package lint
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files from current analyzer output")
+
+// runFixture loads the fixture module under testdata/<name>/src and runs
+// the single analyzer over it, returning the rendered findings with
+// file paths reduced to basenames.
+func runFixture(t *testing.T, name string, a Analyzer) []string {
+	t.Helper()
+	loader, err := NewLoader(filepath.Join("testdata", name, "src"))
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	units, err := loader.LoadAll()
+	if err != nil {
+		t.Fatalf("type-checking fixture: %v", err)
+	}
+	if len(units) == 0 {
+		t.Fatal("fixture loaded zero packages")
+	}
+	var lines []string
+	for _, d := range Run(units, []Analyzer{a}) {
+		lines = append(lines, fmt.Sprintf("%s:%d:%d: %s: %s",
+			filepath.Base(d.Pos.Filename), d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message))
+	}
+	return lines
+}
+
+// TestAnalyzerGolden compares each analyzer's findings on its fixture —
+// which reproduces the analyzer's motivating bug class, including the
+// PR 2 exporter race for lockscope — against the checked-in golden file.
+// Run with -update to regenerate the goldens after changing an analyzer.
+func TestAnalyzerGolden(t *testing.T) {
+	for _, a := range Analyzers() {
+		a := a
+		t.Run(a.Name(), func(t *testing.T) {
+			got := strings.Join(runFixture(t, a.Name(), a), "\n") + "\n"
+			goldenPath := filepath.Join("testdata", a.Name()+".golden")
+			if *update {
+				if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+					t.Fatalf("writing golden: %v", err)
+				}
+				return
+			}
+			want, err := os.ReadFile(goldenPath)
+			if err != nil {
+				t.Fatalf("reading golden (run `go test ./internal/lint -update` to create): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("findings diverge from %s\n--- got ---\n%s--- want ---\n%s", goldenPath, got, want)
+			}
+		})
+	}
+}
+
+// TestAnalyzersFire guards against an analyzer silently matching nothing:
+// every fixture must produce at least one finding, and every fixture
+// carries at least one suppressed violation proving the //lint:ignore
+// escape hatch filters findings (the goldens must not contain the word
+// "blessed", the marker naming suppressed functions).
+func TestAnalyzersFire(t *testing.T) {
+	for _, a := range Analyzers() {
+		lines := runFixture(t, a.Name(), a)
+		if len(lines) == 0 {
+			t.Errorf("%s: fixture produced no findings; the analyzer is inert", a.Name())
+		}
+		src, err := os.ReadFile(filepath.Join("testdata", a.Name(), "src", "fixture.go"))
+		if err != nil {
+			t.Fatalf("reading fixture: %v", err)
+		}
+		if !strings.Contains(string(src), "//lint:ignore "+a.Name()+" ") {
+			t.Errorf("%s: fixture has no //lint:ignore directive to exercise suppression", a.Name())
+		}
+	}
+}
+
+// TestRepoClean runs the full suite over this repository: the tree must
+// stay lint-clean (the same gate as `make lint`). Skipped with -short —
+// type-checking the module plus its stdlib imports takes a few seconds.
+func TestRepoClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-module type check; skipped in -short mode")
+	}
+	loader, err := NewLoader(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	units, err := loader.LoadAll()
+	if err != nil {
+		t.Fatalf("type-checking module: %v", err)
+	}
+	if len(units) < 20 {
+		t.Fatalf("loaded only %d packages; the loader is missing most of the module", len(units))
+	}
+	for _, d := range Run(units, Analyzers()) {
+		t.Errorf("%s", d)
+	}
+}
+
+// TestIgnoreRequiresReason verifies a reason-less directive is inert.
+func TestIgnoreRequiresReason(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, filepath.Join(dir, "go.mod"), "module fixture\n\ngo 1.22\n")
+	writeFile(t, filepath.Join(dir, "fixture.go"), `package fixture
+
+import "sync"
+
+type s struct {
+	mu sync.Mutex
+	m  map[int]int
+}
+
+func (x *s) bad() int {
+	//lint:ignore lockscope
+	return len(x.m)
+}
+`)
+	loader, err := NewLoader(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	units, err := loader.LoadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := Run(units, []Analyzer{NewLockScope()})
+	if len(diags) != 1 {
+		t.Fatalf("want 1 finding despite the reason-less ignore, got %d: %v", len(diags), diags)
+	}
+}
+
+func writeFile(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,210 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Loader type-checks the packages of one module without invoking the build
+// system: module-internal imports resolve straight to directories under the
+// module root, and standard-library imports go through the source importer.
+// This keeps the tool on the standard library alone — no go/packages, no
+// external driver.
+type Loader struct {
+	fset    *token.FileSet
+	root    string // absolute module root
+	modPath string // module path from go.mod
+
+	std   types.Importer    // stdlib fallback
+	units map[string]*Unit  // by module-relative dir ("." for root)
+	order []string          // load order for deterministic output
+	seen  map[string]string // import path → dir, for cycle messages
+}
+
+// NewLoader prepares a loader for the module rooted at root (the directory
+// holding go.mod).
+func NewLoader(root string) (*Loader, error) {
+	abs, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	modPath, err := readModulePath(filepath.Join(abs, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	return &Loader{
+		fset:    fset,
+		root:    abs,
+		modPath: modPath,
+		std:     importer.ForCompiler(fset, "source", nil),
+		units:   make(map[string]*Unit),
+		seen:    make(map[string]string),
+	}, nil
+}
+
+// readModulePath extracts the module path from a go.mod file.
+func readModulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", fmt.Errorf("lint: reading %s: %w", gomod, err)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("lint: no module directive in %s", gomod)
+}
+
+// LoadAll walks the module and type-checks every package found. Directories
+// named testdata or vendor, hidden directories, and nested modules (a
+// subdirectory with its own go.mod, like tools/) are skipped.
+func (l *Loader) LoadAll() ([]*Unit, error) {
+	var dirs []string
+	err := filepath.WalkDir(l.root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != l.root {
+			if strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+				name == "testdata" || name == "vendor" {
+				return filepath.SkipDir
+			}
+			if _, err := os.Stat(filepath.Join(path, "go.mod")); err == nil {
+				return filepath.SkipDir // nested module (tools/)
+			}
+		}
+		if hasGoFiles(path) {
+			rel, err := filepath.Rel(l.root, path)
+			if err != nil {
+				return err
+			}
+			dirs = append(dirs, rel)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(dirs)
+	for _, dir := range dirs {
+		if _, err := l.LoadDir(dir); err != nil {
+			return nil, err
+		}
+	}
+	units := make([]*Unit, 0, len(l.order))
+	for _, dir := range l.order {
+		units = append(units, l.units[dir])
+	}
+	return units, nil
+}
+
+// hasGoFiles reports whether dir directly contains at least one
+// non-test .go file.
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !e.IsDir() && strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") {
+			return true
+		}
+	}
+	return false
+}
+
+// LoadDir type-checks the package in the module-relative directory dir
+// ("." for the module root), loading its module-internal dependencies
+// first. Results are memoized.
+func (l *Loader) LoadDir(dir string) (*Unit, error) {
+	dir = filepath.ToSlash(filepath.Clean(dir))
+	if u, ok := l.units[dir]; ok {
+		return u, nil
+	}
+
+	abs := filepath.Join(l.root, filepath.FromSlash(dir))
+	entries, err := os.ReadDir(abs)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(abs, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("lint: parsing %s: %w", name, err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("lint: no buildable Go files in %s", abs)
+	}
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{
+		Importer: importerFunc(func(path string) (*types.Package, error) { return l.importPath(path) }),
+	}
+	pkgPath := l.modPath
+	if dir != "." {
+		pkgPath = l.modPath + "/" + dir
+	}
+	pkg, err := conf.Check(pkgPath, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %w", pkgPath, err)
+	}
+	u := &Unit{Fset: l.fset, Files: files, Pkg: pkg, Info: info, Dir: dir}
+	l.units[dir] = u
+	l.order = append(l.order, dir)
+	return u, nil
+}
+
+// importPath resolves one import: module-internal paths load from disk,
+// everything else (the standard library) goes through the source importer.
+func (l *Loader) importPath(path string) (*types.Package, error) {
+	if path == l.modPath {
+		u, err := l.LoadDir(".")
+		if err != nil {
+			return nil, err
+		}
+		return u.Pkg, nil
+	}
+	if rest, ok := strings.CutPrefix(path, l.modPath+"/"); ok {
+		u, err := l.LoadDir(rest)
+		if err != nil {
+			return nil, err
+		}
+		return u.Pkg, nil
+	}
+	return l.std.Import(path)
+}
+
+// importerFunc adapts a function to types.Importer.
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

@@ -1,0 +1,474 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// LockScope flags reads and writes of mutex-guarded map and slice fields
+// performed outside the guarding lock's scope — the PR 2 exporter bug
+// class, where WriteText copied family names under RLock but iterated the
+// live series maps after RUnlock, a fatal concurrent map read/write under
+// racing scrapes.
+//
+// Guarded fields are inferred from the standard Go layout convention: in a
+// struct, a sync.Mutex or sync.RWMutex field guards the map- and
+// slice-typed fields declared after it in the same field group (a group
+// ends at a blank line or a doc comment). Pointer and scalar fields are
+// not tracked — scalars race benignly through the race detector's eyes
+// only, and pointer-typed structures cannot be proven by a local scan —
+// so the analyzer concentrates on the aliasing containers whose races
+// corrupt memory.
+//
+// Within each function the analyzer walks statements in source order,
+// tracking the lock state of each holder expression (`r.mu`,
+// `c.shards[i].mu`, …): Lock/RLock set it, Unlock/RUnlock clear it, and a
+// deferred unlock holds it to function exit. A guarded access requires the
+// lock held (a write under an RWMutex requires the exclusive Lock, not
+// RLock). Accesses rooted at values constructed locally (`c :=
+// &routeCache{…}`) are exempt: an unpublished value cannot be shared yet.
+// Helpers whose contract is "caller holds mu" carry a
+// `//lint:ignore lockscope caller holds …` directive.
+type LockScope struct{}
+
+// NewLockScope returns the analyzer.
+func NewLockScope() *LockScope { return &LockScope{} }
+
+// Name implements Analyzer.
+func (*LockScope) Name() string { return "lockscope" }
+
+// Doc implements Analyzer.
+func (*LockScope) Doc() string {
+	return "mutex-guarded map/slice fields must only be accessed while the guarding lock is held"
+}
+
+// guardInfo describes the mutex guarding one field.
+type guardInfo struct {
+	muName string // name of the mutex field in the same struct
+	rw     bool   // guarding mutex is an RWMutex
+}
+
+// Run implements Analyzer.
+func (a *LockScope) Run(u *Unit) []Diagnostic {
+	guards := a.collectGuards(u)
+	if len(guards) == 0 {
+		return nil
+	}
+	var diags []Diagnostic
+	for _, f := range u.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			s := &lockScanner{unit: u, guards: guards, state: make(map[string]*lockState), unpublished: make(map[types.Object]bool)}
+			s.scanStmt(fd.Body)
+			diags = append(diags, s.diags...)
+		}
+	}
+	return diags
+}
+
+// collectGuards maps each guarded field object to its guarding mutex,
+// applying the field-group convention.
+func (a *LockScope) collectGuards(u *Unit) map[*types.Var]guardInfo {
+	guards := make(map[*types.Var]guardInfo)
+	for _, f := range u.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok || st.Fields == nil {
+				return true
+			}
+			var cur *guardInfo // mutex of the current field group, if any
+			var prevEnd token.Pos
+			for _, field := range st.Fields.List {
+				// A doc comment or a blank line starts a new group: the
+				// convention is that a mutex guards the fields directly
+				// beneath it.
+				if prevEnd.IsValid() {
+					gap := u.Position(field.Pos()).Line - u.Position(prevEnd).Line
+					if field.Doc != nil || gap > 1 {
+						cur = nil
+					}
+				}
+				prevEnd = field.End()
+				if len(field.Names) == 0 {
+					continue // embedded field; not part of the convention
+				}
+				ft := u.Info.TypeOf(field.Type)
+				if ft == nil {
+					continue
+				}
+				if rw, isMu := mutexKind(ft); isMu {
+					cur = &guardInfo{muName: field.Names[0].Name, rw: rw}
+					continue
+				}
+				if cur == nil {
+					continue
+				}
+				switch ft.Underlying().(type) {
+				case *types.Map, *types.Slice:
+					for _, name := range field.Names {
+						if v, ok := u.Info.Defs[name].(*types.Var); ok {
+							guards[v] = *cur
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return guards
+}
+
+// lockState is the tracked state of one holder expression ("r.mu").
+type lockState struct {
+	mode   int  // 0 = unlocked, 1 = read-locked, 2 = write-locked
+	sticky bool // a deferred unlock pins the mode until function exit
+}
+
+const (
+	lockNone = iota
+	lockRead
+	lockWrite
+)
+
+// lockScanner walks one function body in source order.
+type lockScanner struct {
+	unit        *Unit
+	guards      map[*types.Var]guardInfo
+	state       map[string]*lockState // holder expression → state
+	unpublished map[types.Object]bool // locals still private to this function
+	diags       []Diagnostic
+}
+
+func (s *lockScanner) stateFor(key string) *lockState {
+	st, ok := s.state[key]
+	if !ok {
+		st = &lockState{}
+		s.state[key] = st
+	}
+	return st
+}
+
+// lockCall recognises m.Lock / m.RLock / m.Unlock / m.RUnlock / m.TryLock /
+// m.TryRLock calls on a sync mutex and returns the holder key and the
+// transition.
+func (s *lockScanner) lockCall(call *ast.CallExpr) (key, method string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock", "Unlock", "RUnlock", "TryLock", "TryRLock":
+	default:
+		return "", "", false
+	}
+	t := s.unit.Info.TypeOf(sel.X)
+	if t == nil {
+		return "", "", false
+	}
+	if _, isMu := mutexKind(t); !isMu {
+		return "", "", false
+	}
+	return types.ExprString(sel.X), sel.Sel.Name, true
+}
+
+// scanStmt processes one statement, updating lock state and checking
+// guarded accesses, in source order.
+func (s *lockScanner) scanStmt(stmt ast.Stmt) {
+	switch st := stmt.(type) {
+	case nil:
+	case *ast.BlockStmt:
+		for _, inner := range st.List {
+			s.scanStmt(inner)
+		}
+	case *ast.ExprStmt:
+		if call, ok := st.X.(*ast.CallExpr); ok {
+			if key, method, isLock := s.lockCall(call); isLock {
+				s.transition(key, method, false)
+				return
+			}
+		}
+		s.checkExpr(st.X, false)
+	case *ast.DeferStmt:
+		if key, method, isLock := s.lockCall(st.Call); isLock {
+			s.transition(key, method, true)
+			return
+		}
+		s.checkExpr(st.Call, false)
+	case *ast.AssignStmt:
+		for _, rhs := range st.Rhs {
+			s.checkExpr(rhs, false)
+		}
+		for _, lhs := range st.Lhs {
+			s.checkExpr(lhs, true)
+		}
+		s.trackUnpublished(st)
+	case *ast.DeclStmt:
+		if gd, ok := st.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						s.checkExpr(v, false)
+					}
+					s.trackUnpublishedSpec(vs)
+				}
+			}
+		}
+	case *ast.IfStmt:
+		s.scanStmt(st.Init)
+		s.checkExpr(st.Cond, false)
+		s.scanStmt(st.Body)
+		s.scanStmt(st.Else)
+	case *ast.ForStmt:
+		s.scanStmt(st.Init)
+		if st.Cond != nil {
+			s.checkExpr(st.Cond, false)
+		}
+		s.scanStmt(st.Body)
+		s.scanStmt(st.Post)
+	case *ast.RangeStmt:
+		s.checkExpr(st.X, false)
+		s.scanStmt(st.Body)
+	case *ast.SwitchStmt:
+		s.scanStmt(st.Init)
+		if st.Tag != nil {
+			s.checkExpr(st.Tag, false)
+		}
+		s.scanStmt(st.Body)
+	case *ast.TypeSwitchStmt:
+		s.scanStmt(st.Init)
+		s.scanStmt(st.Assign)
+		s.scanStmt(st.Body)
+	case *ast.CaseClause:
+		for _, e := range st.List {
+			s.checkExpr(e, false)
+		}
+		for _, inner := range st.Body {
+			s.scanStmt(inner)
+		}
+	case *ast.SelectStmt:
+		s.scanStmt(st.Body)
+	case *ast.CommClause:
+		s.scanStmt(st.Comm)
+		for _, inner := range st.Body {
+			s.scanStmt(inner)
+		}
+	case *ast.ReturnStmt:
+		for _, e := range st.Results {
+			s.checkExpr(e, false)
+		}
+	case *ast.GoStmt:
+		// A goroutine launched here runs after the current lock region may
+		// have ended: scan its body against an empty lock state.
+		saved := s.state
+		s.state = make(map[string]*lockState)
+		s.checkExpr(st.Call, false)
+		s.state = saved
+	case *ast.SendStmt:
+		s.checkExpr(st.Chan, false)
+		s.checkExpr(st.Value, false)
+	case *ast.IncDecStmt:
+		s.checkExpr(st.X, true)
+	case *ast.LabeledStmt:
+		s.scanStmt(st.Stmt)
+	case *ast.BranchStmt, *ast.EmptyStmt:
+	default:
+		// Anything unanticipated: conservatively check contained
+		// expressions as reads.
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			if e, ok := n.(ast.Expr); ok {
+				s.checkExpr(e, false)
+				return false
+			}
+			return true
+		})
+	}
+}
+
+// transition applies one lock call to the holder's state.
+func (s *lockScanner) transition(key, method string, deferred bool) {
+	st := s.stateFor(key)
+	switch method {
+	case "Lock", "TryLock":
+		st.mode = lockWrite
+	case "RLock", "TryRLock":
+		st.mode = lockRead
+	case "Unlock", "RUnlock":
+		if deferred {
+			// defer mu.Unlock(): held until function exit.
+			st.sticky = true
+		} else if !st.sticky {
+			st.mode = lockNone
+		}
+	}
+}
+
+// trackUnpublished records locals bound to freshly constructed values:
+// accesses through them need no lock until the value escapes.
+func (s *lockScanner) trackUnpublished(st *ast.AssignStmt) {
+	if st.Tok != token.DEFINE {
+		return
+	}
+	for i, lhs := range st.Lhs {
+		id, ok := lhs.(*ast.Ident)
+		if !ok || i >= len(st.Rhs) {
+			continue
+		}
+		if isFreshValue(st.Rhs[i]) {
+			if obj := s.unit.Info.Defs[id]; obj != nil {
+				s.unpublished[obj] = true
+			}
+		}
+	}
+}
+
+func (s *lockScanner) trackUnpublishedSpec(vs *ast.ValueSpec) {
+	for i, name := range vs.Names {
+		if i < len(vs.Values) && isFreshValue(vs.Values[i]) {
+			if obj := s.unit.Info.Defs[name]; obj != nil {
+				s.unpublished[obj] = true
+			}
+		}
+	}
+}
+
+// isFreshValue reports whether e constructs a brand-new value: a composite
+// literal, &composite literal, or new(T).
+func isFreshValue(e ast.Expr) bool {
+	switch x := e.(type) {
+	case *ast.CompositeLit:
+		return true
+	case *ast.UnaryExpr:
+		if x.Op == token.AND {
+			_, isLit := x.X.(*ast.CompositeLit)
+			return isLit
+		}
+	case *ast.CallExpr:
+		if id, ok := x.Fun.(*ast.Ident); ok && id.Name == "new" {
+			return true
+		}
+	}
+	return false
+}
+
+// checkExpr inspects an expression tree for guarded-field accesses. write
+// marks the outermost expression as the target of an assignment.
+func (s *lockScanner) checkExpr(e ast.Expr, write bool) {
+	if e == nil {
+		return
+	}
+	switch x := e.(type) {
+	case *ast.SelectorExpr:
+		s.checkAccess(x, write)
+		s.checkExpr(x.X, false)
+	case *ast.IndexExpr:
+		// Writing x.f[k] mutates the container f itself for maps and
+		// element storage for slices; both require the write lock.
+		s.checkExpr(x.X, write)
+		s.checkExpr(x.Index, false)
+	case *ast.StarExpr:
+		s.checkExpr(x.X, write)
+	case *ast.ParenExpr:
+		s.checkExpr(x.X, write)
+	case *ast.UnaryExpr:
+		s.checkExpr(x.X, write || x.Op == token.AND)
+	case *ast.BinaryExpr:
+		s.checkExpr(x.X, false)
+		s.checkExpr(x.Y, false)
+	case *ast.CallExpr:
+		// delete(x.f, k) and append-into writes arrive via AssignStmt;
+		// delete is the one builtin that mutates through a call.
+		if id, ok := x.Fun.(*ast.Ident); ok && id.Name == "delete" && len(x.Args) == 2 {
+			s.checkExpr(x.Args[0], true)
+			s.checkExpr(x.Args[1], false)
+			return
+		}
+		s.checkExpr(x.Fun, false)
+		for _, arg := range x.Args {
+			s.checkExpr(arg, false)
+		}
+	case *ast.CompositeLit:
+		for _, elt := range x.Elts {
+			s.checkExpr(elt, false)
+		}
+	case *ast.KeyValueExpr:
+		s.checkExpr(x.Value, false)
+	case *ast.SliceExpr:
+		s.checkExpr(x.X, write)
+		s.checkExpr(x.Low, false)
+		s.checkExpr(x.High, false)
+		s.checkExpr(x.Max, false)
+	case *ast.TypeAssertExpr:
+		s.checkExpr(x.X, false)
+	case *ast.FuncLit:
+		// Function literals execute with whatever lock state holds when
+		// they run; for synchronous callbacks (sort.Slice, g.Neighbors)
+		// that is the current state, which we inherit. Goroutine bodies
+		// are handled separately in scanStmt.
+		s.scanStmt(x.Body)
+	case *ast.Ident, *ast.BasicLit:
+	default:
+		ast.Inspect(e, func(n ast.Node) bool {
+			if n == e {
+				return true
+			}
+			if inner, ok := n.(ast.Expr); ok {
+				s.checkExpr(inner, false)
+				return false
+			}
+			return true
+		})
+	}
+}
+
+// checkAccess validates one selector against the guard table.
+func (s *lockScanner) checkAccess(sel *ast.SelectorExpr, write bool) {
+	selection, ok := s.unit.Info.Selections[sel]
+	if !ok || selection.Kind() != types.FieldVal {
+		return
+	}
+	field, ok := selection.Obj().(*types.Var)
+	if !ok {
+		return
+	}
+	guard, guarded := s.guards[field]
+	if !guarded {
+		return
+	}
+	if root := rootIdent(sel.X); root != nil {
+		if obj := objectOf(s.unit.Info, root); obj != nil && s.unpublished[obj] {
+			return
+		}
+	}
+	key := types.ExprString(sel.X) + "." + guard.muName
+	st := s.state[key]
+	mode := lockNone
+	if st != nil {
+		mode = st.mode
+	}
+	pos := s.unit.Position(sel.Sel.Pos())
+	access := "read"
+	if write {
+		access = "write"
+	}
+	switch {
+	case mode == lockNone:
+		s.diags = append(s.diags, Diagnostic{
+			Pos:      pos,
+			Analyzer: "lockscope",
+			Message: fmt.Sprintf("%s of %s, which is guarded by %s, outside the locked region",
+				access, types.ExprString(sel), key),
+		})
+	case write && mode == lockRead && guard.rw:
+		s.diags = append(s.diags, Diagnostic{
+			Pos:      pos,
+			Analyzer: "lockscope",
+			Message: fmt.Sprintf("write to %s while holding only %s.RLock; writes require the exclusive Lock",
+				types.ExprString(sel), key),
+		})
+	}
+}

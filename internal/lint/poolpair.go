@@ -1,0 +1,238 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// PoolPair flags acquisitions from a workspace pool that are not matched
+// by a deferred release in the same function. The search kernels recycle
+// epoch-stamped workspaces through a sync.Pool; a Get without a Put leaks
+// the workspace on every early return and error path, and after warm-up
+// the pool degenerates to per-query allocation — the exact storage-
+// management cost the pooling exists to remove (the paper's conclusion:
+// storage management, not search, dominates single-pair cost).
+//
+// Two acquisition shapes are tracked:
+//
+//   - project pairs by name: acquireWorkspace(...) must be matched by
+//     defer releaseWorkspace(ws);
+//   - generic sync.Pool: p.Get() must be matched by defer p.Put(v).
+//
+// The release must be deferred — a plain trailing release leaks on every
+// early return and panic — and must name the acquired variable. A function
+// that returns the acquired value transfers ownership to its caller and is
+// exempt (acquireWorkspace itself does this with workspacePool.Get).
+type PoolPair struct {
+	// pairs maps acquire-function names to their release counterparts.
+	pairs map[string]string
+}
+
+// NewPoolPair returns the analyzer with the project's pair table.
+func NewPoolPair() *PoolPair {
+	return &PoolPair{pairs: map[string]string{
+		"acquireWorkspace": "releaseWorkspace",
+	}}
+}
+
+// Name implements Analyzer.
+func (*PoolPair) Name() string { return "poolpair" }
+
+// Doc implements Analyzer.
+func (*PoolPair) Doc() string {
+	return "pool Get / workspace acquire must be matched by a deferred Put / release on every return path"
+}
+
+// acquisition is one tracked Get.
+type acquisition struct {
+	call    *ast.CallExpr
+	varObj  types.Object // variable the result is bound to (nil if unbound)
+	release string       // expected release description for the message
+	// matched is satisfied by a defer of the paired release naming varObj.
+	matched bool
+	// returned marks ownership transfer to the caller.
+	returned bool
+}
+
+// Run implements Analyzer.
+func (a *PoolPair) Run(u *Unit) []Diagnostic {
+	var diags []Diagnostic
+	for _, f := range u.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			diags = append(diags, a.checkFunc(u, fd)...)
+		}
+	}
+	return diags
+}
+
+// acquireCall classifies call as an acquisition, returning the expected
+// release function name ("releaseWorkspace" or "Put on <pool>").
+func (a *PoolPair) acquireCall(u *Unit, call *ast.CallExpr) (release string, generic bool, poolExpr string, ok bool) {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		if rel, isPair := a.pairs[fun.Name]; isPair {
+			return rel, false, "", true
+		}
+	case *ast.SelectorExpr:
+		if fun.Sel.Name == "Get" && len(call.Args) == 0 {
+			if t := u.Info.TypeOf(fun.X); t != nil && isSyncPool(t) {
+				return "Put", true, types.ExprString(fun.X), true
+			}
+		}
+	}
+	return "", false, "", false
+}
+
+// checkFunc scans one function for unpaired acquisitions.
+func (a *PoolPair) checkFunc(u *Unit, fd *ast.FuncDecl) []Diagnostic {
+	var acqs []*acquisition
+	byVar := make(map[types.Object][]*acquisition)
+	var diags []Diagnostic
+
+	// unwrapAssert strips a type assertion: ws := pool.Get().(*Workspace).
+	unwrapAssert := func(e ast.Expr) ast.Expr {
+		if ta, ok := e.(*ast.TypeAssertExpr); ok {
+			return ta.X
+		}
+		return e
+	}
+
+	// Pass 1: find acquisitions and where their results are bound.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		st, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		if len(st.Lhs) != len(st.Rhs) {
+			return true
+		}
+		for i, rhs := range st.Rhs {
+			call, isCall := unwrapAssert(rhs).(*ast.CallExpr)
+			if !isCall {
+				continue
+			}
+			release, generic, poolExpr, isAcq := a.acquireCall(u, call)
+			if !isAcq {
+				continue
+			}
+			if generic {
+				release = fmt.Sprintf("%s.Put", poolExpr)
+			}
+			acq := &acquisition{call: call, release: release}
+			if id, isIdent := st.Lhs[i].(*ast.Ident); isIdent && id.Name != "_" {
+				if obj := objectOf(u.Info, id); obj != nil {
+					acq.varObj = obj
+					byVar[obj] = append(byVar[obj], acq)
+				}
+			}
+			acqs = append(acqs, acq)
+		}
+		return true
+	})
+
+	// Unbound acquisitions (expression statements, discarded results).
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		release, generic, poolExpr, isAcq := a.acquireCall(u, call)
+		if !isAcq {
+			return true
+		}
+		if generic {
+			release = fmt.Sprintf("%s.Put", poolExpr)
+		}
+		for _, acq := range acqs {
+			if acq.call == call {
+				return true // already bound
+			}
+		}
+		diags = append(diags, Diagnostic{
+			Pos:      u.Position(call.Pos()),
+			Analyzer: "poolpair",
+			Message:  fmt.Sprintf("acquired value is not bound to a variable, so it can never be released with %s", release),
+		})
+		return true
+	})
+
+	// Pass 2: find deferred releases and returns of acquired variables.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.DeferStmt:
+			a.markDeferred(u, st.Call, byVar)
+		case *ast.ReturnStmt:
+			for _, res := range st.Results {
+				if id, ok := res.(*ast.Ident); ok {
+					if obj := objectOf(u.Info, id); obj != nil {
+						for _, acq := range byVar[obj] {
+							acq.returned = true
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	for _, acq := range acqs {
+		if acq.varObj == nil || acq.matched || acq.returned {
+			continue
+		}
+		diags = append(diags, Diagnostic{
+			Pos:      u.Position(acq.call.Pos()),
+			Analyzer: "poolpair",
+			Message: fmt.Sprintf("acquisition is not matched by `defer %s(%s)`; early returns and panics leak the pooled value",
+				acq.release, acq.varObj.Name()),
+		})
+	}
+	return diags
+}
+
+// markDeferred satisfies acquisitions whose variable is released by this
+// deferred call — directly (defer release(v)) or inside a deferred closure.
+func (a *PoolPair) markDeferred(u *Unit, call *ast.CallExpr, byVar map[types.Object][]*acquisition) {
+	mark := func(c *ast.CallExpr) {
+		isRelease := false
+		switch fun := c.Fun.(type) {
+		case *ast.Ident:
+			for _, rel := range a.pairs {
+				if fun.Name == rel {
+					isRelease = true
+				}
+			}
+		case *ast.SelectorExpr:
+			if fun.Sel.Name == "Put" {
+				if t := u.Info.TypeOf(fun.X); t != nil && isSyncPool(t) {
+					isRelease = true
+				}
+			}
+		}
+		if !isRelease {
+			return
+		}
+		for _, arg := range c.Args {
+			if id, ok := arg.(*ast.Ident); ok {
+				if obj := objectOf(u.Info, id); obj != nil {
+					for _, acq := range byVar[obj] {
+						acq.matched = true
+					}
+				}
+			}
+		}
+	}
+	mark(call)
+	if lit, ok := call.Fun.(*ast.FuncLit); ok {
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			if c, ok := n.(*ast.CallExpr); ok {
+				mark(c)
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,195 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// RecorderGuard enforces the telemetry fast path in the search kernels:
+// the package recorder is advertised as zero-cost when disabled — one
+// atomic load and a nil check per query — and that contract holds only if
+// every call site consumes activeRecorder() through the guard idiom
+//
+//	if rec := activeRecorder(); rec != nil { … }
+//
+// (or binds it and nil-checks in the immediately following statement).
+// A bare activeRecorder().ObserveSearch(...) both panics when telemetry is
+// disabled and, once "fixed" with scattered ad-hoc checks, invites
+// timestamp-taking and allocation outside the guard — the regression the
+// bench-telemetry gate (<2% overhead) exists to catch after the fact.
+// This analyzer catches it before.
+//
+// The provider set is structural: any package-level function named
+// activeRecorder whose single result is an interface type. Callers that
+// receive an already-checked recorder as a parameter (observeRun) are not
+// flagged — the guard obligation sits where the nilable value enters.
+type RecorderGuard struct {
+	// providers are function names whose results require the guard.
+	providers map[string]bool
+}
+
+// NewRecorderGuard returns the analyzer with the project's provider set.
+func NewRecorderGuard() *RecorderGuard {
+	return &RecorderGuard{providers: map[string]bool{"activeRecorder": true}}
+}
+
+// Name implements Analyzer.
+func (*RecorderGuard) Name() string { return "recorderguard" }
+
+// Doc implements Analyzer.
+func (*RecorderGuard) Doc() string {
+	return "activeRecorder() must be consumed through the `if rec := activeRecorder(); rec != nil` fast-path guard"
+}
+
+// Run implements Analyzer.
+func (a *RecorderGuard) Run(u *Unit) []Diagnostic {
+	providerObjs := make(map[types.Object]bool)
+	for _, f := range u.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv != nil || !a.providers[fd.Name.Name] {
+				continue
+			}
+			obj := u.Info.Defs[fd.Name]
+			if obj == nil {
+				continue
+			}
+			sig, ok := obj.Type().(*types.Signature)
+			if !ok || sig.Results().Len() != 1 {
+				continue
+			}
+			if _, isIface := sig.Results().At(0).Type().Underlying().(*types.Interface); isIface {
+				providerObjs[obj] = true
+			}
+		}
+	}
+	if len(providerObjs) == 0 {
+		return nil
+	}
+
+	var diags []Diagnostic
+	for _, f := range u.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if a.providers[fd.Name.Name] && fd.Recv == nil {
+				continue // the provider's own body
+			}
+			diags = append(diags, a.checkFunc(u, fd, providerObjs)...)
+		}
+	}
+	return diags
+}
+
+// checkFunc walks fd with parent tracking and validates each provider
+// call site.
+func (a *RecorderGuard) checkFunc(u *Unit, fd *ast.FuncDecl, providers map[types.Object]bool) []Diagnostic {
+	var diags []Diagnostic
+	var stack []ast.Node
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := objectOf(u.Info, id)
+		if obj == nil || !providers[obj] {
+			return true
+		}
+		if !a.guarded(u, call, stack) {
+			diags = append(diags, Diagnostic{
+				Pos:      u.Position(call.Pos()),
+				Analyzer: "recorderguard",
+				Message: fmt.Sprintf("result of %s() may be nil and must flow through the fast-path guard `if rec := %s(); rec != nil { … }`",
+					id.Name, id.Name),
+			})
+		}
+		return true
+	})
+	return diags
+}
+
+// guarded reports whether the provider call sits in an accepted idiom:
+//
+//	if v := provider(); v != nil { … }          (if-init guard)
+//	v := provider(); if v != nil { … }          (adjacent-statement guard)
+func (a *RecorderGuard) guarded(u *Unit, call *ast.CallExpr, stack []ast.Node) bool {
+	// The call must be the sole RHS of a define binding one variable.
+	if len(stack) < 2 {
+		return false
+	}
+	asg, ok := stack[len(stack)-2].(*ast.AssignStmt)
+	if !ok || asg.Tok != token.DEFINE || len(asg.Lhs) != 1 || len(asg.Rhs) != 1 || asg.Rhs[0] != ast.Expr(call) {
+		return false
+	}
+	id, ok := asg.Lhs[0].(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return false
+	}
+	obj := u.Info.Defs[id]
+	if obj == nil {
+		return false
+	}
+
+	if len(stack) < 3 {
+		return false
+	}
+	switch parent := stack[len(stack)-3].(type) {
+	case *ast.IfStmt:
+		// if v := provider(); v != nil { … }
+		return parent.Init == ast.Stmt(asg) && isNilCheck(u, parent.Cond, obj)
+	case *ast.BlockStmt:
+		// v := provider()
+		// if v != nil { … }
+		for i, st := range parent.List {
+			if st != ast.Stmt(asg) {
+				continue
+			}
+			if i+1 < len(parent.List) {
+				if next, ok := parent.List[i+1].(*ast.IfStmt); ok && next.Init == nil && isNilCheck(u, next.Cond, obj) {
+					return true
+				}
+			}
+			return false
+		}
+	}
+	return false
+}
+
+// isNilCheck reports whether cond contains `v != nil` for the given
+// object (possibly conjoined with other conditions).
+func isNilCheck(u *Unit, cond ast.Expr, v types.Object) bool {
+	found := false
+	ast.Inspect(cond, func(n ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok || be.Op != token.NEQ {
+			return true
+		}
+		isV := func(e ast.Expr) bool {
+			id, ok := e.(*ast.Ident)
+			return ok && objectOf(u.Info, id) == v
+		}
+		isNil := func(e ast.Expr) bool {
+			id, ok := e.(*ast.Ident)
+			return ok && id.Name == "nil"
+		}
+		if (isV(be.X) && isNil(be.Y)) || (isV(be.Y) && isNil(be.X)) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,57 @@
+// Package fixture reproduces the costversion bug class: mutating a
+// versioned cost store without bumping the version, which would make the
+// engine's ReverseView cache and generation-keyed route cache serve
+// results priced under stale traffic.
+package fixture
+
+import "sync/atomic"
+
+type costGraph struct {
+	costs       []float64
+	costVersion atomic.Uint64
+}
+
+// setGood is the blessed mutator shape: write, then bump.
+func (g *costGraph) setGood(i int, c float64) {
+	g.costs[i] = c
+	g.costVersion.Add(1)
+}
+
+// setBad forgets the bump.
+func (g *costGraph) setBad(i int, c float64) {
+	g.costs[i] = c
+}
+
+// scaleBad compound-assigns in a loop without bumping.
+func (g *costGraph) scaleBad(f float64) {
+	for i := range g.costs {
+		g.costs[i] *= f
+	}
+}
+
+// resetBad clears the storage without bumping.
+func (g *costGraph) resetBad() {
+	clear(g.costs)
+}
+
+// restoreBlessed is the escape hatch: the batch caller owns the bump.
+func (g *costGraph) restoreBlessed(saved []float64) {
+	//lint:ignore costversion caller bumps the version once after the batch
+	copy(g.costs, saved)
+}
+
+// newCostGraph constructs through a literal — initialisation, not
+// mutation: no finding.
+func newCostGraph(n int) *costGraph {
+	return &costGraph{costs: make([]float64, n)}
+}
+
+// plainStore has no costVersion field, so its costs are not versioned and
+// writes to them are nobody's business.
+type plainStore struct {
+	costs []float64
+}
+
+func (p *plainStore) set(i int, c float64) {
+	p.costs[i] = c
+}

@@ -1,0 +1,80 @@
+// Package fixture reproduces the lockscope bug classes. The registry
+// struct mirrors telemetry.Registry, and exportRacy is modeled on the
+// PR 2 Prometheus exporter race: family names snapshotted under RLock,
+// but the guarded map iterated after RUnlock.
+package fixture
+
+import "sync"
+
+type registry struct {
+	mu       sync.RWMutex
+	families map[string]int
+	order    []string
+
+	// extra sits in its own field group: by the layout convention it is
+	// not guarded by mu, so unlocked access to it is fine.
+	extra map[string]int
+}
+
+// exportRacy is the PR 2 exporter race: the map is iterated after the
+// read lock is dropped, a fatal concurrent map read/write under racing
+// scrapes.
+func (r *registry) exportRacy() []string {
+	r.mu.RLock()
+	names := make([]string, 0, len(r.families))
+	r.mu.RUnlock()
+	for name := range r.families {
+		names = append(names, name)
+	}
+	return names
+}
+
+// exportSafe snapshots under the read lock, held to function exit.
+func (r *registry) exportSafe() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	return names
+}
+
+// writeUnderRead mutates guarded containers while holding only RLock.
+func (r *registry) writeUnderRead(name string) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	r.families[name] = 1
+	r.order = append(r.order, name)
+}
+
+// writeSafe takes the exclusive lock for its writes.
+func (r *registry) writeSafe(name string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.families[name] = 1
+	delete(r.families, name)
+}
+
+// unguardedHelper reads a guarded field with no locking at all.
+func (r *registry) unguardedHelper() int {
+	return len(r.families)
+}
+
+// blessedHelper is the documented escape hatch: the caller holds r.mu.
+func (r *registry) blessedHelper() int {
+	//lint:ignore lockscope caller holds r.mu
+	return len(r.families)
+}
+
+// unguardedExtra touches the unguarded field group: no finding.
+func (r *registry) unguardedExtra() int {
+	return len(r.extra)
+}
+
+// newRegistry initialises a fresh, unpublished value: no lock needed.
+func newRegistry() *registry {
+	r := &registry{}
+	r.families = make(map[string]int)
+	return r
+}

@@ -1,0 +1,71 @@
+// Package fixture reproduces the poolpair bug class: a workspace
+// acquired from the pool but not released on every return path, which
+// silently degrades the pool to per-query allocation.
+package fixture
+
+import "sync"
+
+type workspace struct{ buf []int }
+
+var pool = sync.Pool{New: func() any { return new(workspace) }}
+
+// acquireWorkspace transfers ownership to its caller: the returned value
+// exempts the Get inside.
+func acquireWorkspace() *workspace {
+	ws := pool.Get().(*workspace)
+	return ws
+}
+
+func releaseWorkspace(ws *workspace) { pool.Put(ws) }
+
+// good is the blessed shape: acquire, defer release.
+func good(n int) int {
+	ws := acquireWorkspace()
+	defer releaseWorkspace(ws)
+	return len(ws.buf) + n
+}
+
+// goodClosure releases inside a deferred closure.
+func goodClosure() int {
+	ws := acquireWorkspace()
+	defer func() { releaseWorkspace(ws) }()
+	return len(ws.buf)
+}
+
+// leaky releases on only one path: the early return leaks ws.
+func leaky(n int) int {
+	ws := acquireWorkspace()
+	if n < 0 {
+		return -1
+	}
+	releaseWorkspace(ws)
+	return len(ws.buf)
+}
+
+// genericLeak takes straight from the sync.Pool with no deferred Put.
+func genericLeak() int {
+	v := pool.Get().(*workspace)
+	return len(v.buf)
+}
+
+// genericGood pairs Get with a deferred Put.
+func genericGood() int {
+	v := pool.Get().(*workspace)
+	defer pool.Put(v)
+	return len(v.buf)
+}
+
+// discarded never binds the value, so it can never be released.
+func discarded() {
+	pool.Get()
+}
+
+// blessed hands the workspace to a long-lived owner; the directive
+// records why no release happens here.
+func blessed() {
+	//lint:ignore poolpair ownership transfers to the package-level sink
+	ws := acquireWorkspace()
+	sink = ws
+}
+
+var sink *workspace

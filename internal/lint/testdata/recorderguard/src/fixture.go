@@ -1,0 +1,53 @@
+// Package fixture reproduces the recorderguard bug class: consuming the
+// package recorder without the nil-checked fast-path guard, which both
+// panics with telemetry disabled and erodes the zero-cost-when-disabled
+// contract of the search kernels.
+package fixture
+
+type recorder interface{ observe(string) }
+
+var installed recorder
+
+func activeRecorder() recorder { return installed }
+
+// goodKernel uses the canonical if-init guard.
+func goodKernel() {
+	if rec := activeRecorder(); rec != nil {
+		rec.observe("good")
+	}
+}
+
+// goodAdjacent binds first and nil-checks in the next statement.
+func goodAdjacent() {
+	rec := activeRecorder()
+	if rec != nil {
+		rec.observe("adjacent")
+	}
+}
+
+// badDirect chains a method call straight off the provider: panics when
+// telemetry is disabled.
+func badDirect() {
+	activeRecorder().observe("boom")
+}
+
+// badUnchecked binds but never nil-checks.
+func badUnchecked() {
+	rec := activeRecorder()
+	rec.observe("boom")
+}
+
+// badWrongCheck guards on an unrelated condition.
+func badWrongCheck(x int) {
+	if rec := activeRecorder(); x > 0 {
+		rec.observe("boom")
+	}
+}
+
+// blessed records why the guard is skipped (a test hook that is always
+// installed).
+func blessed() {
+	//lint:ignore recorderguard the bench harness installs a recorder before every run
+	rec := activeRecorder()
+	rec.observe("ok")
+}

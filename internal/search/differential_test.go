@@ -1,0 +1,188 @@
+package search
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/estimator"
+	"repro/internal/graph"
+	"repro/internal/gridgen"
+)
+
+// differential_test.go cross-checks the four search kernels against each
+// other: on any graph, Iterative, Dijkstra, A* with an admissible
+// estimator, and Bidirectional must agree on reachability and on the
+// shortest-path cost (paths may differ when ties exist, but never costs).
+// A metamorphic pass then scales every edge cost by a constant λ and
+// asserts the optimal cost scales by exactly λ. Run under -race via
+// `make check`, this doubles as a concurrency shakeout of the pooled
+// workspaces the kernels share.
+
+const costTol = 1e-9
+
+type kernel struct {
+	name string
+	run  func(g *graph.Graph, s, d graph.NodeID) (Result, error)
+}
+
+// kernelsWith enumerates the implementations under differential test,
+// with A* using the given estimator. The Skewed cost model is
+// deliberately absent from the generated graphs: its 0.1-cost skewed
+// arcs undercut geometric length, which would make the Euclidean
+// estimator inadmissible and exempt A* from optimality.
+func kernelsWith(est *estimator.Estimator) []kernel {
+	return []kernel{
+		{"iterative", Iterative},
+		{"dijkstra", Dijkstra},
+		{"astar-" + est.String(), func(g *graph.Graph, s, d graph.NodeID) (Result, error) {
+			return AStar(g, s, d, est)
+		}},
+		{"bidirectional", Bidirectional},
+	}
+}
+
+// checkPath validates a reported path end-to-end: endpoints, edge
+// existence, and that the summed arc costs reproduce the reported cost.
+func checkPath(t *testing.T, g *graph.Graph, s, d graph.NodeID, res Result) {
+	t.Helper()
+	nodes := res.Path.Nodes
+	if len(nodes) == 0 || nodes[0] != s || nodes[len(nodes)-1] != d {
+		t.Fatalf("path endpoints %v do not span %d→%d", nodes, s, d)
+	}
+	sum := 0.0
+	for i := 0; i+1 < len(nodes); i++ {
+		c, ok := g.ArcCost(nodes[i], nodes[i+1])
+		if !ok {
+			t.Fatalf("path uses nonexistent edge %d→%d", nodes[i], nodes[i+1])
+		}
+		sum += c
+	}
+	if math.Abs(sum-res.Cost) > costTol*(1+math.Abs(res.Cost)) {
+		t.Fatalf("path cost %v does not match reported cost %v", sum, res.Cost)
+	}
+}
+
+// runAll executes every kernel on (s, d) and asserts pairwise agreement
+// on Found and Cost, returning the agreed optimal cost. est is the
+// admissible estimator handed to A* — callers scaling edge costs below
+// geometric length must scale the estimator down to match.
+func runAll(t *testing.T, g *graph.Graph, s, d graph.NodeID, est *estimator.Estimator) (found bool, cost float64) {
+	t.Helper()
+	type outcome struct {
+		name string
+		res  Result
+	}
+	var outs []outcome
+	for _, k := range kernelsWith(est) {
+		res, err := k.run(g, s, d)
+		if err != nil {
+			t.Fatalf("%s(%d,%d): %v", k.name, s, d, err)
+		}
+		if res.Found {
+			checkPath(t, g, s, d, res)
+		}
+		outs = append(outs, outcome{k.name, res})
+	}
+	base := outs[0]
+	for _, o := range outs[1:] {
+		if o.res.Found != base.res.Found {
+			t.Fatalf("%d→%d: %s Found=%v but %s Found=%v",
+				s, d, base.name, base.res.Found, o.name, o.res.Found)
+		}
+		if base.res.Found {
+			diff := math.Abs(o.res.Cost - base.res.Cost)
+			if diff > costTol*(1+math.Abs(base.res.Cost)) {
+				t.Fatalf("%d→%d: %s cost %v disagrees with %s cost %v",
+					s, d, base.name, base.res.Cost, o.name, o.res.Cost)
+			}
+		}
+	}
+	return base.res.Found, base.res.Cost
+}
+
+// TestKernelsAgreeOnRandomGrids is the differential harness proper:
+// randomized endpoint pairs over Uniform and Variance grids of several
+// sizes, all kernels in lockstep.
+func TestKernelsAgreeOnRandomGrids(t *testing.T) {
+	cases := []struct {
+		k     int
+		model gridgen.CostModel
+		seed  int64
+	}{
+		{4, gridgen.Uniform, 1},
+		{7, gridgen.Uniform, 2},
+		{7, gridgen.Variance, 3},
+		{11, gridgen.Variance, 4},
+		{13, gridgen.Variance, 5},
+	}
+	pairs := 12
+	if testing.Short() {
+		pairs = 4
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.model.String(), func(t *testing.T) {
+			g, err := gridgen.Generate(gridgen.Config{K: tc.k, Model: tc.model, Seed: tc.seed})
+			if err != nil {
+				t.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(tc.seed * 7919))
+			n := g.NumNodes()
+			for i := 0; i < pairs; i++ {
+				s := graph.NodeID(rng.Intn(n))
+				d := graph.NodeID(rng.Intn(n))
+				found, _ := runAll(t, g, s, d, estimator.Euclidean())
+				if !found {
+					t.Fatalf("%d→%d unreachable on a connected grid", s, d)
+				}
+			}
+			// Degenerate pair: s == d must cost zero everywhere.
+			s := graph.NodeID(rng.Intn(n))
+			if found, cost := runAll(t, g, s, s, estimator.Euclidean()); !found || cost != 0 {
+				t.Fatalf("%d→%d: want found at cost 0, got found=%v cost=%v", s, s, found, cost)
+			}
+		})
+	}
+}
+
+// TestMetamorphicCostScaling checks the scaling relation: multiplying
+// every edge cost by λ must multiply the optimal cost by exactly λ,
+// for every kernel. The scaled graph is a Clone mutated through
+// SetArcCost, which also exercises the costVersion bump path that
+// invalidates ReverseView — Bidirectional on the clone would silently
+// reuse a stale reverse adjacency if that bump were ever lost.
+func TestMetamorphicCostScaling(t *testing.T) {
+	g, err := gridgen.Generate(gridgen.Config{K: 9, Model: gridgen.Variance, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, lambda := range []float64{0.25, 3} {
+		scaled := g.Clone()
+		for _, e := range g.Edges() {
+			if _, err := scaled.SetArcCost(e.Tail, e.Head, e.Cost*lambda); err != nil {
+				t.Fatalf("scaling edge %d→%d: %v", e.Tail, e.Head, err)
+			}
+		}
+		// Euclidean is admissible on the base grid because every edge
+		// costs at least its unit geometric length; after scaling by
+		// λ < 1 that no longer holds, so A* on the scaled graph gets the
+		// estimator scaled by min(1, λ) to stay admissible.
+		scaledEst := estimator.Euclidean()
+		if lambda < 1 {
+			scaledEst = estimator.Scaled(estimator.Euclidean(), lambda)
+		}
+		rng := rand.New(rand.NewSource(int64(lambda * 1000)))
+		n := g.NumNodes()
+		for i := 0; i < 8; i++ {
+			s := graph.NodeID(rng.Intn(n))
+			d := graph.NodeID(rng.Intn(n))
+			_, base := runAll(t, g, s, d, estimator.Euclidean())
+			_, got := runAll(t, scaled, s, d, scaledEst)
+			want := base * lambda
+			if math.Abs(got-want) > costTol*(1+math.Abs(want)) {
+				t.Fatalf("λ=%v %d→%d: scaled cost %v, want %v (base %v)", lambda, s, d, got, want, base)
+			}
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module repro/tools
+
+go 1.22
