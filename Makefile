@@ -14,11 +14,14 @@
 #   make bench-telemetry — search kernel with telemetry off vs on; the
 #                 delta is the Recorder hook's cost (target < 2%), see
 #                 BENCH_PR2.json
+#   make bench-ch — contraction-hierarchy suite: preprocessing cost,
+#                 cached-index query vs dijkstra/astar/alt, and the
+#                 mutate-then-rebuild cycle, see BENCH_PR4.json
 
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: build test vet lint race check fuzz-short bench bench-paper bench-telemetry
+.PHONY: build test vet lint race check fuzz-short bench bench-paper bench-telemetry bench-ch
 
 build:
 	$(GO) build ./...
@@ -50,3 +53,9 @@ bench-paper:
 
 bench-telemetry:
 	$(GO) test -run xxx -bench 'TelemetryOverhead|PrometheusExport' -benchmem -benchtime 200x -count 3 .
+
+# Preprocessing and rebuild iterate multi-second builds, so they get a
+# small fixed iteration count; queries are microseconds and get 100x.
+bench-ch:
+	$(GO) test -run xxx -bench 'CHPreprocess|CHRebuildAfterMutation' -benchmem -benchtime 3x -count 3 -timeout 60m .
+	$(GO) test -run xxx -bench 'CHQuery|CHServiceQuery' -benchmem -benchtime 100x -count 3 .

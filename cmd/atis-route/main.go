@@ -30,7 +30,7 @@ func main() {
 		seed       = flag.Int64("seed", 1993, "map seed")
 		from       = flag.String("from", "A", "source: landmark name or node id")
 		to         = flag.String("to", "B", "destination: landmark name or node id")
-		algoName   = flag.String("algo", "astar-euclidean", "algorithm: astar-euclidean | astar-manhattan | dijkstra | iterative | bidirectional")
+		algoName   = flag.String("algo", "astar-euclidean", "algorithm: astar-euclidean | astar-manhattan | dijkstra | iterative | bidirectional | ch")
 		weight     = flag.Float64("weight", 1, "estimator weight (weighted A*)")
 		display    = flag.Bool("display", false, "render an ASCII map with the route")
 		directions = flag.Bool("directions", false, "print turn-by-turn guidance")
@@ -87,6 +87,11 @@ func main() {
 	}
 
 	if *compare {
+		// Prebuild the hierarchy so the ch row reports index queries, not
+		// the Dijkstra fallback a cold service would serve.
+		if err := svc.EnableCH(); err != nil {
+			fatal(err)
+		}
 		tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 		fmt.Fprintln(tw, "algorithm\tfound\tcost\titerations\trelaxations\tmax frontier")
 		for _, a := range core.Algorithms() {
@@ -104,6 +109,13 @@ func main() {
 	algo, err := core.ParseAlgorithm(*algoName)
 	if err != nil {
 		fatal(err)
+	}
+	if algo == core.CH {
+		// Build synchronously: a one-shot CLI run has no background
+		// rebuild to wait for, and a cold service would fall back.
+		if err := svc.EnableCH(); err != nil {
+			fatal(err)
+		}
 	}
 	r, err := svc.Compute(s, d, core.Options{Algorithm: algo, Weight: *weight})
 	if err != nil {

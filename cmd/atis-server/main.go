@@ -40,6 +40,7 @@ func main() {
 		mapKind     = flag.String("map", "mpls", "map to serve: mpls | grid")
 		k           = flag.Int("k", 30, "grid side for -map grid")
 		seed        = flag.Int64("seed", 1993, "map seed")
+		enableCH    = flag.Bool("ch", false, "prebuild the contraction hierarchy so algo=ch is served from the index immediately")
 		enablePprof = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 		jsonLogs    = flag.Bool("log-json", false, "emit logs as JSON instead of text")
 		gracePeriod = flag.Duration("grace", 10*time.Second, "shutdown grace period for in-flight requests")
@@ -73,6 +74,17 @@ func main() {
 	// Route the search kernels' per-algorithm counters (expansions, heap
 	// ops, pool hits) into the same registry /metrics scrapes.
 	search.EnableTelemetry(svc.Registry())
+	if *enableCH {
+		start := time.Now()
+		if err := svc.EnableCH(); err != nil {
+			logger.Error("contraction-hierarchy preprocessing failed", "err", err)
+			os.Exit(1)
+		}
+		st := svc.CHStats()
+		logger.Info("contraction hierarchy ready",
+			"nodes", g.NumNodes(), "shortcuts", st.Shortcuts,
+			"elapsed", time.Since(start))
+	}
 
 	api := httpapi.NewServer(svc, httpapi.WithLogger(logger))
 	mux := http.NewServeMux()

@@ -1,0 +1,166 @@
+package ch
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/graph"
+)
+
+// Result is the outcome of one CH query, mirroring the shape of
+// search.Result plus the work counters the telemetry layer records.
+type Result struct {
+	Found bool
+	Path  graph.Path
+	Cost  float64
+	// Settled counts nodes popped across both search directions — the
+	// headline comparison against Dijkstra's settled count.
+	Settled int
+	// Relaxed counts arc relaxations attempted across both directions.
+	Relaxed int
+}
+
+// Query computes the exact shortest path from s to d using bidirectional
+// Dijkstra restricted to upward arcs, then unpacks shortcuts so the
+// returned path walks only original arcs and validates like every other
+// kernel's. It is safe for concurrent use; steady-state queries allocate
+// only the returned path slice.
+//
+// Correctness note on stopping: unlike plain bidirectional Dijkstra, the
+// first meeting of the two searches proves nothing in a hierarchy — a
+// cheaper path may peak at a lower-ranked node still queued. A direction
+// therefore keeps running until its queue minimum is at least the best
+// meeting cost found so far; only then can no undiscovered meeting improve
+// it.
+func (ix *Index) Query(s, d graph.NodeID) (Result, error) {
+	if int(s) < 0 || int(s) >= ix.n {
+		return Result{}, fmt.Errorf("ch: source %d out of range [0,%d)", s, ix.n)
+	}
+	if int(d) < 0 || int(d) >= ix.n {
+		return Result{}, fmt.Errorf("ch: destination %d out of range [0,%d)", d, ix.n)
+	}
+	if s == d {
+		return Result{Found: true, Path: graph.Path{Nodes: []graph.NodeID{s}}, Cost: 0}, nil
+	}
+
+	ws := acquireWorkspace(ix.n)
+	defer releaseWorkspace(ws)
+
+	ws.fwd.set(s, 0, graph.Invalid)
+	ws.hf.Push(int(s), 0)
+	ws.bwd.set(d, 0, graph.Invalid)
+	ws.hb.Push(int(d), 0)
+
+	best := math.Inf(1)
+	meet := graph.Invalid
+	settled, relaxed := 0, 0
+
+	// Alternate directions, settling from whichever frontier is cheaper;
+	// a direction is exhausted once empty or its minimum cannot improve
+	// best.
+	for {
+		fmin, bmin := math.Inf(1), math.Inf(1)
+		if _, p, ok := ws.hf.Peek(); ok {
+			fmin = p
+		}
+		if _, p, ok := ws.hb.Peek(); ok {
+			bmin = p
+		}
+		if fmin >= best && bmin >= best {
+			break
+		}
+		forward := fmin <= bmin
+		var (
+			heap  = ws.hf
+			mine  = &ws.fwd
+			their = &ws.bwd
+			adj   = &ix.fwd
+			down  = &ix.bwd
+		)
+		if !forward {
+			heap, mine, their, adj, down = ws.hb, &ws.bwd, &ws.fwd, &ix.bwd, &ix.fwd
+		}
+		ui, du, _ := heap.PopMin()
+		u := graph.NodeID(ui)
+		if od := their.distAt(u); du+od < best {
+			best = du + od
+			meet = u
+		}
+		// Stall-on-demand: the opposite CSR holds this direction's downward
+		// arcs into u (from higher-ranked x). If any labeled x reaches u
+		// more cheaply through one, no shortest path continues upward
+		// through u — skip its expansion. Labels are upper bounds on true
+		// distance, so stalling on a queued (not yet settled) label is
+		// still conservative.
+		stalled := false
+		for i, hi := down.offsets[u], down.offsets[u+1]; i < hi; i++ {
+			if mine.distAt(down.heads[i])+down.costs[i] < du {
+				stalled = true
+				break
+			}
+		}
+		if stalled {
+			continue
+		}
+		settled++
+		lo, hi := adj.offsets[u], adj.offsets[u+1]
+		for i := lo; i < hi; i++ {
+			relaxed++
+			v := adj.heads[i]
+			nd := du + adj.costs[i]
+			if nd < mine.distAt(v) {
+				mine.set(v, nd, u)
+				heap.PushOrUpdate(int(v), nd)
+			}
+		}
+	}
+
+	if meet == graph.Invalid {
+		// Cost +Inf on unreachable, matching search.Result semantics.
+		return Result{Cost: math.Inf(1), Settled: settled, Relaxed: relaxed}, nil
+	}
+
+	// Reconstruct the packed meeting path: s → … → meet from the forward
+	// tree (reversed in place), then meet → … → d from the backward tree,
+	// where prev in the backward search names the next node toward d.
+	packed := ws.packed[:0]
+	for u := meet; u != graph.Invalid; u = ws.fwd.prev[u] {
+		packed = append(packed, u)
+	}
+	for i, j := 0, len(packed)-1; i < j; i, j = i+1, j-1 {
+		packed[i], packed[j] = packed[j], packed[i]
+	}
+	for u := ws.bwd.prev[meet]; u != graph.Invalid; u = ws.bwd.prev[u] {
+		packed = append(packed, u)
+	}
+	ws.packed = packed // retain any growth for the next query
+
+	// Unpack into the workspace scratch (shortcut expansion makes the final
+	// length unknowable upfront), then copy once into an exact-size result:
+	// the only allocation of a warm query.
+	scratch := append(ws.nodes[:0], packed[0])
+	for i := 0; i+1 < len(packed); i++ {
+		scratch = ix.unpackInto(scratch, packed[i], packed[i+1])
+	}
+	ws.nodes = scratch // retain any growth for the next query
+	nodes := make([]graph.NodeID, len(scratch))
+	copy(nodes, scratch)
+	return Result{
+		Found:   true,
+		Path:    graph.Path{Nodes: nodes},
+		Cost:    best,
+		Settled: settled,
+		Relaxed: relaxed,
+	}, nil
+}
+
+// unpackInto expands the (possibly shortcut) arc u→w into original arcs,
+// appending every node after u to nodes. Recursion depth is bounded by the
+// hierarchy height because both halves of a shortcut predate it.
+func (ix *Index) unpackInto(nodes []graph.NodeID, u, w graph.NodeID) []graph.NodeID {
+	if mid, ok := ix.middle[arcKey(u, w)]; ok {
+		nodes = ix.unpackInto(nodes, u, mid)
+		return ix.unpackInto(nodes, mid, w)
+	}
+	return append(nodes, w)
+}

@@ -1,0 +1,82 @@
+package ch
+
+import (
+	"math"
+	"sync"
+
+	"repro/internal/graph"
+	"repro/internal/pqueue"
+)
+
+// labels is an epoch-stamped distance/parent label array, the same trick
+// as internal/search's labelSet: bumping the epoch invalidates every label
+// in O(1), so a pooled workspace never pays an O(n) clear between queries.
+type labels struct {
+	epoch uint64
+	stamp []uint64
+	dist  []float64
+	prev  []graph.NodeID
+}
+
+// reset prepares the labels for a fresh query over n nodes.
+func (l *labels) reset(n int) {
+	if cap(l.stamp) < n {
+		l.stamp = make([]uint64, n)
+		l.dist = make([]float64, n)
+		l.prev = make([]graph.NodeID, n)
+		l.epoch = 0
+	}
+	l.stamp = l.stamp[:n]
+	l.dist = l.dist[:n]
+	l.prev = l.prev[:n]
+	l.epoch++
+}
+
+// distAt reads u's distance label, +Inf when untouched this query.
+func (l *labels) distAt(u graph.NodeID) float64 {
+	if l.stamp[u] != l.epoch {
+		return math.Inf(1)
+	}
+	return l.dist[u]
+}
+
+// set writes u's label in the current epoch.
+func (l *labels) set(u graph.NodeID, d float64, p graph.NodeID) {
+	l.stamp[u] = l.epoch
+	l.dist[u] = d
+	l.prev[u] = p
+}
+
+// workspace bundles the mutable per-query state of a CH query: forward and
+// backward label arrays and heaps. Owned by exactly one query at a time and
+// recycled through a sync.Pool, so steady-state queries allocate only the
+// returned path slice.
+type workspace struct {
+	fwd, bwd labels
+	hf, hb   *pqueue.Indexed
+	packed   []graph.NodeID // scratch for the pre-unpack meeting path
+	nodes    []graph.NodeID // scratch for shortcut unpacking
+}
+
+var workspacePool = sync.Pool{New: func() any { return &workspace{} }}
+
+// acquireWorkspace returns a workspace ready for a query over n nodes.
+func acquireWorkspace(n int) *workspace {
+	ws := workspacePool.Get().(*workspace)
+	ws.fwd.reset(n)
+	ws.bwd.reset(n)
+	if ws.hf == nil {
+		ws.hf = pqueue.NewIndexed(n)
+		ws.hb = pqueue.NewIndexed(n)
+	} else {
+		ws.hf.Grow(n)
+		ws.hf.Reset()
+		ws.hb.Grow(n)
+		ws.hb.Reset()
+	}
+	return ws
+}
+
+// releaseWorkspace returns ws to the pool. Callers must not retain
+// references into its arrays (results are built before release).
+func releaseWorkspace(ws *workspace) { workspacePool.Put(ws) }

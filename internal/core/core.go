@@ -17,7 +17,10 @@ package core
 import (
 	"fmt"
 	"strings"
+	"sync"
+	"sync/atomic"
 
+	"repro/internal/ch"
 	"repro/internal/estimator"
 	"repro/internal/graph"
 	"repro/internal/search"
@@ -41,6 +44,13 @@ const (
 	Iterative
 	// Bidirectional runs Dijkstra from both endpoints simultaneously.
 	Bidirectional
+	// CH answers queries over a precomputed contraction hierarchy
+	// (internal/ch): per-query work nearly independent of graph size, at
+	// the price of a preprocessing pass after every cost change. The
+	// Planner builds the hierarchy lazily on first use and rebuilds
+	// synchronously when edge costs have changed; the route service layers
+	// background rebuilds with Dijkstra fallback on top.
+	CH
 )
 
 // String names the algorithm.
@@ -56,6 +66,8 @@ func (a Algorithm) String() string {
 		return "iterative"
 	case Bidirectional:
 		return "bidirectional"
+	case CH:
+		return "ch"
 	default:
 		return fmt.Sprintf("Algorithm(%d)", int(a))
 	}
@@ -63,7 +75,7 @@ func (a Algorithm) String() string {
 
 // Algorithms lists every selectable algorithm.
 func Algorithms() []Algorithm {
-	return []Algorithm{AStarEuclidean, AStarManhattan, Dijkstra, Iterative, Bidirectional}
+	return []Algorithm{AStarEuclidean, AStarManhattan, Dijkstra, Iterative, Bidirectional, CH}
 }
 
 // ParseAlgorithm resolves a name as printed by String.
@@ -109,6 +121,12 @@ type Route struct {
 // Service adds that synchronisation.
 type Planner struct {
 	g *graph.Graph
+
+	// Contraction-hierarchy state for the CH algorithm: the index is built
+	// lazily on first use and keyed on the graph's CostVersion. chMu
+	// serialises builds so concurrent first queries trigger exactly one.
+	chIdx atomic.Pointer[ch.Index]
+	chMu  sync.Mutex
 }
 
 // NewPlanner wraps g. The graph is not copied; cost updates through g are
@@ -149,6 +167,8 @@ func (p *Planner) Route(from, to graph.NodeID, opts Options) (Route, error) {
 			AllowReopen: true,
 			Label:       opts.Algorithm.String(),
 		})
+	case CH:
+		return p.routeCH(from, to)
 	default:
 		return Route{}, fmt.Errorf("core: unknown algorithm %v", opts.Algorithm)
 	}
@@ -161,6 +181,56 @@ func (p *Planner) Route(from, to graph.NodeID, opts Options) (Route, error) {
 		Cost:      res.Cost,
 		Algorithm: opts.Algorithm,
 		Trace:     res.Trace,
+	}, nil
+}
+
+// CHIndex returns the planner's contraction hierarchy for the graph's
+// current cost version, building or rebuilding it if needed. The build is
+// synchronous: callers who cannot afford that on a query path (the route
+// service) maintain their own index and use the planner only for fallback.
+func (p *Planner) CHIndex() (*ch.Index, error) {
+	want := p.g.CostVersion()
+	if ix := p.chIdx.Load(); ix != nil && ix.CostVersion() == want {
+		return ix, nil
+	}
+	p.chMu.Lock()
+	defer p.chMu.Unlock()
+	// Re-check under the lock: another goroutine may have built while we
+	// waited, and the version may have moved again.
+	want = p.g.CostVersion()
+	if ix := p.chIdx.Load(); ix != nil && ix.CostVersion() == want {
+		return ix, nil
+	}
+	ix, err := ch.Build(p.g, ch.Options{})
+	if err != nil {
+		return nil, err
+	}
+	p.chIdx.Store(ix)
+	return ix, nil
+}
+
+// routeCH answers via the contraction hierarchy. Settled nodes map onto the
+// trace's expansion counters so the experiment harness and /stats compare
+// CH work against the other kernels on the same axis.
+func (p *Planner) routeCH(from, to graph.NodeID) (Route, error) {
+	ix, err := p.CHIndex()
+	if err != nil {
+		return Route{}, err
+	}
+	res, err := ix.Query(from, to)
+	if err != nil {
+		return Route{}, err
+	}
+	return Route{
+		Found:     res.Found,
+		Path:      res.Path,
+		Cost:      res.Cost,
+		Algorithm: CH,
+		Trace: search.Trace{
+			Iterations:  res.Settled,
+			Expansions:  res.Settled,
+			Relaxations: res.Relaxed,
+		},
 	}, nil
 }
 

@@ -298,6 +298,11 @@ func (g *Graph) Clone() *Graph {
 			c.names[k] = v
 		}
 	}
+	// The clone carries the source's cost version (though not its reverse
+	// cache): version-stamped artifacts such as a ch.Index built from a
+	// clone remain valid for the original at the same version, which is how
+	// the route service rebuilds hierarchies off-lock from a snapshot.
+	c.costVersion.Store(g.costVersion.Load())
 	return c
 }
 

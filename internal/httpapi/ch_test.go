@@ -1,0 +1,96 @@
+package httpapi
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/mpls"
+	"repro/internal/route"
+)
+
+// newCHTestServer is newTestServer with the contraction hierarchy prebuilt,
+// so algo=ch is served by the index rather than the cold-start fallback.
+func newCHTestServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	g := mpls.MustGenerate(mpls.Config{})
+	svc := route.NewService(g)
+	if err := svc.EnableCH(); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(NewServer(svc).Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func TestRouteEndpointCH(t *testing.T) {
+	ts := newCHTestServer(t)
+	var chRR, dijRR RouteResponse
+	if resp := getJSON(t, ts.URL+"/route?from=G&to=D&algo=ch", &chRR); resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if chRR.Algorithm != "ch" {
+		t.Fatalf("served by %q, want ch", chRR.Algorithm)
+	}
+	if !chRR.Found || len(chRR.Nodes) < 2 {
+		t.Fatalf("ch route response: %+v", chRR)
+	}
+	getJSON(t, ts.URL+"/route?from=G&to=D&algo=dijkstra", &dijRR)
+	if diff := chRR.Cost - dijRR.Cost; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("ch cost %v disagrees with dijkstra %v", chRR.Cost, dijRR.Cost)
+	}
+}
+
+func TestStatsReportsCH(t *testing.T) {
+	ts := newCHTestServer(t)
+	var rr RouteResponse
+	getJSON(t, ts.URL+"/route?from=G&to=D&algo=ch", &rr)
+	var stats struct {
+		CH route.CHStats `json:"ch"`
+	}
+	getJSON(t, ts.URL+"/stats", &stats)
+	if !stats.CH.Ready || !stats.CH.Fresh {
+		t.Fatalf("stats ch block: %+v", stats.CH)
+	}
+	if stats.CH.Queries == 0 {
+		t.Fatalf("index query not counted: %+v", stats.CH)
+	}
+
+	// A traffic mutation must flip the index to stale; CH requests keep
+	// succeeding (fallback) while the background rebuild runs.
+	var applied map[string]int
+	if resp := postJSON(t, ts.URL+"/traffic", `{"x":16,"y":16,"radius":5,"factor":4}`, &applied); resp.StatusCode != http.StatusOK || applied["affectedEdges"] == 0 {
+		t.Fatalf("traffic: %d %v", resp.StatusCode, applied)
+	}
+	getJSON(t, ts.URL+"/stats", &stats)
+	if stats.CH.Fresh {
+		// The rebuild may already have finished on a fast machine; only a
+		// fresh index with zero rebuild growth would indicate a gate bypass.
+		if stats.CH.Rebuilds < 1 {
+			t.Fatalf("index fresh without any rebuild after mutation: %+v", stats.CH)
+		}
+	}
+	if resp := getJSON(t, ts.URL+"/route?from=G&to=D&algo=ch", &rr); resp.StatusCode != http.StatusOK {
+		t.Fatalf("ch route during rebuild: status %d", resp.StatusCode)
+	}
+	if !rr.Found {
+		t.Fatalf("ch route during rebuild not found: %+v", rr)
+	}
+	// The stale index never serves: the response is either the rebuilt
+	// index's (fresh) or Dijkstra's — both carry current costs.
+	if rr.Algorithm != "ch" && rr.Algorithm != "dijkstra" {
+		t.Fatalf("served by %q during rebuild window", rr.Algorithm)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		getJSON(t, ts.URL+"/stats", &stats)
+		if stats.CH.Fresh {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("index did not become fresh: %+v", stats.CH)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

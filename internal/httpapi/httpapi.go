@@ -297,7 +297,8 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleStats reports the concurrent engine's counters:
-// GET /stats → {"cacheHits":…,"cacheMisses":…,"cacheEntries":…,"costGeneration":…}.
+// GET /stats → {"cacheHits":…,"cacheMisses":…,"cacheEntries":…,
+// "costGeneration":…,"ch":{"ready":…,"fresh":…,…}}.
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	hits, misses, entries := s.svc.CacheStats()
 	s.writeJSON(w, r, map[string]any{
@@ -305,6 +306,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"cacheMisses":    misses,
 		"cacheEntries":   entries,
 		"costGeneration": s.svc.CostGeneration(),
+		"ch":             s.svc.CHStats(),
 	})
 }
 

@@ -18,9 +18,19 @@ import (
 // slice field named "costs" and a counter field named "costVersion" is a
 // cost-versioned store, and every function that writes (assigns, appends
 // to, clears, or copies into) the costs field of such a struct must also
-// call costVersion.Add on the same receiver. Construction through
-// composite literals (Builder.Build, Clone) does not trip the analyzer —
-// a literal initialises, it does not mutate.
+// bump costVersion on the same receiver — via Add on an atomic counter,
+// or ++/assignment on a plain one. Construction through composite
+// literals (Builder.Build, Clone) does not trip the analyzer — a literal
+// initialises, it does not mutate.
+//
+// The pairing also reaches one level of nesting, for index-shaped stores
+// like ch.Index where the version stamp lives on the owner while the
+// priced arrays sit inside embedded CSR halves: a struct declaring
+// costVersion next to a field whose struct type carries a costs slice
+// versions that nested slice too, and a write through it must bump the
+// owner's counter. Those frozen-at-build slices are exactly where a
+// stale-hierarchy write would desynchronise the index from the version
+// gate with no crash to point at it.
 type CostVersion struct{}
 
 // NewCostVersion returns the analyzer.
@@ -53,10 +63,20 @@ func (a *CostVersion) Run(u *Unit) []Diagnostic {
 	return diags
 }
 
+// Depth of a tracked costs field relative to its costVersion owner:
+// sameStruct pairs both fields in one struct; nested pairs a costVersion
+// owner with a costs slice one struct level down (the ch.Index shape),
+// where the bump belongs on the outer receiver.
+const (
+	sameStruct = iota
+	nested
+)
+
 // collectCostsFields finds the costs field of every struct that pairs it
-// with a costVersion field.
-func (a *CostVersion) collectCostsFields(u *Unit) map[*types.Var]bool {
-	out := make(map[*types.Var]bool)
+// with a costVersion field, directly or through one nested struct field,
+// mapping each to its pairing depth.
+func (a *CostVersion) collectCostsFields(u *Unit) map[*types.Var]int {
+	out := make(map[*types.Var]int)
 	for _, f := range u.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
 			st, ok := n.(*ast.StructType)
@@ -64,6 +84,7 @@ func (a *CostVersion) collectCostsFields(u *Unit) map[*types.Var]bool {
 				return true
 			}
 			var costs []*types.Var
+			var inner []*types.Var // costs slices inside struct-typed fields
 			hasVersion := false
 			for _, field := range st.Fields.List {
 				for _, name := range field.Names {
@@ -78,12 +99,25 @@ func (a *CostVersion) collectCostsFields(u *Unit) map[*types.Var]bool {
 						}
 					case "costVersion":
 						hasVersion = true
+					default:
+						v, ok := u.Info.Defs[name].(*types.Var)
+						if !ok {
+							continue
+						}
+						if cv := nestedCostsField(v.Type()); cv != nil {
+							inner = append(inner, cv)
+						}
 					}
 				}
 			}
 			if hasVersion {
 				for _, v := range costs {
-					out[v] = true
+					out[v] = sameStruct
+				}
+				for _, v := range inner {
+					if _, seen := out[v]; !seen {
+						out[v] = nested
+					}
 				}
 			}
 			return true
@@ -92,21 +126,48 @@ func (a *CostVersion) collectCostsFields(u *Unit) map[*types.Var]bool {
 	return out
 }
 
+// nestedCostsField returns the costs slice field of t if t is (a pointer
+// to) a struct declaring one without its own costVersion — a half-store
+// whose version lives on whoever embeds it. A struct carrying its own
+// costVersion is a complete store and is handled by the same-struct rule.
+func nestedCostsField(t types.Type) *types.Var {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return nil
+	}
+	var costs *types.Var
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		switch f.Name() {
+		case "costVersion":
+			return nil
+		case "costs":
+			if _, isSlice := f.Type().Underlying().(*types.Slice); isSlice {
+				costs = f
+			}
+		}
+	}
+	return costs
+}
+
 // costWrite is one detected mutation of a costs field.
 type costWrite struct {
 	sel  *ast.SelectorExpr
-	root string // receiver expression ("g")
+	root string // expression owning the version counter ("g", "ix")
 }
 
-// checkFunc reports costs writes in fd that lack a matching
-// costVersion.Add on the same receiver.
-func (a *CostVersion) checkFunc(u *Unit, fd *ast.FuncDecl, costsFields map[*types.Var]bool) []Diagnostic {
+// checkFunc reports costs writes in fd that lack a matching costVersion
+// bump on the same receiver.
+func (a *CostVersion) checkFunc(u *Unit, fd *ast.FuncDecl, costsFields map[*types.Var]int) []Diagnostic {
 	var writes []costWrite
-	bumped := make(map[string]bool) // receiver expressions with costVersion.Add calls
+	bumped := make(map[string]bool) // receiver expressions with costVersion bumps
 
 	// costsSelector resolves e (possibly through indexing/slicing) to a
-	// selector of a tracked costs field.
-	costsSelector := func(e ast.Expr) *ast.SelectorExpr {
+	// selector of a tracked costs field, plus its pairing depth.
+	costsSelector := func(e ast.Expr) (*ast.SelectorExpr, int) {
 		for {
 			switch x := e.(type) {
 			case *ast.IndexExpr:
@@ -118,20 +179,42 @@ func (a *CostVersion) checkFunc(u *Unit, fd *ast.FuncDecl, costsFields map[*type
 			case *ast.SelectorExpr:
 				sel, ok := u.Info.Selections[x]
 				if !ok || sel.Kind() != types.FieldVal {
-					return nil
+					return nil, 0
 				}
-				if v, ok := sel.Obj().(*types.Var); ok && costsFields[v] {
-					return x
+				if v, ok := sel.Obj().(*types.Var); ok {
+					if depth, tracked := costsFields[v]; tracked {
+						return x, depth
+					}
 				}
-				return nil
+				return nil, 0
 			default:
-				return nil
+				return nil, 0
 			}
 		}
 	}
 	record := func(e ast.Expr) {
-		if sel := costsSelector(e); sel != nil {
-			writes = append(writes, costWrite{sel: sel, root: types.ExprString(sel.X)})
+		sel, depth := costsSelector(e)
+		if sel == nil {
+			return
+		}
+		// For a nested half (ix.fwd.costs) the version counter sits one
+		// level up, on the owner (ix.costVersion) — peel one selector off
+		// the path to name it.
+		owner := ast.Expr(sel.X)
+		if depth == nested {
+			if outer, ok := ast.Unparen(owner).(*ast.SelectorExpr); ok {
+				owner = outer.X
+			}
+		}
+		writes = append(writes, costWrite{sel: sel, root: types.ExprString(owner)})
+	}
+
+	// noteBump records e as a version bump when it is a selector of a
+	// costVersion field — the target of an assignment, ++, or the receiver
+	// of an atomic Add below.
+	noteBump := func(e ast.Expr) {
+		if sel, ok := ast.Unparen(e).(*ast.SelectorExpr); ok && sel.Sel.Name == "costVersion" {
+			bumped[types.ExprString(sel.X)] = true
 		}
 	}
 
@@ -140,9 +223,11 @@ func (a *CostVersion) checkFunc(u *Unit, fd *ast.FuncDecl, costsFields map[*type
 		case *ast.AssignStmt:
 			for _, lhs := range x.Lhs {
 				record(lhs)
+				noteBump(lhs) // plain-counter stores: ix.costVersion = v
 			}
 		case *ast.IncDecStmt:
 			record(x.X)
+			noteBump(x.X) // plain-counter stores: ix.costVersion++
 		case *ast.CallExpr:
 			if id, ok := x.Fun.(*ast.Ident); ok {
 				switch id.Name {
@@ -174,7 +259,7 @@ func (a *CostVersion) checkFunc(u *Unit, fd *ast.FuncDecl, costsFields map[*type
 		diags = append(diags, Diagnostic{
 			Pos:      u.Position(w.sel.Sel.Pos()),
 			Analyzer: "costversion",
-			Message: fmt.Sprintf("write to %s without a %s.costVersion.Add bump in this mutator; ReverseView and the route cache would serve stale results",
+			Message: fmt.Sprintf("write to %s without a %s.costVersion bump in this mutator; version-gated consumers (ReverseView, the route cache, the CH index) would serve stale results",
 				types.ExprString(w.sel), w.root),
 		})
 	}

@@ -55,3 +55,47 @@ type plainStore struct {
 func (p *plainStore) set(i int, c float64) {
 	p.costs[i] = c
 }
+
+// hierarchy mirrors the contraction-hierarchy index shape: a plain-counter
+// version stamp on the owner, with the priced arrays frozen inside nested
+// CSR halves. A write through a half must bump the owner's counter — the
+// stale-index write the route service's version gate cannot see.
+type hierarchy struct {
+	fwd, bwd    csrHalf
+	costVersion uint64
+}
+
+// csrHalf is one adjacency half: no version of its own, so it is paired
+// through whoever embeds it next to a costVersion.
+type csrHalf struct {
+	offsets []int32
+	costs   []float64
+}
+
+// retimeBad rewrites an arc cost inside a frozen half without moving the
+// owner's stamp: the index silently answers with mixed-version costs.
+func (h *hierarchy) retimeBad(i int, c float64) {
+	h.fwd.costs[i] = c
+}
+
+// retimeGood pairs the nested write with a plain-counter bump on the owner.
+func (h *hierarchy) retimeGood(i int, c float64) {
+	h.bwd.costs[i] = c
+	h.costVersion++
+}
+
+// restampGood bumps by assignment rather than increment.
+func (h *hierarchy) restampGood(i int, c float64, v uint64) {
+	h.fwd.costs[i] = c
+	h.costVersion = v
+}
+
+// buildHalf constructs a half from locals and a composite literal —
+// initialisation, not mutation: no finding.
+func buildHalf(n int) csrHalf {
+	costs := make([]float64, n)
+	for i := range costs {
+		costs[i] = 1
+	}
+	return csrHalf{offsets: make([]int32, n+1), costs: costs}
+}

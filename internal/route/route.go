@@ -20,9 +20,11 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/asciichart"
+	"repro/internal/ch"
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/search"
@@ -50,6 +52,18 @@ type Service struct {
 
 	cache *routeCache
 
+	// Contraction-hierarchy serving state. chIdx holds the most recently
+	// built index; it is consulted lock-free and is authoritative only when
+	// its CostVersion matches the live graph's — a traffic mutation bumps
+	// the graph's cost version, which implicitly marks the index stale the
+	// same way it retires ReverseView's cache. Stale queries fall back to
+	// Dijkstra and trigger a background rebuild; chMu + chBuilding make
+	// that rebuild singleflight (at most one builder goroutine, duplicate
+	// triggers are no-ops).
+	chIdx      atomic.Pointer[ch.Index]
+	chMu       sync.Mutex
+	chBuilding bool
+
 	// Telemetry. The registry is the single source of truth for every
 	// service counter: CacheStats and the legacy /stats payload read the
 	// same instruments /metrics exports, so the two cannot disagree.
@@ -60,6 +74,13 @@ type Service struct {
 	batchRequests  *telemetry.Counter
 	batchPairs     *telemetry.Counter
 	trafficUpdates *telemetry.Counter
+
+	chQuerySeconds   *telemetry.Histogram
+	chRebuildSeconds *telemetry.Histogram
+	chSettled        *telemetry.Counter
+	chQueries        *telemetry.Counter
+	chStaleFallbacks *telemetry.Counter
+	chRebuilds       *telemetry.Counter
 }
 
 // NewService snapshots g (deep copies) so traffic updates never touch the
@@ -90,6 +111,19 @@ func NewServiceWithRegistry(g *graph.Graph, reg *telemetry.Registry) *Service {
 			"Origin-destination pairs fanned out by ComputeBatch."),
 		trafficUpdates: reg.Counter("atis_traffic_updates_total",
 			"Traffic mutations applied (congestion, region congestion, reset)."),
+
+		chQuerySeconds: reg.Histogram("atis_ch_query_seconds",
+			"Wall time of queries served by the contraction hierarchy.", nil),
+		chRebuildSeconds: reg.Histogram("atis_ch_rebuild_seconds",
+			"Wall time of contraction-hierarchy (re)builds.", nil),
+		chSettled: reg.Counter("atis_ch_settled_nodes_total",
+			"Nodes settled across all CH queries (both directions)."),
+		chQueries: reg.Counter("atis_ch_queries_total",
+			"Queries served by the contraction hierarchy."),
+		chStaleFallbacks: reg.Counter("atis_ch_stale_fallbacks_total",
+			"CH requests served by Dijkstra because the index was absent or stale."),
+		chRebuilds: reg.Counter("atis_ch_rebuilds_total",
+			"Contraction-hierarchy builds completed (initial and after mutations)."),
 	}
 	s.cache.evictions = reg.Counter("atis_route_cache_evictions_total",
 		"Routes evicted from the LRU cache.")
@@ -102,6 +136,14 @@ func NewServiceWithRegistry(g *graph.Graph, reg *telemetry.Registry) *Service {
 	reg.GaugeFunc("atis_traffic_generation",
 		"Current cost generation (bumps on every traffic mutation).",
 		func() float64 { return float64(s.CostGeneration()) })
+	reg.GaugeFunc("atis_ch_shortcuts",
+		"Shortcut arcs in the current contraction hierarchy (0 until built).",
+		func() float64 {
+			if ix := s.chIdx.Load(); ix != nil {
+				return float64(ix.Shortcuts())
+			}
+			return 0
+		})
 	return s
 }
 
@@ -150,7 +192,7 @@ func (s *Service) Compute(from, to graph.NodeID, opts core.Options) (core.Route,
 		return rt, nil
 	}
 	start := time.Now()
-	rt, err := s.planner.Route(from, to, opts)
+	rt, err := s.routeLocked(from, to, opts)
 	s.mu.RUnlock()
 	s.cacheMiss.Inc()
 	if err != nil {
@@ -161,9 +203,147 @@ func (s *Service) Compute(from, to graph.NodeID, opts core.Options) (core.Route,
 	}
 	// Stored under the generation observed while holding RLock: if a traffic
 	// mutation landed after we released it, the entry sits under the old
-	// generation and will never be served.
+	// generation and will never be served. Stored under the algorithm that
+	// actually served it: a CH request answered by the Dijkstra fallback is
+	// cached as a Dijkstra route, so once the rebuilt hierarchy is fresh the
+	// next CH request reaches the index instead of replaying the fallback.
+	key.algo = rt.Algorithm
 	s.cache.put(key, rt)
 	return rt, nil
+}
+
+// routeLocked computes one route under an already-held read lock,
+// dispatching CH requests to the hierarchy. A CH request is served by the
+// index only when the index's cost version matches the live graph's;
+// otherwise the request falls back to Dijkstra — the result is labeled
+// with the algorithm that actually ran — and a background rebuild is
+// triggered. The fallback guarantees a stale hierarchy never serves a
+// cost that disagrees with the current edge costs.
+func (s *Service) routeLocked(from, to graph.NodeID, opts core.Options) (core.Route, error) {
+	if opts.Algorithm != core.CH {
+		return s.planner.Route(from, to, opts)
+	}
+	if ix := s.chIdx.Load(); ix != nil && ix.CostVersion() == s.current.CostVersion() {
+		start := time.Now()
+		res, err := ix.Query(from, to)
+		if err != nil {
+			return core.Route{}, err
+		}
+		s.chQuerySeconds.Observe(time.Since(start).Seconds())
+		s.chQueries.Inc()
+		s.chSettled.Add(uint64(res.Settled))
+		return core.Route{
+			Found:     res.Found,
+			Path:      res.Path,
+			Cost:      res.Cost,
+			Algorithm: core.CH,
+			Trace: search.Trace{
+				Iterations:  res.Settled,
+				Expansions:  res.Settled,
+				Relaxations: res.Relaxed,
+			},
+		}, nil
+	}
+	s.chStaleFallbacks.Inc()
+	s.scheduleCHRebuild()
+	fb := opts
+	fb.Algorithm = core.Dijkstra
+	return s.planner.Route(from, to, fb)
+}
+
+// scheduleCHRebuild starts a background hierarchy build unless one is
+// already running (singleflight). Safe to call from query paths holding
+// the read lock: the builder goroutine acquires locks afresh.
+func (s *Service) scheduleCHRebuild() {
+	s.chMu.Lock()
+	if s.chBuilding {
+		s.chMu.Unlock()
+		return
+	}
+	s.chBuilding = true
+	s.chMu.Unlock()
+	go s.rebuildCH()
+}
+
+// rebuildCH builds a hierarchy from a private snapshot of the live costs —
+// preprocessing runs entirely off-lock, so queries and traffic mutations
+// proceed unhindered — and publishes it. If costs mutated during the
+// build, the published index is already stale; the next CH query detects
+// the version mismatch and triggers another rebuild, so the index always
+// converges to the live version once mutations pause.
+func (s *Service) rebuildCH() {
+	defer func() {
+		s.chMu.Lock()
+		s.chBuilding = false
+		s.chMu.Unlock()
+	}()
+	s.mu.RLock()
+	snap := s.current.Clone() // carries the cost version it was copied at
+	s.mu.RUnlock()
+	start := time.Now()
+	ix, err := ch.Build(snap, ch.Options{})
+	if err != nil {
+		return // only possible on an empty graph, which has nothing to serve
+	}
+	s.chRebuildSeconds.Observe(time.Since(start).Seconds())
+	s.chRebuilds.Inc()
+	s.chIdx.Store(ix)
+}
+
+// EnableCH builds the contraction hierarchy synchronously so the first
+// algo=ch query is served by the index instead of falling back while a
+// background build warms up. Servers call it once at startup; it is not
+// required — the first CH query triggers a build on its own.
+func (s *Service) EnableCH() error {
+	s.mu.RLock()
+	snap := s.current.Clone()
+	s.mu.RUnlock()
+	start := time.Now()
+	ix, err := ch.Build(snap, ch.Options{})
+	if err != nil {
+		return fmt.Errorf("route: building contraction hierarchy: %w", err)
+	}
+	s.chRebuildSeconds.Observe(time.Since(start).Seconds())
+	s.chRebuilds.Inc()
+	s.chIdx.Store(ix)
+	return nil
+}
+
+// CHStats describes the contraction hierarchy's serving state.
+type CHStats struct {
+	// Ready reports whether an index has ever been built.
+	Ready bool `json:"ready"`
+	// Fresh reports whether the index matches the live cost version; a
+	// stale index means CH requests are currently served by Dijkstra.
+	Fresh bool `json:"fresh"`
+	// Shortcuts is the shortcut-arc count of the current index.
+	Shortcuts int `json:"shortcuts"`
+	// Queries counts requests served by the hierarchy itself.
+	Queries uint64 `json:"queries"`
+	// StaleFallbacks counts CH requests served by Dijkstra instead.
+	StaleFallbacks uint64 `json:"staleFallbacks"`
+	// Rebuilds counts completed hierarchy builds.
+	Rebuilds uint64 `json:"rebuilds"`
+}
+
+// CHStats reports the hierarchy's serving state, read from the same
+// instruments /metrics exports.
+func (s *Service) CHStats() CHStats {
+	st := CHStats{
+		Queries:        s.chQueries.Value(),
+		StaleFallbacks: s.chStaleFallbacks.Value(),
+		Rebuilds:       s.chRebuilds.Value(),
+	}
+	ix := s.chIdx.Load()
+	if ix == nil {
+		return st
+	}
+	st.Ready = true
+	st.Shortcuts = ix.Shortcuts()
+	s.mu.RLock()
+	st.Fresh = ix.CostVersion() == s.current.CostVersion()
+	s.mu.RUnlock()
+	return st
 }
 
 // ComputeByName runs route computation between named landmarks. Name
@@ -199,7 +379,7 @@ func (s *Service) ComputeVia(stops []graph.NodeID, opts core.Options) (core.Rout
 		Path:      graph.Path{Nodes: []graph.NodeID{stops[0]}},
 	}
 	for i := 0; i+1 < len(stops); i++ {
-		leg, err := s.planner.Route(stops[i], stops[i+1], opts)
+		leg, err := s.routeLocked(stops[i], stops[i+1], opts)
 		if err != nil {
 			return core.Route{}, fmt.Errorf("route: leg %d (%d→%d): %w", i, stops[i], stops[i+1], err)
 		}

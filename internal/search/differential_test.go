@@ -3,27 +3,73 @@ package search
 import (
 	"math"
 	"math/rand"
+	"sync"
 	"testing"
 
+	"repro/internal/ch"
 	"repro/internal/estimator"
 	"repro/internal/graph"
 	"repro/internal/gridgen"
 )
 
-// differential_test.go cross-checks the four search kernels against each
+// differential_test.go cross-checks the search kernels against each
 // other: on any graph, Iterative, Dijkstra, A* with an admissible
-// estimator, and Bidirectional must agree on reachability and on the
-// shortest-path cost (paths may differ when ties exist, but never costs).
-// A metamorphic pass then scales every edge cost by a constant λ and
-// asserts the optimal cost scales by exactly λ. Run under -race via
-// `make check`, this doubles as a concurrency shakeout of the pooled
-// workspaces the kernels share.
+// estimator, Bidirectional, and the contraction-hierarchy engine must
+// agree on reachability and on the shortest-path cost (paths may differ
+// when ties exist, but never costs). A metamorphic pass then scales every
+// edge cost by a constant λ and asserts the optimal cost scales by exactly
+// λ. Run under -race via `make check`, this doubles as a concurrency
+// shakeout of the pooled workspaces the kernels share.
 
 const costTol = 1e-9
 
 type kernel struct {
 	name string
 	run  func(g *graph.Graph, s, d graph.NodeID) (Result, error)
+}
+
+// chIndexes caches one contraction hierarchy per graph for the CH pseudo-
+// kernel below, rebuilt whenever the graph's cost version has moved — the
+// same staleness rule the route service applies, exercised here every time
+// a metamorphic test mutates costs between runs. sync.Map because the
+// differential harness also runs under -race with concurrent subtests.
+var chIndexes sync.Map // *graph.Graph → *ch.Index
+
+// runCH adapts the contraction-hierarchy engine to the kernel signature,
+// (re)preprocessing on demand. Its settled/relaxed counters map onto the
+// trace's expansion counters like every other kernel's.
+func runCH(g *graph.Graph, s, d graph.NodeID) (Result, error) {
+	want := g.CostVersion()
+	ix, ok := func() (*ch.Index, bool) {
+		v, loaded := chIndexes.Load(g)
+		if !loaded {
+			return nil, false
+		}
+		ix := v.(*ch.Index)
+		return ix, ix.CostVersion() == want
+	}()
+	if !ok {
+		var err error
+		ix, err = ch.Build(g, ch.Options{})
+		if err != nil {
+			return Result{}, err
+		}
+		chIndexes.Store(g, ix)
+	}
+	res, err := ix.Query(s, d)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{
+		Found: res.Found,
+		Path:  res.Path,
+		Cost:  res.Cost,
+		Trace: Trace{
+			Iterations:  res.Settled,
+			Expansions:  res.Settled,
+			Relaxations: res.Relaxed,
+		},
+	}, nil
 }
 
 // kernelsWith enumerates the implementations under differential test,
@@ -39,6 +85,7 @@ func kernelsWith(est *estimator.Estimator) []kernel {
 			return AStar(g, s, d, est)
 		}},
 		{"bidirectional", Bidirectional},
+		{"ch", runCH},
 	}
 }
 
@@ -143,6 +190,45 @@ func TestKernelsAgreeOnRandomGrids(t *testing.T) {
 				t.Fatalf("%d→%d: want found at cost 0, got found=%v cost=%v", s, s, found, cost)
 			}
 		})
+	}
+}
+
+// TestCHAgreesAfterRandomMutations interleaves random SetArcCost mutations
+// with full-kernel agreement rounds. Every mutation bumps the graph's cost
+// version, so the CH pseudo-kernel's cached hierarchy goes stale and must
+// rebuild before its next answer — if the staleness check ever consulted
+// the wrong version, the stale hierarchy would answer with costs from a
+// retired round and the agreement assertion would catch it.
+func TestCHAgreesAfterRandomMutations(t *testing.T) {
+	base, err := gridgen.Generate(gridgen.Config{K: 9, Model: gridgen.Variance, Seed: 77})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := base.Clone()
+	rng := rand.New(rand.NewSource(77))
+	n := g.NumNodes()
+	edges := g.Edges()
+	rounds, pairs, mutations := 5, 6, 8
+	if testing.Short() {
+		rounds = 2
+	}
+	for round := 0; round < rounds; round++ {
+		for i := 0; i < pairs; i++ {
+			s := graph.NodeID(rng.Intn(n))
+			d := graph.NodeID(rng.Intn(n))
+			runAll(t, g, s, d, estimator.Zero())
+		}
+		// Mutate: costs may rise or fall but stay ≥ 0.1 so the graph stays
+		// valid. The estimator above is Zero (always admissible), because
+		// lowered costs would break Euclidean's admissibility.
+		for i := 0; i < mutations; i++ {
+			e := edges[rng.Intn(len(edges))]
+			cur, _ := g.ArcCost(e.Tail, e.Head)
+			factor := 0.5 + rng.Float64()*1.5
+			if _, err := g.SetArcCost(e.Tail, e.Head, math.Max(0.1, cur*factor)); err != nil {
+				t.Fatalf("mutating %d→%d: %v", e.Tail, e.Head, err)
+			}
+		}
 	}
 }
 
