@@ -17,11 +17,15 @@
 #   make bench-ch — contraction-hierarchy suite: preprocessing cost,
 #                 cached-index query vs dijkstra/astar/alt, and the
 #                 mutate-then-rebuild cycle, see BENCH_PR4.json
+#   make bench-admission — request-lifecycle suite: ctx-polling overhead
+#                 per kernel (base vs ctx in one run, target < 2%) and
+#                 the admission gate's grant/shed fast paths, see
+#                 BENCH_PR5.json
 
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: build test vet lint race check fuzz-short bench bench-paper bench-telemetry bench-ch
+.PHONY: build test vet lint race check fuzz-short bench bench-paper bench-telemetry bench-ch bench-admission
 
 build:
 	$(GO) build ./...
@@ -59,3 +63,7 @@ bench-telemetry:
 bench-ch:
 	$(GO) test -run xxx -bench 'CHPreprocess|CHRebuildAfterMutation' -benchmem -benchtime 3x -count 3 -timeout 60m .
 	$(GO) test -run xxx -bench 'CHQuery|CHServiceQuery' -benchmem -benchtime 100x -count 3 .
+
+bench-admission:
+	$(GO) test -run xxx -bench 'CtxOverhead' -benchmem -benchtime 100x -count 3 .
+	$(GO) test -run xxx -bench 'AdmissionAcquire|AdmissionShed' -benchmem -count 3 .

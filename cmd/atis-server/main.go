@@ -4,10 +4,17 @@
 // internal/httpapi for the endpoints.
 //
 //	atis-server -addr :8080 -map mpls
-//	curl 'localhost:8080/route?from=G&to=D&algo=astar-euclidean'
-//	curl -X POST localhost:8080/traffic -d '{"x":16,"y":16,"radius":4,"factor":2}'
-//	curl localhost:8080/metrics          # Prometheus text format
+//	curl 'localhost:8080/v1/route?from=G&to=D&algo=astar-euclidean'
+//	curl -X POST localhost:8080/v1/traffic -d '{"x":16,"y":16,"radius":4,"factor":2}'
+//	curl localhost:8080/v1/metrics       # Prometheus text format
 //	atis-server -pprof                   # also mounts /debug/pprof/
+//	atis-server -max-inflight 8 -max-queue 32 -default-budget 2s -degrade
+//
+// The admission flags size the request-lifecycle layer: -max-inflight
+// caps concurrent search work (weighted by algorithm class), -max-queue
+// bounds the wait queue before requests shed with 503 + Retry-After,
+// -default-budget/-max-budget set the server-side deadline policy, and
+// -degrade answers shed route requests from the cache or CH index.
 //
 // The server installs the search-kernel telemetry recorder, logs
 // structured lines via log/slog, and shuts down gracefully on SIGINT or
@@ -26,6 +33,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/admission"
 	"repro/internal/graph"
 	"repro/internal/gridgen"
 	"repro/internal/httpapi"
@@ -44,6 +52,17 @@ func main() {
 		enablePprof = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 		jsonLogs    = flag.Bool("log-json", false, "emit logs as JSON instead of text")
 		gracePeriod = flag.Duration("grace", 10*time.Second, "shutdown grace period for in-flight requests")
+
+		maxInFlight = flag.Int("max-inflight", 0,
+			"admission-gate capacity in weight units (0 = 2×GOMAXPROCS)")
+		maxQueue = flag.Int("max-queue", 0,
+			"admission wait-queue bound before requests shed with 503 (0 = 8×capacity, min 64)")
+		defaultBudget = flag.Duration("default-budget", 0,
+			"server-side deadline for requests without ?budget_ms= (0 = 10s)")
+		maxBudget = flag.Duration("max-budget", 0,
+			"hard cap on client-requested ?budget_ms= deadlines (0 = 60s)")
+		degrade = flag.Bool("degrade", false,
+			"answer shed /v1/route requests from the route cache or CH index instead of 503")
 	)
 	flag.Parse()
 
@@ -86,7 +105,20 @@ func main() {
 			"elapsed", time.Since(start))
 	}
 
-	api := httpapi.NewServer(svc, httpapi.WithLogger(logger))
+	api := httpapi.NewServer(svc,
+		httpapi.WithLogger(logger),
+		httpapi.WithAdmission(admission.Config{
+			MaxInFlight:   *maxInFlight,
+			MaxQueue:      *maxQueue,
+			DefaultBudget: *defaultBudget,
+			MaxBudget:     *maxBudget,
+			Degrade:       *degrade,
+		}))
+	gateCfg := api.Admission().Config()
+	logger.Info("admission gate ready",
+		"capacity", gateCfg.MaxInFlight, "max_queue", gateCfg.MaxQueue,
+		"default_budget", gateCfg.DefaultBudget, "max_budget", gateCfg.MaxBudget,
+		"degraded_serving", gateCfg.Degrade)
 	mux := http.NewServeMux()
 	mux.Handle("/", api.Handler())
 	if *enablePprof {

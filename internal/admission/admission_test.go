@@ -1,0 +1,224 @@
+package admission
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/telemetry"
+)
+
+func newTestGate(t *testing.T, cfg Config) *Gate {
+	t.Helper()
+	return NewGate(cfg, telemetry.NewRegistry())
+}
+
+func TestImmediateGrant(t *testing.T) {
+	g := newTestGate(t, Config{MaxInFlight: 2})
+	release, err := g.Acquire(context.Background(), 1)
+	if err != nil {
+		t.Fatalf("Acquire: %v", err)
+	}
+	st := g.Stats()
+	if st.InFlight != 1 || st.Granted != 1 {
+		t.Fatalf("after grant: %+v", st)
+	}
+	release()
+	if st := g.Stats(); st.InFlight != 0 {
+		t.Fatalf("after release: %+v", st)
+	}
+}
+
+func TestShedWhenQueueFull(t *testing.T) {
+	g := newTestGate(t, Config{MaxInFlight: 1, MaxQueue: 1})
+	rel1, err := g.Acquire(context.Background(), 1)
+	if err != nil {
+		t.Fatalf("first Acquire: %v", err)
+	}
+	// Second parks; run it in a goroutine so we can fill the queue.
+	queued := make(chan func(), 1)
+	go func() {
+		rel, err := g.Acquire(context.Background(), 1)
+		if err != nil {
+			t.Errorf("queued Acquire: %v", err)
+		}
+		queued <- rel
+	}()
+	waitFor(t, func() bool { return g.Stats().QueueDepth == 1 })
+	// Third finds the queue full and sheds.
+	if _, err := g.Acquire(context.Background(), 1); !errors.Is(err, ErrShed) {
+		t.Fatalf("third Acquire err = %v, want ErrShed", err)
+	}
+	if st := g.Stats(); st.Shed != 1 {
+		t.Fatalf("shed counter: %+v", st)
+	}
+	rel1()
+	rel2 := <-queued
+	rel2()
+	if st := g.Stats(); st.InFlight != 0 || st.Queued != 1 {
+		t.Fatalf("final: %+v", st)
+	}
+}
+
+func TestFIFOOrder(t *testing.T) {
+	g := newTestGate(t, Config{MaxInFlight: 1, MaxQueue: 8})
+	rel, err := g.Acquire(context.Background(), 1)
+	if err != nil {
+		t.Fatalf("Acquire: %v", err)
+	}
+	var order []int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r, err := g.Acquire(context.Background(), 1)
+			if err != nil {
+				t.Errorf("queued Acquire %d: %v", i, err)
+				return
+			}
+			mu.Lock()
+			order = append(order, i)
+			mu.Unlock()
+			r()
+		}()
+		// Serialise arrival so FIFO order is well-defined.
+		waitFor(t, func() bool { return g.Stats().QueueDepth == i+1 })
+	}
+	rel()
+	wg.Wait()
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("grant order %v, want arrival order", order)
+		}
+	}
+}
+
+func TestCanceledWhileQueued(t *testing.T) {
+	g := newTestGate(t, Config{MaxInFlight: 1, MaxQueue: 8})
+	rel, err := g.Acquire(context.Background(), 1)
+	if err != nil {
+		t.Fatalf("Acquire: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, err := g.Acquire(ctx, 1)
+		errc <- err
+	}()
+	waitFor(t, func() bool { return g.Stats().QueueDepth == 1 })
+	cancel()
+	if err := <-errc; !errors.Is(err, context.Canceled) {
+		t.Fatalf("queued Acquire err = %v, want context.Canceled", err)
+	}
+	rel()
+	// The abandoned waiter must not have consumed capacity: a fresh
+	// request is admitted immediately.
+	rel2, err := g.Acquire(context.Background(), 1)
+	if err != nil {
+		t.Fatalf("Acquire after cancel: %v", err)
+	}
+	rel2()
+	if st := g.Stats(); st.InFlight != 0 || st.Canceled != 1 {
+		t.Fatalf("final: %+v", st)
+	}
+}
+
+func TestWeightClampAndHeavyRequests(t *testing.T) {
+	g := newTestGate(t, Config{MaxInFlight: 2, MaxQueue: 8})
+	// Weight above capacity clamps: the request runs alone instead of
+	// deadlocking forever.
+	rel, err := g.Acquire(context.Background(), 99)
+	if err != nil {
+		t.Fatalf("heavy Acquire: %v", err)
+	}
+	if st := g.Stats(); st.InFlight != 2 {
+		t.Fatalf("clamped in-flight: %+v", st)
+	}
+	rel()
+	if st := g.Stats(); st.InFlight != 0 {
+		t.Fatalf("after release: %+v", st)
+	}
+}
+
+func TestConcurrentStressNeverExceedsCapacity(t *testing.T) {
+	const capacity = 3
+	g := newTestGate(t, Config{MaxInFlight: capacity, MaxQueue: 1024})
+	var concurrent, peak atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rel, err := g.Acquire(context.Background(), 1)
+			if err != nil {
+				t.Errorf("Acquire: %v", err)
+				return
+			}
+			c := concurrent.Add(1)
+			for {
+				p := peak.Load()
+				if c <= p || peak.CompareAndSwap(p, c) {
+					break
+				}
+			}
+			concurrent.Add(-1)
+			rel()
+		}()
+	}
+	wg.Wait()
+	if p := peak.Load(); p > capacity {
+		t.Fatalf("peak concurrency %d exceeds capacity %d", p, capacity)
+	}
+	if st := g.Stats(); st.InFlight != 0 || st.QueueDepth != 0 {
+		t.Fatalf("final: %+v", st)
+	}
+}
+
+func TestClassFor(t *testing.T) {
+	it := ClassFor(core.Iterative)
+	if it.Weight != 2 || it.MaxExpansions <= 0 {
+		t.Fatalf("iterative class %+v: want weight 2 and a budget", it)
+	}
+	chc := ClassFor(core.CH)
+	if chc.Weight != 1 || chc.MaxExpansions != 0 {
+		t.Fatalf("ch class %+v: want weight 1 unbudgeted", chc)
+	}
+	bf := ClassFor(core.Dijkstra)
+	if bf.Weight != 1 || bf.MaxExpansions <= it.MaxExpansions {
+		t.Fatalf("best-first class %+v: iterative budget must be tightest", bf)
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	g := newTestGate(t, Config{})
+	st := g.Stats()
+	if st.Capacity < 2 {
+		t.Fatalf("default capacity %d, want at least 2", st.Capacity)
+	}
+	if st.MaxQueue < 64 {
+		t.Fatalf("default max queue %d, want at least 64", st.MaxQueue)
+	}
+	if st.DefaultBudgetMillis != (10 * time.Second).Milliseconds() {
+		t.Fatalf("default budget %dms", st.DefaultBudgetMillis)
+	}
+}
+
+// waitFor polls cond for up to a second; the gate's queue transitions
+// are asynchronous but fast.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached within 1s")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

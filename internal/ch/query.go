@@ -1,11 +1,18 @@
 package ch
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"repro/internal/graph"
 )
+
+// ctxCheckInterval is the number of settled nodes between ctx.Err()
+// polls in QueryCtx, mirroring search.CheckInterval. CH queries settle
+// a few hundred nodes even on the 100x100 grid, so most runs poll the
+// context at most once beyond the entry check. Must be a power of two.
+const ctxCheckInterval = 1024
 
 // Result is the outcome of one CH query, mirroring the shape of
 // search.Result plus the work counters the telemetry layer records.
@@ -33,6 +40,18 @@ type Result struct {
 // meeting cost found so far; only then can no undiscovered meeting improve
 // it.
 func (ix *Index) Query(s, d graph.NodeID) (Result, error) {
+	return ix.QueryCtx(context.Background(), s, d)
+}
+
+// QueryCtx is Query under a request lifecycle: the search loop polls
+// ctx.Err() every ctxCheckInterval settled nodes and stops with the raw
+// context error (context.Canceled or context.DeadlineExceeded) plus the
+// work counters accumulated so far. This package deliberately returns
+// context errors untranslated — it cannot import internal/search for
+// the typed lifecycle errors without an import cycle through the
+// differential test harness — and the planner (internal/core) maps them
+// with search.FromContextErr so every layer above sees one vocabulary.
+func (ix *Index) QueryCtx(ctx context.Context, s, d graph.NodeID) (Result, error) {
 	if int(s) < 0 || int(s) >= ix.n {
 		return Result{}, fmt.Errorf("ch: source %d out of range [0,%d)", s, ix.n)
 	}
@@ -41,6 +60,9 @@ func (ix *Index) Query(s, d graph.NodeID) (Result, error) {
 	}
 	if s == d {
 		return Result{Found: true, Path: graph.Path{Nodes: []graph.NodeID{s}}, Cost: 0}, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
 	}
 
 	ws := acquireWorkspace(ix.n)
@@ -58,7 +80,13 @@ func (ix *Index) Query(s, d graph.NodeID) (Result, error) {
 	// Alternate directions, settling from whichever frontier is cheaper;
 	// a direction is exhausted once empty or its minimum cannot improve
 	// best.
+	polls := 0
 	for {
+		if polls++; polls&(ctxCheckInterval-1) == 0 {
+			if err := ctx.Err(); err != nil {
+				return Result{Cost: math.Inf(1), Settled: settled, Relaxed: relaxed}, err
+			}
+		}
 		fmin, bmin := math.Inf(1), math.Inf(1)
 		if _, p, ok := ws.hf.Peek(); ok {
 			fmin = p

@@ -15,6 +15,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
@@ -138,21 +139,30 @@ func (p *Planner) Graph() *graph.Graph { return p.g }
 
 // Route computes a route from from to to under opts.
 func (p *Planner) Route(from, to graph.NodeID, opts Options) (Route, error) {
+	return p.RouteCtx(context.Background(), from, to, opts)
+}
+
+// RouteCtx is Route under a request lifecycle: every kernel polls ctx
+// from its main loop (see search.CheckInterval) and the call returns a
+// typed lifecycle error — search.ErrCanceled, search.ErrDeadline, or
+// search.ErrBudget — with partial trace data discarded, as soon as the
+// context dies or the expansion budget (search.WithBudget) runs out.
+func (p *Planner) RouteCtx(ctx context.Context, from, to graph.NodeID, opts Options) (Route, error) {
 	var (
 		res search.Result
 		err error
 	)
 	switch opts.Algorithm {
 	case Iterative:
-		res, err = search.Iterative(p.g, from, to)
+		res, err = search.IterativeCtx(ctx, p.g, from, to)
 	case Dijkstra:
-		res, err = search.BestFirst(p.g, from, to, search.Options{
+		res, err = search.BestFirstCtx(ctx, p.g, from, to, search.Options{
 			Estimator: estimator.Zero(),
 			Frontier:  opts.Frontier,
 			Label:     opts.Algorithm.String(),
 		})
 	case Bidirectional:
-		res, err = search.Bidirectional(p.g, from, to)
+		res, err = search.BidirectionalCtx(ctx, p.g, from, to)
 	case AStarEuclidean, AStarManhattan:
 		est := estimator.Euclidean()
 		if opts.Algorithm == AStarManhattan {
@@ -161,14 +171,14 @@ func (p *Planner) Route(from, to graph.NodeID, opts Options) (Route, error) {
 		if opts.Weight != 0 && opts.Weight != 1 {
 			est = estimator.Scaled(est, opts.Weight)
 		}
-		res, err = search.BestFirst(p.g, from, to, search.Options{
+		res, err = search.BestFirstCtx(ctx, p.g, from, to, search.Options{
 			Estimator:   est,
 			Frontier:    opts.Frontier,
 			AllowReopen: true,
 			Label:       opts.Algorithm.String(),
 		})
 	case CH:
-		return p.routeCH(from, to)
+		return p.routeCH(ctx, from, to)
 	default:
 		return Route{}, fmt.Errorf("core: unknown algorithm %v", opts.Algorithm)
 	}
@@ -211,15 +221,17 @@ func (p *Planner) CHIndex() (*ch.Index, error) {
 
 // routeCH answers via the contraction hierarchy. Settled nodes map onto the
 // trace's expansion counters so the experiment harness and /stats compare
-// CH work against the other kernels on the same axis.
-func (p *Planner) routeCH(from, to graph.NodeID) (Route, error) {
+// CH work against the other kernels on the same axis. The ch package
+// returns raw context errors; FromContextErr folds them into the search
+// package's typed vocabulary so callers handle one error set.
+func (p *Planner) routeCH(ctx context.Context, from, to graph.NodeID) (Route, error) {
 	ix, err := p.CHIndex()
 	if err != nil {
 		return Route{}, err
 	}
-	res, err := ix.Query(from, to)
+	res, err := ix.QueryCtx(ctx, from, to)
 	if err != nil {
-		return Route{}, err
+		return Route{}, search.FromContextErr(err)
 	}
 	return Route{
 		Found:     res.Found,

@@ -3,28 +3,44 @@
 // Handler; the package exists so the API surface is testable with
 // net/http/httptest.
 //
-//	GET  /route?from=A&to=B&algo=astar-euclidean&weight=1   route computation
-//	POST /routes/batch {"pairs":[{"from":"A","to":"B"},…]}  batched computation
-//	POST /evaluate  {"nodes":[1,2,3]}                       route evaluation
-//	GET  /display?from=A&to=B                               route display (text map)
-//	POST /traffic   {"x":16,"y":16,"radius":4,"factor":2}   regional congestion
-//	POST /traffic/reset                                     restore free flow
-//	GET  /map                                               map metadata
-//	GET  /stats                                             cache/generation counters
-//	GET  /metrics                                           Prometheus text format
+// The versioned surface (method-scoped, Go 1.22 patterns):
+//
+//	GET  /v1/route?from=A&to=B&algo=…&weight=…&budget_ms=…  route computation
+//	POST /v1/routes/batch {"pairs":[{"from":"A","to":"B"},…]} batched computation
+//	POST /v1/evaluate  {"nodes":[1,2,3]}                    route evaluation
+//	GET  /v1/display?from=A&to=B                            route display (text map)
+//	POST /v1/traffic   {"x":16,"y":16,"radius":4,"factor":2} regional congestion
+//	POST /v1/traffic/reset                                  restore free flow
+//	GET  /v1/reachable?from=A&budget=5                      isochrone
+//	GET  /v1/directions?from=A&to=B                         turn-by-turn guidance
+//	GET  /v1/alternates?from=A&to=B&k=3                     k loopless routes
+//	GET  /v1/map                                            map metadata
+//	GET  /v1/stats                                          serving counters
+//	GET  /v1/metrics                                        Prometheus text format
+//
+// The unversioned paths remain as aliases; they serve identically but
+// carry a Deprecation header, a Link to the /v1 successor, and bump
+// atis_http_legacy_path_total.
 //
 // Every endpoint runs behind the instrumentation middleware (see
-// middleware.go): per-request trace ids surfaced in X-Request-ID,
-// latency/status/in-flight metrics, and structured access logs.
+// middleware.go). Search-running endpoints additionally run behind the
+// request lifecycle (see lifecycle.go): a server-side deadline (default,
+// or ?budget_ms= clamped to the configured maximum), the admission
+// gate's weighted semaphore with bounded FIFO queue and load shedding,
+// and per-algorithm-class expansion budgets. Failures use one structured
+// error envelope, {"error":{"code":…,"message":…,"requestId":…}} — see
+// errors.go for the code vocabulary.
 package httpapi
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"log/slog"
 	"net/http"
 	"strconv"
 
+	"repro/internal/admission"
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/route"
@@ -37,6 +53,16 @@ type Server struct {
 	log      *slog.Logger
 	reg      *telemetry.Registry
 	inFlight *telemetry.Gauge
+
+	admissionCfg admission.Config
+	gate         *admission.Gate
+
+	// Request-lifecycle outcome counters; together with the gate's
+	// admission counters they make every outcome class visible in
+	// /metrics and /stats.
+	canceledReqs *telemetry.Counter
+	deadlineReqs *telemetry.Counter
+	degradedReqs *telemetry.Counter
 }
 
 // Option customises a Server.
@@ -46,51 +72,69 @@ type Option func(*Server)
 // slog.Default()).
 func WithLogger(l *slog.Logger) Option { return func(s *Server) { s.log = l } }
 
+// WithAdmission sizes the admission gate (see admission.Config; the
+// zero value yields production defaults).
+func WithAdmission(cfg admission.Config) Option {
+	return func(s *Server) { s.admissionCfg = cfg }
+}
+
 // NewServer wraps svc. HTTP metrics are recorded into the service's
-// registry, so GET /metrics exposes the whole stack — HTTP layer, route
-// service, and (when enabled via search.EnableTelemetry) the search
-// kernels — from one scrape.
+// registry, so GET /metrics exposes the whole stack — HTTP layer,
+// admission gate, route service, and (when enabled via
+// search.EnableTelemetry) the search kernels — from one scrape.
 func NewServer(svc *route.Service, opts ...Option) *Server {
 	s := &Server{svc: svc, log: slog.Default(), reg: svc.Registry()}
 	s.inFlight = s.reg.Gauge("atis_http_in_flight", "HTTP requests currently being served.")
 	for _, o := range opts {
 		o(s)
 	}
+	s.gate = admission.NewGate(s.admissionCfg, s.reg)
+	s.canceledReqs = s.reg.Counter("atis_request_lifecycle_total",
+		"Search requests by lifecycle outcome.", telemetry.L("outcome", "canceled"))
+	s.deadlineReqs = s.reg.Counter("atis_request_lifecycle_total",
+		"Search requests by lifecycle outcome.", telemetry.L("outcome", "deadline_exceeded"))
+	s.degradedReqs = s.reg.Counter("atis_request_lifecycle_total",
+		"Search requests by lifecycle outcome.", telemetry.L("outcome", "degraded"))
 	return s
 }
 
-// Handler returns the API's http.Handler with every endpoint instrumented.
+// Admission returns the server's admission gate (tests and operators
+// inspect or pre-load it).
+func (s *Server) Admission() *admission.Gate { return s.gate }
+
+// Handler returns the API's http.Handler: the /v1 surface with
+// method-scoped patterns, plus the legacy unversioned aliases, every
+// endpoint instrumented. For each path the method-less pattern is also
+// registered so wrong-method requests get the enveloped 405 instead of
+// the mux's plain-text one.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	endpoints := []struct {
-		pattern string
-		h       http.HandlerFunc
+		method string
+		path   string
+		h      http.HandlerFunc
 	}{
-		{"/route", s.handleRoute},
-		{"/routes/batch", s.handleBatch},
-		{"/stats", s.handleStats},
-		{"/evaluate", s.handleEvaluate},
-		{"/display", s.handleDisplay},
-		{"/traffic", s.handleTraffic},
-		{"/traffic/reset", s.handleTrafficReset},
-		{"/reachable", s.handleReachable},
-		{"/directions", s.handleDirections},
-		{"/alternates", s.handleAlternates},
-		{"/map", s.handleMap},
-		{"/metrics", s.reg.Handler().ServeHTTP},
+		{http.MethodGet, "/route", s.handleRoute},
+		{http.MethodPost, "/routes/batch", s.handleBatch},
+		{http.MethodGet, "/stats", s.handleStats},
+		{http.MethodPost, "/evaluate", s.handleEvaluate},
+		{http.MethodGet, "/display", s.handleDisplay},
+		{http.MethodPost, "/traffic", s.handleTraffic},
+		{http.MethodPost, "/traffic/reset", s.handleTrafficReset},
+		{http.MethodGet, "/reachable", s.handleReachable},
+		{http.MethodGet, "/directions", s.handleDirections},
+		{http.MethodGet, "/alternates", s.handleAlternates},
+		{http.MethodGet, "/map", s.handleMap},
+		{http.MethodGet, "/metrics", s.reg.Handler().ServeHTTP},
 	}
 	for _, ep := range endpoints {
-		mux.Handle(ep.pattern, s.instrument(ep.pattern, ep.h))
+		v1 := "/v1" + ep.path
+		mux.Handle(ep.method+" "+v1, s.instrument(v1, ep.h))
+		mux.Handle(v1, s.instrument(v1, s.methodNotAllowed(ep.method)))
+		mux.Handle(ep.method+" "+ep.path, s.instrument(ep.path, s.deprecate(ep.path, ep.h)))
+		mux.Handle(ep.path, s.instrument(ep.path, s.deprecate(ep.path, s.methodNotAllowed(ep.method))))
 	}
 	return mux
-}
-
-func (s *Server) httpError(w http.ResponseWriter, r *http.Request, code int, err error) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	if encErr := json.NewEncoder(w).Encode(map[string]string{"error": err.Error()}); encErr != nil {
-		s.log.Warn("encoding error response", "request_id", RequestID(r.Context()), "err", encErr)
-	}
 }
 
 func (s *Server) writeJSON(w http.ResponseWriter, r *http.Request, v any) {
@@ -108,20 +152,43 @@ func (s *Server) resolve(spec string) (graph.NodeID, error) {
 	}
 	n, err := strconv.Atoi(spec)
 	if err != nil || n < 0 || n >= g.NumNodes() {
-		return 0, fmt.Errorf("unknown node %q", spec)
+		return 0, withCode(CodeBadNode, fmt.Errorf("unknown node %q", spec))
 	}
 	return graph.NodeID(n), nil
 }
 
-// RouteResponse is /route's JSON body. Cost is -1 when no route exists
-// (JSON has no +Inf).
+// RouteResponse is the route body embedded verbatim in /v1/route,
+// /v1/routes/batch items, and their legacy aliases. Cost is -1 when no
+// route exists (JSON has no +Inf). Degraded marks answers served from
+// the cache or CH index by the load-shedding degradation path rather
+// than a fresh search.
 type RouteResponse struct {
 	Found      bool        `json:"found"`
 	Cost       float64     `json:"cost"`
 	Nodes      []int32     `json:"nodes,omitempty"`
 	Algorithm  string      `json:"algorithm"`
 	Iterations int         `json:"iterations"`
+	Degraded   bool        `json:"degraded,omitempty"`
 	Evaluation *Evaluation `json:"evaluation,omitempty"`
+}
+
+// routeToBody converts a computed route to its wire shape; Algorithm and
+// Iterations are always populated, found or not.
+func routeToBody(rt core.Route) RouteResponse {
+	resp := RouteResponse{
+		Found:      rt.Found,
+		Cost:       rt.Cost,
+		Algorithm:  rt.Algorithm.String(),
+		Iterations: rt.Trace.Iterations,
+	}
+	if rt.Found {
+		for _, u := range rt.Path.Nodes {
+			resp.Nodes = append(resp.Nodes, int32(u))
+		}
+	} else {
+		resp.Cost = -1
+	}
+	return resp
 }
 
 // Evaluation is the JSON form of route.Evaluation.
@@ -150,57 +217,95 @@ func (s *Server) computeOptions(r *http.Request) (core.Options, error) {
 	if a := r.URL.Query().Get("algo"); a != "" {
 		algo, err := core.ParseAlgorithm(a)
 		if err != nil {
-			return opts, err
+			return opts, withCode(CodeBadAlgo, err)
 		}
 		opts.Algorithm = algo
 	}
 	if ws := r.URL.Query().Get("weight"); ws != "" {
 		w, err := strconv.ParseFloat(ws, 64)
 		if err != nil || w < 0 {
-			return opts, fmt.Errorf("bad weight %q", ws)
+			return opts, withCode(CodeBadRequest, fmt.Errorf("bad weight %q", ws))
 		}
 		opts.Weight = w
 	}
 	return opts, nil
 }
 
-func (s *Server) routeFromQuery(r *http.Request) (core.Route, error) {
+// parseRouteQuery resolves the endpoints and options of a single-pair
+// query, writing the error response itself on failure.
+func (s *Server) parseRouteQuery(w http.ResponseWriter, r *http.Request) (from, to graph.NodeID, opts core.Options, ok bool) {
 	from, err := s.resolve(r.URL.Query().Get("from"))
 	if err != nil {
-		return core.Route{}, err
+		s.apiError(w, r, http.StatusBadRequest, "", err)
+		return 0, 0, opts, false
 	}
-	to, err := s.resolve(r.URL.Query().Get("to"))
+	to, err = s.resolve(r.URL.Query().Get("to"))
 	if err != nil {
-		return core.Route{}, err
+		s.apiError(w, r, http.StatusBadRequest, "", err)
+		return 0, 0, opts, false
 	}
-	opts, err := s.computeOptions(r)
+	opts, err = s.computeOptions(r)
 	if err != nil {
-		return core.Route{}, err
+		s.apiError(w, r, http.StatusBadRequest, "", err)
+		return 0, 0, opts, false
 	}
-	return s.svc.Compute(from, to, opts)
+	return from, to, opts, true
+}
+
+// computeFromQuery is the full single-pair pipeline — parse, admit,
+// search — shared by /display and /directions. It writes the error
+// response itself; callers render the route on ok.
+func (s *Server) computeFromQuery(w http.ResponseWriter, r *http.Request) (core.Route, bool) {
+	from, to, opts, ok := s.parseRouteQuery(w, r)
+	if !ok {
+		return core.Route{}, false
+	}
+	ctx, done, err := s.admit(w, r, opts.Algorithm, false)
+	if err != nil {
+		return core.Route{}, false
+	}
+	defer done()
+	rt, err := s.svc.ComputeCtx(ctx, from, to, opts)
+	if err != nil {
+		s.searchError(w, r, err)
+		return core.Route{}, false
+	}
+	return rt, true
 }
 
 func (s *Server) handleRoute(w http.ResponseWriter, r *http.Request) {
-	rt, err := s.routeFromQuery(r)
-	if err != nil {
-		s.httpError(w, r, http.StatusBadRequest, err)
+	from, to, opts, ok := s.parseRouteQuery(w, r)
+	if !ok {
 		return
 	}
-	resp := RouteResponse{
-		Found:      rt.Found,
-		Cost:       rt.Cost,
-		Algorithm:  rt.Algorithm.String(),
-		Iterations: rt.Trace.Iterations,
-	}
-	if rt.Found {
-		for _, u := range rt.Path.Nodes {
-			resp.Nodes = append(resp.Nodes, int32(u))
+	ctx, done, err := s.admit(w, r, opts.Algorithm, true)
+	if err != nil {
+		if errors.Is(err, admission.ErrShed) && s.gate.Config().Degrade {
+			// Degradation mode: a shed route request may still be
+			// answerable without search work — from the cache or the CH
+			// index — which beats a 503 for the traveller.
+			if rt, served := s.svc.ComputeDegraded(from, to, opts); served {
+				s.degradedReqs.Inc()
+				resp := routeToBody(rt)
+				resp.Degraded = true
+				s.writeJSON(w, r, resp)
+				return
+			}
+			s.shedResponse(w, r, err)
 		}
+		return
+	}
+	defer done()
+	rt, err := s.svc.ComputeCtx(ctx, from, to, opts)
+	if err != nil {
+		s.searchError(w, r, err)
+		return
+	}
+	resp := routeToBody(rt)
+	if rt.Found {
 		if ev, err := s.svc.Evaluate(rt.Path); err == nil {
 			resp.Evaluation = evalToBody(ev)
 		}
-	} else {
-		resp.Cost = -1
 	}
 	s.writeJSON(w, r, resp)
 }
@@ -210,15 +315,14 @@ func (s *Server) handleRoute(w http.ResponseWriter, r *http.Request) {
 const maxBatchPairs = 1024
 
 // handleBatch fans a slice of origin–destination pairs across the route
-// service's worker pool: POST /routes/batch
+// service's worker pool: POST /v1/routes/batch
 // {"pairs":[{"from":"A","to":"B"},…],"algo":"dijkstra","weight":1}.
-// The response carries one entry per pair, positionally aligned; a bad
-// endpoint yields a per-entry error instead of failing the batch.
+// The response carries one entry per pair, positionally aligned, each
+// embedding the exact RouteResponse shape of /v1/route; a bad endpoint
+// yields a per-entry error instead of failing the batch. The whole batch
+// is admitted as one request under the algorithm's class; a mid-batch
+// deadline or cancel leaves per-entry errors on the unprocessed pairs.
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		s.httpError(w, r, http.StatusMethodNotAllowed, fmt.Errorf("POST required"))
-		return
-	}
 	var body struct {
 		Pairs []struct {
 			From string `json:"from"`
@@ -228,26 +332,32 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		Weight float64 `json:"weight"`
 	}
 	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
-		s.httpError(w, r, http.StatusBadRequest, err)
+		s.apiError(w, r, http.StatusBadRequest, CodeBadRequest, err)
 		return
 	}
 	if len(body.Pairs) == 0 {
-		s.httpError(w, r, http.StatusBadRequest, fmt.Errorf("empty batch"))
+		s.apiError(w, r, http.StatusBadRequest, CodeBadRequest, fmt.Errorf("empty batch"))
 		return
 	}
 	if len(body.Pairs) > maxBatchPairs {
-		s.httpError(w, r, http.StatusBadRequest, fmt.Errorf("batch of %d pairs exceeds limit %d", len(body.Pairs), maxBatchPairs))
+		s.apiError(w, r, http.StatusBadRequest, CodeBadRequest,
+			fmt.Errorf("batch of %d pairs exceeds limit %d", len(body.Pairs), maxBatchPairs))
 		return
 	}
 	opts := core.Options{Weight: body.Weight}
 	if body.Algo != "" {
 		algo, err := core.ParseAlgorithm(body.Algo)
 		if err != nil {
-			s.httpError(w, r, http.StatusBadRequest, err)
+			s.apiError(w, r, http.StatusBadRequest, CodeBadAlgo, err)
 			return
 		}
 		opts.Algorithm = algo
 	}
+	ctx, done, err := s.admit(w, r, opts.Algorithm, false)
+	if err != nil {
+		return
+	}
+	defer done()
 
 	type item struct {
 		RouteResponse
@@ -259,46 +369,32 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	for i, p := range body.Pairs {
 		from, err := s.resolve(p.From)
 		if err != nil {
-			items[i] = item{RouteResponse: RouteResponse{Cost: -1}, Error: err.Error()}
+			items[i] = item{RouteResponse: RouteResponse{Cost: -1, Algorithm: opts.Algorithm.String()}, Error: err.Error()}
 			continue
 		}
 		to, err := s.resolve(p.To)
 		if err != nil {
-			items[i] = item{RouteResponse: RouteResponse{Cost: -1}, Error: err.Error()}
+			items[i] = item{RouteResponse: RouteResponse{Cost: -1, Algorithm: opts.Algorithm.String()}, Error: err.Error()}
 			continue
 		}
 		pairs = append(pairs, route.Pair{From: from, To: to})
 		idx = append(idx, i)
 	}
 
-	for j, res := range s.svc.ComputeBatch(pairs, opts) {
+	for j, res := range s.svc.ComputeBatchCtx(ctx, pairs, opts) {
 		i := idx[j]
 		if res.Err != nil {
-			items[i] = item{RouteResponse: RouteResponse{Cost: -1}, Error: res.Err.Error()}
+			items[i] = item{RouteResponse: RouteResponse{Cost: -1, Algorithm: opts.Algorithm.String()}, Error: res.Err.Error()}
 			continue
 		}
-		rt := res.Route
-		resp := RouteResponse{
-			Found:      rt.Found,
-			Cost:       rt.Cost,
-			Algorithm:  rt.Algorithm.String(),
-			Iterations: rt.Trace.Iterations,
-		}
-		if rt.Found {
-			for _, u := range rt.Path.Nodes {
-				resp.Nodes = append(resp.Nodes, int32(u))
-			}
-		} else {
-			resp.Cost = -1
-		}
-		items[i] = item{RouteResponse: resp}
+		items[i] = item{RouteResponse: routeToBody(res.Route)}
 	}
 	s.writeJSON(w, r, map[string]any{"count": len(items), "routes": items})
 }
 
-// handleStats reports the concurrent engine's counters:
-// GET /stats → {"cacheHits":…,"cacheMisses":…,"cacheEntries":…,
-// "costGeneration":…,"ch":{"ready":…,"fresh":…,…}}.
+// handleStats reports the serving stack's counters:
+// GET /v1/stats → {"cacheHits":…,"cacheMisses":…,"cacheEntries":…,
+// "costGeneration":…,"ch":{…},"admission":{…},"lifecycle":{…}}.
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	hits, misses, entries := s.svc.CacheStats()
 	s.writeJSON(w, r, map[string]any{
@@ -307,19 +403,21 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"cacheEntries":   entries,
 		"costGeneration": s.svc.CostGeneration(),
 		"ch":             s.svc.CHStats(),
+		"admission":      s.gate.Stats(),
+		"lifecycle": map[string]uint64{
+			"canceled":         s.canceledReqs.Value(),
+			"deadlineExceeded": s.deadlineReqs.Value(),
+			"degraded":         s.degradedReqs.Value(),
+		},
 	})
 }
 
 func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		s.httpError(w, r, http.StatusMethodNotAllowed, fmt.Errorf("POST required"))
-		return
-	}
 	var body struct {
 		Nodes []int32 `json:"nodes"`
 	}
 	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
-		s.httpError(w, r, http.StatusBadRequest, err)
+		s.apiError(w, r, http.StatusBadRequest, CodeBadRequest, err)
 		return
 	}
 	p := graph.Path{}
@@ -328,16 +426,15 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 	}
 	ev, err := s.svc.Evaluate(p)
 	if err != nil {
-		s.httpError(w, r, http.StatusBadRequest, err)
+		s.apiError(w, r, http.StatusBadRequest, CodeBadRequest, err)
 		return
 	}
 	s.writeJSON(w, r, evalToBody(ev))
 }
 
 func (s *Server) handleDisplay(w http.ResponseWriter, r *http.Request) {
-	rt, err := s.routeFromQuery(r)
-	if err != nil {
-		s.httpError(w, r, http.StatusBadRequest, err)
+	rt, ok := s.computeFromQuery(w, r)
+	if !ok {
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -345,49 +442,40 @@ func (s *Server) handleDisplay(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleTraffic(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		s.httpError(w, r, http.StatusMethodNotAllowed, fmt.Errorf("POST required"))
-		return
-	}
 	var body struct {
 		X, Y, Radius, Factor float64
 	}
 	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
-		s.httpError(w, r, http.StatusBadRequest, err)
+		s.apiError(w, r, http.StatusBadRequest, CodeBadRequest, err)
 		return
 	}
 	n, err := s.svc.ApplyRegionCongestion(graph.Point{X: body.X, Y: body.Y}, body.Radius, body.Factor)
 	if err != nil {
-		s.httpError(w, r, http.StatusBadRequest, err)
+		s.apiError(w, r, http.StatusBadRequest, CodeBadRequest, err)
 		return
 	}
 	s.writeJSON(w, r, map[string]int{"affectedEdges": n})
 }
 
 func (s *Server) handleTrafficReset(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		s.httpError(w, r, http.StatusMethodNotAllowed, fmt.Errorf("POST required"))
-		return
-	}
 	s.svc.ResetTraffic()
 	s.writeJSON(w, r, map[string]string{"status": "free flow restored"})
 }
 
 // handleDirections returns turn-by-turn guidance for the computed route:
-// GET /directions?from=A&to=B[&algo=…].
+// GET /v1/directions?from=A&to=B[&algo=…].
 func (s *Server) handleDirections(w http.ResponseWriter, r *http.Request) {
-	rt, err := s.routeFromQuery(r)
-	if err != nil {
-		s.httpError(w, r, http.StatusBadRequest, err)
+	rt, ok := s.computeFromQuery(w, r)
+	if !ok {
 		return
 	}
 	if !rt.Found {
-		s.httpError(w, r, http.StatusNotFound, fmt.Errorf("no route"))
+		s.apiError(w, r, http.StatusNotFound, CodeNoRoute, fmt.Errorf("no route"))
 		return
 	}
 	ins, err := s.svc.Directions(rt.Path)
 	if err != nil {
-		s.httpError(w, r, http.StatusInternalServerError, err)
+		s.apiError(w, r, http.StatusInternalServerError, CodeInternal, err)
 		return
 	}
 	type step struct {
@@ -408,29 +496,36 @@ func (s *Server) handleDirections(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleAlternates lists up to k loopless routes:
-// GET /alternates?from=A&to=B&k=3.
+// GET /v1/alternates?from=A&to=B&k=3.
 func (s *Server) handleAlternates(w http.ResponseWriter, r *http.Request) {
 	from, err := s.resolve(r.URL.Query().Get("from"))
 	if err != nil {
-		s.httpError(w, r, http.StatusBadRequest, err)
+		s.apiError(w, r, http.StatusBadRequest, "", err)
 		return
 	}
 	to, err := s.resolve(r.URL.Query().Get("to"))
 	if err != nil {
-		s.httpError(w, r, http.StatusBadRequest, err)
+		s.apiError(w, r, http.StatusBadRequest, "", err)
 		return
 	}
 	k := 3
 	if ks := r.URL.Query().Get("k"); ks != "" {
 		k, err = strconv.Atoi(ks)
 		if err != nil || k < 1 || k > 16 {
-			s.httpError(w, r, http.StatusBadRequest, fmt.Errorf("bad k %q (want 1..16)", ks))
+			s.apiError(w, r, http.StatusBadRequest, CodeBadRequest, fmt.Errorf("bad k %q (want 1..16)", ks))
 			return
 		}
 	}
-	routes, err := s.svc.Alternates(from, to, k)
+	// Yen's algorithm runs a family of Dijkstras; admit under the
+	// best-first class.
+	ctx, done, err := s.admit(w, r, core.Dijkstra, false)
 	if err != nil {
-		s.httpError(w, r, http.StatusBadRequest, err)
+		return
+	}
+	defer done()
+	routes, err := s.svc.AlternatesCtx(ctx, from, to, k)
+	if err != nil {
+		s.searchError(w, r, err)
 		return
 	}
 	type alt struct {
@@ -449,21 +544,27 @@ func (s *Server) handleAlternates(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleReachable answers the isochrone query:
-// GET /reachable?from=A&budget=5 → {"count":N,"nodes":{"17":3.2,…}}.
+// GET /v1/reachable?from=A&budget=5 → {"count":N,"nodes":{"17":3.2,…}}.
 func (s *Server) handleReachable(w http.ResponseWriter, r *http.Request) {
 	from, err := s.resolve(r.URL.Query().Get("from"))
 	if err != nil {
-		s.httpError(w, r, http.StatusBadRequest, err)
+		s.apiError(w, r, http.StatusBadRequest, "", err)
 		return
 	}
 	budget, err := strconv.ParseFloat(r.URL.Query().Get("budget"), 64)
 	if err != nil {
-		s.httpError(w, r, http.StatusBadRequest, fmt.Errorf("bad budget %q", r.URL.Query().Get("budget")))
+		s.apiError(w, r, http.StatusBadRequest, CodeBadRequest,
+			fmt.Errorf("bad budget %q", r.URL.Query().Get("budget")))
 		return
 	}
-	reach, err := s.svc.Reachable(from, budget)
+	ctx, done, err := s.admit(w, r, core.Dijkstra, false)
 	if err != nil {
-		s.httpError(w, r, http.StatusBadRequest, err)
+		return
+	}
+	defer done()
+	reach, err := s.svc.ReachableCtx(ctx, from, budget)
+	if err != nil {
+		s.searchError(w, r, err)
 		return
 	}
 	nodes := make(map[string]float64, len(reach))

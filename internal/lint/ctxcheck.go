@@ -1,0 +1,230 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// CtxCheck flags exported context-taking entry points whose loops never
+// consult the context. The request-lifecycle layer (PR 5) only works if
+// every kernel's main loop polls its context — directly (ctx.Err(),
+// select on ctx.Done()) or through a binding derived from it (the
+// search package's lifecycle poller). A FooCtx entry point that accepts
+// a context and then runs its search loop without ever polling is the
+// exact bug the layer exists to prevent: the handler times out, the
+// goroutine burns a core to completion anyway, and the admission gate's
+// capacity accounting is fiction.
+//
+// The rule: for every exported function or method whose first parameter
+// is a context.Context, if the body contains at least one working loop —
+// a for/range statement that performs non-builtin calls, i.e. does real
+// work per iteration — then at least one loop in the body must mention
+// the context or a value derived from it (any variable assigned from an
+// expression involving the context, transitively). Loops that only
+// shuffle already-computed results (append, len, index arithmetic) are
+// bounded post-processing and exempt: delegating the context to a
+// sub-search and then assembling its output is a correct shape.
+//
+// Wrappers without loops are not the analyzer's business, and unexported
+// helpers are the entry point's implementation detail — the contract
+// sits on the exported surface.
+type CtxCheck struct{}
+
+// NewCtxCheck returns the analyzer.
+func NewCtxCheck() *CtxCheck { return &CtxCheck{} }
+
+// Name implements Analyzer.
+func (*CtxCheck) Name() string { return "ctxcheck" }
+
+// Doc implements Analyzer.
+func (*CtxCheck) Doc() string {
+	return "exported ctx-taking entry points must poll the context from their working loops"
+}
+
+// Run implements Analyzer.
+func (a *CtxCheck) Run(u *Unit) []Diagnostic {
+	var diags []Diagnostic
+	for _, f := range u.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !fd.Name.IsExported() {
+				continue
+			}
+			ctxObj := contextParam(u, fd)
+			if ctxObj == nil {
+				continue
+			}
+			if d, bad := a.checkFunc(u, fd, ctxObj); bad {
+				diags = append(diags, d)
+			}
+		}
+	}
+	return diags
+}
+
+// contextParam returns the object of fd's first parameter when it is a
+// named context.Context, nil otherwise (including the blank identifier —
+// a function that discards its context has made that explicit).
+func contextParam(u *Unit, fd *ast.FuncDecl) types.Object {
+	params := fd.Type.Params
+	if params == nil || len(params.List) == 0 {
+		return nil
+	}
+	first := params.List[0]
+	if len(first.Names) == 0 || first.Names[0].Name == "_" {
+		return nil
+	}
+	obj := objectOf(u.Info, first.Names[0])
+	if obj == nil || !isContextType(obj.Type()) {
+		return nil
+	}
+	return obj
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// checkFunc applies the invariant to one entry point: collect the
+// context-tainted objects, then classify the body's loops.
+func (a *CtxCheck) checkFunc(u *Unit, fd *ast.FuncDecl, ctxObj types.Object) (Diagnostic, bool) {
+	tainted := taintedObjects(u, fd.Body, ctxObj)
+
+	var (
+		firstWorking *ast.Stmt // first working loop, for the diagnostic
+		anyPolls     bool      // some loop mentions a tainted object
+	)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		var body *ast.BlockStmt
+		var stmt ast.Stmt
+		switch x := n.(type) {
+		case *ast.ForStmt:
+			body, stmt = x.Body, x
+		case *ast.RangeStmt:
+			body, stmt = x.Body, x
+		default:
+			return true
+		}
+		if loopMentions(u, body, tainted) {
+			anyPolls = true
+		} else if firstWorking == nil && loopWorks(u, body) {
+			firstWorking = &stmt
+		}
+		return true
+	})
+	if anyPolls || firstWorking == nil {
+		return Diagnostic{}, false
+	}
+	return Diagnostic{
+		Pos:      u.Position((*firstWorking).Pos()),
+		Analyzer: "ctxcheck",
+		Message: fmt.Sprintf("%s takes a context but this loop never polls it (directly or via a derived poller); a canceled or expired request would run to completion",
+			fd.Name.Name),
+	}, true
+}
+
+// taintedObjects returns the context parameter plus every variable
+// (transitively) assigned from an expression that mentions a tainted
+// object — the search kernels poll through `lc, err :=
+// newLifecycle(ctx)`, and the loop evidence is `lc.poll(...)`, not ctx
+// itself. Iterates to a fixpoint so declaration order does not matter.
+func taintedObjects(u *Unit, body *ast.BlockStmt, ctxObj types.Object) map[types.Object]bool {
+	tainted := map[types.Object]bool{ctxObj: true}
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(body, func(n ast.Node) bool {
+			asg, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			rhsTainted := false
+			for _, rhs := range asg.Rhs {
+				if exprMentions(u, rhs, tainted) {
+					rhsTainted = true
+					break
+				}
+			}
+			if !rhsTainted {
+				return true
+			}
+			for _, lhs := range asg.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok || id.Name == "_" {
+					continue
+				}
+				obj := objectOf(u.Info, id)
+				if obj != nil && !tainted[obj] {
+					tainted[obj] = true
+					changed = true
+				}
+			}
+			return true
+		})
+	}
+	return tainted
+}
+
+// exprMentions reports whether any identifier in e resolves to a tainted
+// object.
+func exprMentions(u *Unit, e ast.Expr, tainted map[types.Object]bool) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := objectOf(u.Info, id); obj != nil && tainted[obj] {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// loopMentions reports whether the loop body (including nested function
+// literals — batch workers poll from inside goroutines spawned by the
+// loop) uses a tainted object.
+func loopMentions(u *Unit, body *ast.BlockStmt, tainted map[types.Object]bool) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := objectOf(u.Info, id); obj != nil && tainted[obj] {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// loopWorks reports whether the loop body performs a non-builtin,
+// non-conversion call — the marker separating per-iteration work
+// (neighbor expansion, heap operations, sub-searches) from bounded
+// result shuffling (append/len/index arithmetic over an
+// already-computed slice).
+func loopWorks(u *Unit, body *ast.BlockStmt) bool {
+	works := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return !works
+		}
+		// Conversions parse as calls; a type expression is not work.
+		if tv, ok := u.Info.Types[call.Fun]; ok && tv.IsType() {
+			return !works
+		}
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+			if _, isBuiltin := objectOf(u.Info, id).(*types.Builtin); isBuiltin {
+				return !works
+			}
+		}
+		works = true
+		return false
+	})
+	return works
+}

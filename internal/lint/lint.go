@@ -72,6 +72,7 @@ func Analyzers() []Analyzer {
 		NewCostVersion(),
 		NewPoolPair(),
 		NewRecorderGuard(),
+		NewCtxCheck(),
 	}
 }
 

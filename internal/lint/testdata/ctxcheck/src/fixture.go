@@ -1,0 +1,142 @@
+// Package fixture reproduces the ctxcheck bug class: a context-taking
+// search entry point whose main loop never polls the context, so a
+// canceled or deadline-expired request burns a core to completion while
+// the handler has long since given up on it.
+package fixture
+
+import "context"
+
+type node int
+
+type network struct{ arcs map[node][]node }
+
+func (g *network) neighbors(u node) []node { return g.arcs[u] }
+
+// poller mirrors the search package's lifecycle: the context lookup
+// happens once, and loops poll through the derived binding.
+type poller struct{ ctx context.Context }
+
+func newPoller(ctx context.Context) poller { return poller{ctx: ctx} }
+
+func (p *poller) poll() error { return p.ctx.Err() }
+
+// GoodDirectCtx polls the context from its working loop: no finding.
+func GoodDirectCtx(ctx context.Context, g *network, s node) error {
+	frontier := []node{s}
+	for len(frontier) > 0 {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		u := frontier[len(frontier)-1]
+		frontier = append(frontier[:len(frontier)-1], g.neighbors(u)...)
+	}
+	return nil
+}
+
+// GoodDerivedCtx polls through a binding derived from the context — the
+// kernels' lifecycle shape: no finding.
+func GoodDerivedCtx(ctx context.Context, g *network, s node) error {
+	lc := newPoller(ctx)
+	frontier := []node{s}
+	for len(frontier) > 0 {
+		if err := lc.poll(); err != nil {
+			return err
+		}
+		u := frontier[len(frontier)-1]
+		frontier = append(frontier[:len(frontier)-1], g.neighbors(u)...)
+	}
+	return nil
+}
+
+// BadKernelCtx accepts a context and then runs its search loop without
+// ever consulting it: the finding this analyzer exists for.
+func BadKernelCtx(ctx context.Context, g *network, s node) int {
+	visited := 0
+	frontier := []node{s}
+	for len(frontier) > 0 {
+		u := frontier[len(frontier)-1]
+		frontier = append(frontier[:len(frontier)-1], g.neighbors(u)...)
+		visited++
+	}
+	return visited
+}
+
+// BadDerivedCtx derives a poller from the context but forgets to call it
+// from the loop — deriving is not polling.
+func BadDerivedCtx(ctx context.Context, g *network, s node) int {
+	lc := newPoller(ctx)
+	_ = lc
+	visited := 0
+	frontier := []node{s}
+	for len(frontier) > 0 {
+		u := frontier[len(frontier)-1]
+		frontier = append(frontier[:len(frontier)-1], g.neighbors(u)...)
+		visited++
+	}
+	return visited
+}
+
+// GoodPostProcessCtx delegates the context to a sub-search and then only
+// assembles the result: the loop does no per-iteration work (append and
+// index arithmetic), so it is exempt — the Alternates shape.
+func GoodPostProcessCtx(ctx context.Context, g *network, s node) ([]node, error) {
+	if err := GoodDirectCtx(ctx, g, s); err != nil {
+		return nil, err
+	}
+	results := g.neighbors(s)
+	out := make([]node, 0, len(results))
+	for _, r := range results {
+		out = append(out, r+1)
+	}
+	return out, nil
+}
+
+// GoodSpawnCtx polls from a goroutine spawned by the loop — the batch
+// worker shape: no finding.
+func GoodSpawnCtx(ctx context.Context, g *network, s node) {
+	for i := 0; i < 4; i++ {
+		go func() {
+			_ = GoodDirectCtx(ctx, g, s)
+		}()
+	}
+}
+
+// GoodNoLoopCtx is a loop-free wrapper: delegation is the whole job.
+func GoodNoLoopCtx(ctx context.Context, g *network, s node) error {
+	return GoodDirectCtx(ctx, g, s)
+}
+
+// BlessedReplayCtx is the escape hatch: a bounded replay loop whose
+// iteration count the caller fixed in advance, blessed by a reviewed
+// directive.
+func BlessedReplayCtx(ctx context.Context, g *network, s node) int {
+	if err := ctx.Err(); err != nil {
+		return 0
+	}
+	total := 0
+	//lint:ignore ctxcheck three fixed iterations, bounded well under any deadline
+	for i := 0; i < 3; i++ {
+		total += len(g.neighbors(s))
+	}
+	return total
+}
+
+// badUnexportedCtx is not an entry point — the contract sits on the
+// exported surface: no finding.
+func badUnexportedCtx(ctx context.Context, g *network, s node) int {
+	visited := 0
+	for u := s; u < 100; u++ {
+		visited += len(g.neighbors(u))
+	}
+	return visited
+}
+
+// NotFirstParam takes its context in second position — not the module's
+// entry-point convention, so not this analyzer's business.
+func NotFirstParam(g *network, ctx context.Context, s node) int {
+	visited := 0
+	for u := s; u < 100; u++ {
+		visited += len(g.neighbors(u))
+	}
+	return visited
+}

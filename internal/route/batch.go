@@ -1,12 +1,14 @@
 package route
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/graph"
+	"repro/internal/search"
 )
 
 // Pair is one origin–destination request of a batch.
@@ -29,6 +31,16 @@ type BatchResult struct {
 // miniature. Workers claim pairs from a shared atomic counter, so skewed
 // per-pair costs stay balanced.
 func (s *Service) ComputeBatch(pairs []Pair, opts core.Options) []BatchResult {
+	return s.ComputeBatchCtx(context.Background(), pairs, opts)
+}
+
+// ComputeBatchCtx is ComputeBatch under a request lifecycle. Workers
+// check ctx before claiming each pair, so a dead context stops the
+// fan-out at pair granularity; the pair in flight when the context dies
+// is cut short by its own kernel's ctx poll. Unprocessed pairs carry the
+// context's lifecycle error so callers can tell "not computed" from "no
+// route". Results remain positionally aligned with pairs.
+func (s *Service) ComputeBatchCtx(ctx context.Context, pairs []Pair, opts core.Options) []BatchResult {
 	out := make([]BatchResult, len(pairs))
 	if len(pairs) == 0 {
 		return out
@@ -50,7 +62,11 @@ func (s *Service) ComputeBatch(pairs []Pair, opts core.Options) []BatchResult {
 				if i >= len(pairs) {
 					return
 				}
-				rt, err := s.Compute(pairs[i].From, pairs[i].To, opts)
+				if err := ctx.Err(); err != nil {
+					out[i] = BatchResult{Err: search.FromContextErr(err)}
+					continue
+				}
+				rt, err := s.ComputeCtx(ctx, pairs[i].From, pairs[i].To, opts)
 				out[i] = BatchResult{Route: rt, Err: err}
 			}
 		}()

@@ -17,6 +17,7 @@
 package route
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sync"
@@ -180,6 +181,17 @@ func (s *Service) Graph() *graph.Graph {
 // the search engine. A traffic mutation bumps the cost generation, which
 // implicitly invalidates every cached route at once.
 func (s *Service) Compute(from, to graph.NodeID, opts core.Options) (core.Route, error) {
+	return s.ComputeCtx(context.Background(), from, to, opts)
+}
+
+// ComputeCtx is Compute under a request lifecycle: the underlying kernel
+// polls ctx from its main loop and the call returns a typed lifecycle
+// error (search.ErrCanceled, search.ErrDeadline, search.ErrBudget) as
+// soon as the context dies or the expansion budget (search.WithBudget)
+// runs out. Cache hits are served regardless of the context's state —
+// the answer is already in hand. Lifecycle-aborted computations are
+// never cached.
+func (s *Service) ComputeCtx(ctx context.Context, from, to graph.NodeID, opts core.Options) (core.Route, error) {
 	s.mu.RLock()
 	key := cacheKey{
 		from: from, to: to,
@@ -192,7 +204,7 @@ func (s *Service) Compute(from, to graph.NodeID, opts core.Options) (core.Route,
 		return rt, nil
 	}
 	start := time.Now()
-	rt, err := s.routeLocked(from, to, opts)
+	rt, err := s.routeLocked(ctx, from, to, opts)
 	s.mu.RUnlock()
 	s.cacheMiss.Inc()
 	if err != nil {
@@ -219,15 +231,15 @@ func (s *Service) Compute(from, to graph.NodeID, opts core.Options) (core.Route,
 // with the algorithm that actually ran — and a background rebuild is
 // triggered. The fallback guarantees a stale hierarchy never serves a
 // cost that disagrees with the current edge costs.
-func (s *Service) routeLocked(from, to graph.NodeID, opts core.Options) (core.Route, error) {
+func (s *Service) routeLocked(ctx context.Context, from, to graph.NodeID, opts core.Options) (core.Route, error) {
 	if opts.Algorithm != core.CH {
-		return s.planner.Route(from, to, opts)
+		return s.planner.RouteCtx(ctx, from, to, opts)
 	}
 	if ix := s.chIdx.Load(); ix != nil && ix.CostVersion() == s.current.CostVersion() {
 		start := time.Now()
-		res, err := ix.Query(from, to)
+		res, err := ix.QueryCtx(ctx, from, to)
 		if err != nil {
-			return core.Route{}, err
+			return core.Route{}, search.FromContextErr(err)
 		}
 		s.chQuerySeconds.Observe(time.Since(start).Seconds())
 		s.chQueries.Inc()
@@ -248,7 +260,53 @@ func (s *Service) routeLocked(from, to graph.NodeID, opts core.Options) (core.Ro
 	s.scheduleCHRebuild()
 	fb := opts
 	fb.Algorithm = core.Dijkstra
-	return s.planner.Route(from, to, fb)
+	return s.planner.RouteCtx(ctx, from, to, fb)
+}
+
+// ComputeDegraded answers a route request without running a search — the
+// load-shedding escape hatch the admission layer uses when the server is
+// saturated. It consults, in order: the route cache under the current
+// cost generation (exact key only, no search, and no hit/miss counter
+// bumps — degraded answers must not skew cache telemetry), then a fresh
+// contraction-hierarchy index, whose per-query work is near-constant and
+// far below any kernel's. It reports ok=false when neither source can
+// answer — the caller sheds the request for real.
+func (s *Service) ComputeDegraded(from, to graph.NodeID, opts core.Options) (core.Route, bool) {
+	s.mu.RLock()
+	key := cacheKey{
+		from: from, to: to,
+		algo: opts.Algorithm, weight: opts.Weight, frontier: opts.Frontier,
+		gen: s.gen,
+	}
+	if rt, ok := s.cache.get(key); ok {
+		s.mu.RUnlock()
+		return rt, true
+	}
+	ix := s.chIdx.Load()
+	fresh := ix != nil && ix.CostVersion() == s.current.CostVersion()
+	s.mu.RUnlock()
+	if !fresh {
+		return core.Route{}, false
+	}
+	start := time.Now()
+	res, err := ix.Query(from, to)
+	if err != nil {
+		return core.Route{}, false
+	}
+	s.chQuerySeconds.Observe(time.Since(start).Seconds())
+	s.chQueries.Inc()
+	s.chSettled.Add(uint64(res.Settled))
+	return core.Route{
+		Found:     res.Found,
+		Path:      res.Path,
+		Cost:      res.Cost,
+		Algorithm: core.CH,
+		Trace: search.Trace{
+			Iterations:  res.Settled,
+			Expansions:  res.Settled,
+			Relaxations: res.Relaxed,
+		},
+	}, true
 }
 
 // scheduleCHRebuild starts a background hierarchy build unless one is
@@ -368,6 +426,13 @@ func (s *Service) ComputeByName(from, to string, opts core.Options) (core.Route,
 // and its trace accumulates the legs' work. Found is false when any leg is
 // unreachable.
 func (s *Service) ComputeVia(stops []graph.NodeID, opts core.Options) (core.Route, error) {
+	return s.ComputeViaCtx(context.Background(), stops, opts)
+}
+
+// ComputeViaCtx is ComputeVia under a request lifecycle: each leg's
+// kernel polls ctx, so a multi-stop plan stops between (or within) legs
+// with a typed lifecycle error as soon as the context dies.
+func (s *Service) ComputeViaCtx(ctx context.Context, stops []graph.NodeID, opts core.Options) (core.Route, error) {
 	if len(stops) < 2 {
 		return core.Route{}, fmt.Errorf("route: ComputeVia needs at least 2 stops, got %d", len(stops))
 	}
@@ -379,7 +444,7 @@ func (s *Service) ComputeVia(stops []graph.NodeID, opts core.Options) (core.Rout
 		Path:      graph.Path{Nodes: []graph.NodeID{stops[0]}},
 	}
 	for i := 0; i+1 < len(stops); i++ {
-		leg, err := s.routeLocked(stops[i], stops[i+1], opts)
+		leg, err := s.routeLocked(ctx, stops[i], stops[i+1], opts)
 		if err != nil {
 			return core.Route{}, fmt.Errorf("route: leg %d (%d→%d): %w", i, stops[i], stops[i+1], err)
 		}
@@ -484,9 +549,15 @@ func (s *Service) Display(path graph.Path, width, height int) string {
 // cost order under live costs (Yen's algorithm) — the "offer the traveller
 // a choice" feature.
 func (s *Service) Alternates(from, to graph.NodeID, k int) ([]core.Route, error) {
+	return s.AlternatesCtx(context.Background(), from, to, k)
+}
+
+// AlternatesCtx is Alternates under a request lifecycle: Yen's algorithm
+// runs a family of restricted Dijkstras, every one of which polls ctx.
+func (s *Service) AlternatesCtx(ctx context.Context, from, to graph.NodeID, k int) ([]core.Route, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	results, err := search.KShortest(s.current, from, to, k)
+	results, err := search.KShortestCtx(ctx, s.current, from, to, k)
 	if err != nil {
 		return nil, err
 	}
@@ -529,9 +600,16 @@ func (s *Service) Nearest(x, y float64) (graph.NodeID, bool) {
 // under live costs, with the cost of reaching each — the isochrone query
 // ("what can I reach in 15 minutes?").
 func (s *Service) Reachable(from graph.NodeID, budget float64) (map[graph.NodeID]float64, error) {
+	return s.ReachableCtx(context.Background(), from, budget)
+}
+
+// ReachableCtx is Reachable under a request lifecycle: the bounded
+// Dijkstra polls ctx and aborts with a typed lifecycle error rather than
+// returning a truncated (and therefore wrong) isochrone.
+func (s *Service) ReachableCtx(ctx context.Context, from graph.NodeID, budget float64) (map[graph.NodeID]float64, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	return search.Within(s.current, from, budget)
+	return search.WithinCtx(ctx, s.current, from, budget)
 }
 
 // DisplayReachable renders the isochrone: reachable nodes as 'o', the

@@ -1,6 +1,7 @@
 package search
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -58,8 +59,20 @@ func SingleSource(g *graph.Graph, s graph.NodeID) (dist []float64, prev []graph.
 // same optimal cost as Dijkstra while typically expanding far fewer nodes on
 // long paths — one of the future-work speedups the paper's conclusion
 // gestures at. Trace.Iterations counts expansions across both directions.
-func Bidirectional(g *graph.Graph, s, d graph.NodeID) (res Result, err error) {
+func Bidirectional(g *graph.Graph, s, d graph.NodeID) (Result, error) {
+	return BidirectionalCtx(context.Background(), g, s, d)
+}
+
+// BidirectionalCtx is Bidirectional under a request lifecycle: the
+// combined loop polls ctx once per expansion (amortised, see
+// lifecycle.poll) and stops with a typed lifecycle error plus the
+// partial Trace when the context dies or the expansion budget runs out.
+func BidirectionalCtx(ctx context.Context, g *graph.Graph, s, d graph.NodeID) (res Result, err error) {
 	if err := validatePair(g, s, d); err != nil {
+		return Result{}, err
+	}
+	lc, err := newLifecycle(ctx)
+	if err != nil {
 		return Result{}, err
 	}
 	if rec := activeRecorder(); rec != nil {
@@ -102,6 +115,12 @@ func Bidirectional(g *graph.Graph, s, d graph.NodeID) (res Result, err error) {
 	}
 
 	for hf.Len() > 0 || hb.Len() > 0 {
+		if err := lc.poll(tr.Expansions); err != nil {
+			fs, bs := hf.OpStats(), hb.OpStats()
+			tr.HeapPushes = fs.Pushes + bs.Pushes
+			tr.HeapPops = fs.Pops + bs.Pops
+			return notFound(tr), err
+		}
 		if combined := hf.Len() + hb.Len(); combined > tr.MaxFrontier {
 			tr.MaxFrontier = combined
 		}
@@ -200,11 +219,23 @@ func Bidirectional(g *graph.Graph, s, d graph.NodeID) (res Result, err error) {
 // early-terminating single-source search: work is proportional to the
 // region size, not the map size.
 func Within(g *graph.Graph, s graph.NodeID, budget float64) (map[graph.NodeID]float64, error) {
+	return WithinCtx(context.Background(), g, s, budget)
+}
+
+// WithinCtx is Within under a request lifecycle: the Dijkstra loop polls
+// ctx once per pop (amortised) and stops with a typed lifecycle error —
+// discarding the partial reachable set, which is not meaningful when
+// truncated — when the context dies or the expansion budget runs out.
+func WithinCtx(ctx context.Context, g *graph.Graph, s graph.NodeID, budget float64) (map[graph.NodeID]float64, error) {
 	if s < 0 || int(s) >= g.NumNodes() {
 		return nil, fmt.Errorf("search: source %d out of range [0,%d)", s, g.NumNodes())
 	}
 	if budget < 0 || math.IsNaN(budget) {
 		return nil, fmt.Errorf("search: budget %v must be non-negative", budget)
+	}
+	lc, err := newLifecycle(ctx)
+	if err != nil {
+		return nil, err
 	}
 	n := g.NumNodes()
 	ws := acquireWorkspace(n)
@@ -215,7 +246,12 @@ func Within(g *graph.Graph, s graph.NodeID, budget float64) (map[graph.NodeID]fl
 	lb.dist[s] = 0
 	h.Push(int(s), 0)
 	out := make(map[graph.NodeID]float64)
+	expansions := 0
 	for {
+		if err := lc.poll(expansions); err != nil {
+			return nil, err
+		}
+		expansions++
 		ui, du, ok := h.PopMin()
 		if !ok || du > budget {
 			return out, nil

@@ -1,6 +1,7 @@
 package search
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -19,13 +20,21 @@ import (
 // The result is empty when no path exists. Ties are returned in a
 // deterministic order.
 func KShortest(g *graph.Graph, s, d graph.NodeID, k int) ([]Result, error) {
+	return KShortestCtx(context.Background(), g, s, d, k)
+}
+
+// KShortestCtx is KShortest under a request lifecycle: every spur-path
+// Dijkstra run polls ctx (see BestFirstCtx), so a Yen's iteration — a
+// whole family of restricted searches per accepted path — stops with a
+// typed lifecycle error as soon as the context dies.
+func KShortestCtx(ctx context.Context, g *graph.Graph, s, d graph.NodeID, k int) ([]Result, error) {
 	if err := validatePair(g, s, d); err != nil {
 		return nil, err
 	}
 	if k <= 0 {
 		return nil, fmt.Errorf("search: k = %d, want at least 1", k)
 	}
-	first, err := Dijkstra(g, s, d)
+	first, err := DijkstraCtx(ctx, g, s, d)
 	if err != nil {
 		return nil, err
 	}
@@ -60,7 +69,10 @@ func KShortest(g *graph.Graph, s, d graph.NodeID, k int) ([]Result, error) {
 				bannedNodes[u] = true
 			}
 
-			spurRes := restrictedDijkstra(g, spur, d, bannedNodes, bannedEdges)
+			spurRes, err := restrictedDijkstra(ctx, g, spur, d, bannedNodes, bannedEdges)
+			if err != nil {
+				return nil, err
+			}
 			if !spurRes.Found {
 				continue
 			}
@@ -120,8 +132,14 @@ func equalPrefix(nodes, prefix []graph.NodeID) bool {
 
 // restrictedDijkstra is Dijkstra that may not enter banned nodes nor take
 // banned edges. The source is allowed even if marked banned (spur nodes are
-// never banned by the caller, but defensive anyway).
-func restrictedDijkstra(g *graph.Graph, s, d graph.NodeID, bannedNodes []bool, bannedEdges map[[2]graph.NodeID]bool) Result {
+// never banned by the caller, but defensive anyway). The loop polls ctx
+// like every other kernel loop; a non-nil error is a typed lifecycle
+// error.
+func restrictedDijkstra(ctx context.Context, g *graph.Graph, s, d graph.NodeID, bannedNodes []bool, bannedEdges map[[2]graph.NodeID]bool) (Result, error) {
+	lc, err := newLifecycle(ctx)
+	if err != nil {
+		return Result{}, err
+	}
 	n := g.NumNodes()
 	dist := make([]float64, n)
 	for i := range dist {
@@ -137,14 +155,17 @@ func restrictedDijkstra(g *graph.Graph, s, d graph.NodeID, bannedNodes []bool, b
 	h.Push(int(s), 0)
 	var tr Trace
 	for {
+		if err := lc.poll(tr.Iterations); err != nil {
+			return notFound(tr), err
+		}
 		ui, du, ok := h.PopMin()
 		if !ok {
-			return notFound(tr)
+			return notFound(tr), nil
 		}
 		u := graph.NodeID(ui)
 		closed[u] = true
 		if u == d {
-			return Result{Found: true, Path: graph.BuildPath(prev, s, d), Cost: du, Trace: tr}
+			return Result{Found: true, Path: graph.BuildPath(prev, s, d), Cost: du, Trace: tr}, nil
 		}
 		tr.Iterations++
 		g.Neighbors(u, func(a graph.Arc) {

@@ -24,6 +24,7 @@
 package search
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -104,8 +105,23 @@ func observeRun(rec Recorder, algo string, start time.Time, res *Result, err *er
 // Section 4). The algorithm terminates when the frontier empties, i.e. it
 // settles shortest paths from the source to every reachable node, then
 // reports the one to d. Requires non-negative edge costs (Lemma 1).
-func Iterative(g *graph.Graph, s, d graph.NodeID) (res Result, err error) {
+func Iterative(g *graph.Graph, s, d graph.NodeID) (Result, error) {
+	return IterativeCtx(context.Background(), g, s, d)
+}
+
+// IterativeCtx is Iterative under a request lifecycle: the run polls ctx
+// every CheckInterval expansions (amortised, see lifecycle.poll) and
+// stops with ErrCanceled, ErrDeadline, or ErrBudget — carrying the
+// partial Trace of the abandoned work — as soon as the context dies or
+// the expansion budget (WithBudget) runs out. Because the algorithm
+// cannot terminate before exploring the whole reachable graph, it is the
+// kernel that profits most from a bounded lifecycle.
+func IterativeCtx(ctx context.Context, g *graph.Graph, s, d graph.NodeID) (res Result, err error) {
 	if err := validatePair(g, s, d); err != nil {
+		return Result{}, err
+	}
+	lc, err := newLifecycle(ctx)
+	if err != nil {
 		return Result{}, err
 	}
 	if rec := activeRecorder(); rec != nil {
@@ -133,6 +149,10 @@ func Iterative(g *graph.Graph, s, d graph.NodeID) (res Result, err error) {
 		tr.HeapPops += uint64(len(frontier)) // rounds consume the frontier wholesale
 		next = next[:0]
 		for _, u := range frontier {
+			if err := lc.poll(tr.Expansions); err != nil {
+				ws.frontier, ws.next = frontier, next
+				return notFound(tr), err
+			}
 			lb.flags[u] &^= flagFrontier
 			tr.Expansions++
 			g.Neighbors(u, func(a graph.Arc) {
@@ -177,6 +197,11 @@ func Dijkstra(g *graph.Graph, s, d graph.NodeID) (Result, error) {
 	return BestFirst(g, s, d, Options{Estimator: estimator.Zero(), Label: "dijkstra"})
 }
 
+// DijkstraCtx is Dijkstra under a request lifecycle (see BestFirstCtx).
+func DijkstraCtx(ctx context.Context, g *graph.Graph, s, d graph.NodeID) (Result, error) {
+	return BestFirstCtx(ctx, g, s, d, Options{Estimator: estimator.Zero(), Label: "dijkstra"})
+}
+
 // AStar runs the best-first algorithm of Figure 3 with the given estimator.
 // Following the paper's pseudo-code, a closed node whose label improves is
 // reopened (re-enters the frontier); with admissible estimators this never
@@ -184,6 +209,11 @@ func Dijkstra(g *graph.Graph, s, d graph.NodeID) (Result, error) {
 // road map) it bounds the damage while still not guaranteeing optimality.
 func AStar(g *graph.Graph, s, d graph.NodeID, est *estimator.Estimator) (Result, error) {
 	return BestFirst(g, s, d, Options{Estimator: est, AllowReopen: true, Label: "astar"})
+}
+
+// AStarCtx is AStar under a request lifecycle (see BestFirstCtx).
+func AStarCtx(ctx context.Context, g *graph.Graph, s, d graph.NodeID, est *estimator.Estimator) (Result, error) {
+	return BestFirstCtx(ctx, g, s, d, Options{Estimator: est, AllowReopen: true, Label: "astar"})
 }
 
 // FrontierKind selects the data structure behind "select u from frontierSet
@@ -239,8 +269,21 @@ type Options struct {
 // BestFirst is the engine behind Dijkstra and AStar: repeatedly select the
 // frontier node minimising dist(u) + f(u, d), close it, stop if it is the
 // destination, otherwise relax its out-edges.
-func BestFirst(g *graph.Graph, s, d graph.NodeID, opts Options) (res Result, err error) {
+func BestFirst(g *graph.Graph, s, d graph.NodeID, opts Options) (Result, error) {
+	return BestFirstCtx(context.Background(), g, s, d, opts)
+}
+
+// BestFirstCtx is BestFirst under a request lifecycle: the run polls ctx
+// once per frontier pop (amortised to one ctx.Err() read every
+// CheckInterval pops) and stops with ErrCanceled, ErrDeadline, or
+// ErrBudget plus the partial Trace as soon as the context dies or the
+// expansion budget (WithBudget) runs out.
+func BestFirstCtx(ctx context.Context, g *graph.Graph, s, d graph.NodeID, opts Options) (res Result, err error) {
 	if err := validatePair(g, s, d); err != nil {
+		return Result{}, err
+	}
+	lc, err := newLifecycle(ctx)
+	if err != nil {
 		return Result{}, err
 	}
 	if rec := activeRecorder(); rec != nil {
@@ -264,6 +307,10 @@ func BestFirst(g *graph.Graph, s, d graph.NodeID, opts Options) (res Result, err
 
 	var tr Trace
 	for {
+		if err := lc.poll(tr.Expansions); err != nil {
+			tr.HeapPushes, tr.HeapPops = front.ops()
+			return notFound(tr), err
+		}
 		if front.len() > tr.MaxFrontier {
 			tr.MaxFrontier = front.len()
 		}
