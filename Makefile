@@ -21,11 +21,15 @@
 #                 per kernel (base vs ctx in one run, target < 2%) and
 #                 the admission gate's grant/shed fast paths, see
 #                 BENCH_PR5.json
+#   make bench-customize — CCH metric-customization suite: re-pricing a
+#                 cached topology vs full structural preprocessing at
+#                 the same k, plus the sustained traffic-stream cycle,
+#                 see BENCH_PR6.json
 
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: build test vet lint race check fuzz-short bench bench-paper bench-telemetry bench-ch bench-admission
+.PHONY: build test vet lint race check fuzz-short bench bench-paper bench-telemetry bench-ch bench-admission bench-customize
 
 build:
 	$(GO) build ./...
@@ -67,3 +71,9 @@ bench-ch:
 bench-admission:
 	$(GO) test -run xxx -bench 'CtxOverhead' -benchmem -benchtime 100x -count 3 .
 	$(GO) test -run xxx -bench 'AdmissionAcquire|AdmissionShed' -benchmem -count 3 .
+
+# The structural pass iterates multi-second contractions (3x); metric
+# customization and the stream cycle are milliseconds (50x).
+bench-customize:
+	$(GO) test -run xxx -bench 'CHPreprocess' -benchmem -benchtime 3x -count 3 -timeout 60m .
+	$(GO) test -run xxx -bench 'CHCustomize|CHTrafficStream' -benchmem -benchtime 50x -count 3 -timeout 60m .

@@ -9,6 +9,14 @@
 //	curl localhost:8080/v1/metrics       # Prometheus text format
 //	atis-server -pprof                   # also mounts /debug/pprof/
 //	atis-server -max-inflight 8 -max-queue 32 -default-budget 2s -degrade
+//	atis-server -ch -traffic-stream 20 -traffic-batch 16   # live-feed simulation
+//
+// -traffic-stream drives the server with a synthetic traffic feed:
+// batches of random edge-cost updates applied through the same
+// ApplyTrafficBatch path as POST /v1/traffic/batch, each triggering a
+// synchronous CH metric customization when -ch is on. It exists to
+// demonstrate (and load-test) millisecond metric updates without a
+// structural rebuild.
 //
 // The admission flags size the request-lifecycle layer: -max-inflight
 // caps concurrent search work (weighted by algorithm class), -max-queue
@@ -26,6 +34,7 @@ import (
 	"errors"
 	"flag"
 	"log/slog"
+	"math/rand"
 	"net/http"
 	"net/http/pprof"
 	"os"
@@ -63,6 +72,11 @@ func main() {
 			"hard cap on client-requested ?budget_ms= deadlines (0 = 60s)")
 		degrade = flag.Bool("degrade", false,
 			"answer shed /v1/route requests from the route cache or CH index instead of 503")
+
+		trafficStream = flag.Float64("traffic-stream", 0,
+			"simulate a live traffic feed: batches per second of random edge-cost updates (0 = off)")
+		trafficBatch = flag.Int("traffic-batch", 16,
+			"edges mutated per simulated traffic batch (with -traffic-stream)")
 	)
 	flag.Parse()
 
@@ -142,6 +156,12 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	if *trafficStream > 0 {
+		go streamTraffic(ctx, logger, svc, *trafficStream, *trafficBatch, *seed)
+		logger.Info("traffic stream enabled",
+			"batches_per_sec", *trafficStream, "batch_size", *trafficBatch)
+	}
+
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
 	logger.Info("serving", "map", *mapKind, "nodes", g.NumNodes(), "edges", g.NumEdges(), "addr", *addr)
@@ -162,5 +182,45 @@ func main() {
 			os.Exit(1)
 		}
 		logger.Info("drained, bye")
+	}
+}
+
+// streamTraffic simulates a live traffic feed: rate batches per second,
+// each setting size random edges to an absolute cost drawn around the
+// free-flow baseline (0.5×–3.5× base, so costs never drift or collapse to
+// zero over a long run). Every batch is one Service.ApplyTrafficBatch —
+// one cost-version bump, one route-cache invalidation, and one synchronous
+// CH metric customization — which is exactly the load the customization
+// path is built for; watch atis_ch_customize_seconds and
+// atis_ch_stale_window_seconds under it.
+func streamTraffic(ctx context.Context, logger *slog.Logger, svc *route.Service, rate float64, size int, seed int64) {
+	base := svc.Graph().Edges() // free-flow snapshot, taken before any mutation
+	if len(base) == 0 || size <= 0 {
+		return
+	}
+	if size > len(base) {
+		size = len(base)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	tick := time.NewTicker(time.Duration(float64(time.Second) / rate))
+	defer tick.Stop()
+	changes := make([]graph.EdgeCostChange, size)
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+		}
+		for i := range changes {
+			e := base[rng.Intn(len(base))]
+			changes[i] = graph.EdgeCostChange{
+				Tail: e.Tail, Head: e.Head,
+				Cost: e.Cost * (0.5 + 3*rng.Float64()),
+			}
+		}
+		if _, err := svc.ApplyTrafficBatch(changes); err != nil {
+			logger.Error("traffic stream batch failed", "err", err)
+			return
+		}
 	}
 }

@@ -1,472 +1,104 @@
-// Package ch implements Contraction Hierarchies (Geisberger et al. 2008),
-// the preprocessing-based point-to-point engine the road-network literature
+// Package ch implements a customizable contraction hierarchy — the
+// preprocessing-based point-to-point engine the road-network literature
 // (Wu et al.'s experimental evaluation; Chen & Gotsman's scalable
 // fastest-path heuristic) identifies as the technique that makes repeated
 // queries orders of magnitude cheaper than Dijkstra or A* on exactly the
-// ATIS workload: many queries between arbitrary pairs, occasional cost
+// ATIS workload: many queries between arbitrary pairs, frequent cost
 // updates.
 //
-// Preprocessing contracts nodes in importance order. Contracting node v
-// removes it from the remaining graph and inserts a shortcut arc (u, w) for
-// every in/out neighbour pair whose shortest u→w connection ran through v —
-// unless a bounded witness search finds an equally cheap detour avoiding v,
-// in which case the shortcut is provably unnecessary. Each shortcut
-// remembers v as its middle node so queries can unpack it back into
-// original arcs. Importance is the classic edge-difference heuristic
-// (shortcuts added minus arcs removed) plus a deleted-neighbour term that
-// spreads contractions evenly across the map, maintained with lazy updates:
-// a popped candidate is re-evaluated and re-queued if its priority has
-// deteriorated past the next candidate's.
+// The hierarchy is split into two layers with very different lifetimes,
+// following the metric-independence idea of customizable route planning
+// (CRP) and customizable contraction hierarchies:
 //
-// Queries run bidirectional Dijkstra over the *upward* graphs only — the
-// forward search follows arcs toward more important nodes, the backward
-// search does the same on the reverse graph — so both searches climb
-// shallow cones of size roughly logarithmic in the map instead of flooding
-// a cost disc. The best meeting node's distance sum is the exact
-// shortest-path cost, and unpacking the meeting path's shortcuts yields a
-// path that validates edge-by-edge against the original graph.
+//   - The Topology (topology.go) contracts nodes in importance order and
+//     keeps a shortcut arc for every in/out pair, plus the lower-triangle
+//     lists describing how each arc can be composed from cheaper ones. It
+//     depends only on the graph's structure and is built once.
+//   - The Metric (customize.go) assigns each skeleton arc a weight and an
+//     unpack middle under one concrete cost function, derived by a single
+//     bottom-up triangle-relaxation sweep. A traffic update re-customizes
+//     a fresh Metric in milliseconds; the Topology is untouched.
 //
-// An Index is immutable after Build and stamped with the graph's
-// CostVersion at build time; see (*Index).CostVersion for the staleness
-// contract the route service's version gate relies on.
+// Classic CH prunes shortcuts with witness searches; those proofs are
+// only valid under the metric they were searched in, so a skeleton meant
+// to survive cost updates cannot use them. The structural skeleton is
+// larger, but queries prune just as hard via ranks and stall-on-demand,
+// and the payoff is that no cost mutation — however large — ever forces
+// a re-contraction.
+//
+// Queries (query.go) run bidirectional Dijkstra over the *upward* halves
+// only: the forward search follows arcs toward more important nodes, the
+// backward search does the same on the reverse graph, both climbing
+// shallow cones instead of flooding a cost disc. The best meeting node's
+// distance sum is the exact shortest-path cost, and unpacking the meeting
+// path's arcs through their customized middles yields a path that
+// validates edge-by-edge against the original graph.
+//
+// An Index pairs one Topology with one Metric. It is immutable, safe for
+// concurrent queries, and stamped with the graph's CostVersion at
+// customization time; see (*Index).CostVersion for the staleness contract
+// the route service's version gate relies on.
 package ch
 
 import (
-	"fmt"
-	"math"
-	"runtime"
-	"sync"
-
 	"repro/internal/graph"
-	"repro/internal/pqueue"
 )
 
 // Options tunes preprocessing. The zero value is ready to use.
 type Options struct {
-	// WitnessSettleLimit bounds each witness search to that many settled
-	// nodes. Smaller limits preprocess faster but may insert shortcuts a
-	// longer search would have proven unnecessary — never incorrect, only
-	// larger. 0 means the default.
-	WitnessSettleLimit int
 	// Workers bounds the worker pool computing initial contraction
-	// priorities (the independent simulations). 0 means GOMAXPROCS.
+	// priorities (the independent per-node pair counts). 0 means
+	// GOMAXPROCS.
 	Workers int
 }
 
-// defaultWitnessSettleLimit is generous for road-like sparsity: local
-// witness discs on degree-≤4 networks rarely need more.
-const defaultWitnessSettleLimit = 64
-
-// arc is one directed connection of the contraction-time graph: original
-// edge or shortcut. mid is the skipped middle node, graph.Invalid for
-// original arcs.
-type arc struct {
-	head graph.NodeID
-	cost float64
-	mid  graph.NodeID
-}
-
-// csr is one of the index's two upward adjacency halves in compressed
-// sparse row form. Arcs of node u occupy heads[offsets[u]:offsets[u+1]]
-// and costs[offsets[u]:offsets[u+1]].
-type csr struct {
-	offsets []int32
-	heads   []graph.NodeID
-	costs   []float64
-}
-
-// Index is a built contraction hierarchy: the node ordering, the upward
-// forward/backward search graphs, and the shortcut-middle table for path
-// unpacking. It is immutable after Build and safe for concurrent queries.
+// Index is a queryable hierarchy: a metric-independent Topology plus one
+// customized Metric. It is immutable and safe for concurrent queries;
+// applying new costs means customizing a new Index from the same
+// Topology, not mutating this one.
 type Index struct {
-	n    int
-	rank []int32 // contraction order; higher = more important
-
-	// fwd holds upward arcs of the original graph (tail rank < head rank);
-	// bwd holds upward arcs of the reverse graph. Their costs slices are
-	// frozen at build: any later in-place write would silently desynchronise
-	// the hierarchy from costVersion, which is why the costversion analyzer
-	// tracks them (see internal/lint).
-	fwd, bwd csr
-
-	// middle maps a shortcut arc (tail, head) to its skipped middle node.
-	// Arcs absent from the map are original edges.
-	middle map[uint64]graph.NodeID
-
-	shortcuts   int
-	costVersion uint64 // graph.CostVersion() the costs above were read at
+	topo   *Topology
+	metric *Metric
 }
 
-// arcKey packs a directed (tail, head) pair into the middle-table key.
+// arcKey packs a directed (tail, head) pair into the freeze-time
+// position-resolution key.
 func arcKey(u, w graph.NodeID) uint64 {
 	return uint64(uint32(u))<<32 | uint64(uint32(w))
 }
 
-// CostVersion returns the graph.CostVersion() the index was built under.
-// An index answers for exactly that version: callers owning a mutable
-// graph must compare against the live CostVersion() and rebuild (or fall
-// back to a direct search) on mismatch — the same staleness contract as
-// graph.ReverseView.
-func (ix *Index) CostVersion() uint64 { return ix.costVersion }
+// CostVersion returns the graph.CostVersion() the index's metric was
+// customized under. An index answers for exactly that version: callers
+// owning a mutable graph must compare against the live CostVersion() and
+// re-customize (or fall back to a direct search) on mismatch — the same
+// staleness contract as graph.ReverseView.
+func (ix *Index) CostVersion() uint64 { return ix.metric.costVersion }
 
 // NumNodes returns the number of nodes the index covers.
-func (ix *Index) NumNodes() int { return ix.n }
+func (ix *Index) NumNodes() int { return ix.topo.n }
 
 // Shortcuts returns the number of shortcut arcs the hierarchy added on top
 // of the original edge set.
-func (ix *Index) Shortcuts() int { return ix.shortcuts }
+func (ix *Index) Shortcuts() int { return ix.topo.shortcuts }
 
 // Rank returns node u's contraction rank (0 = contracted first, least
 // important). It panics on out-of-range nodes, mirroring slice indexing.
-func (ix *Index) Rank(u graph.NodeID) int { return int(ix.rank[u]) }
+func (ix *Index) Rank(u graph.NodeID) int { return int(ix.topo.rank[u]) }
 
-// builder is the mutable preprocessing state.
-type builder struct {
-	n          int
-	fwd        [][]arc // live out-arcs, shortcuts included as they appear
-	bwd        [][]arc // live in-arcs (head field = the arc's tail node)
-	contracted []bool
-	delNbrs    []int32 // contracted-neighbour counts (the spreading term)
-	rank       []int32
-	middle     map[uint64]graph.NodeID
-	shortcuts  int
-	settleCap  int
-}
+// Topology returns the index's metric-independent layer, for callers that
+// cache it across cost updates and re-customize instead of rebuilding.
+func (ix *Index) Topology() *Topology { return ix.topo }
 
-// witness is the scratch state of one bounded witness search: an
-// epoch-stamped distance label array (the workspace.go trick, so resets are
-// O(1)) and a dedicated indexed heap.
-type witness struct {
-	epoch uint64
-	stamp []uint64
-	dist  []float64
-	heap  *pqueue.Indexed
-}
-
-func newWitness(n int) *witness {
-	return &witness{
-		stamp: make([]uint64, n),
-		dist:  make([]float64, n),
-		heap:  pqueue.NewIndexed(n),
-	}
-}
-
-// reset invalidates all labels and empties the heap (a truncated witness
-// search leaves entries queued).
-func (w *witness) reset() {
-	w.epoch++
-	w.heap.Reset()
-}
-
-func (w *witness) distAt(u graph.NodeID) float64 {
-	if w.stamp[u] != w.epoch {
-		return math.Inf(1)
-	}
-	return w.dist[u]
-}
-
-func (w *witness) label(u graph.NodeID, d float64) {
-	w.stamp[u] = w.epoch
-	w.dist[u] = d
-}
-
-// newBuilder seeds the contraction-time adjacency from g, collapsing
-// parallel edges to their minimum cost (exactly what any shortest-path
-// computation uses).
-func newBuilder(g *graph.Graph, opts Options) *builder {
-	n := g.NumNodes()
-	b := &builder{
-		n:          n,
-		fwd:        make([][]arc, n),
-		bwd:        make([][]arc, n),
-		contracted: make([]bool, n),
-		delNbrs:    make([]int32, n),
-		rank:       make([]int32, n),
-		middle:     make(map[uint64]graph.NodeID),
-		settleCap:  opts.WitnessSettleLimit,
-	}
-	if b.settleCap <= 0 {
-		b.settleCap = defaultWitnessSettleLimit
-	}
-	for u := graph.NodeID(0); int(u) < n; u++ {
-		g.Neighbors(u, func(a graph.Arc) {
-			if a.Head == u {
-				return // self loops never lie on a shortest path
-			}
-			b.addMinArc(u, a.Head, a.Cost, graph.Invalid)
-		})
-	}
-	return b
-}
-
-// addMinArc inserts the arc (u, w) or lowers an existing one to cost,
-// keeping the (u, w) arc set deduplicated at the minimum. mid records the
-// skipped middle for shortcuts; pass graph.Invalid for original edges.
-func (b *builder) addMinArc(u, w graph.NodeID, cost float64, mid graph.NodeID) {
-	for i := range b.fwd[u] {
-		if b.fwd[u][i].head != w {
-			continue
-		}
-		if b.fwd[u][i].cost <= cost {
-			return // existing arc already at least as cheap
-		}
-		b.fwd[u][i].cost, b.fwd[u][i].mid = cost, mid
-		for j := range b.bwd[w] {
-			if b.bwd[w][j].head == u {
-				b.bwd[w][j].cost, b.bwd[w][j].mid = cost, mid
-				break
-			}
-		}
-		b.recordMiddle(u, w, mid)
-		return
-	}
-	b.fwd[u] = append(b.fwd[u], arc{head: w, cost: cost, mid: mid})
-	b.bwd[w] = append(b.bwd[w], arc{head: u, cost: cost, mid: mid})
-	b.recordMiddle(u, w, mid)
-	if mid != graph.Invalid {
-		b.shortcuts++
-	}
-}
-
-// recordMiddle keeps the unpack table in sync with the cheapest (u, w) arc.
-func (b *builder) recordMiddle(u, w, mid graph.NodeID) {
-	if mid == graph.Invalid {
-		delete(b.middle, arcKey(u, w))
-	} else {
-		b.middle[arcKey(u, w)] = mid
-	}
-}
-
-// witnessFrom runs a bounded Dijkstra from u over the live graph with v
-// excluded, stopping once the frontier passes bound or the settle cap.
-// Afterwards wit.distAt(t) is an upper bound on the cheapest u→t detour
-// avoiding v — "≤ shortcut cost" proves a witness exists.
-func (b *builder) witnessFrom(wit *witness, u, v graph.NodeID, bound float64) {
-	wit.reset()
-	wit.label(u, 0)
-	wit.heap.Push(int(u), 0)
-	settled := 0
-	for wit.heap.Len() > 0 {
-		xi, dx, _ := wit.heap.PopMin()
-		if dx > bound {
-			return
-		}
-		settled++
-		if settled > b.settleCap {
-			return
-		}
-		x := graph.NodeID(xi)
-		for _, a := range b.fwd[x] {
-			if a.head == v || b.contracted[a.head] {
-				continue
-			}
-			nd := dx + a.cost
-			if nd < wit.distAt(a.head) {
-				wit.label(a.head, nd)
-				wit.heap.PushOrUpdate(int(a.head), nd)
-			}
-		}
-	}
-}
-
-// shortcutsFor enumerates the shortcuts contracting v would require right
-// now: for every live in-neighbour u one witness search decides, for every
-// live out-neighbour w, whether u→v→w is the only cheapest connection.
-// With emit == nil it only counts (the priority simulation); otherwise it
-// calls emit for every needed shortcut.
-func (b *builder) shortcutsFor(v graph.NodeID, wit *witness, emit func(u, w graph.NodeID, cost float64)) int {
-	count := 0
-	for _, in := range b.bwd[v] {
-		u := in.head
-		if b.contracted[u] {
-			continue
-		}
-		// The witness bound is the most expensive u→v→w candidate.
-		bound := math.Inf(-1)
-		for _, out := range b.fwd[v] {
-			w := out.head
-			if w == u || b.contracted[w] {
-				continue
-			}
-			if c := in.cost + out.cost; c > bound {
-				bound = c
-			}
-		}
-		if math.IsInf(bound, -1) {
-			continue // no live pair through v from u
-		}
-		b.witnessFrom(wit, u, v, bound)
-		for _, out := range b.fwd[v] {
-			w := out.head
-			if w == u || b.contracted[w] {
-				continue
-			}
-			sc := in.cost + out.cost
-			if wit.distAt(w) <= sc {
-				continue // detour avoiding v is at least as cheap
-			}
-			count++
-			if emit != nil {
-				emit(u, w, sc)
-			}
-		}
-	}
-	return count
-}
-
-// priority is the contraction importance of v: edge difference (shortcuts
-// the contraction inserts minus arcs it retires) plus the
-// deleted-neighbour count, which delays nodes in already-thinned regions
-// and keeps the hierarchy balanced.
-func (b *builder) priority(v graph.NodeID, wit *witness) float64 {
-	needed := b.shortcutsFor(v, wit, nil)
-	deg := 0
-	for _, a := range b.fwd[v] {
-		if !b.contracted[a.head] {
-			deg++
-		}
-	}
-	for _, a := range b.bwd[v] {
-		if !b.contracted[a.head] {
-			deg++
-		}
-	}
-	return float64(needed-deg) + float64(b.delNbrs[v])
-}
-
-// contract removes v from the remaining graph, inserting its shortcuts and
-// crediting the deleted-neighbour term of its survivors.
-func (b *builder) contract(v graph.NodeID, wit *witness) {
-	b.shortcutsFor(v, wit, func(u, w graph.NodeID, cost float64) {
-		b.addMinArc(u, w, cost, v)
-	})
-	b.contracted[v] = true
-	for _, a := range b.fwd[v] {
-		if !b.contracted[a.head] {
-			b.delNbrs[a.head]++
-		}
-	}
-	for _, a := range b.bwd[v] {
-		if !b.contracted[a.head] {
-			b.delNbrs[a.head]++
-		}
-	}
-}
-
-// Build preprocesses g into a queryable hierarchy. The graph is only read.
-// Initial priorities — one independent contraction simulation per node —
-// are computed across a GOMAXPROCS-bounded worker pool exactly like ALT's
-// landmark sweeps; the contraction loop itself is sequential because each
-// contraction reshapes the graph the next simulates against.
-//
-// The index is stamped with g.CostVersion() as read when Build starts. If
-// costs mutate concurrently with Build the result may mix versions; callers
-// who mutate must either serialise mutations against Build (the route
-// service clones a stable snapshot instead) or discard the result.
+// Build preprocesses g into a queryable hierarchy: structural contraction
+// (BuildTopology) followed by one customization pass for g's current
+// costs. The graph is only read. Callers that keep the graph's structure
+// and mutate only costs should retain ix.Topology() and re-customize with
+// Topology.NewIndex instead of calling Build again — same result, a
+// thousandth of the work.
 func Build(g *graph.Graph, opts Options) (*Index, error) {
-	n := g.NumNodes()
-	if n == 0 {
-		return nil, fmt.Errorf("ch: empty graph")
+	topo, err := BuildTopology(g, opts)
+	if err != nil {
+		return nil, err
 	}
-	version := g.CostVersion()
-	b := newBuilder(g, opts)
-
-	// Parallel initial simulation: each worker owns a witness scratch and
-	// writes disjoint priority slots; the builder is read-only here.
-	prio := make([]float64, n)
-	workers := opts.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > n {
-		workers = n
-	}
-	var wg sync.WaitGroup
-	chunk := (n + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo, hi := w*chunk, (w+1)*chunk
-		if hi > n {
-			hi = n
-		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			wit := newWitness(n)
-			for v := lo; v < hi; v++ {
-				prio[v] = b.priority(graph.NodeID(v), wit)
-			}
-		}(lo, hi)
-	}
-	wg.Wait()
-
-	queue := pqueue.NewIndexed(n)
-	for v := 0; v < n; v++ {
-		queue.Push(v, prio[v])
-	}
-
-	// Lazy-update contraction: re-evaluate the popped candidate against the
-	// next key; contract only when it is still (weakly) the minimum.
-	wit := newWitness(n)
-	nextRank := int32(0)
-	for queue.Len() > 0 {
-		vi, _, _ := queue.PopMin()
-		v := graph.NodeID(vi)
-		np := b.priority(v, wit)
-		if _, nextP, ok := queue.Peek(); ok && np > nextP {
-			queue.Push(vi, np)
-			continue
-		}
-		b.rank[v] = nextRank
-		nextRank++
-		b.contract(v, wit)
-	}
-
-	return b.finish(version), nil
-}
-
-// finish freezes the contracted graph into the two upward CSRs. Every arc
-// lands in exactly one half: forward if its head outranks its tail,
-// backward (as a reverse arc) otherwise.
-func (b *builder) finish(version uint64) *Index {
-	ix := &Index{
-		n:           b.n,
-		rank:        b.rank,
-		middle:      b.middle,
-		shortcuts:   b.shortcuts,
-		costVersion: version,
-	}
-	ix.fwd = buildCSR(b.n, b.fwd, b.rank)
-	ix.bwd = buildCSR(b.n, b.bwd, b.rank)
-	return ix
-}
-
-// buildCSR packs the upward subset of adj (arcs whose head outranks their
-// tail) into CSR form.
-func buildCSR(n int, adj [][]arc, rank []int32) csr {
-	offsets := make([]int32, n+1)
-	total := 0
-	for u := 0; u < n; u++ {
-		for _, a := range adj[u] {
-			if rank[a.head] > rank[u] {
-				total++
-			}
-		}
-		offsets[u+1] = int32(total)
-	}
-	heads := make([]graph.NodeID, total)
-	costs := make([]float64, total)
-	i := 0
-	for u := 0; u < n; u++ {
-		for _, a := range adj[u] {
-			if rank[a.head] > rank[u] {
-				heads[i] = a.head
-				costs[i] = a.cost
-				i++
-			}
-		}
-	}
-	return csr{offsets: offsets, heads: heads, costs: costs}
+	return topo.NewIndex(g)
 }

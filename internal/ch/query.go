@@ -52,11 +52,12 @@ func (ix *Index) Query(s, d graph.NodeID) (Result, error) {
 // differential test harness — and the planner (internal/core) maps them
 // with search.FromContextErr so every layer above sees one vocabulary.
 func (ix *Index) QueryCtx(ctx context.Context, s, d graph.NodeID) (Result, error) {
-	if int(s) < 0 || int(s) >= ix.n {
-		return Result{}, fmt.Errorf("ch: source %d out of range [0,%d)", s, ix.n)
+	n := ix.topo.n
+	if int(s) < 0 || int(s) >= n {
+		return Result{}, fmt.Errorf("ch: source %d out of range [0,%d)", s, n)
 	}
-	if int(d) < 0 || int(d) >= ix.n {
-		return Result{}, fmt.Errorf("ch: destination %d out of range [0,%d)", d, ix.n)
+	if int(d) < 0 || int(d) >= n {
+		return Result{}, fmt.Errorf("ch: destination %d out of range [0,%d)", d, n)
 	}
 	if s == d {
 		return Result{Found: true, Path: graph.Path{Nodes: []graph.NodeID{s}}, Cost: 0}, nil
@@ -65,8 +66,21 @@ func (ix *Index) QueryCtx(ctx context.Context, s, d graph.NodeID) (Result, error
 		return Result{}, err
 	}
 
-	ws := acquireWorkspace(ix.n)
+	ws := acquireWorkspace(n)
 	defer releaseWorkspace(ws)
+
+	// Compose each search side from the topology's skeleton and the
+	// metric's customized weights; positions align by construction.
+	fwdSide := qside{
+		offsets: ix.topo.fwd.offsets,
+		heads:   ix.topo.fwd.heads,
+		costs:   ix.metric.fwd.costs,
+	}
+	bwdSide := qside{
+		offsets: ix.topo.bwd.offsets,
+		heads:   ix.topo.bwd.heads,
+		costs:   ix.metric.bwd.costs,
+	}
 
 	ws.fwd.set(s, 0, graph.Invalid)
 	ws.hf.Push(int(s), 0)
@@ -102,11 +116,11 @@ func (ix *Index) QueryCtx(ctx context.Context, s, d graph.NodeID) (Result, error
 			heap  = ws.hf
 			mine  = &ws.fwd
 			their = &ws.bwd
-			adj   = &ix.fwd
-			down  = &ix.bwd
+			adj   = &fwdSide
+			down  = &bwdSide
 		)
 		if !forward {
-			heap, mine, their, adj, down = ws.hb, &ws.bwd, &ws.fwd, &ix.bwd, &ix.fwd
+			heap, mine, their, adj, down = ws.hb, &ws.bwd, &ws.fwd, &bwdSide, &fwdSide
 		}
 		ui, du, _ := heap.PopMin()
 		u := graph.NodeID(ui)
@@ -182,13 +196,31 @@ func (ix *Index) QueryCtx(ctx context.Context, s, d graph.NodeID) (Result, error
 	}, nil
 }
 
+// qside is one direction of the bidirectional search: skeleton structure
+// from the Topology, weights from the Metric, zipped by arc position.
+type qside struct {
+	offsets []int32
+	heads   []graph.NodeID
+	costs   []float64
+}
+
 // unpackInto expands the (possibly shortcut) arc u→w into original arcs,
-// appending every node after u to nodes. Recursion depth is bounded by the
-// hierarchy height because both halves of a shortcut predate it.
+// appending every node after u to nodes. The arc's customized middle says
+// which lower triangle realised its weight under the current metric;
+// graph.Invalid means an original edge did, terminating the recursion.
+// Depth is bounded by the hierarchy height because a triangle's middle is
+// always ranked below both endpoints.
 func (ix *Index) unpackInto(nodes []graph.NodeID, u, w graph.NodeID) []graph.NodeID {
-	if mid, ok := ix.middle[arcKey(u, w)]; ok {
-		nodes = ix.unpackInto(nodes, u, mid)
-		return ix.unpackInto(nodes, mid, w)
+	t := ix.topo
+	var mid graph.NodeID
+	if t.rank[w] > t.rank[u] {
+		mid = ix.metric.fwd.mid[t.findFwd(u, w)]
+	} else {
+		mid = ix.metric.bwd.mid[t.findBwd(w, u)]
 	}
-	return append(nodes, w)
+	if mid == graph.Invalid {
+		return append(nodes, w)
+	}
+	nodes = ix.unpackInto(nodes, u, mid)
+	return ix.unpackInto(nodes, mid, w)
 }

@@ -1,0 +1,414 @@
+package ch
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/graph"
+	"repro/internal/pqueue"
+)
+
+// skeleton is one upward half of the hierarchy in structural CSR form:
+// arcs of node u occupy heads[offsets[u]:offsets[u+1]]. It carries no
+// weights — those live in the Metric layer, one slice per half, indexed
+// by the same positions.
+type skeleton struct {
+	offsets []int32
+	heads   []graph.NodeID
+}
+
+// Topology is the metric-independent half of a contraction hierarchy: the
+// contraction order, the shortcut skeleton (every arc any cost function
+// could need), the lower-triangle lists that drive customization, and the
+// mapping from original graph edges onto skeleton arcs. It is built once
+// per graph structure and reused across arbitrarily many metrics — a cost
+// mutation never invalidates it, only the Metric customized from it.
+//
+// Unlike the witness-pruned hierarchies of classic CH preprocessing, the
+// skeleton keeps a shortcut arc for *every* in/out pair enumerated during
+// contraction. A witness proof is only valid under the metric it was
+// searched in; a skeleton meant to outlive the metric must keep every arc
+// a future metric might make necessary (the customizable-CH observation
+// of Dibbelt, Strasser & Wagner, the CH analogue of CRP's
+// separator-based split). Contraction therefore needs no shortest-path
+// searches at all — ordering and contraction are purely structural.
+//
+// A Topology is immutable after BuildTopology and safe for concurrent use.
+type Topology struct {
+	n int // nodes of the source graph
+	m int // directed edges of the source graph (structural fingerprint)
+
+	rank  []int32        // contraction order; higher = more important
+	order []graph.NodeID // order[r] = the node contracted r-th
+
+	// fwd holds upward arcs of the original direction (tail rank < head
+	// rank); bwd holds upward arcs of the reverse graph, i.e. the original
+	// arc x→y with rank(x) > rank(y) sits in bwd at node y with head x.
+	// Every skeleton arc lives in exactly one half, at its lower-ranked
+	// endpoint — which is what lets customization finalize all arcs of a
+	// node in one contraction-order sweep.
+	fwd, bwd skeleton
+
+	// Lower-triangle lists, CSR-indexed by global arc id (fwd arcs are
+	// ids [0,F), bwd arcs [F,F+B)). Triangle ti of arc (u,w) names a
+	// middle node v contracted before both endpoints, with triDown[ti]
+	// the bwd-half position of arc u→v and triUp[ti] the fwd-half
+	// position of arc v→w: customization relaxes
+	// w(u,w) ← min(w(u,w), w(u→v) + w(v→w)) over these entries.
+	triOff  []int32
+	triMid  []graph.NodeID
+	triDown []int32
+	triUp   []int32
+
+	// edgePos maps the i-th directed edge of the source graph (CSR
+	// order, the order Neighbors visits) to its skeleton arc's global
+	// id, -1 for self loops. Customization seeds base costs through it
+	// in one O(m) pass without any adjacency lookups.
+	edgePos []int32
+
+	shortcuts int // skeleton arcs not backed by any original edge
+}
+
+// NumNodes returns the number of nodes the topology covers.
+func (t *Topology) NumNodes() int { return t.n }
+
+// Shortcuts returns the number of shortcut arcs in the skeleton on top of
+// the original edge set.
+func (t *Topology) Shortcuts() int { return t.shortcuts }
+
+// Triangles returns the total number of lower-triangle entries —
+// the work one customization pass performs.
+func (t *Topology) Triangles() int { return len(t.triMid) }
+
+// Arcs returns the total number of skeleton arcs across both halves.
+func (t *Topology) Arcs() int { return len(t.fwd.heads) + len(t.bwd.heads) }
+
+// Rank returns node u's contraction rank (0 = contracted first, least
+// important). It panics on out-of-range nodes, mirroring slice indexing.
+func (t *Topology) Rank(u graph.NodeID) int { return int(t.rank[u]) }
+
+// Matches reports whether g has the node and edge counts the topology was
+// built from. Graph structure is immutable in this codebase, so matching
+// counts mean the topology's skeleton is valid for g; callers swapping in
+// a structurally different graph with coincidentally equal counts violate
+// the contract and must rebuild.
+func (t *Topology) Matches(g *graph.Graph) bool {
+	return g.NumNodes() == t.n && g.NumEdges() == t.m
+}
+
+// findFwd returns the fwd-half position of arc u→w (rank w above rank u).
+// The arc exists for every consecutive pair of a packed query path; a miss
+// means the caller broke that invariant.
+func (t *Topology) findFwd(u, w graph.NodeID) int32 {
+	for p := t.fwd.offsets[u]; p < t.fwd.offsets[u+1]; p++ {
+		if t.fwd.heads[p] == w {
+			return p
+		}
+	}
+	panic(fmt.Sprintf("ch: no upward arc %d→%d in the skeleton", u, w))
+}
+
+// findBwd returns the bwd-half position of the original arc x→y with
+// rank(x) above rank(y) — stored at y with head x.
+func (t *Topology) findBwd(y, x graph.NodeID) int32 {
+	for p := t.bwd.offsets[y]; p < t.bwd.offsets[y+1]; p++ {
+		if t.bwd.heads[p] == x {
+			return p
+		}
+	}
+	panic(fmt.Sprintf("ch: no downward arc %d→%d in the skeleton", x, y))
+}
+
+// tbuilder is the mutable state of a structural contraction.
+type tbuilder struct {
+	n          int
+	fwd        [][]graph.NodeID // live out-neighbours, shortcut targets included
+	bwd        [][]graph.NodeID // live in-neighbours
+	contracted []bool
+	delNbrs    []int32 // contracted-neighbour counts (the spreading term)
+	rank       []int32
+	order      []graph.NodeID
+	tris       []triple
+}
+
+// triple records one lower triangle as it is enumerated during
+// contraction: contracting v connected in-neighbour u to out-neighbour w.
+type triple struct{ v, u, w graph.NodeID }
+
+// newTBuilder seeds the structural adjacency from g, dropping self loops
+// and collapsing parallel edges to a single arc per directed pair.
+func newTBuilder(g *graph.Graph) *tbuilder {
+	n := g.NumNodes()
+	b := &tbuilder{
+		n:          n,
+		fwd:        make([][]graph.NodeID, n),
+		bwd:        make([][]graph.NodeID, n),
+		contracted: make([]bool, n),
+		delNbrs:    make([]int32, n),
+		rank:       make([]int32, n),
+		order:      make([]graph.NodeID, 0, n),
+	}
+	for u := graph.NodeID(0); int(u) < n; u++ {
+		g.Neighbors(u, func(a graph.Arc) {
+			if a.Head == u {
+				return // self loops never lie on a shortest path
+			}
+			if !b.hasArc(u, a.Head) {
+				b.addArc(u, a.Head)
+			}
+		})
+	}
+	return b
+}
+
+// hasArc reports whether the directed arc (u, w) is in the live skeleton.
+func (b *tbuilder) hasArc(u, w graph.NodeID) bool {
+	for _, x := range b.fwd[u] {
+		if x == w {
+			return true
+		}
+	}
+	return false
+}
+
+// addArc inserts the directed arc (u, w) into both adjacency views.
+func (b *tbuilder) addArc(u, w graph.NodeID) {
+	b.fwd[u] = append(b.fwd[u], w)
+	b.bwd[w] = append(b.bwd[w], u)
+}
+
+// priority is the contraction importance of v: edge difference (shortcut
+// arcs the contraction would insert minus arcs it retires) plus the
+// deleted-neighbour count, which delays nodes in already-thinned regions
+// and keeps the hierarchy balanced. Purely structural — no metric, no
+// shortest-path simulation — so a full re-evaluation is a pair scan.
+func (b *tbuilder) priority(v graph.NodeID) float64 {
+	added, inDeg, outDeg := 0, 0, 0
+	for _, w := range b.fwd[v] {
+		if !b.contracted[w] {
+			outDeg++
+		}
+	}
+	for _, u := range b.bwd[v] {
+		if b.contracted[u] {
+			continue
+		}
+		inDeg++
+		for _, w := range b.fwd[v] {
+			if w == u || b.contracted[w] {
+				continue
+			}
+			if !b.hasArc(u, w) {
+				added++
+			}
+		}
+	}
+	return float64(added-(inDeg+outDeg)) + float64(b.delNbrs[v])
+}
+
+// contract removes v from the live graph: every in/out pair (u, w)
+// records a lower triangle through v, inserting the arc (u, w) if the
+// skeleton lacks it, and v's survivors take a deleted-neighbour credit.
+func (b *tbuilder) contract(v graph.NodeID) {
+	for _, u := range b.bwd[v] {
+		if b.contracted[u] {
+			continue
+		}
+		for _, w := range b.fwd[v] {
+			if w == u || b.contracted[w] {
+				continue
+			}
+			b.tris = append(b.tris, triple{v: v, u: u, w: w})
+			if !b.hasArc(u, w) {
+				b.addArc(u, w)
+			}
+		}
+	}
+	b.contracted[v] = true
+	for _, w := range b.fwd[v] {
+		if !b.contracted[w] {
+			b.delNbrs[w]++
+		}
+	}
+	for _, u := range b.bwd[v] {
+		if !b.contracted[u] {
+			b.delNbrs[u]++
+		}
+	}
+}
+
+// BuildTopology contracts g structurally into a reusable topology. The
+// graph is only read, and only its structure matters: two graphs with the
+// same arcs but different costs produce the identical topology.
+//
+// Initial priorities — one independent pair count per node — are computed
+// across a GOMAXPROCS-bounded worker pool; the contraction loop itself is
+// sequential because each contraction reshapes the graph the next
+// evaluates against, with the classic lazy-update rule re-queueing a
+// popped candidate whose priority has deteriorated past the next key.
+func BuildTopology(g *graph.Graph, opts Options) (*Topology, error) {
+	n := g.NumNodes()
+	if n == 0 {
+		return nil, fmt.Errorf("ch: empty graph")
+	}
+	b := newTBuilder(g)
+
+	prio := make([]float64, n)
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for v := lo; v < hi; v++ {
+				prio[v] = b.priority(graph.NodeID(v))
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+
+	queue := pqueue.NewIndexed(n)
+	for v := 0; v < n; v++ {
+		queue.Push(v, prio[v])
+	}
+
+	nextRank := int32(0)
+	for queue.Len() > 0 {
+		vi, _, _ := queue.PopMin()
+		v := graph.NodeID(vi)
+		np := b.priority(v)
+		if _, nextP, ok := queue.Peek(); ok && np > nextP {
+			queue.Push(vi, np)
+			continue
+		}
+		b.rank[v] = nextRank
+		b.order = append(b.order, v)
+		nextRank++
+		b.contract(v)
+	}
+
+	return b.freeze(g), nil
+}
+
+// freeze packs the contracted skeleton into the Topology's CSR halves,
+// resolves every recorded triangle to arc positions, and maps the source
+// graph's edges onto skeleton arcs.
+func (b *tbuilder) freeze(g *graph.Graph) *Topology {
+	t := &Topology{
+		n:     b.n,
+		m:     g.NumEdges(),
+		rank:  b.rank,
+		order: b.order,
+	}
+	// Forward half: arcs u→w with rank(w) > rank(u), at u. Backward half:
+	// arcs x→y with rank(x) > rank(y), at y with head x.
+	t.fwd = packSkeleton(b.n, func(u graph.NodeID, emit func(graph.NodeID)) {
+		for _, w := range b.fwd[u] {
+			if b.rank[w] > b.rank[u] {
+				emit(w)
+			}
+		}
+	})
+	t.bwd = packSkeleton(b.n, func(y graph.NodeID, emit func(graph.NodeID)) {
+		for _, x := range b.bwd[y] {
+			if b.rank[x] > b.rank[y] {
+				emit(x)
+			}
+		}
+	})
+	F := len(t.fwd.heads)
+	numArcs := F + len(t.bwd.heads)
+
+	// Global arc ids: fwd positions as-is, bwd positions offset by F. The
+	// map exists only during freeze; queries and customization never
+	// touch it.
+	pos := make(map[uint64]int32, numArcs)
+	for u := graph.NodeID(0); int(u) < b.n; u++ {
+		for p := t.fwd.offsets[u]; p < t.fwd.offsets[u+1]; p++ {
+			pos[arcKey(u, t.fwd.heads[p])] = p
+		}
+		for p := t.bwd.offsets[u]; p < t.bwd.offsets[u+1]; p++ {
+			pos[arcKey(t.bwd.heads[p], u)] = int32(F) + p
+		}
+	}
+
+	// Counting sort of the triangles by target arc id into CSR form.
+	t.triOff = make([]int32, numArcs+1)
+	for _, tr := range b.tris {
+		t.triOff[pos[arcKey(tr.u, tr.w)]+1]++
+	}
+	for i := 0; i < numArcs; i++ {
+		t.triOff[i+1] += t.triOff[i]
+	}
+	t.triMid = make([]graph.NodeID, len(b.tris))
+	t.triDown = make([]int32, len(b.tris))
+	t.triUp = make([]int32, len(b.tris))
+	cursor := make([]int32, numArcs)
+	for _, tr := range b.tris {
+		id := pos[arcKey(tr.u, tr.w)]
+		at := t.triOff[id] + cursor[id]
+		cursor[id]++
+		t.triMid[at] = tr.v
+		t.triDown[at] = pos[arcKey(tr.u, tr.v)] - int32(F)
+		t.triUp[at] = pos[arcKey(tr.v, tr.w)]
+	}
+
+	// Edge → arc mapping plus the base-backed arc census.
+	t.edgePos = make([]int32, g.NumEdges())
+	baseBacked := make([]bool, numArcs)
+	base := 0
+	ei := 0
+	for u := graph.NodeID(0); int(u) < b.n; u++ {
+		g.Neighbors(u, func(a graph.Arc) {
+			if a.Head == u {
+				t.edgePos[ei] = -1
+				ei++
+				return
+			}
+			id := pos[arcKey(u, a.Head)]
+			t.edgePos[ei] = id
+			ei++
+			if !baseBacked[id] {
+				baseBacked[id] = true
+				base++
+			}
+		})
+	}
+	t.shortcuts = numArcs - base
+	return t
+}
+
+// packSkeleton runs the standard two-pass CSR build over a per-node arc
+// enumerator.
+func packSkeleton(n int, arcs func(u graph.NodeID, emit func(graph.NodeID))) skeleton {
+	offsets := make([]int32, n+1)
+	total := int32(0)
+	for u := graph.NodeID(0); int(u) < n; u++ {
+		arcs(u, func(graph.NodeID) { total++ })
+		offsets[u+1] = total
+	}
+	heads := make([]graph.NodeID, total)
+	i := 0
+	for u := graph.NodeID(0); int(u) < n; u++ {
+		arcs(u, func(w graph.NodeID) {
+			heads[i] = w
+			i++
+		})
+	}
+	return skeleton{offsets: offsets, heads: heads}
+}

@@ -195,9 +195,12 @@ func (p *Planner) RouteCtx(ctx context.Context, from, to graph.NodeID, opts Opti
 }
 
 // CHIndex returns the planner's contraction hierarchy for the graph's
-// current cost version, building or rebuilding it if needed. The build is
-// synchronous: callers who cannot afford that on a query path (the route
-// service) maintain their own index and use the planner only for fallback.
+// current cost version, readying it if needed. The first call pays a
+// structural contraction; afterwards the topology is cached and a cost
+// mutation only costs a metric customization, so even the synchronous
+// refresh here is milliseconds. Callers who cannot afford the first
+// build on a query path (the route service) maintain their own index and
+// use the planner only for fallback.
 func (p *Planner) CHIndex() (*ch.Index, error) {
 	want := p.g.CostVersion()
 	if ix := p.chIdx.Load(); ix != nil && ix.CostVersion() == want {
@@ -205,10 +208,18 @@ func (p *Planner) CHIndex() (*ch.Index, error) {
 	}
 	p.chMu.Lock()
 	defer p.chMu.Unlock()
-	// Re-check under the lock: another goroutine may have built while we
-	// waited, and the version may have moved again.
+	// Re-check under the lock: another goroutine may have readied the
+	// index while we waited, and the version may have moved again.
 	want = p.g.CostVersion()
 	if ix := p.chIdx.Load(); ix != nil && ix.CostVersion() == want {
+		return ix, nil
+	}
+	if old := p.chIdx.Load(); old != nil && old.Topology().Matches(p.g) {
+		ix, err := old.Topology().NewIndex(p.g)
+		if err != nil {
+			return nil, err
+		}
+		p.chIdx.Store(ix)
 		return ix, nil
 	}
 	ix, err := ch.Build(p.g, ch.Options{})

@@ -185,6 +185,66 @@ func (g *Graph) SetArcCost(u, v NodeID, c float64) (bool, error) {
 // in which every edge cost was stable.
 func (g *Graph) CostVersion() uint64 { return g.costVersion.Load() }
 
+// EdgeCostChange is one entry of an ApplyBatch traffic update: the directed
+// edge (Tail, Head) either has its cost set to Cost (Scale false) or
+// multiplied by Cost (Scale true). Either way the change covers every
+// parallel edge of the pair, matching SetArcCost and ScaleArcCost.
+type EdgeCostChange struct {
+	Tail  NodeID
+	Head  NodeID
+	Cost  float64
+	Scale bool
+}
+
+// ApplyBatch applies a burst of edge-cost changes atomically with respect
+// to version accounting: the whole batch is validated up front (no partial
+// application on a bad entry), every change is applied, and costVersion is
+// bumped exactly once if anything changed — so version-keyed consumers
+// (ReverseView, a ch.Metric, the route cache) invalidate once per batch
+// instead of once per edge. It returns the number of changes that matched
+// at least one edge.
+//
+// Entries are applied in order; later entries targeting the same pair win
+// (for Scale entries, compound). Like all cost mutators, ApplyBatch must
+// be serialised against readers by the caller.
+func (g *Graph) ApplyBatch(changes []EdgeCostChange) (int, error) {
+	for _, ch := range changes {
+		if ch.Cost < 0 || math.IsNaN(ch.Cost) {
+			what := "cost"
+			if ch.Scale {
+				what = "scale factor"
+			}
+			return 0, fmt.Errorf("graph: %s %v for edge (%d,%d) must be non-negative", what, ch.Cost, ch.Tail, ch.Head)
+		}
+		if !g.valid(ch.Tail) || !g.valid(ch.Head) {
+			return 0, fmt.Errorf("graph: edge (%d,%d) references unknown node", ch.Tail, ch.Head)
+		}
+	}
+	applied := 0
+	for _, ch := range changes {
+		found := false
+		lo, hi := g.offsets[ch.Tail], g.offsets[ch.Tail+1]
+		for i := lo; i < hi; i++ {
+			if g.heads[i] != ch.Head {
+				continue
+			}
+			if ch.Scale {
+				g.costs[i] *= ch.Cost
+			} else {
+				g.costs[i] = ch.Cost
+			}
+			found = true
+		}
+		if found {
+			applied++
+		}
+	}
+	if applied > 0 {
+		g.costVersion.Add(1)
+	}
+	return applied, nil
+}
+
 // ScaleArcCost multiplies the cost of every parallel directed edge (u, v) by
 // factor and reports whether such an edge exists. This is the primitive
 // behind traffic-congestion updates.

@@ -186,6 +186,82 @@ func TestScaleArcCost(t *testing.T) {
 	}
 }
 
+func TestApplyBatchBumpsVersionOnce(t *testing.T) {
+	g := line(t, 4)
+	v0 := g.CostVersion()
+	n, err := g.ApplyBatch([]EdgeCostChange{
+		{Tail: 0, Head: 1, Cost: 7},
+		{Tail: 1, Head: 2, Cost: 2, Scale: true},
+		{Tail: 2, Head: 3, Cost: 0.5},
+	})
+	if err != nil || n != 3 {
+		t.Fatalf("ApplyBatch = %d, %v; want 3 applied", n, err)
+	}
+	if got := g.CostVersion(); got != v0+1 {
+		t.Errorf("version after 3-edge batch = %d, want %d (one bump per batch)", got, v0+1)
+	}
+	if c, _ := g.ArcCost(0, 1); c != 7 {
+		t.Errorf("set cost = %v, want 7", c)
+	}
+	if c, _ := g.ArcCost(1, 2); c != 2 {
+		t.Errorf("scaled cost = %v, want 2", c)
+	}
+	if c, _ := g.ArcCost(1, 0); c != 1 {
+		t.Errorf("untargeted reverse edge = %v, want 1", c)
+	}
+}
+
+func TestApplyBatchValidatesBeforeApplying(t *testing.T) {
+	g := line(t, 3)
+	v0 := g.CostVersion()
+	// The second entry is invalid: nothing from the batch may land.
+	if _, err := g.ApplyBatch([]EdgeCostChange{
+		{Tail: 0, Head: 1, Cost: 9},
+		{Tail: 0, Head: 1, Cost: -1},
+	}); err == nil {
+		t.Fatal("ApplyBatch accepted a negative cost")
+	}
+	if c, _ := g.ArcCost(0, 1); c != 1 {
+		t.Errorf("cost after rejected batch = %v, want untouched 1", c)
+	}
+	if g.CostVersion() != v0 {
+		t.Errorf("version bumped by a rejected batch")
+	}
+	if _, err := g.ApplyBatch([]EdgeCostChange{{Tail: 0, Head: 99, Cost: 1}}); err == nil {
+		t.Fatal("ApplyBatch accepted an unknown node")
+	}
+	// Entries that match no edge are not an error, just not counted; a
+	// batch applying nothing leaves the version alone.
+	n, err := g.ApplyBatch([]EdgeCostChange{{Tail: 0, Head: 2, Cost: 1}})
+	if err != nil || n != 0 {
+		t.Fatalf("no-match batch = %d, %v; want 0, nil", n, err)
+	}
+	if g.CostVersion() != v0 {
+		t.Errorf("no-op batch bumped the version")
+	}
+}
+
+func TestApplyBatchInvalidatesReverseViewOnce(t *testing.T) {
+	g := line(t, 4)
+	r0 := g.ReverseView()
+	if _, err := g.ApplyBatch([]EdgeCostChange{
+		{Tail: 0, Head: 1, Cost: 4},
+		{Tail: 1, Head: 2, Cost: 5},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	r1 := g.ReverseView()
+	if r1 == r0 {
+		t.Fatal("ReverseView not invalidated by ApplyBatch")
+	}
+	if c, _ := r1.ArcCost(1, 0); c != 4 {
+		t.Errorf("reverse view cost = %v, want 4", c)
+	}
+	if g.ReverseView() != r1 {
+		t.Error("ReverseView rebuilt again without an intervening mutation")
+	}
+}
+
 func TestMinAndTotalCost(t *testing.T) {
 	b := NewBuilder(3, 2)
 	b.AddNode(0, 0)

@@ -10,6 +10,7 @@
 //	POST /v1/evaluate  {"nodes":[1,2,3]}                    route evaluation
 //	GET  /v1/display?from=A&to=B                            route display (text map)
 //	POST /v1/traffic   {"x":16,"y":16,"radius":4,"factor":2} regional congestion
+//	POST /v1/traffic/batch {"changes":[{"from":"A","to":"B","cost":3.5},…]} batched edge updates
 //	POST /v1/traffic/reset                                  restore free flow
 //	GET  /v1/reachable?from=A&budget=5                      isochrone
 //	GET  /v1/directions?from=A&to=B                         turn-by-turn guidance
@@ -120,6 +121,7 @@ func (s *Server) Handler() http.Handler {
 		{http.MethodPost, "/evaluate", s.handleEvaluate},
 		{http.MethodGet, "/display", s.handleDisplay},
 		{http.MethodPost, "/traffic", s.handleTraffic},
+		{http.MethodPost, "/traffic/batch", s.handleTrafficBatch},
 		{http.MethodPost, "/traffic/reset", s.handleTrafficReset},
 		{http.MethodGet, "/reachable", s.handleReachable},
 		{http.MethodGet, "/directions", s.handleDirections},
@@ -455,6 +457,75 @@ func (s *Server) handleTraffic(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.writeJSON(w, r, map[string]int{"affectedEdges": n})
+}
+
+// maxTrafficChanges bounds one /traffic/batch request; a feed pushing more
+// per tick should split it — each request is one CostVersion bump and one
+// customization pass either way.
+const maxTrafficChanges = 4096
+
+// handleTrafficBatch applies a traffic feed's edge updates as one batch:
+// POST /v1/traffic/batch
+// {"changes":[{"from":"A","to":"B","cost":3.5},{"from":"7","to":"8","factor":2}]}.
+// Each change names a directed edge by landmark name or node id and sets
+// either an absolute cost or a multiplicative factor (exactly one). The
+// whole batch is validated first and applied atomically — one cost-version
+// bump, one route-cache invalidation, one CH metric customization — so a
+// half-applied feed tick is never observable.
+func (s *Server) handleTrafficBatch(w http.ResponseWriter, r *http.Request) {
+	var body struct {
+		Changes []struct {
+			From   string   `json:"from"`
+			To     string   `json:"to"`
+			Cost   *float64 `json:"cost,omitempty"`
+			Factor *float64 `json:"factor,omitempty"`
+		} `json:"changes"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		s.apiError(w, r, http.StatusBadRequest, CodeBadRequest, err)
+		return
+	}
+	if len(body.Changes) == 0 {
+		s.apiError(w, r, http.StatusBadRequest, CodeBadRequest, fmt.Errorf("empty batch"))
+		return
+	}
+	if len(body.Changes) > maxTrafficChanges {
+		s.apiError(w, r, http.StatusBadRequest, CodeBadRequest,
+			fmt.Errorf("batch of %d changes exceeds limit %d", len(body.Changes), maxTrafficChanges))
+		return
+	}
+	changes := make([]graph.EdgeCostChange, 0, len(body.Changes))
+	for i, c := range body.Changes {
+		from, err := s.resolve(c.From)
+		if err != nil {
+			s.apiError(w, r, http.StatusBadRequest, "", fmt.Errorf("change %d: %w", i, err))
+			return
+		}
+		to, err := s.resolve(c.To)
+		if err != nil {
+			s.apiError(w, r, http.StatusBadRequest, "", fmt.Errorf("change %d: %w", i, err))
+			return
+		}
+		if (c.Cost == nil) == (c.Factor == nil) {
+			s.apiError(w, r, http.StatusBadRequest, CodeBadRequest,
+				fmt.Errorf("change %d: exactly one of cost or factor required", i))
+			return
+		}
+		ch := graph.EdgeCostChange{Tail: from, Head: to}
+		if c.Cost != nil {
+			ch.Cost = *c.Cost
+		} else {
+			ch.Cost = *c.Factor
+			ch.Scale = true
+		}
+		changes = append(changes, ch)
+	}
+	n, err := s.svc.ApplyTrafficBatch(changes)
+	if err != nil {
+		s.apiError(w, r, http.StatusBadRequest, CodeBadRequest, err)
+		return
+	}
+	s.writeJSON(w, r, map[string]int{"affectedEdges": n, "changes": len(changes)})
 }
 
 func (s *Server) handleTrafficReset(w http.ResponseWriter, r *http.Request) {

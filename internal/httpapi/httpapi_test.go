@@ -179,6 +179,78 @@ func TestTrafficRoundTrip(t *testing.T) {
 	}
 }
 
+func TestTrafficBatchEndpoint(t *testing.T) {
+	ts := newTestServer(t)
+	var before RouteResponse
+	getJSON(t, ts.URL+"/v1/route?from=C&to=D&algo=dijkstra", &before)
+	if !before.Found {
+		t.Fatal("no baseline route")
+	}
+
+	// Double every edge of the current best path in one batch: the new
+	// best cost must rise (any alternate was already no cheaper).
+	type change struct {
+		From   string   `json:"from"`
+		To     string   `json:"to"`
+		Cost   *float64 `json:"cost,omitempty"`
+		Factor *float64 `json:"factor,omitempty"`
+	}
+	double := 2.0
+	var changes []change
+	for i := 0; i+1 < len(before.Nodes); i++ {
+		changes = append(changes, change{
+			From:   strconv.Itoa(int(before.Nodes[i])),
+			To:     strconv.Itoa(int(before.Nodes[i+1])),
+			Factor: &double,
+		})
+	}
+	body, _ := json.Marshal(map[string]any{"changes": changes})
+	var applied map[string]int
+	resp := postJSON(t, ts.URL+"/v1/traffic/batch", string(body), &applied)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch: %d", resp.StatusCode)
+	}
+	if applied["affectedEdges"] < len(changes) || applied["changes"] != len(changes) {
+		t.Fatalf("batch response: %v (want ≥%d affected)", applied, len(changes))
+	}
+
+	var during RouteResponse
+	getJSON(t, ts.URL+"/v1/route?from=C&to=D&algo=dijkstra", &during)
+	if during.Cost <= before.Cost {
+		t.Errorf("batch congestion did not raise the best cost: %v vs %v", during.Cost, before.Cost)
+	}
+
+	postJSON(t, ts.URL+"/v1/traffic/reset", "", nil)
+	var after RouteResponse
+	getJSON(t, ts.URL+"/v1/route?from=C&to=D&algo=dijkstra", &after)
+	if after.Cost != before.Cost {
+		t.Errorf("reset did not restore: %v vs %v", after.Cost, before.Cost)
+	}
+
+	// Validation paths: all leave the graph untouched.
+	for name, bad := range map[string]string{
+		"empty batch":     `{"changes":[]}`,
+		"bad json":        `{nope`,
+		"both set":        `{"changes":[{"from":"C","to":"D","cost":1,"factor":2}]}`,
+		"neither set":     `{"changes":[{"from":"C","to":"D"}]}`,
+		"unknown node":    `{"changes":[{"from":"ZZZ","to":"D","cost":1}]}`,
+		"negative cost":   `{"changes":[{"from":"C","to":"D","cost":-1}]}`,
+		"negative factor": `{"changes":[{"from":"C","to":"D","factor":-1}]}`,
+	} {
+		if resp := postJSON(t, ts.URL+"/v1/traffic/batch", bad, nil); resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", name, resp.StatusCode)
+		}
+	}
+	if resp := getJSON(t, ts.URL+"/v1/traffic/batch", nil); resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/traffic/batch: %d", resp.StatusCode)
+	}
+	var final RouteResponse
+	getJSON(t, ts.URL+"/v1/route?from=C&to=D&algo=dijkstra", &final)
+	if final.Cost != before.Cost {
+		t.Errorf("rejected batches mutated the graph: %v vs %v", final.Cost, before.Cost)
+	}
+}
+
 func TestReachableEndpoint(t *testing.T) {
 	ts := newTestServer(t)
 	var out struct {

@@ -3,6 +3,7 @@ package lint
 import (
 	"fmt"
 	"go/ast"
+	"go/token"
 	"go/types"
 )
 
@@ -24,13 +25,21 @@ import (
 // initialises, it does not mutate.
 //
 // The pairing also reaches one level of nesting, for index-shaped stores
-// like ch.Index where the version stamp lives on the owner while the
-// priced arrays sit inside embedded CSR halves: a struct declaring
+// like ch.Metric where the version stamp lives on the owner while the
+// priced arrays sit inside embedded halves: a struct declaring
 // costVersion next to a field whose struct type carries a costs slice
 // versions that nested slice too, and a write through it must bump the
-// owner's counter. Those frozen-at-build slices are exactly where a
-// stale-hierarchy write would desynchronise the index from the version
-// gate with no crash to point at it.
+// owner's counter. Those frozen slices are exactly where a stale write
+// would desynchronise the hierarchy from the version gate with no crash
+// to point at it.
+//
+// Tracking follows slice headers through local aliases: after
+// cs := m.fwd.costs, a write cs[i] = v mutates the same backing array the
+// store serves from, so it is held to the same bump-the-owner rule — the
+// customization kernels hoist exactly these aliases for speed. A local
+// built fresh (cs := make(...), append, a composite literal) is a new
+// slice, not the store's, and stays untracked; rebinding a tracked alias
+// to anything untracked clears it.
 type CostVersion struct{}
 
 // NewCostVersion returns the analyzer.
@@ -153,9 +162,11 @@ func nestedCostsField(t types.Type) *types.Var {
 	return costs
 }
 
-// costWrite is one detected mutation of a costs field.
+// costWrite is one detected mutation of a costs field, directly or
+// through a local alias of its slice header.
 type costWrite struct {
-	sel  *ast.SelectorExpr
+	pos  token.Pos
+	expr string // the written expression, for the message
 	root string // expression owning the version counter ("g", "ix")
 }
 
@@ -163,7 +174,8 @@ type costWrite struct {
 // bump on the same receiver.
 func (a *CostVersion) checkFunc(u *Unit, fd *ast.FuncDecl, costsFields map[*types.Var]int) []Diagnostic {
 	var writes []costWrite
-	bumped := make(map[string]bool) // receiver expressions with costVersion bumps
+	bumped := make(map[string]bool)    // receiver expressions with costVersion bumps
+	aliases := make(map[string]string) // local name → owner whose costVersion it must bump
 
 	// costsSelector resolves e (possibly through indexing/slicing) to a
 	// selector of a tracked costs field, plus its pairing depth.
@@ -192,21 +204,58 @@ func (a *CostVersion) checkFunc(u *Unit, fd *ast.FuncDecl, costsFields map[*type
 			}
 		}
 	}
-	record := func(e ast.Expr) {
-		sel, depth := costsSelector(e)
-		if sel == nil {
-			return
-		}
-		// For a nested half (ix.fwd.costs) the version counter sits one
-		// level up, on the owner (ix.costVersion) — peel one selector off
-		// the path to name it.
+	// ownerOf names the expression whose costVersion a write through sel
+	// must bump. For a nested half (ix.fwd.costs) the counter sits one
+	// level up, on the owner (ix.costVersion) — peel one selector off the
+	// path to name it.
+	ownerOf := func(sel *ast.SelectorExpr, depth int) string {
 		owner := ast.Expr(sel.X)
 		if depth == nested {
 			if outer, ok := ast.Unparen(owner).(*ast.SelectorExpr); ok {
 				owner = outer.X
 			}
 		}
-		writes = append(writes, costWrite{sel: sel, root: types.ExprString(owner)})
+		return types.ExprString(owner)
+	}
+	// baseIdent peels indexing/slicing/parens off e down to a plain
+	// identifier, if that is what anchors it.
+	baseIdent := func(e ast.Expr) *ast.Ident {
+		for {
+			switch x := e.(type) {
+			case *ast.IndexExpr:
+				e = x.X
+			case *ast.SliceExpr:
+				e = x.X
+			case *ast.ParenExpr:
+				e = x.X
+			case *ast.Ident:
+				return x
+			default:
+				return nil
+			}
+		}
+	}
+	// record flags e as a store mutation when it resolves to a tracked
+	// costs field or to a local alias of one. A *bare* aliased identifier
+	// only mutates at clear/copy call sites (bareAliasMutates); as an
+	// assignment target it merely rebinds the local.
+	record := func(e ast.Expr, bareAliasMutates bool) {
+		if sel, depth := costsSelector(e); sel != nil {
+			writes = append(writes, costWrite{
+				pos: sel.Sel.Pos(), expr: types.ExprString(sel), root: ownerOf(sel, depth),
+			})
+			return
+		}
+		id := baseIdent(e)
+		if id == nil {
+			return
+		}
+		if _, bare := ast.Unparen(e).(*ast.Ident); bare && !bareAliasMutates {
+			return
+		}
+		if root, ok := aliases[id.Name]; ok {
+			writes = append(writes, costWrite{pos: id.Pos(), expr: types.ExprString(e), root: root})
+		}
 	}
 
 	// noteBump records e as a version bump when it is a selector of a
@@ -221,23 +270,47 @@ func (a *CostVersion) checkFunc(u *Unit, fd *ast.FuncDecl, costsFields map[*type
 	ast.Inspect(fd.Body, func(n ast.Node) bool {
 		switch x := n.(type) {
 		case *ast.AssignStmt:
+			// Alias tracking: a local assigned from a tracked costs field
+			// (or from another tracked alias) inherits the tracking and the
+			// owner to bump; one assigned anything else sheds it. Inspect
+			// visits statements in source order, so later writes see the
+			// binding in force where they occur.
+			if len(x.Lhs) == len(x.Rhs) {
+				for i, rhs := range x.Rhs {
+					id, ok := x.Lhs[i].(*ast.Ident)
+					if !ok || id.Name == "_" {
+						continue
+					}
+					if sel, depth := costsSelector(rhs); sel != nil {
+						aliases[id.Name] = ownerOf(sel, depth)
+						continue
+					}
+					if rid, ok := ast.Unparen(rhs).(*ast.Ident); ok {
+						if root, tracked := aliases[rid.Name]; tracked {
+							aliases[id.Name] = root
+							continue
+						}
+					}
+					delete(aliases, id.Name)
+				}
+			}
 			for _, lhs := range x.Lhs {
-				record(lhs)
+				record(lhs, false)
 				noteBump(lhs) // plain-counter stores: ix.costVersion = v
 			}
 		case *ast.IncDecStmt:
-			record(x.X)
+			record(x.X, false)
 			noteBump(x.X) // plain-counter stores: ix.costVersion++
 		case *ast.CallExpr:
 			if id, ok := x.Fun.(*ast.Ident); ok {
 				switch id.Name {
 				case "clear":
 					if len(x.Args) == 1 {
-						record(x.Args[0])
+						record(x.Args[0], true)
 					}
 				case "copy":
 					if len(x.Args) == 2 {
-						record(x.Args[0])
+						record(x.Args[0], true)
 					}
 				}
 			}
@@ -257,10 +330,10 @@ func (a *CostVersion) checkFunc(u *Unit, fd *ast.FuncDecl, costsFields map[*type
 			continue
 		}
 		diags = append(diags, Diagnostic{
-			Pos:      u.Position(w.sel.Sel.Pos()),
+			Pos:      u.Position(w.pos),
 			Analyzer: "costversion",
 			Message: fmt.Sprintf("write to %s without a %s.costVersion bump in this mutator; version-gated consumers (ReverseView, the route cache, the CH index) would serve stale results",
-				types.ExprString(w.sel), w.root),
+				w.expr, w.root),
 		})
 	}
 	return diags

@@ -99,3 +99,34 @@ func buildHalf(n int) csrHalf {
 	}
 	return csrHalf{offsets: make([]int32, n+1), costs: costs}
 }
+
+// aliasBad hoists the slice header into a local — the customization-kernel
+// idiom — and writes through it without bumping: the same backing array the
+// store serves from, so the same finding, attributed to the owner.
+func (g *costGraph) aliasBad(i int, c float64) {
+	cs := g.costs
+	cs[i] = c
+}
+
+// aliasGood pairs the aliased write with the owner's bump.
+func (g *costGraph) aliasGood(i int, c float64) {
+	cs := g.costs
+	cs[i] = c
+	g.costVersion.Add(1)
+}
+
+// aliasNestedBad hoists a frozen half's costs — the bump still belongs to
+// the embedding owner, one level up.
+func (h *hierarchy) aliasNestedBad(i int, c float64) {
+	cs := h.fwd.costs
+	cs[i] = c
+}
+
+// aliasRebound rebinds the alias to a fresh slice before writing: the
+// write lands in the local copy, not the store. No finding.
+func (g *costGraph) aliasRebound(i int, c float64) []float64 {
+	cs := g.costs
+	cs = make([]float64, len(cs))
+	cs[i] = c
+	return cs
+}

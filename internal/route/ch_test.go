@@ -95,35 +95,109 @@ func TestCHColdServiceFallsBackThenConverges(t *testing.T) {
 	}
 }
 
-func TestCHMutationMarksIndexStale(t *testing.T) {
+// TestCHMutationRecustomizesSynchronously is the tentpole guarantee of the
+// topology/metric split: a traffic mutation no longer stales the index at
+// all. The mutator re-customizes the metric before returning, so the very
+// next CH request is index-served with the congested costs — no Dijkstra
+// fallback, no waiting for a background rebuild.
+func TestCHMutationRecustomizesSynchronously(t *testing.T) {
 	s, g := chTestService(t, 10, 3)
 	if err := s.EnableCH(); err != nil {
 		t.Fatal(err)
 	}
+	before := s.CHStats()
 	if _, err := s.ApplyCongestion(0, 1, 5); err != nil {
 		t.Fatal(err)
 	}
-	if st := s.CHStats(); st.Fresh {
-		t.Fatalf("index still fresh after a traffic mutation: %+v", st)
+	st := s.CHStats()
+	if !st.Fresh {
+		t.Fatalf("index stale after a mutation; customization should run under the mutator's lock: %+v", st)
 	}
-	// The stale index must not serve: the request falls back to Dijkstra,
-	// whose answer reflects the congested costs by construction.
+	if st.Customizations <= before.Customizations {
+		t.Fatalf("mutation did not run a customization pass: before %d, after %d",
+			before.Customizations, st.Customizations)
+	}
+	if st.Rebuilds != before.Rebuilds {
+		t.Fatalf("mutation triggered a structural rebuild (%d → %d); only the metric should refresh",
+			before.Rebuilds, st.Rebuilds)
+	}
 	from, to := graph.NodeID(0), graph.NodeID(g.NumNodes()-1)
 	rt, err := s.Compute(from, to, core.Options{Algorithm: core.CH})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if rt.Algorithm != core.CH && rt.Algorithm != core.Dijkstra {
-		t.Fatalf("unexpected serving algorithm %v", rt.Algorithm)
+	if rt.Algorithm != core.CH {
+		t.Fatalf("post-mutation request served by %v, want the re-customized index", rt.Algorithm)
 	}
 	dij, err := s.Compute(from, to, core.Options{Algorithm: core.Dijkstra})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if math.Abs(rt.Cost-dij.Cost) > 1e-9*(1+dij.Cost) {
-		t.Fatalf("CH-path cost %v disagrees with dijkstra %v under congestion", rt.Cost, dij.Cost)
+		t.Fatalf("index cost %v disagrees with dijkstra %v under congestion", rt.Cost, dij.Cost)
 	}
-	waitForFreshCH(t, s, 10*time.Second)
+	if st := s.CHStats(); st.StaleFallbacks != 0 {
+		t.Fatalf("mutation opened a stale window: %+v", st)
+	}
+}
+
+// TestSustainedMutationStreamZeroStaleFallbacks drives a warm service with
+// a stream of batched traffic updates interleaved with CH queries: every
+// query must be index-served (zero Dijkstra fallbacks) and agree exactly
+// with Dijkstra under the same costs — the ISSUE's sustained-stream
+// acceptance bar.
+func TestSustainedMutationStreamZeroStaleFallbacks(t *testing.T) {
+	s, g := chTestService(t, 12, 6)
+	if err := s.EnableCH(); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(61))
+	edges := g.Edges()
+	n := g.NumNodes()
+	rounds := 40
+	if testing.Short() {
+		rounds = 8
+	}
+	for round := 0; round < rounds; round++ {
+		batch := make([]graph.EdgeCostChange, 0, 16)
+		for i := 0; i < 16; i++ {
+			e := edges[rng.Intn(len(edges))]
+			batch = append(batch, graph.EdgeCostChange{
+				Tail: e.Tail, Head: e.Head, Cost: e.Cost * (0.5 + 2.5*rng.Float64()),
+			})
+		}
+		if _, err := s.ApplyTrafficBatch(batch); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 3; i++ {
+			from := graph.NodeID(rng.Intn(n))
+			to := graph.NodeID(rng.Intn(n))
+			rt, err := s.ComputeVia([]graph.NodeID{from, to}, core.Options{Algorithm: core.CH})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rt.Algorithm != core.CH {
+				t.Fatalf("round %d: stream query served by %v", round, rt.Algorithm)
+			}
+			dij, err := s.ComputeVia([]graph.NodeID{from, to}, core.Options{Algorithm: core.Dijkstra})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(rt.Cost-dij.Cost) > 1e-9*(1+dij.Cost) {
+				t.Fatalf("round %d %d→%d: ch %v vs dijkstra %v", round, from, to, rt.Cost, dij.Cost)
+			}
+		}
+	}
+	st := s.CHStats()
+	if st.StaleFallbacks != 0 {
+		t.Fatalf("sustained stream hit %d stale fallbacks, want 0: %+v", st.StaleFallbacks, st)
+	}
+	if st.Rebuilds != 1 {
+		t.Fatalf("sustained stream forced %d structural builds, want the initial 1", st.Rebuilds)
+	}
+	if st.Customizations < uint64(rounds) {
+		t.Fatalf("customizations %d < %d mutation rounds", st.Customizations, rounds)
+	}
 }
 
 // TestCHNeverDisagreesUnderConcurrentMutation is the -race guarantee of the

@@ -53,17 +53,29 @@ type Service struct {
 
 	cache *routeCache
 
-	// Contraction-hierarchy serving state. chIdx holds the most recently
-	// built index; it is consulted lock-free and is authoritative only when
-	// its CostVersion matches the live graph's — a traffic mutation bumps
-	// the graph's cost version, which implicitly marks the index stale the
-	// same way it retires ReverseView's cache. Stale queries fall back to
-	// Dijkstra and trigger a background rebuild; chMu + chBuilding make
-	// that rebuild singleflight (at most one builder goroutine, duplicate
-	// triggers are no-ops).
+	// Contraction-hierarchy serving state, split CRP-style. chTopo holds
+	// the metric-independent topology (contraction order, shortcut
+	// skeleton, triangle lists) — built once, valid until the graph's
+	// structure changes, which the graph model never does after
+	// construction. chIdx holds the most recently customized index; it is
+	// consulted lock-free and is authoritative only when its CostVersion
+	// matches the live graph's. Traffic mutators re-customize a fresh
+	// metric synchronously under the write lock (milliseconds, see
+	// customizeLocked), so once a topology exists the index is fresh again
+	// before the mutator returns and queries never observe a stale window.
+	// The background path (chMu + chBuilding, singleflight) remains for
+	// the cold start — the one case that still pays a full contraction.
 	chIdx      atomic.Pointer[ch.Index]
+	chTopo     atomic.Pointer[ch.Topology]
 	chMu       sync.Mutex
 	chBuilding bool
+
+	// chStaleSince is the UnixNano timestamp at which the current
+	// stale-serving window opened (first fallback after losing freshness);
+	// 0 while the index is serving. chLastStaleNanos holds the duration of
+	// the most recently closed window.
+	chStaleSince     atomic.Int64
+	chLastStaleNanos atomic.Int64
 
 	// Telemetry. The registry is the single source of truth for every
 	// service counter: CacheStats and the legacy /stats payload read the
@@ -76,12 +88,15 @@ type Service struct {
 	batchPairs     *telemetry.Counter
 	trafficUpdates *telemetry.Counter
 
-	chQuerySeconds   *telemetry.Histogram
-	chRebuildSeconds *telemetry.Histogram
-	chSettled        *telemetry.Counter
-	chQueries        *telemetry.Counter
-	chStaleFallbacks *telemetry.Counter
-	chRebuilds       *telemetry.Counter
+	chQuerySeconds     *telemetry.Histogram
+	chRebuildSeconds   *telemetry.Histogram
+	chCustomizeSeconds *telemetry.Histogram
+	chSettled          *telemetry.Counter
+	chQueries          *telemetry.Counter
+	chStaleFallbacks   *telemetry.Counter
+	chRebuilds         *telemetry.Counter
+	chCustomizations   *telemetry.Counter
+	trafficBatches     *telemetry.Counter
 }
 
 // NewService snapshots g (deep copies) so traffic updates never touch the
@@ -124,7 +139,13 @@ func NewServiceWithRegistry(g *graph.Graph, reg *telemetry.Registry) *Service {
 		chStaleFallbacks: reg.Counter("atis_ch_stale_fallbacks_total",
 			"CH requests served by Dijkstra because the index was absent or stale."),
 		chRebuilds: reg.Counter("atis_ch_rebuilds_total",
-			"Contraction-hierarchy builds completed (initial and after mutations)."),
+			"Structural topology builds completed (cold start or structural change)."),
+		chCustomizeSeconds: reg.Histogram("atis_ch_customize_seconds",
+			"Wall time of metric customization passes over the CH topology.", nil),
+		chCustomizations: reg.Counter("atis_ch_customizations_total",
+			"Metric customizations completed (cost-only updates, no re-contraction)."),
+		trafficBatches: reg.Counter("atis_traffic_batches_total",
+			"Batched traffic updates applied through ApplyTrafficBatch."),
 	}
 	s.cache.evictions = reg.Counter("atis_route_cache_evictions_total",
 		"Routes evicted from the LRU cache.")
@@ -145,6 +166,17 @@ func NewServiceWithRegistry(g *graph.Graph, reg *telemetry.Registry) *Service {
 			}
 			return 0
 		})
+	reg.GaugeFunc("atis_ch_stale_window_seconds",
+		"Seconds the current stale-serving window has been open (0 while the hierarchy serves).",
+		func() float64 {
+			if since := s.chStaleSince.Load(); since != 0 {
+				return time.Since(time.Unix(0, since)).Seconds()
+			}
+			return 0
+		})
+	reg.GaugeFunc("atis_ch_last_stale_window_seconds",
+		"Duration of the most recently closed stale-serving window.",
+		func() float64 { return time.Duration(s.chLastStaleNanos.Load()).Seconds() })
 	return s
 }
 
@@ -257,6 +289,7 @@ func (s *Service) routeLocked(ctx context.Context, from, to graph.NodeID, opts c
 		}, nil
 	}
 	s.chStaleFallbacks.Inc()
+	s.chStaleSince.CompareAndSwap(0, time.Now().UnixNano())
 	s.scheduleCHRebuild()
 	fb := opts
 	fb.Algorithm = core.Dijkstra
@@ -323,12 +356,15 @@ func (s *Service) scheduleCHRebuild() {
 	go s.rebuildCH()
 }
 
-// rebuildCH builds a hierarchy from a private snapshot of the live costs —
-// preprocessing runs entirely off-lock, so queries and traffic mutations
-// proceed unhindered — and publishes it. If costs mutated during the
-// build, the published index is already stale; the next CH query detects
-// the version mismatch and triggers another rebuild, so the index always
-// converges to the live version once mutations pause.
+// rebuildCH readies a hierarchy from a private snapshot of the live costs —
+// all heavy work runs off-lock, so queries and traffic mutations proceed
+// unhindered — and publishes it. With a cached topology this is a
+// customization pass; only the cold start pays a structural contraction.
+// If costs mutated meanwhile, publishIndex's version gate discards the
+// result when a synchronous customization already installed something
+// fresher, and otherwise the next CH query detects the mismatch and
+// triggers another round — the index always converges to the live version
+// once mutations pause.
 func (s *Service) rebuildCH() {
 	defer func() {
 		s.chMu.Lock()
@@ -338,32 +374,100 @@ func (s *Service) rebuildCH() {
 	s.mu.RLock()
 	snap := s.current.Clone() // carries the cost version it was copied at
 	s.mu.RUnlock()
-	start := time.Now()
-	ix, err := ch.Build(snap, ch.Options{})
+	ix, err := s.buildOrCustomize(snap)
 	if err != nil {
 		return // only possible on an empty graph, which has nothing to serve
 	}
-	s.chRebuildSeconds.Observe(time.Since(start).Seconds())
-	s.chRebuilds.Inc()
-	s.chIdx.Store(ix)
+	s.publishIndex(ix)
 }
 
-// EnableCH builds the contraction hierarchy synchronously so the first
+// buildOrCustomize turns snap into a publishable index the cheapest way
+// available: a metric customization over the cached topology when snap's
+// structure matches it, a full structural contraction only on the first
+// build (or a structural change, which the graph model never produces
+// after construction). Callers must not hold mu's write lock — the
+// structural path is seconds of work at scale.
+func (s *Service) buildOrCustomize(snap *graph.Graph) (*ch.Index, error) {
+	topo := s.chTopo.Load()
+	if topo == nil || !topo.Matches(snap) {
+		start := time.Now()
+		t, err := ch.BuildTopology(snap, ch.Options{})
+		if err != nil {
+			return nil, err
+		}
+		s.chRebuildSeconds.Observe(time.Since(start).Seconds())
+		s.chRebuilds.Inc()
+		s.chTopo.Store(t)
+		topo = t
+	}
+	start := time.Now()
+	ix, err := topo.NewIndex(snap)
+	if err != nil {
+		return nil, err
+	}
+	s.chCustomizeSeconds.Observe(time.Since(start).Seconds())
+	s.chCustomizations.Inc()
+	return ix, nil
+}
+
+// customizeLocked re-derives the hierarchy's metric for the costs just
+// written; every traffic mutator calls it with the write lock held. With a
+// topology in hand this is the entire price of keeping CH fresh across a
+// mutation — one bottom-up triangle pass, no contraction — so the index is
+// fresh again before the mutator returns and no query ever observes a
+// stale window. Without a topology (CH never warmed) it is a no-op; the
+// structural build never runs under the write lock.
+func (s *Service) customizeLocked() {
+	topo := s.chTopo.Load()
+	if topo == nil || !topo.Matches(s.current) {
+		return
+	}
+	start := time.Now()
+	ix, err := topo.NewIndex(s.current)
+	if err != nil {
+		return // unreachable while Matches holds; the next query falls back
+	}
+	s.chCustomizeSeconds.Observe(time.Since(start).Seconds())
+	s.chCustomizations.Inc()
+	s.publishIndex(ix)
+}
+
+// publishIndex installs ix unless an index customized for a newer cost
+// version is already serving — background builds race the mutators'
+// synchronous customizations, and the version-monotonic compare-and-swap
+// keeps a slow build from clobbering a fresher metric. A successful
+// publish closes any open stale-serving window.
+func (s *Service) publishIndex(ix *ch.Index) {
+	for {
+		old := s.chIdx.Load()
+		if old != nil && old.CostVersion() >= ix.CostVersion() {
+			return
+		}
+		if s.chIdx.CompareAndSwap(old, ix) {
+			if since := s.chStaleSince.Swap(0); since != 0 {
+				s.chLastStaleNanos.Store(time.Now().UnixNano() - since)
+			}
+			return
+		}
+	}
+}
+
+// EnableCH readies the contraction hierarchy synchronously so the first
 // algo=ch query is served by the index instead of falling back while a
 // background build warms up. Servers call it once at startup; it is not
-// required — the first CH query triggers a build on its own.
+// required — the first CH query triggers a build on its own. After the
+// topology exists, every traffic mutation re-customizes synchronously, so
+// calling EnableCH again is cheap (one customization pass) and only
+// useful to force-refresh an index outside the mutator paths.
 func (s *Service) EnableCH() error {
 	s.mu.RLock()
 	snap := s.current.Clone()
 	s.mu.RUnlock()
-	start := time.Now()
-	ix, err := ch.Build(snap, ch.Options{})
+	ix, err := s.buildOrCustomize(snap)
 	if err != nil {
 		return fmt.Errorf("route: building contraction hierarchy: %w", err)
 	}
-	s.chRebuildSeconds.Observe(time.Since(start).Seconds())
-	s.chRebuilds.Inc()
-	s.chIdx.Store(ix)
+	s.publishIndex(ix)
 	return nil
 }
 
@@ -380,17 +484,32 @@ type CHStats struct {
 	Queries uint64 `json:"queries"`
 	// StaleFallbacks counts CH requests served by Dijkstra instead.
 	StaleFallbacks uint64 `json:"staleFallbacks"`
-	// Rebuilds counts completed hierarchy builds.
+	// Rebuilds counts completed structural topology builds (cold start or
+	// structural change) — not metric refreshes.
 	Rebuilds uint64 `json:"rebuilds"`
+	// Customizations counts completed metric customizations: the
+	// millisecond passes that keep the index fresh across cost mutations.
+	Customizations uint64 `json:"customizations"`
+	// StaleWindowSeconds is how long the current stale-serving window has
+	// been open; 0 while CH requests are served by the index.
+	StaleWindowSeconds float64 `json:"staleWindowSeconds"`
+	// LastStaleWindowSeconds is the duration of the most recently closed
+	// stale-serving window (the cold-start build, in a healthy service).
+	LastStaleWindowSeconds float64 `json:"lastStaleWindowSeconds"`
 }
 
 // CHStats reports the hierarchy's serving state, read from the same
 // instruments /metrics exports.
 func (s *Service) CHStats() CHStats {
 	st := CHStats{
-		Queries:        s.chQueries.Value(),
-		StaleFallbacks: s.chStaleFallbacks.Value(),
-		Rebuilds:       s.chRebuilds.Value(),
+		Queries:                s.chQueries.Value(),
+		StaleFallbacks:         s.chStaleFallbacks.Value(),
+		Rebuilds:               s.chRebuilds.Value(),
+		Customizations:         s.chCustomizations.Value(),
+		LastStaleWindowSeconds: time.Duration(s.chLastStaleNanos.Load()).Seconds(),
+	}
+	if since := s.chStaleSince.Load(); since != 0 {
+		st.StaleWindowSeconds = time.Since(time.Unix(0, since)).Seconds()
 	}
 	ix := s.chIdx.Load()
 	if ix == nil {
@@ -645,43 +764,61 @@ func (s *Service) DisplayReachable(from graph.NodeID, budget float64, width, hei
 func (s *Service) ApplyCongestion(from, to graph.NodeID, factor float64) (bool, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	fwd, err := s.current.ScaleArcCost(from, to, factor)
+	n, err := s.current.ApplyBatch([]graph.EdgeCostChange{
+		{Tail: from, Head: to, Cost: factor, Scale: true},
+		{Tail: to, Head: from, Cost: factor, Scale: true},
+	})
 	if err != nil {
 		return false, err
 	}
-	rev, err := s.current.ScaleArcCost(to, from, factor)
-	if err != nil && !fwd {
-		return false, err
+	if n > 0 {
+		s.mutatedLocked()
 	}
-	if fwd || rev {
-		s.gen++ // costs changed: retire every cached route
-		s.trafficUpdates.Inc()
-	}
-	return fwd || rev, nil
+	return n > 0, nil
 }
 
 // ApplyRegionCongestion scales every edge with both endpoints within radius
 // of center — a congested downtown at rush hour. It returns the number of
-// directed edges affected.
+// directed edges affected. The whole region lands as one batch: one
+// cost-version bump, one cache invalidation, one customization pass.
 func (s *Service) ApplyRegionCongestion(center graph.Point, radius, factor float64) (int, error) {
 	if factor < 0 {
 		return 0, fmt.Errorf("route: negative congestion factor %v", factor)
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	affected := 0
+	var changes []graph.EdgeCostChange
 	for _, e := range s.current.Edges() {
 		if s.current.Point(e.Tail).EuclideanDistance(center) <= radius &&
 			s.current.Point(e.Head).EuclideanDistance(center) <= radius {
-			if _, err := s.current.SetArcCost(e.Tail, e.Head, e.Cost*factor); err != nil {
-				return affected, err
-			}
-			affected++
+			changes = append(changes, graph.EdgeCostChange{Tail: e.Tail, Head: e.Head, Cost: e.Cost * factor})
 		}
 	}
+	affected, err := s.current.ApplyBatch(changes)
+	if err != nil {
+		return 0, err
+	}
 	if affected > 0 {
-		s.gen++ // costs changed: retire every cached route
-		s.trafficUpdates.Inc()
+		s.mutatedLocked()
+	}
+	return affected, nil
+}
+
+// ApplyTrafficBatch applies a burst of edge-cost changes as one traffic
+// event — the entry point for traffic-feed streams. However many edges the
+// batch touches, the service pays one cost-version bump, one route-cache
+// invalidation, and one customization pass; applying the same changes
+// through per-edge mutators would pay all three per edge.
+func (s *Service) ApplyTrafficBatch(changes []graph.EdgeCostChange) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	affected, err := s.current.ApplyBatch(changes)
+	if err != nil {
+		return 0, err
+	}
+	if affected > 0 {
+		s.trafficBatches.Inc()
+		s.mutatedLocked()
 	}
 	return affected, nil
 }
@@ -690,12 +827,24 @@ func (s *Service) ApplyRegionCongestion(center graph.Point, radius, factor float
 func (s *Service) ResetTraffic() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	for _, e := range s.base.Edges() {
-		// base and current share structure; Set cannot fail here.
-		if _, err := s.current.SetArcCost(e.Tail, e.Head, e.Cost); err != nil {
-			panic(fmt.Sprintf("route: snapshot structure diverged: %v", err))
-		}
+	edges := s.base.Edges()
+	changes := make([]graph.EdgeCostChange, len(edges))
+	for i, e := range edges {
+		changes[i] = graph.EdgeCostChange{Tail: e.Tail, Head: e.Head, Cost: e.Cost}
 	}
-	s.gen++ // costs changed: retire every cached route
+	// base and current share structure; the batch cannot fail here.
+	if _, err := s.current.ApplyBatch(changes); err != nil {
+		panic(fmt.Sprintf("route: snapshot structure diverged: %v", err))
+	}
+	s.mutatedLocked()
+}
+
+// mutatedLocked is the common tail of every traffic mutator, with the
+// write lock held and costs already changed: bump the cost generation
+// (retiring every cached route at once), count the event, and re-customize
+// the hierarchy so it is fresh again before the lock releases.
+func (s *Service) mutatedLocked() {
+	s.gen++
 	s.trafficUpdates.Inc()
+	s.customizeLocked()
 }
