@@ -25,11 +25,14 @@
 #                 cached topology vs full structural preprocessing at
 #                 the same k, plus the sustained traffic-stream cycle,
 #                 see BENCH_PR6.json
+#   make bench-trace — span-tracing suite: instrumented kernels with
+#                 tracing disabled vs fully sampled (target: 0 extra
+#                 allocs and < 1% when disabled), see BENCH_PR7.json
 
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: build test vet lint race check fuzz-short bench bench-paper bench-telemetry bench-ch bench-admission bench-customize
+.PHONY: build test vet lint race check fuzz-short bench bench-paper bench-telemetry bench-ch bench-admission bench-customize bench-trace
 
 build:
 	$(GO) build ./...
@@ -77,3 +80,6 @@ bench-admission:
 bench-customize:
 	$(GO) test -run xxx -bench 'CHPreprocess' -benchmem -benchtime 3x -count 3 -timeout 60m .
 	$(GO) test -run xxx -bench 'CHCustomize|CHTrafficStream' -benchmem -benchtime 50x -count 3 -timeout 60m .
+
+bench-trace:
+	$(GO) test -run xxx -bench 'TraceOverhead|TraceRingCapture' -benchmem -benchtime 200x -count 3 .

@@ -10,6 +10,13 @@
 //	atis-server -pprof                   # also mounts /debug/pprof/
 //	atis-server -max-inflight 8 -max-queue 32 -default-budget 2s -degrade
 //	atis-server -ch -traffic-stream 20 -traffic-batch 16   # live-feed simulation
+//	atis-server -trace-sample 0.1 -trace-slow-ms 250       # request tracing
+//
+// -trace-sample and -trace-slow-ms enable per-request span tracing (see
+// internal/tracing): a sampled fraction of requests — plus every request
+// over the slow threshold — is captured with a span tree covering
+// admission, cache, and kernel phases, retrievable via GET
+// /v1/debug/traces and linked from /metrics OpenMetrics exemplars.
 //
 // -traffic-stream drives the server with a synthetic traffic feed:
 // batches of random edge-cost updates applied through the same
@@ -49,6 +56,7 @@ import (
 	"repro/internal/mpls"
 	"repro/internal/route"
 	"repro/internal/search"
+	"repro/internal/tracing"
 )
 
 func main() {
@@ -77,6 +85,11 @@ func main() {
 			"simulate a live traffic feed: batches per second of random edge-cost updates (0 = off)")
 		trafficBatch = flag.Int("traffic-batch", 16,
 			"edges mutated per simulated traffic batch (with -traffic-stream)")
+
+		traceSample = flag.Float64("trace-sample", 0,
+			"head-sampling rate for request traces, 0..1 (0 = tracing off unless -trace-slow-ms is set)")
+		traceSlowMS = flag.Int("trace-slow-ms", 0,
+			"capture every request slower than this many milliseconds regardless of sampling (0 = off)")
 	)
 	flag.Parse()
 
@@ -119,7 +132,7 @@ func main() {
 			"elapsed", time.Since(start))
 	}
 
-	api := httpapi.NewServer(svc,
+	serverOpts := []httpapi.Option{
 		httpapi.WithLogger(logger),
 		httpapi.WithAdmission(admission.Config{
 			MaxInFlight:   *maxInFlight,
@@ -127,7 +140,18 @@ func main() {
 			DefaultBudget: *defaultBudget,
 			MaxBudget:     *maxBudget,
 			Degrade:       *degrade,
+		}),
+	}
+	if *traceSample > 0 || *traceSlowMS > 0 {
+		serverOpts = append(serverOpts, httpapi.WithTracing(tracing.Config{
+			SampleRate:    *traceSample,
+			SlowThreshold: time.Duration(*traceSlowMS) * time.Millisecond,
 		}))
+		logger.Info("tracing enabled",
+			"sample_rate", *traceSample, "slow_threshold_ms", *traceSlowMS,
+			"endpoint", "/v1/debug/traces")
+	}
+	api := httpapi.NewServer(svc, serverOpts...)
 	gateCfg := api.Admission().Config()
 	logger.Info("admission gate ready",
 		"capacity", gateCfg.MaxInFlight, "max_queue", gateCfg.MaxQueue,

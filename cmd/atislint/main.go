@@ -1,7 +1,9 @@
-// Command atislint runs the project's static-analysis suite: four
+// Command atislint runs the project's static-analysis suite: the
 // analyzers that mechanically enforce the engine's concurrency and
-// hot-path invariants (see internal/lint and the "Static analysis"
-// section of the README).
+// hot-path invariants — lock scope, cost-version bumps, pool pairing,
+// the telemetry fast-path guard, kernel context polling, and span
+// lifecycle (see internal/lint and the "Static analysis" section of
+// the README; `atislint -list` prints the current set).
 //
 // Usage:
 //

@@ -6,6 +6,7 @@ import (
 	"math"
 
 	"repro/internal/graph"
+	"repro/internal/tracing"
 )
 
 // ctxCheckInterval is the number of settled nodes between ctx.Err()
@@ -51,6 +52,11 @@ func (ix *Index) Query(s, d graph.NodeID) (Result, error) {
 // the typed lifecycle errors without an import cycle through the
 // differential test harness — and the planner (internal/core) maps them
 // with search.FromContextErr so every layer above sees one vocabulary.
+//
+// Under an active trace the two phases of a query show up as separate
+// spans — "ch.search" (the stall-on-demand bidirectional loop) and
+// "ch.unpack" (shortcut expansion) — so a slow CH request says which
+// half was at fault.
 func (ix *Index) QueryCtx(ctx context.Context, s, d graph.NodeID) (Result, error) {
 	n := ix.topo.n
 	if int(s) < 0 || int(s) >= n {
@@ -68,6 +74,35 @@ func (ix *Index) QueryCtx(ctx context.Context, s, d graph.NodeID) (Result, error
 
 	ws := acquireWorkspace(n)
 	defer releaseWorkspace(ws)
+
+	best, meet, settled, relaxed, err := ix.searchCtx(ctx, ws, s, d)
+	if err != nil {
+		return Result{Cost: math.Inf(1), Settled: settled, Relaxed: relaxed}, err
+	}
+
+	if meet == graph.Invalid {
+		// Cost +Inf on unreachable, matching search.Result semantics.
+		return Result{Cost: math.Inf(1), Settled: settled, Relaxed: relaxed}, nil
+	}
+
+	nodes := ix.unpackPath(ctx, ws, meet)
+	return Result{
+		Found:   true,
+		Path:    graph.Path{Nodes: nodes},
+		Cost:    best,
+		Settled: settled,
+		Relaxed: relaxed,
+	}, nil
+}
+
+// searchCtx runs the stall-on-demand bidirectional loop over a prepared
+// workspace, returning the best meeting cost and node plus the work
+// counters. The span attrs are set explicitly before each return rather
+// than in a deferred closure — a closure capturing the counters would
+// allocate even with tracing disabled.
+func (ix *Index) searchCtx(ctx context.Context, ws *workspace, s, d graph.NodeID) (best float64, meet graph.NodeID, settled, relaxed int, err error) {
+	_, sp := tracing.Start(ctx, "ch.search")
+	defer sp.End()
 
 	// Compose each search side from the topology's skeleton and the
 	// metric's customized weights; positions align by construction.
@@ -87,9 +122,9 @@ func (ix *Index) QueryCtx(ctx context.Context, s, d graph.NodeID) (Result, error
 	ws.bwd.set(d, 0, graph.Invalid)
 	ws.hb.Push(int(d), 0)
 
-	best := math.Inf(1)
-	meet := graph.Invalid
-	settled, relaxed := 0, 0
+	best = math.Inf(1)
+	meet = graph.Invalid
+	stalls := 0
 
 	// Alternate directions, settling from whichever frontier is cheaper;
 	// a direction is exhausted once empty or its minimum cannot improve
@@ -97,8 +132,11 @@ func (ix *Index) QueryCtx(ctx context.Context, s, d graph.NodeID) (Result, error
 	polls := 0
 	for {
 		if polls++; polls&(ctxCheckInterval-1) == 0 {
-			if err := ctx.Err(); err != nil {
-				return Result{Cost: math.Inf(1), Settled: settled, Relaxed: relaxed}, err
+			if cerr := ctx.Err(); cerr != nil {
+				sp.SetInt("settled", int64(settled))
+				sp.SetInt("relaxed", int64(relaxed))
+				sp.SetInt("stalls", int64(stalls))
+				return best, meet, settled, relaxed, cerr
 			}
 		}
 		fmin, bmin := math.Inf(1), math.Inf(1)
@@ -142,6 +180,7 @@ func (ix *Index) QueryCtx(ctx context.Context, s, d graph.NodeID) (Result, error
 			}
 		}
 		if stalled {
+			stalls++
 			continue
 		}
 		settled++
@@ -156,11 +195,18 @@ func (ix *Index) QueryCtx(ctx context.Context, s, d graph.NodeID) (Result, error
 			}
 		}
 	}
+	sp.SetInt("settled", int64(settled))
+	sp.SetInt("relaxed", int64(relaxed))
+	sp.SetInt("stalls", int64(stalls))
+	return best, meet, settled, relaxed, nil
+}
 
-	if meet == graph.Invalid {
-		// Cost +Inf on unreachable, matching search.Result semantics.
-		return Result{Cost: math.Inf(1), Settled: settled, Relaxed: relaxed}, nil
-	}
+// unpackPath reconstructs the packed meeting path from the search trees
+// and expands its shortcuts into original arcs, returning the exact-size
+// node slice — the only allocation of a warm query.
+func (ix *Index) unpackPath(ctx context.Context, ws *workspace, meet graph.NodeID) []graph.NodeID {
+	_, sp := tracing.Start(ctx, "ch.unpack")
+	defer sp.End()
 
 	// Reconstruct the packed meeting path: s → … → meet from the forward
 	// tree (reversed in place), then meet → … → d from the backward tree,
@@ -178,8 +224,7 @@ func (ix *Index) QueryCtx(ctx context.Context, s, d graph.NodeID) (Result, error
 	ws.packed = packed // retain any growth for the next query
 
 	// Unpack into the workspace scratch (shortcut expansion makes the final
-	// length unknowable upfront), then copy once into an exact-size result:
-	// the only allocation of a warm query.
+	// length unknowable upfront), then copy once into an exact-size result.
 	scratch := append(ws.nodes[:0], packed[0])
 	for i := 0; i+1 < len(packed); i++ {
 		scratch = ix.unpackInto(scratch, packed[i], packed[i+1])
@@ -187,13 +232,9 @@ func (ix *Index) QueryCtx(ctx context.Context, s, d graph.NodeID) (Result, error
 	ws.nodes = scratch // retain any growth for the next query
 	nodes := make([]graph.NodeID, len(scratch))
 	copy(nodes, scratch)
-	return Result{
-		Found:   true,
-		Path:    graph.Path{Nodes: nodes},
-		Cost:    best,
-		Settled: settled,
-		Relaxed: relaxed,
-	}, nil
+	sp.SetInt("packed", int64(len(packed)))
+	sp.SetInt("nodes", int64(len(nodes)))
+	return nodes
 }
 
 // qside is one direction of the bidirectional search: skeleton structure

@@ -25,6 +25,7 @@ import (
 	"repro/internal/estimator"
 	"repro/internal/graph"
 	"repro/internal/search"
+	"repro/internal/tracing"
 )
 
 // Algorithm selects a path-computation algorithm.
@@ -147,7 +148,26 @@ func (p *Planner) Route(from, to graph.NodeID, opts Options) (Route, error) {
 // typed lifecycle error — search.ErrCanceled, search.ErrDeadline, or
 // search.ErrBudget — with partial trace data discarded, as soon as the
 // context dies or the expansion budget (search.WithBudget) runs out.
+//
+// Under an active trace the computation shows up as a "kernel" span
+// carrying the algorithm and its work counters; the CH path nests its
+// search and unpack phases beneath it.
 func (p *Planner) RouteCtx(ctx context.Context, from, to graph.NodeID, opts Options) (Route, error) {
+	ctx, sp := tracing.Start(ctx, "kernel")
+	defer sp.End()
+	sp.SetStr("algo", opts.Algorithm.String())
+	rt, err := p.routeDispatch(ctx, from, to, opts)
+	if err != nil {
+		return rt, err
+	}
+	sp.SetBool("found", rt.Found)
+	sp.SetInt("iterations", int64(rt.Trace.Iterations))
+	sp.SetInt("expansions", int64(rt.Trace.Expansions))
+	return rt, nil
+}
+
+// routeDispatch selects and runs the kernel for opts.Algorithm.
+func (p *Planner) routeDispatch(ctx context.Context, from, to graph.NodeID, opts Options) (Route, error) {
 	var (
 		res search.Result
 		err error

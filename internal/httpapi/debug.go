@@ -1,0 +1,53 @@
+package httpapi
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+)
+
+// defaultTraceListLen is how many traces each list of /v1/debug/traces
+// returns when the client does not ask with ?n=.
+const defaultTraceListLen = 20
+
+// maxTraceListLen caps ?n=; the ring holds a bounded set anyway, the cap
+// just keeps one debug call from serialising the whole buffer twice.
+const maxTraceListLen = 100
+
+// handleDebugTraces lists captured traces:
+// GET /v1/debug/traces[?n=20] → {"enabled":…,"recent":[…],"slowest":[…]}.
+// recent is the head-sampled ring newest-first; slowest is every trace
+// that crossed the slow threshold, worst-first. Each summary's traceId
+// keys the detail endpoint.
+func (s *Server) handleDebugTraces(w http.ResponseWriter, r *http.Request) {
+	n := defaultTraceListLen
+	if ns := r.URL.Query().Get("n"); ns != "" {
+		v, err := strconv.Atoi(ns)
+		if err != nil || v < 1 {
+			s.apiError(w, r, http.StatusBadRequest, CodeBadRequest,
+				fmt.Errorf("bad n %q (want a positive integer)", ns))
+			return
+		}
+		n = min(v, maxTraceListLen)
+	}
+	s.writeJSON(w, r, map[string]any{
+		"enabled": s.tracer.Enabled(),
+		"recent":  s.tracer.Recent(n),
+		"slowest": s.tracer.Slowest(n),
+	})
+}
+
+// handleDebugTrace returns one captured trace's full span tree:
+// GET /v1/debug/traces/{id}. 404s for ids never captured or already
+// evicted from the ring — capture is sampled and bounded, absence of a
+// trace does not mean the request never happened.
+func (s *Server) handleDebugTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	snap, ok := s.tracer.Get(id)
+	if !ok {
+		s.apiError(w, r, http.StatusNotFound, CodeNotFound,
+			fmt.Errorf("trace %q not captured (tracing disabled, unsampled, or evicted)", id))
+		return
+	}
+	s.writeJSON(w, r, snap)
+}

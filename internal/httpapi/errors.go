@@ -19,6 +19,9 @@ const (
 	CodeBadRequest = "bad_request"
 	// CodeNoRoute: the endpoints are valid but no path connects them (404).
 	CodeNoRoute = "no_route"
+	// CodeNotFound: the named resource does not exist — an unknown or
+	// evicted trace id on the debug endpoints (404).
+	CodeNotFound = "not_found"
 	// CodeMethodNotAllowed: wrong HTTP method for the path (405).
 	CodeMethodNotAllowed = "method_not_allowed"
 	// CodeOverloaded: admission queue full, request shed (503 + Retry-After).

@@ -17,7 +17,9 @@
 //	GET  /v1/alternates?from=A&to=B&k=3                     k loopless routes
 //	GET  /v1/map                                            map metadata
 //	GET  /v1/stats                                          serving counters
-//	GET  /v1/metrics                                        Prometheus text format
+//	GET  /v1/metrics                                        Prometheus/OpenMetrics exposition
+//	GET  /v1/debug/traces                                   captured trace summaries
+//	GET  /v1/debug/traces/{id}                              one trace's span tree
 //
 // The unversioned paths remain as aliases; they serve identically but
 // carry a Deprecation header, a Link to the /v1 successor, and bump
@@ -46,6 +48,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/route"
 	"repro/internal/telemetry"
+	"repro/internal/tracing"
 )
 
 // Server serves one route.Service.
@@ -57,6 +60,11 @@ type Server struct {
 
 	admissionCfg admission.Config
 	gate         *admission.Gate
+
+	// tracer drives per-request span capture (see internal/tracing). nil
+	// means tracing is disabled: the middleware and every instrumentation
+	// site below it stay on the zero-alloc nil-span path.
+	tracer *tracing.Tracer
 
 	// Request-lifecycle outcome counters; together with the gate's
 	// admission counters they make every outcome class visible in
@@ -79,6 +87,15 @@ func WithAdmission(cfg admission.Config) Option {
 	return func(s *Server) { s.admissionCfg = cfg }
 }
 
+// WithTracing enables per-request span tracing (see internal/tracing):
+// every request builds a span tree, requests over cfg.SlowThreshold are
+// always captured, a cfg.SampleRate fraction of the rest are kept, and
+// captured traces are served by GET /v1/debug/traces. The tracer is also
+// attached to the route service so background CH rebuilds produce traces.
+func WithTracing(cfg tracing.Config) Option {
+	return func(s *Server) { s.tracer = tracing.New(cfg) }
+}
+
 // NewServer wraps svc. HTTP metrics are recorded into the service's
 // registry, so GET /metrics exposes the whole stack — HTTP layer,
 // admission gate, route service, and (when enabled via
@@ -86,8 +103,12 @@ func WithAdmission(cfg admission.Config) Option {
 func NewServer(svc *route.Service, opts ...Option) *Server {
 	s := &Server{svc: svc, log: slog.Default(), reg: svc.Registry()}
 	s.inFlight = s.reg.Gauge("atis_http_in_flight", "HTTP requests currently being served.")
+	telemetry.RegisterRuntimeMetrics(s.reg)
 	for _, o := range opts {
 		o(s)
+	}
+	if s.tracer != nil {
+		svc.SetTracer(s.tracer)
 	}
 	s.gate = admission.NewGate(s.admissionCfg, s.reg)
 	s.canceledReqs = s.reg.Counter("atis_request_lifecycle_total",
@@ -102,6 +123,9 @@ func NewServer(svc *route.Service, opts ...Option) *Server {
 // Admission returns the server's admission gate (tests and operators
 // inspect or pre-load it).
 func (s *Server) Admission() *admission.Gate { return s.gate }
+
+// Tracer returns the server's tracer, nil when tracing is disabled.
+func (s *Server) Tracer() *tracing.Tracer { return s.tracer }
 
 // Handler returns the API's http.Handler: the /v1 surface with
 // method-scoped patterns, plus the legacy unversioned aliases, every
@@ -135,6 +159,18 @@ func (s *Server) Handler() http.Handler {
 		mux.Handle(v1, s.instrument(v1, s.methodNotAllowed(ep.method)))
 		mux.Handle(ep.method+" "+ep.path, s.instrument(ep.path, s.deprecate(ep.path, ep.h)))
 		mux.Handle(ep.path, s.instrument(ep.path, s.deprecate(ep.path, s.methodNotAllowed(ep.method))))
+	}
+	// The trace debug endpoints are new with /v1 — no legacy alias to
+	// carry, so they register outside the alias loop.
+	for _, ep := range []struct {
+		method, path string
+		h            http.HandlerFunc
+	}{
+		{http.MethodGet, "/v1/debug/traces", s.handleDebugTraces},
+		{http.MethodGet, "/v1/debug/traces/{id}", s.handleDebugTrace},
+	} {
+		mux.Handle(ep.method+" "+ep.path, s.instrument(ep.path, ep.h))
+		mux.Handle(ep.path, s.instrument(ep.path, s.methodNotAllowed(ep.method)))
 	}
 	return mux
 }
@@ -355,6 +391,11 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		}
 		opts.Algorithm = algo
 	}
+	// Record the batch size on the root span before admission, so a shed
+	// batch's trace still shows how much work was turned away (the
+	// admission child span carries the outcome).
+	sp := tracing.FromContext(r.Context())
+	sp.SetInt("batch.pairs", int64(len(body.Pairs)))
 	ctx, done, err := s.admit(w, r, opts.Algorithm, false)
 	if err != nil {
 		return
@@ -363,34 +404,42 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 
 	type item struct {
 		RouteResponse
-		Error string `json:"error,omitempty"`
+		// RequestID is the whole batch's request-scoped id: the batch is
+		// admitted and traced as one request, so every item joins to the
+		// same access-log line and (when captured) the same trace.
+		RequestID string `json:"requestId"`
+		Error     string `json:"error,omitempty"`
 	}
+	reqID := RequestID(r.Context())
 	items := make([]item, len(body.Pairs))
 	pairs := make([]route.Pair, 0, len(body.Pairs))
 	idx := make([]int, 0, len(body.Pairs)) // items slot per resolvable pair
 	for i, p := range body.Pairs {
 		from, err := s.resolve(p.From)
 		if err != nil {
-			items[i] = item{RouteResponse: RouteResponse{Cost: -1, Algorithm: opts.Algorithm.String()}, Error: err.Error()}
+			items[i] = item{RouteResponse: RouteResponse{Cost: -1, Algorithm: opts.Algorithm.String()}, RequestID: reqID, Error: err.Error()}
 			continue
 		}
 		to, err := s.resolve(p.To)
 		if err != nil {
-			items[i] = item{RouteResponse: RouteResponse{Cost: -1, Algorithm: opts.Algorithm.String()}, Error: err.Error()}
+			items[i] = item{RouteResponse: RouteResponse{Cost: -1, Algorithm: opts.Algorithm.String()}, RequestID: reqID, Error: err.Error()}
 			continue
 		}
 		pairs = append(pairs, route.Pair{From: from, To: to})
 		idx = append(idx, i)
 	}
 
+	failed := len(body.Pairs) - len(pairs)
 	for j, res := range s.svc.ComputeBatchCtx(ctx, pairs, opts) {
 		i := idx[j]
 		if res.Err != nil {
-			items[i] = item{RouteResponse: RouteResponse{Cost: -1, Algorithm: opts.Algorithm.String()}, Error: res.Err.Error()}
+			items[i] = item{RouteResponse: RouteResponse{Cost: -1, Algorithm: opts.Algorithm.String()}, RequestID: reqID, Error: res.Err.Error()}
+			failed++
 			continue
 		}
-		items[i] = item{RouteResponse: routeToBody(res.Route)}
+		items[i] = item{RouteResponse: routeToBody(res.Route), RequestID: reqID}
 	}
+	sp.SetInt("batch.errors", int64(failed))
 	s.writeJSON(w, r, map[string]any{"count": len(items), "routes": items})
 }
 
@@ -451,7 +500,7 @@ func (s *Server) handleTraffic(w http.ResponseWriter, r *http.Request) {
 		s.apiError(w, r, http.StatusBadRequest, CodeBadRequest, err)
 		return
 	}
-	n, err := s.svc.ApplyRegionCongestion(graph.Point{X: body.X, Y: body.Y}, body.Radius, body.Factor)
+	n, err := s.svc.ApplyRegionCongestionCtx(r.Context(), graph.Point{X: body.X, Y: body.Y}, body.Radius, body.Factor)
 	if err != nil {
 		s.apiError(w, r, http.StatusBadRequest, CodeBadRequest, err)
 		return
@@ -520,7 +569,7 @@ func (s *Server) handleTrafficBatch(w http.ResponseWriter, r *http.Request) {
 		}
 		changes = append(changes, ch)
 	}
-	n, err := s.svc.ApplyTrafficBatch(changes)
+	n, err := s.svc.ApplyTrafficBatchCtx(r.Context(), changes)
 	if err != nil {
 		s.apiError(w, r, http.StatusBadRequest, CodeBadRequest, err)
 		return
@@ -529,7 +578,7 @@ func (s *Server) handleTrafficBatch(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleTrafficReset(w http.ResponseWriter, r *http.Request) {
-	s.svc.ResetTraffic()
+	s.svc.ResetTrafficCtx(r.Context())
 	s.writeJSON(w, r, map[string]string{"status": "free flow restored"})
 }
 

@@ -12,6 +12,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/search"
 	"repro/internal/telemetry"
+	"repro/internal/tracing"
 )
 
 // requestContext derives the request's lifecycle context: the client's
@@ -50,7 +51,7 @@ func (s *Server) admit(w http.ResponseWriter, r *http.Request, algo core.Algorit
 		return nil, nil, err
 	}
 	cls := admission.ClassFor(algo)
-	release, err := s.gate.Acquire(ctx, cls.Weight)
+	release, err := s.acquireGate(ctx, cls)
 	if err != nil {
 		cancel()
 		if errors.Is(err, admission.ErrShed) && degrade && s.gate.Config().Degrade {
@@ -63,6 +64,37 @@ func (s *Server) admit(w http.ResponseWriter, r *http.Request, algo core.Algorit
 		ctx = search.WithBudget(ctx, cls.MaxExpansions)
 	}
 	return ctx, func() { release(); cancel() }, nil
+}
+
+// acquireGate wraps the gate acquisition in an "admission" span, so a
+// traced request shows how long it queued and how it left the gate. The
+// span's context is deliberately not returned: admission is a sibling
+// phase of the work it admits, not its parent — kernel spans must hang
+// off the root, not off the queue wait.
+func (s *Server) acquireGate(ctx context.Context, cls admission.Class) (func(), error) {
+	_, sp := tracing.Start(ctx, "admission")
+	defer sp.End()
+	sp.SetInt("weight", int64(cls.Weight))
+	release, err := s.gate.Acquire(ctx, cls.Weight)
+	if err != nil {
+		sp.SetStr("outcome", admissionOutcome(err))
+		return nil, err
+	}
+	sp.SetStr("outcome", "admitted")
+	return release, nil
+}
+
+// admissionOutcome names a failed acquisition for span attrs — constant
+// strings, so recording them costs nothing when tracing is disabled.
+func admissionOutcome(err error) string {
+	switch {
+	case errors.Is(err, admission.ErrShed):
+		return "shed"
+	case errors.Is(err, context.DeadlineExceeded):
+		return "deadline"
+	default:
+		return "canceled"
+	}
 }
 
 // admissionError writes the response for a failed gate acquisition: shed

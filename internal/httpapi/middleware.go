@@ -126,13 +126,20 @@ func (w *statusWriter) ReadFrom(r io.Reader) (int64, error) {
 //   - a per-request trace id, honoured from an incoming X-Request-ID header
 //     or freshly generated, echoed in the response and stored in the
 //     request context for handlers and log lines;
+//   - when tracing is enabled, a root span for the request's trace — the
+//     W3C traceparent header is ingested (an upstream gateway's trace id
+//     names our spans) and echoed with our root span id, and every
+//     tracing.Start below the handler attaches to this tree;
 //   - atis_http_requests_total{path,method,code}, an
-//     atis_http_request_seconds{path} latency histogram, and the
-//     atis_http_in_flight gauge;
+//     atis_http_request_seconds{path} latency histogram (with an
+//     OpenMetrics exemplar linking to the trace when it was captured),
+//     and the atis_http_in_flight gauge;
 //   - one structured access-log line per request.
 //
 // pattern is the mux registration pattern, used as the path label so metric
-// cardinality stays bounded by the route table, not by client input.
+// cardinality stays bounded by the route table, not by client input. It is
+// also the root span's name — constant per endpoint, so the disabled
+// tracing path allocates nothing.
 func (s *Server) instrument(pattern string, h http.HandlerFunc) http.Handler {
 	latency := s.reg.Histogram("atis_http_request_seconds",
 		"HTTP request latency.", nil, telemetry.L("path", pattern))
@@ -142,7 +149,12 @@ func (s *Server) instrument(pattern string, h http.HandlerFunc) http.Handler {
 			id = newRequestID()
 		}
 		w.Header().Set("X-Request-ID", id)
-		r = r.WithContext(context.WithValue(r.Context(), requestIDKey, id))
+		ctx := context.WithValue(r.Context(), requestIDKey, id)
+		ctx, trace := s.tracer.StartRequest(ctx, pattern, r.Header.Get("traceparent"))
+		if trace != nil {
+			w.Header().Set("traceparent", trace.Traceparent())
+		}
+		r = r.WithContext(ctx)
 
 		s.inFlight.Inc()
 		defer s.inFlight.Dec()
@@ -154,20 +166,36 @@ func (s *Server) instrument(pattern string, h http.HandlerFunc) http.Handler {
 		if sw.status == 0 {
 			sw.status = http.StatusOK // handler wrote nothing at all
 		}
-		latency.Observe(elapsed.Seconds())
+		root := trace.Root()
+		root.SetStr("requestId", id)
+		root.SetStr("method", r.Method)
+		root.SetInt("status", int64(sw.status))
+		root.SetInt("bytes", int64(sw.bytes))
+		if s.tracer.Finish(trace) {
+			// Captured (sampled or slow): link the histogram bucket to the
+			// retrievable trace.
+			latency.ObserveExemplar(elapsed.Seconds(), trace.ID(),
+				float64(time.Now().UnixNano())/1e9)
+		} else {
+			latency.Observe(elapsed.Seconds())
+		}
 		s.reg.Counter("atis_http_requests_total", "HTTP requests by path, method, and status code.",
 			telemetry.L("path", pattern),
 			telemetry.L("method", r.Method),
 			telemetry.L("code", strconv.Itoa(sw.status)),
 		).Inc()
 
-		s.log.LogAttrs(r.Context(), slog.LevelInfo, "request",
+		logAttrs := []slog.Attr{
 			slog.String("request_id", id),
 			slog.String("method", r.Method),
 			slog.String("path", r.URL.Path),
 			slog.Int("status", sw.status),
 			slog.Int("bytes", sw.bytes),
 			slog.Duration("duration", elapsed),
-		)
+		}
+		if trace != nil {
+			logAttrs = append(logAttrs, slog.String("trace_id", trace.ID()))
+		}
+		s.log.LogAttrs(r.Context(), slog.LevelInfo, "request", logAttrs...)
 	})
 }

@@ -73,6 +73,7 @@ func Analyzers() []Analyzer {
 		NewPoolPair(),
 		NewRecorderGuard(),
 		NewCtxCheck(),
+		NewSpanEnd(),
 	}
 }
 

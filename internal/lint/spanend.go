@@ -1,0 +1,282 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"path"
+)
+
+// SpanEnd enforces the tracing span lifecycle: every span obtained from
+// tracing.Start must be ended in the function (or function literal) that
+// started it, either with the canonical
+//
+//	ctx, sp := tracing.Start(ctx, "phase")
+//	defer sp.End()
+//
+// or with an explicit sp.End() on every return path. A span that is never
+// ended stays open in its trace forever: the phase appears to run until
+// the request finishes, its duration is garbage, and — because End is
+// where attributes become immutable — late setters race the capture.
+// Discarding the span return entirely is the same bug in a cheaper
+// costume: the child span is created (and allocated, when tracing is on)
+// but nothing can ever close it.
+//
+// The provider set is structural: any function named Start, defined in a
+// package whose import path ends in "tracing", returning
+// (context.Context, *Span). The check is scoped per function literal —
+// a span started inside a closure must End inside that closure, since
+// the closure may outlive the enclosing frame (goroutines, handlers).
+type SpanEnd struct{}
+
+// NewSpanEnd returns the analyzer.
+func NewSpanEnd() *SpanEnd { return &SpanEnd{} }
+
+// Name implements Analyzer.
+func (*SpanEnd) Name() string { return "spanend" }
+
+// Doc implements Analyzer.
+func (*SpanEnd) Doc() string {
+	return "every span from tracing.Start must be ended via `defer sp.End()` or an End on all return paths"
+}
+
+// Run implements Analyzer.
+func (a *SpanEnd) Run(u *Unit) []Diagnostic {
+	var diags []Diagnostic
+	for _, f := range u.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			diags = append(diags, a.checkScope(u, fd.Body)...)
+		}
+	}
+	return diags
+}
+
+// checkScope validates every tracing.Start call whose innermost enclosing
+// function is body's owner. Nested function literals are separate scopes:
+// their bodies are recursed into with a fresh check, and statements inside
+// them do not count toward the enclosing scope's End coverage.
+func (a *SpanEnd) checkScope(u *Unit, body *ast.BlockStmt) []Diagnostic {
+	var diags []Diagnostic
+
+	// Recurse into nested closures first, each as its own scope.
+	inspectScope(body, func(n ast.Node) {
+		if fl, ok := n.(*ast.FuncLit); ok && fl.Body != nil {
+			diags = append(diags, a.checkScope(u, fl.Body)...)
+		}
+	})
+
+	// Find the Start calls belonging to this scope, with parent tracking.
+	// FuncLit prunes before pushing, so the push/pop stack stays balanced.
+	var stack []ast.Node
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // separate scope, handled above; no pop expected
+		}
+		stack = append(stack, n)
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !isTracingStart(u, call) {
+			return true
+		}
+		if d, flagged := a.checkStart(u, body, call, stack); flagged {
+			diags = append(diags, d)
+		}
+		return true
+	})
+	return diags
+}
+
+// checkStart validates one Start call site: the span result must be bound
+// to a named variable and that variable must be ended.
+func (a *SpanEnd) checkStart(u *Unit, scope *ast.BlockStmt, call *ast.CallExpr, stack []ast.Node) (Diagnostic, bool) {
+	pos := u.Position(call.Pos())
+	fail := func(msg string) (Diagnostic, bool) {
+		return Diagnostic{Pos: pos, Analyzer: "spanend", Message: msg}, true
+	}
+
+	// The call must be the sole RHS of an assignment binding two names.
+	if len(stack) < 2 {
+		return fail("result of tracing.Start is discarded; the span can never be ended")
+	}
+	asg, ok := stack[len(stack)-2].(*ast.AssignStmt)
+	if !ok || len(asg.Rhs) != 1 || asg.Rhs[0] != ast.Expr(call) || len(asg.Lhs) != 2 {
+		return fail("result of tracing.Start is discarded; the span can never be ended")
+	}
+	spanID, ok := asg.Lhs[1].(*ast.Ident)
+	if !ok || spanID.Name == "_" {
+		return fail("span from tracing.Start is assigned to _; bind it and `defer sp.End()`")
+	}
+	obj := objectOf(u.Info, spanID)
+	if obj == nil {
+		return fail("span from tracing.Start is not bound to a local; bind it and `defer sp.End()`")
+	}
+
+	cov := endCoverage(u, scope, obj)
+	switch {
+	case cov.deferred:
+		return Diagnostic{}, false
+	case len(cov.ends) == 0:
+		return fail(fmt.Sprintf("span %s is never ended: add `defer %s.End()` after tracing.Start", spanID.Name, spanID.Name))
+	case !cov.allPaths:
+		return fail(fmt.Sprintf("span %s is not ended on every return path; prefer `defer %s.End()`", spanID.Name, spanID.Name))
+	}
+	return Diagnostic{}, false
+}
+
+// coverage summarises how a span variable is ended within one scope.
+type coverage struct {
+	deferred bool            // a defer runs End (directly or via closure)
+	ends     []*ast.ExprStmt // plain End statements
+	allPaths bool            // every return path is preceded by an End
+}
+
+// endCoverage inspects scope for End calls on obj and, absent a defer,
+// checks the all-paths property: every return statement's immediately
+// preceding sibling is an End, and a scope that can fall off its end
+// finishes with one. This is a lexical approximation, not a CFG — the
+// canonical defer form is always accepted and always preferred.
+func endCoverage(u *Unit, scope *ast.BlockStmt, obj types.Object) coverage {
+	var cov coverage
+
+	isEndCall := func(e ast.Expr) bool {
+		c, ok := e.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		sel, ok := c.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "End" {
+			return false
+		}
+		id, ok := sel.X.(*ast.Ident)
+		return ok && objectOf(u.Info, id) == obj
+	}
+
+	inspectScope(scope, func(n ast.Node) {
+		switch st := n.(type) {
+		case *ast.DeferStmt:
+			if isEndCall(st.Call) {
+				cov.deferred = true
+			}
+			// defer func() { …; sp.End(); … }() also discharges the
+			// obligation — the closure runs at frame exit like a direct
+			// defer.
+			if fl, ok := st.Call.Fun.(*ast.FuncLit); ok && fl.Body != nil {
+				ast.Inspect(fl.Body, func(m ast.Node) bool {
+					if es, ok := m.(*ast.ExprStmt); ok && isEndCall(es.X) {
+						cov.deferred = true
+					}
+					return true
+				})
+			}
+		case *ast.ExprStmt:
+			if isEndCall(st.X) {
+				cov.ends = append(cov.ends, st)
+			}
+		}
+	})
+	if cov.deferred || len(cov.ends) == 0 {
+		return cov
+	}
+
+	// All-paths check: each return's preceding sibling must be an End,
+	// and if the scope's last statement is not a return, it must be an
+	// End (the fall-off-the-end path of a void function).
+	endSet := make(map[*ast.ExprStmt]bool, len(cov.ends))
+	for _, e := range cov.ends {
+		endSet[e] = true
+	}
+	covered := true
+	var checkBlock func(list []ast.Stmt)
+	precededByEnd := func(list []ast.Stmt, i int) bool {
+		if i == 0 {
+			return false
+		}
+		es, ok := list[i-1].(*ast.ExprStmt)
+		return ok && endSet[es]
+	}
+	checkBlock = func(list []ast.Stmt) {
+		for i, st := range list {
+			if _, ok := st.(*ast.ReturnStmt); ok && !precededByEnd(list, i) {
+				covered = false
+			}
+		}
+	}
+	inspectScope(scope, func(n ast.Node) {
+		if bl, ok := n.(*ast.BlockStmt); ok {
+			checkBlock(bl.List)
+		}
+		if cc, ok := n.(*ast.CaseClause); ok {
+			checkBlock(cc.Body)
+		}
+	})
+	if n := len(scope.List); n > 0 {
+		last := scope.List[n-1]
+		_, isReturn := last.(*ast.ReturnStmt)
+		es, isExpr := last.(*ast.ExprStmt)
+		if !isReturn && !(isExpr && endSet[es]) {
+			covered = false
+		}
+	}
+	cov.allPaths = covered
+	return cov
+}
+
+// inspectScope walks the body without descending into nested function
+// literals — those are independent scopes with their own obligations.
+func inspectScope(body *ast.BlockStmt, fn func(ast.Node)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			return true
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			fn(n) // report the literal itself, but not its contents
+			return false
+		}
+		fn(n)
+		return true
+	})
+}
+
+// isTracingStart reports whether call invokes a span provider: a function
+// named Start from a package whose import path ends in "tracing",
+// returning (context.Context, *Span).
+func isTracingStart(u *Unit, call *ast.CallExpr) bool {
+	var id *ast.Ident
+	switch f := call.Fun.(type) {
+	case *ast.Ident:
+		id = f
+	case *ast.SelectorExpr:
+		id = f.Sel
+	default:
+		return false
+	}
+	fn, ok := objectOf(u.Info, id).(*types.Func)
+	if !ok || fn.Name() != "Start" {
+		return false
+	}
+	pkg := fn.Pkg()
+	if pkg == nil || path.Base(pkg.Path()) != "tracing" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Results().Len() != 2 {
+		return false
+	}
+	first, ok := sig.Results().At(0).Type().(*types.Named)
+	if !ok || first.Obj().Name() != "Context" || first.Obj().Pkg() == nil || first.Obj().Pkg().Path() != "context" {
+		return false
+	}
+	ptr, ok := sig.Results().At(1).Type().(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	return ok && named.Obj().Name() == "Span"
+}

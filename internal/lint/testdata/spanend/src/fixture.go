@@ -1,0 +1,106 @@
+// Package fixture reproduces the spanend bug class: a span opened by
+// tracing.Start that is never ended stays open in its trace forever —
+// its duration is garbage and late attribute writes race the capture.
+package fixture
+
+import (
+	"context"
+
+	"fixture/tracing"
+)
+
+func work(ctx context.Context) int { _ = ctx; return 1 }
+
+// GoodDeferEnd is the canonical form: bind and defer. No finding.
+func GoodDeferEnd(ctx context.Context) int {
+	ctx, sp := tracing.Start(ctx, "good.defer")
+	defer sp.End()
+	return work(ctx)
+}
+
+// GoodAllPathsEnd ends the span explicitly before every return — the
+// hot-path form used when a deferred closure would allocate. No finding.
+func GoodAllPathsEnd(ctx context.Context, fast bool) int {
+	ctx, sp := tracing.Start(ctx, "good.allpaths")
+	if fast {
+		sp.SetInt("fast", 1)
+		sp.End()
+		return 0
+	}
+	n := work(ctx)
+	sp.End()
+	return n
+}
+
+// GoodDeferClosureEnd discharges the obligation from a deferred closure
+// (attribute writes plus End at frame exit). No finding.
+func GoodDeferClosureEnd(ctx context.Context) int {
+	ctx, sp := tracing.Start(ctx, "good.closure")
+	n := 0
+	defer func() {
+		sp.SetInt("n", int64(n))
+		sp.End()
+	}()
+	n = work(ctx)
+	return n
+}
+
+// GoodVoidTailEnd is a void function whose fall-off-the-end path is
+// closed by a trailing End. No finding.
+func GoodVoidTailEnd(ctx context.Context) {
+	ctx, sp := tracing.Start(ctx, "good.tail")
+	work(ctx)
+	sp.End()
+}
+
+// BadDiscarded throws the span away: nothing can ever end it.
+func BadDiscarded(ctx context.Context) int {
+	tracing.Start(ctx, "bad.discarded")
+	return work(ctx)
+}
+
+// BadBlankSpan binds the context but blanks the span — the same leak
+// with an assignment for camouflage.
+func BadBlankSpan(ctx context.Context) int {
+	ctx, _ = tracing.Start(ctx, "bad.blank")
+	return work(ctx)
+}
+
+// BadNeverEnded binds the span and forgets it.
+func BadNeverEnded(ctx context.Context) int {
+	ctx, sp := tracing.Start(ctx, "bad.never")
+	sp.SetInt("bound", 1)
+	return work(ctx)
+}
+
+// BadMissedPath ends the span on the slow path but leaks it on the
+// early return — the exact bug the defer form exists to prevent.
+func BadMissedPath(ctx context.Context, fast bool) int {
+	ctx, sp := tracing.Start(ctx, "bad.missed")
+	if fast {
+		return 0
+	}
+	n := work(ctx)
+	sp.End()
+	return n
+}
+
+// BadClosureLeak starts a span inside a goroutine closure and ends a
+// different frame's obligation never: the closure outlives the caller,
+// so the End must live inside it.
+func BadClosureLeak(ctx context.Context) {
+	go func() {
+		_, sp := tracing.Start(ctx, "bad.closure")
+		sp.SetInt("leaked", 1)
+	}()
+}
+
+// BlessedManualLifecycle hands the span to a collaborator that ends it
+// later — an ownership transfer the lexical check cannot see, blessed by
+// a reviewed directive.
+func BlessedManualLifecycle(ctx context.Context, sink chan<- *tracing.Span) int {
+	//lint:ignore spanend span ownership transfers to the sink, which ends it
+	ctx, sp := tracing.Start(ctx, "blessed.transfer")
+	sink <- sp
+	return work(ctx)
+}

@@ -30,6 +30,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/search"
 	"repro/internal/telemetry"
+	"repro/internal/tracing"
 )
 
 // Service owns a mutable snapshot of a road network and serves the three
@@ -97,6 +98,12 @@ type Service struct {
 	chRebuilds         *telemetry.Counter
 	chCustomizations   *telemetry.Counter
 	trafficBatches     *telemetry.Counter
+
+	// tracer, when set, gives background work (the singleflight CH
+	// rebuild) its own traces; request-path spans ride the caller's
+	// context and need no tracer here. A nil pointer is a disabled
+	// tracer — every tracing call below is nil-safe.
+	tracer atomic.Pointer[tracing.Tracer]
 }
 
 // NewService snapshots g (deep copies) so traffic updates never touch the
@@ -183,6 +190,12 @@ func NewServiceWithRegistry(g *graph.Graph, reg *telemetry.Registry) *Service {
 // Registry returns the registry holding the service's metrics.
 func (s *Service) Registry() *telemetry.Registry { return s.reg }
 
+// SetTracer attaches a tracer so the service's background work (the
+// singleflight CH rebuild) produces traces of its own. Request-path
+// spans need no tracer here — they attach to the span already in the
+// caller's context.
+func (s *Service) SetTracer(t *tracing.Tracer) { s.tracer.Store(t) }
+
 // CostGeneration returns the current cost generation. It starts at zero and
 // increases by one on every traffic mutation; two equal generations imply
 // identical edge costs.
@@ -230,7 +243,7 @@ func (s *Service) ComputeCtx(ctx context.Context, from, to graph.NodeID, opts co
 		algo: opts.Algorithm, weight: opts.Weight, frontier: opts.Frontier,
 		gen: s.gen,
 	}
-	if rt, ok := s.cache.get(key); ok {
+	if rt, ok := s.cacheLookup(ctx, key); ok {
 		s.mu.RUnlock()
 		s.cacheHits.Inc()
 		return rt, nil
@@ -256,6 +269,18 @@ func (s *Service) ComputeCtx(ctx context.Context, from, to graph.NodeID, opts co
 	return rt, nil
 }
 
+// cacheLookup consults the route cache under the already-held read
+// lock, recording the outcome as a "route.cache" span when a trace is
+// active — a cache hit explains an anomalously fast request exactly as a
+// miss explains a slow one.
+func (s *Service) cacheLookup(ctx context.Context, key cacheKey) (core.Route, bool) {
+	_, sp := tracing.Start(ctx, "route.cache")
+	defer sp.End()
+	rt, ok := s.cache.get(key)
+	sp.SetBool("hit", ok)
+	return rt, ok
+}
+
 // routeLocked computes one route under an already-held read lock,
 // dispatching CH requests to the hierarchy. A CH request is served by the
 // index only when the index's cost version matches the live graph's;
@@ -268,32 +293,48 @@ func (s *Service) routeLocked(ctx context.Context, from, to graph.NodeID, opts c
 		return s.planner.RouteCtx(ctx, from, to, opts)
 	}
 	if ix := s.chIdx.Load(); ix != nil && ix.CostVersion() == s.current.CostVersion() {
-		start := time.Now()
-		res, err := ix.QueryCtx(ctx, from, to)
-		if err != nil {
-			return core.Route{}, search.FromContextErr(err)
-		}
-		s.chQuerySeconds.Observe(time.Since(start).Seconds())
-		s.chQueries.Inc()
-		s.chSettled.Add(uint64(res.Settled))
-		return core.Route{
-			Found:     res.Found,
-			Path:      res.Path,
-			Cost:      res.Cost,
-			Algorithm: core.CH,
-			Trace: search.Trace{
-				Iterations:  res.Settled,
-				Expansions:  res.Settled,
-				Relaxations: res.Relaxed,
-			},
-		}, nil
+		return s.chQueryLocked(ctx, ix, from, to)
 	}
 	s.chStaleFallbacks.Inc()
 	s.chStaleSince.CompareAndSwap(0, time.Now().UnixNano())
 	s.scheduleCHRebuild()
+	// A trace of a fallback-served request must say so: the traveller
+	// asked for CH and got a Dijkstra answer with Dijkstra's latency.
+	tracing.FromContext(ctx).SetBool("ch.staleFallback", true)
 	fb := opts
 	fb.Algorithm = core.Dijkstra
 	return s.planner.RouteCtx(ctx, from, to, fb)
+}
+
+// chQueryLocked serves one request from a fresh hierarchy index,
+// wrapping the query in a "kernel" span (the CH counterpart of the
+// planner's) under which the index nests its search and unpack phases.
+func (s *Service) chQueryLocked(ctx context.Context, ix *ch.Index, from, to graph.NodeID) (core.Route, error) {
+	ctx, sp := tracing.Start(ctx, "kernel")
+	defer sp.End()
+	sp.SetStr("algo", "ch")
+	start := time.Now()
+	res, err := ix.QueryCtx(ctx, from, to)
+	if err != nil {
+		return core.Route{}, search.FromContextErr(err)
+	}
+	s.chQuerySeconds.Observe(time.Since(start).Seconds())
+	s.chQueries.Inc()
+	s.chSettled.Add(uint64(res.Settled))
+	sp.SetBool("found", res.Found)
+	sp.SetInt("iterations", int64(res.Settled))
+	sp.SetInt("expansions", int64(res.Settled))
+	return core.Route{
+		Found:     res.Found,
+		Path:      res.Path,
+		Cost:      res.Cost,
+		Algorithm: core.CH,
+		Trace: search.Trace{
+			Iterations:  res.Settled,
+			Expansions:  res.Settled,
+			Relaxations: res.Relaxed,
+		},
+	}, nil
 }
 
 // ComputeDegraded answers a route request without running a search — the
@@ -371,10 +412,16 @@ func (s *Service) rebuildCH() {
 		s.chBuilding = false
 		s.chMu.Unlock()
 	}()
+	// Background rebuilds get their own trace (always captured when the
+	// tracer is enabled): a rebuild is rare, structural, and exactly what
+	// an operator staring at a stale-fallback spike wants to see timed.
+	tracer := s.tracer.Load()
+	ctx, tr := tracer.StartBackground("ch.rebuild")
+	defer tracer.Finish(tr)
 	s.mu.RLock()
 	snap := s.current.Clone() // carries the cost version it was copied at
 	s.mu.RUnlock()
-	ix, err := s.buildOrCustomize(snap)
+	ix, err := s.buildOrCustomize(ctx, snap)
 	if err != nil {
 		return // only possible on an empty graph, which has nothing to serve
 	}
@@ -387,26 +434,48 @@ func (s *Service) rebuildCH() {
 // build (or a structural change, which the graph model never produces
 // after construction). Callers must not hold mu's write lock — the
 // structural path is seconds of work at scale.
-func (s *Service) buildOrCustomize(snap *graph.Graph) (*ch.Index, error) {
+func (s *Service) buildOrCustomize(ctx context.Context, snap *graph.Graph) (*ch.Index, error) {
 	topo := s.chTopo.Load()
 	if topo == nil || !topo.Matches(snap) {
-		start := time.Now()
-		t, err := ch.BuildTopology(snap, ch.Options{})
+		t, err := s.buildTopology(ctx, snap)
 		if err != nil {
 			return nil, err
 		}
-		s.chRebuildSeconds.Observe(time.Since(start).Seconds())
-		s.chRebuilds.Inc()
 		s.chTopo.Store(t)
 		topo = t
 	}
+	return s.customizeTopo(ctx, topo, snap)
+}
+
+// buildTopology runs the structural contraction — the expensive,
+// cold-start-only phase — as a "ch.topology" span.
+func (s *Service) buildTopology(ctx context.Context, snap *graph.Graph) (*ch.Topology, error) {
+	_, sp := tracing.Start(ctx, "ch.topology")
+	defer sp.End()
 	start := time.Now()
-	ix, err := topo.NewIndex(snap)
+	t, err := ch.BuildTopology(snap, ch.Options{})
+	if err != nil {
+		return nil, err
+	}
+	s.chRebuildSeconds.Observe(time.Since(start).Seconds())
+	s.chRebuilds.Inc()
+	return t, nil
+}
+
+// customizeTopo re-prices topo's shortcuts for g's current costs — the
+// millisecond "ch.customize" phase that runs inside every traffic
+// mutator and at the tail of every rebuild.
+func (s *Service) customizeTopo(ctx context.Context, topo *ch.Topology, g *graph.Graph) (*ch.Index, error) {
+	_, sp := tracing.Start(ctx, "ch.customize")
+	defer sp.End()
+	start := time.Now()
+	ix, err := topo.NewIndex(g)
 	if err != nil {
 		return nil, err
 	}
 	s.chCustomizeSeconds.Observe(time.Since(start).Seconds())
 	s.chCustomizations.Inc()
+	sp.SetInt("shortcuts", int64(ix.Shortcuts()))
 	return ix, nil
 }
 
@@ -417,18 +486,15 @@ func (s *Service) buildOrCustomize(snap *graph.Graph) (*ch.Index, error) {
 // fresh again before the mutator returns and no query ever observes a
 // stale window. Without a topology (CH never warmed) it is a no-op; the
 // structural build never runs under the write lock.
-func (s *Service) customizeLocked() {
+func (s *Service) customizeLocked(ctx context.Context) {
 	topo := s.chTopo.Load()
 	if topo == nil || !topo.Matches(s.current) {
 		return
 	}
-	start := time.Now()
-	ix, err := topo.NewIndex(s.current)
+	ix, err := s.customizeTopo(ctx, topo, s.current)
 	if err != nil {
 		return // unreachable while Matches holds; the next query falls back
 	}
-	s.chCustomizeSeconds.Observe(time.Since(start).Seconds())
-	s.chCustomizations.Inc()
 	s.publishIndex(ix)
 }
 
@@ -463,7 +529,7 @@ func (s *Service) EnableCH() error {
 	s.mu.RLock()
 	snap := s.current.Clone()
 	s.mu.RUnlock()
-	ix, err := s.buildOrCustomize(snap)
+	ix, err := s.buildOrCustomize(context.Background(), snap)
 	if err != nil {
 		return fmt.Errorf("route: building contraction hierarchy: %w", err)
 	}
@@ -762,6 +828,13 @@ func (s *Service) DisplayReachable(from graph.NodeID, budget float64, width, hei
 // and its reverse (if present) by factor ≥ 0; factor 2 doubles travel time.
 // It reports whether any edge changed.
 func (s *Service) ApplyCongestion(from, to graph.NodeID, factor float64) (bool, error) {
+	return s.ApplyCongestionCtx(context.Background(), from, to, factor)
+}
+
+// ApplyCongestionCtx is ApplyCongestion carrying the caller's context,
+// so the synchronous CH customization inside shows up as a span of the
+// mutating request's trace.
+func (s *Service) ApplyCongestionCtx(ctx context.Context, from, to graph.NodeID, factor float64) (bool, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	n, err := s.current.ApplyBatch([]graph.EdgeCostChange{
@@ -772,7 +845,7 @@ func (s *Service) ApplyCongestion(from, to graph.NodeID, factor float64) (bool, 
 		return false, err
 	}
 	if n > 0 {
-		s.mutatedLocked()
+		s.mutatedLocked(ctx)
 	}
 	return n > 0, nil
 }
@@ -782,6 +855,12 @@ func (s *Service) ApplyCongestion(from, to graph.NodeID, factor float64) (bool, 
 // directed edges affected. The whole region lands as one batch: one
 // cost-version bump, one cache invalidation, one customization pass.
 func (s *Service) ApplyRegionCongestion(center graph.Point, radius, factor float64) (int, error) {
+	return s.ApplyRegionCongestionCtx(context.Background(), center, radius, factor)
+}
+
+// ApplyRegionCongestionCtx is ApplyRegionCongestion carrying the
+// caller's context for span attribution.
+func (s *Service) ApplyRegionCongestionCtx(ctx context.Context, center graph.Point, radius, factor float64) (int, error) {
 	if factor < 0 {
 		return 0, fmt.Errorf("route: negative congestion factor %v", factor)
 	}
@@ -789,6 +868,12 @@ func (s *Service) ApplyRegionCongestion(center graph.Point, radius, factor float
 	defer s.mu.Unlock()
 	var changes []graph.EdgeCostChange
 	for _, e := range s.current.Edges() {
+		// The scan precedes any mutation, so honouring a cancel here
+		// keeps the batch atomic: either every regional edge changes or
+		// none does.
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
 		if s.current.Point(e.Tail).EuclideanDistance(center) <= radius &&
 			s.current.Point(e.Head).EuclideanDistance(center) <= radius {
 			changes = append(changes, graph.EdgeCostChange{Tail: e.Tail, Head: e.Head, Cost: e.Cost * factor})
@@ -799,7 +884,7 @@ func (s *Service) ApplyRegionCongestion(center graph.Point, radius, factor float
 		return 0, err
 	}
 	if affected > 0 {
-		s.mutatedLocked()
+		s.mutatedLocked(ctx)
 	}
 	return affected, nil
 }
@@ -810,6 +895,13 @@ func (s *Service) ApplyRegionCongestion(center graph.Point, radius, factor float
 // invalidation, and one customization pass; applying the same changes
 // through per-edge mutators would pay all three per edge.
 func (s *Service) ApplyTrafficBatch(changes []graph.EdgeCostChange) (int, error) {
+	return s.ApplyTrafficBatchCtx(context.Background(), changes)
+}
+
+// ApplyTrafficBatchCtx is ApplyTrafficBatch carrying the caller's
+// context, so a traced POST /v1/traffic/batch shows the customization
+// pass it paid for.
+func (s *Service) ApplyTrafficBatchCtx(ctx context.Context, changes []graph.EdgeCostChange) (int, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	affected, err := s.current.ApplyBatch(changes)
@@ -818,13 +910,19 @@ func (s *Service) ApplyTrafficBatch(changes []graph.EdgeCostChange) (int, error)
 	}
 	if affected > 0 {
 		s.trafficBatches.Inc()
-		s.mutatedLocked()
+		s.mutatedLocked(ctx)
 	}
 	return affected, nil
 }
 
 // ResetTraffic restores every edge to its free-flow cost.
 func (s *Service) ResetTraffic() {
+	s.ResetTrafficCtx(context.Background())
+}
+
+// ResetTrafficCtx is ResetTraffic carrying the caller's context for span
+// attribution.
+func (s *Service) ResetTrafficCtx(ctx context.Context) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	edges := s.base.Edges()
@@ -836,15 +934,16 @@ func (s *Service) ResetTraffic() {
 	if _, err := s.current.ApplyBatch(changes); err != nil {
 		panic(fmt.Sprintf("route: snapshot structure diverged: %v", err))
 	}
-	s.mutatedLocked()
+	s.mutatedLocked(ctx)
 }
 
 // mutatedLocked is the common tail of every traffic mutator, with the
 // write lock held and costs already changed: bump the cost generation
 // (retiring every cached route at once), count the event, and re-customize
-// the hierarchy so it is fresh again before the lock releases.
-func (s *Service) mutatedLocked() {
+// the hierarchy so it is fresh again before the lock releases. ctx
+// carries the mutating request's span tree, if any.
+func (s *Service) mutatedLocked(ctx context.Context) {
 	s.gen++
 	s.trafficUpdates.Inc()
-	s.customizeLocked()
+	s.customizeLocked(ctx)
 }

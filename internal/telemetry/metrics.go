@@ -74,10 +74,20 @@ var DefBuckets = []float64{
 // export time (Prometheus `le` semantics) but stored per-interval so
 // Observe touches exactly one bucket counter.
 type Histogram struct {
-	bounds []float64       // upper bounds, strictly increasing
-	counts []atomic.Uint64 // len(bounds)+1; last is the +Inf overflow
-	count  atomic.Uint64
-	sum    atomic.Uint64 // float64 bits, CAS-updated
+	bounds    []float64       // upper bounds, strictly increasing
+	counts    []atomic.Uint64 // len(bounds)+1; last is the +Inf overflow
+	count     atomic.Uint64
+	sum       atomic.Uint64              // float64 bits, CAS-updated
+	exemplars []atomic.Pointer[Exemplar] // len(bounds)+1, latest per bucket
+}
+
+// Exemplar links one observation in a bucket to the trace that produced
+// it — the OpenMetrics bridge from "this bucket is filling up" to "here
+// is a captured trace of one such request" (/v1/debug/traces/{id}).
+type Exemplar struct {
+	TraceID string
+	Value   float64
+	Unix    float64 // observation time, unix seconds
 }
 
 func newHistogram(buckets []float64) *Histogram {
@@ -86,19 +96,42 @@ func newHistogram(buckets []float64) *Histogram {
 	}
 	bounds := append([]float64(nil), buckets...)
 	return &Histogram{
-		bounds: bounds,
-		counts: make([]atomic.Uint64, len(bounds)+1),
+		bounds:    bounds,
+		counts:    make([]atomic.Uint64, len(bounds)+1),
+		exemplars: make([]atomic.Pointer[Exemplar], len(bounds)+1),
 	}
 }
 
-// Observe records one value.
-func (h *Histogram) Observe(v float64) {
+// bucketIndex returns the index of the interval bucket v falls in;
+// len(bounds) is the +Inf overflow.
+func (h *Histogram) bucketIndex(v float64) int {
 	i := 0
 	for i < len(h.bounds) && v > h.bounds[i] {
 		i++
 	}
+	return i
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	h.counts[h.bucketIndex(v)].Add(1)
+	h.count.Add(1)
+	h.addSum(v)
+}
+
+// ObserveExemplar records one value and pins it as the bucket's
+// exemplar. Callers pass only trace IDs that were actually captured
+// (sampled or slow), so every exemplar on /metrics resolves via the
+// debug endpoint. unix is the observation time in unix seconds.
+func (h *Histogram) ObserveExemplar(v float64, traceID string, unix float64) {
+	i := h.bucketIndex(v)
 	h.counts[i].Add(1)
 	h.count.Add(1)
+	h.addSum(v)
+	h.exemplars[i].Store(&Exemplar{TraceID: traceID, Value: v, Unix: unix})
+}
+
+func (h *Histogram) addSum(v float64) {
 	for {
 		old := h.sum.Load()
 		nv := math.Float64bits(math.Float64frombits(old) + v)

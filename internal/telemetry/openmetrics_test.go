@@ -1,0 +1,140 @@
+package telemetry
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestWriteOpenMetricsGolden(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("om_requests_total", "Requests served.").Add(7)
+	reg.Gauge("om_in_flight", "In-flight requests.").Set(3)
+	h := reg.Histogram("om_seconds", "Latency.", []float64{0.01, 0.1})
+	h.Observe(0.005)
+	h.ObserveExemplar(0.05, "4bf92f3577b34da6a3ce929d0e0e4736", 1700000000)
+
+	var b strings.Builder
+	if err := reg.WriteOpenMetrics(&b); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+	want := `# HELP om_in_flight In-flight requests.
+# TYPE om_in_flight gauge
+om_in_flight 3
+# HELP om_requests Requests served.
+# TYPE om_requests counter
+om_requests_total 7
+# HELP om_seconds Latency.
+# TYPE om_seconds histogram
+om_seconds_bucket{le="0.01"} 1
+om_seconds_bucket{le="0.1"} 2 # {trace_id="4bf92f3577b34da6a3ce929d0e0e4736"} 0.05 1700000000.000
+om_seconds_bucket{le="+Inf"} 2
+om_seconds_sum 0.055
+om_seconds_count 2
+# EOF
+`
+	if got != want {
+		t.Errorf("OpenMetrics exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestExemplarLatestWins(t *testing.T) {
+	h := newHistogram([]float64{1})
+	h.ObserveExemplar(0.5, "first0000000000000000000000000000", 1)
+	h.ObserveExemplar(0.7, "second000000000000000000000000000", 2)
+	ex := h.exemplars[0].Load()
+	if ex == nil || ex.TraceID != "second000000000000000000000000000" {
+		t.Fatalf("bucket exemplar = %+v, want the latest observation", ex)
+	}
+	// Plain Observe must not disturb the pinned exemplar.
+	h.Observe(0.9)
+	if got := h.exemplars[0].Load(); got.TraceID != ex.TraceID {
+		t.Fatalf("Observe overwrote the exemplar: %+v", got)
+	}
+	if h.Count() != 3 {
+		t.Fatalf("count = %d, want 3", h.Count())
+	}
+}
+
+func TestHandlerContentNegotiation(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("neg_total", "Negotiated.").Inc()
+	srv := httptest.NewServer(reg.Handler())
+	defer srv.Close()
+
+	// Default: Prometheus 0.0.4 text, no EOF terminator.
+	res, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := readBody(t, res)
+	if ct := res.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Fatalf("default content type = %q", ct)
+	}
+	if strings.Contains(body, "# EOF") || !strings.Contains(body, "# TYPE neg_total counter") {
+		t.Fatalf("default exposition wrong:\n%s", body)
+	}
+
+	// OpenMetrics when asked.
+	req, _ := http.NewRequest(http.MethodGet, srv.URL, nil)
+	req.Header.Set("Accept", "application/openmetrics-text; version=1.0.0")
+	res, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body = readBody(t, res)
+	if ct := res.Header.Get("Content-Type"); !strings.HasPrefix(ct, ContentTypeOpenMetrics) {
+		t.Fatalf("negotiated content type = %q", ct)
+	}
+	if !strings.HasSuffix(body, "# EOF\n") || !strings.Contains(body, "# TYPE neg counter") ||
+		!strings.Contains(body, "neg_total 1") {
+		t.Fatalf("OpenMetrics exposition wrong:\n%s", body)
+	}
+}
+
+func TestRuntimeMetrics(t *testing.T) {
+	reg := NewRegistry()
+	RegisterRuntimeMetrics(reg)
+	var b strings.Builder
+	if err := reg.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, name := range []string{
+		"atis_go_goroutines", "atis_go_gomaxprocs",
+		"atis_go_heap_inuse_bytes", "atis_go_gc_pause_seconds_total",
+	} {
+		if !strings.Contains(out, name+" ") {
+			t.Errorf("runtime gauge %s missing from exposition", name)
+		}
+	}
+	// Sanity: goroutines and GOMAXPROCS are at least 1, heap nonzero.
+	for _, line := range strings.Split(out, "\n") {
+		f := strings.Fields(line)
+		if len(f) != 2 || strings.HasPrefix(line, "#") {
+			continue
+		}
+		switch f[0] {
+		case "atis_go_goroutines", "atis_go_gomaxprocs", "atis_go_heap_inuse_bytes":
+			if f[1] == "0" {
+				t.Errorf("%s = 0, want nonzero", f[0])
+			}
+		}
+	}
+}
+
+func readBody(t *testing.T, res *http.Response) string {
+	t.Helper()
+	defer res.Body.Close()
+	var b strings.Builder
+	buf := make([]byte, 4096)
+	for {
+		n, err := res.Body.Read(buf)
+		b.Write(buf[:n])
+		if err != nil {
+			return b.String()
+		}
+	}
+}

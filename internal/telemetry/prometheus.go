@@ -76,14 +76,13 @@ func (r *Registry) WriteText(w io.Writer) error {
 	return bw.Flush()
 }
 
-// Handler returns an http.Handler serving the registry in Prometheus text
-// format — the GET /metrics endpoint.
+// Handler returns an http.Handler serving the registry — the GET
+// /metrics endpoint. Prometheus 0.0.4 text by default; a scraper whose
+// Accept header names application/openmetrics-text gets the OpenMetrics
+// exposition with trace exemplars on histogram buckets instead.
 func (r *Registry) Handler() http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		// Errors here mean the client went away mid-scrape; nothing to do.
-		_ = r.WriteText(w)
-	})
+	// Errors inside mean the client went away mid-scrape; nothing to do.
+	return http.HandlerFunc(r.negotiatedHandler)
 }
 
 func writeSeries(w *bufio.Writer, name, labels, value string) {

@@ -1,0 +1,53 @@
+package telemetry
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// RegisterRuntimeMetrics adds Go runtime health gauges to the registry,
+// collected lazily at scrape time via GaugeFunc — the process pays
+// nothing between scrapes. The four cover the questions an operator
+// asks first when a replica misbehaves: is it leaking goroutines, is
+// the heap growing, is GC eating the latency budget, and how much CPU
+// was it actually given.
+func RegisterRuntimeMetrics(r *Registry) {
+	ms := &memSampler{}
+	r.GaugeFunc("atis_go_goroutines",
+		"Number of live goroutines.",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	r.GaugeFunc("atis_go_gomaxprocs",
+		"Value of GOMAXPROCS (schedulable OS threads).",
+		func() float64 { return float64(runtime.GOMAXPROCS(0)) })
+	r.GaugeFunc("atis_go_heap_inuse_bytes",
+		"Bytes in in-use heap spans.",
+		func() float64 { return float64(ms.sample().HeapInuse) })
+	r.GaugeFunc("atis_go_gc_pause_seconds_total",
+		"Cumulative stop-the-world GC pause time since process start.",
+		func() float64 { return float64(ms.sample().PauseTotalNs) / 1e9 })
+}
+
+// memSampler caches one runtime.ReadMemStats result briefly so a single
+// scrape rendering several memory gauges performs one stats read, not
+// one per gauge. ReadMemStats stops the world; once per scrape is
+// acceptable, several times is waste.
+type memSampler struct {
+	mu    sync.Mutex
+	at    time.Time
+	stats runtime.MemStats
+}
+
+const memSampleTTL = 100 * time.Millisecond
+
+// sample returns a copy (never a pointer into the cache — a later
+// refresh would race callers still reading it).
+func (m *memSampler) sample() runtime.MemStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if now := time.Now(); now.Sub(m.at) > memSampleTTL {
+		runtime.ReadMemStats(&m.stats)
+		m.at = now
+	}
+	return m.stats
+}

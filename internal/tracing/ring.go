@@ -1,0 +1,95 @@
+package tracing
+
+import "sync"
+
+// ring is a fixed-capacity overwrite-oldest store of completed traces,
+// lock-striped into shards so concurrent Finish calls from parallel
+// request goroutines contend on a shard mutex, not one global lock. A
+// trace lands in the shard its id hashes to, which also makes Get a
+// single-shard scan.
+const ringShards = 8
+
+type ring struct {
+	shards [ringShards]ringShard
+}
+
+type ringShard struct {
+	mu     sync.Mutex
+	buf    []*Trace // len == capacity once full; nil slots before that
+	next   int      // index the next add overwrites
+	filled bool
+}
+
+func newRing(capacity int) *ring {
+	per := capacity / ringShards
+	if per < 1 {
+		per = 1
+	}
+	r := &ring{}
+	for i := range r.shards {
+		r.shards[i].buf = make([]*Trace, per)
+	}
+	return r
+}
+
+func (r *ring) shard(id string) *ringShard {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(id); i++ {
+		h ^= uint64(id[i])
+		h *= prime64
+	}
+	return &r.shards[h%ringShards]
+}
+
+func (r *ring) add(tr *Trace) {
+	s := r.shard(tr.id)
+	s.mu.Lock()
+	s.buf[s.next] = tr
+	s.next++
+	if s.next == len(s.buf) {
+		s.next = 0
+		s.filled = true
+	}
+	s.mu.Unlock()
+}
+
+// get returns the stored trace with the given id, newest occurrence
+// first, or nil.
+func (r *ring) get(id string) *Trace {
+	s := r.shard(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// Scan backwards from the most recent slot so a re-captured id
+	// resolves to its latest tree.
+	n := len(s.buf)
+	for i := 1; i <= n; i++ {
+		tr := s.buf[(s.next-i+n)%n]
+		if tr == nil {
+			break
+		}
+		if tr.id == id {
+			return tr
+		}
+	}
+	return nil
+}
+
+// all snapshots every stored trace across shards.
+func (r *ring) all() []*Trace {
+	var out []*Trace
+	for i := range r.shards {
+		s := &r.shards[i]
+		s.mu.Lock()
+		for _, tr := range s.buf {
+			if tr != nil {
+				out = append(out, tr)
+			}
+		}
+		s.mu.Unlock()
+	}
+	return out
+}

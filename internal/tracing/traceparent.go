@@ -1,0 +1,60 @@
+package tracing
+
+// W3C Trace Context traceparent header codec. Format (version 00):
+//
+//	00-<32 hex trace-id>-<16 hex parent-id>-<2 hex flags>
+//
+// We ingest the trace-id so an upstream gateway's trace names our spans
+// too, record the parent-id for the snapshot, and echo a header whose
+// parent-id is our root span — the standard propagation contract.
+
+const traceparentLen = 2 + 1 + 32 + 1 + 16 + 1 + 2
+
+// ParseTraceparent extracts the trace id and parent span id from a raw
+// traceparent header. ok is false for empty, malformed, all-zero, or
+// unknown-version values — callers then mint a fresh trace id.
+func ParseTraceparent(h string) (traceID, parentID string, ok bool) {
+	if len(h) != traceparentLen || h[2] != '-' || h[35] != '-' || h[52] != '-' {
+		return "", "", false
+	}
+	// Version ff is invalid per spec; other versions are treated as 00
+	// (forward compatibility: parse the fields we know).
+	if !isHexLower(h[:2]) || h[:2] == "ff" {
+		return "", "", false
+	}
+	traceID, parentID = h[3:35], h[36:52]
+	if !isHexLower(traceID) || !isHexLower(parentID) || !isHexLower(h[53:55]) {
+		return "", "", false
+	}
+	if allZero(traceID) || allZero(parentID) {
+		return "", "", false
+	}
+	return traceID, parentID, true
+}
+
+func formatTraceparent(traceID, spanID string, sampled bool) string {
+	flags := "00"
+	if sampled {
+		flags = "01"
+	}
+	return "00-" + traceID + "-" + spanID + "-" + flags
+}
+
+func isHexLower(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+func allZero(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] != '0' {
+			return false
+		}
+	}
+	return true
+}
