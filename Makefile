@@ -1,9 +1,12 @@
 # Tiered verification for the ATIS reproduction.
 #
 #   make test   — tier 1: build + unit tests (the seed gate)
-#   make lint   — atislint: project-specific analyzers enforcing the
-#                 engine's concurrency and hot-path invariants
-#                 (lockscope, costversion, poolpair, recorderguard)
+#   make lint   — atislint: eight project-specific analyzers enforcing
+#                 the engine's concurrency and hot-path invariants
+#                 (lockscope, costversion, poolpair, recorderguard,
+#                 ctxcheck, spanend, hotpath, immutsnapshot); hotpath and
+#                 immutsnapshot are interprocedural over the whole-program
+#                 call graph. `-format json|sarif` for machine output.
 #   make check  — tier 2: vet + lint + full suite under the race
 #                 detector, exercising the concurrent query engine
 #                 (pooled workspaces, route cache, batch fan-out)
@@ -28,11 +31,14 @@
 #   make bench-trace — span-tracing suite: instrumented kernels with
 #                 tracing disabled vs fully sampled (target: 0 extra
 #                 allocs and < 1% when disabled), see BENCH_PR7.json
+#   make bench-lint — time the eight-analyzer atislint run over the
+#                 module (type-check excluded); keeps the interprocedural
+#                 hotpath/immutsnapshot passes honest as the graph grows
 
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: build test vet lint race check fuzz-short bench bench-paper bench-telemetry bench-ch bench-admission bench-customize bench-trace
+.PHONY: build test vet lint race check fuzz-short bench bench-paper bench-telemetry bench-ch bench-admission bench-customize bench-trace bench-lint
 
 build:
 	$(GO) build ./...
@@ -83,3 +89,6 @@ bench-customize:
 
 bench-trace:
 	$(GO) test -run xxx -bench 'TraceOverhead|TraceRingCapture' -benchmem -benchtime 200x -count 3 .
+
+bench-lint:
+	$(GO) test -run xxx -bench 'LintModule' -benchmem -count 3 ./internal/lint

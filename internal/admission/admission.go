@@ -212,6 +212,8 @@ func (g *Gate) Acquire(ctx context.Context, weight int64) (release func(), err e
 // strictly FIFO so a heavy waiter cannot be starved by a stream of
 // light arrivals slipping past it — otherwise park a new waiter, or
 // shed when the queue is at its bound.
+//
+//atis:hotpath
 func (g *Gate) admitOrPark(weight int64) (admitted bool, w *waiter, err error) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
@@ -222,6 +224,7 @@ func (g *Gate) admitOrPark(weight int64) (admitted bool, w *waiter, err error) {
 	if len(g.queue) >= g.cfg.MaxQueue {
 		return false, nil, ErrShed
 	}
+	//lint:ignore hotpath a waiter is allocated only when the request must park; grant and shed stay allocation-free
 	w = &waiter{weight: weight, ready: make(chan struct{}, 1)}
 	g.queue = append(g.queue, w)
 	return false, w, nil
@@ -244,6 +247,8 @@ func (g *Gate) abandon(w *waiter) bool {
 
 // release returns weight units, pops abandoned waiters, and grants
 // ready ones in arrival order while capacity allows.
+//
+//atis:hotpath
 func (g *Gate) release(weight int64) {
 	g.mu.Lock()
 	defer g.mu.Unlock()

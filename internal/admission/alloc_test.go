@@ -1,0 +1,49 @@
+package admission
+
+import (
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+// TestGateFastPathsZeroAlloc is the gate test behind the //atis:hotpath
+// annotations on admitOrPark and release: the immediate-grant, shed, and
+// release decisions allocate nothing. Only a request that must park pays
+// for its waiter — the blessed allocation the //lint:ignore in
+// admitOrPark documents.
+func TestGateFastPathsZeroAlloc(t *testing.T) {
+	g := NewGate(Config{MaxInFlight: 1, MaxQueue: 1}, telemetry.NewRegistry())
+
+	t.Run("grant and release", func(t *testing.T) {
+		allocs := testing.AllocsPerRun(1000, func() {
+			admitted, _, err := g.admitOrPark(1)
+			if !admitted || err != nil {
+				t.Errorf("want immediate grant, got admitted=%v err=%v", admitted, err)
+			}
+			g.release(1)
+		})
+		if allocs != 0 {
+			t.Fatalf("grant/release cycle allocates %.1f times per op, want 0", allocs)
+		}
+	})
+
+	t.Run("shed", func(t *testing.T) {
+		// Saturate the semaphore and fill the one-deep queue so every
+		// further arrival takes the shed branch.
+		admitted, _, err := g.admitOrPark(1)
+		if !admitted || err != nil {
+			t.Fatalf("want immediate grant, got admitted=%v err=%v", admitted, err)
+		}
+		if _, w, err := g.admitOrPark(1); err != nil || w == nil {
+			t.Fatalf("want parked waiter, got w=%v err=%v", w, err)
+		}
+		allocs := testing.AllocsPerRun(1000, func() {
+			if _, _, err := g.admitOrPark(1); err != ErrShed {
+				t.Errorf("want ErrShed, got %v", err)
+			}
+		})
+		if allocs != 0 {
+			t.Fatalf("shed decision allocates %.1f times per op, want 0", allocs)
+		}
+	})
+}

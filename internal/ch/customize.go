@@ -26,7 +26,10 @@ type metricHalf struct {
 // graph.CostVersion the weights were derived from. A Metric is immutable
 // after Customize and safe for concurrent queries; a cost mutation is
 // served by customizing a fresh Metric, never by editing one in place —
-// the same frozen-slice discipline the costversion analyzer enforces.
+// the same frozen-slice discipline the costversion analyzer enforces
+// (and atislint's immutsnapshot analyzer checks mechanically).
+//
+//atis:immutable
 type Metric struct {
 	fwd, bwd    metricHalf
 	costVersion uint64

@@ -34,7 +34,10 @@ type skeleton struct {
 // separator-based split). Contraction therefore needs no shortest-path
 // searches at all — ordering and contraction are purely structural.
 //
-// A Topology is immutable after BuildTopology and safe for concurrent use.
+// A Topology is immutable after BuildTopology and safe for concurrent use
+// (atislint's immutsnapshot analyzer enforces the freeze).
+//
+//atis:immutable
 type Topology struct {
 	n int // nodes of the source graph
 	m int // directed edges of the source graph (structural fingerprint)

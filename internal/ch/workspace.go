@@ -63,10 +63,14 @@ var workspacePool = sync.Pool{New: func() any { return &workspace{} }}
 // acquireWorkspace returns a workspace ready for a query over n nodes.
 func acquireWorkspace(n int) *workspace {
 	ws := workspacePool.Get().(*workspace)
+	//lint:ignore hotpath label storage reallocates only when the graph grows; steady state is an epoch bump
 	ws.fwd.reset(n)
+	//lint:ignore hotpath label storage reallocates only when the graph grows; steady state is an epoch bump
 	ws.bwd.reset(n)
 	if ws.hf == nil {
+		//lint:ignore hotpath first acquisition builds the heaps; every later query reuses them from the pool
 		ws.hf = pqueue.NewIndexed(n)
+		//lint:ignore hotpath first acquisition builds the heaps; every later query reuses them from the pool
 		ws.hb = pqueue.NewIndexed(n)
 	} else {
 		ws.hf.Grow(n)

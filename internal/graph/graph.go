@@ -79,7 +79,11 @@ type Graph struct {
 }
 
 // reverseSnapshot pairs a built reverse graph with the cost version it was
-// built under.
+// built under. Once stored in g.rev it is shared by every concurrent
+// reader, so it is never edited in place — a cost change publishes a whole
+// new snapshot.
+//
+//atis:immutable
 type reverseSnapshot struct {
 	version uint64
 	g       *Graph

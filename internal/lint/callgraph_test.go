@@ -1,0 +1,103 @@
+package lint
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// loadProgram loads the named fixture module and builds its Program.
+func loadProgram(t *testing.T, name string) *Program {
+	t.Helper()
+	loader, err := NewLoader(filepath.Join("testdata", name, "src"))
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	units, err := loader.LoadAll()
+	if err != nil {
+		t.Fatalf("type-checking fixture: %v", err)
+	}
+	return NewProgram(units)
+}
+
+// TestCallGraphGolden pins the call-graph resolution rules: direct calls
+// and concrete-receiver method calls become static edges (including across
+// packages), interface and func-value calls are recorded without edges,
+// and builtins/conversions do not appear at all.
+func TestCallGraphGolden(t *testing.T) {
+	p := loadProgram(t, "callgraph")
+	var lines []string
+	for _, fi := range p.Funcs() {
+		for _, site := range fi.Calls {
+			callee := "(func value)"
+			if site.Callee != nil {
+				callee = shortFuncName(site.Callee)
+			}
+			lines = append(lines, fmt.Sprintf("%s -> %s [%s]", shortFuncName(fi.Obj), callee, site.Kind))
+		}
+	}
+	sort.Strings(lines)
+	got := strings.Join(lines, "\n") + "\n"
+
+	goldenPath := filepath.Join("testdata", "callgraph.golden")
+	if *update {
+		if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+			t.Fatalf("writing golden: %v", err)
+		}
+		return
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("reading golden (run `go test ./internal/lint -update` to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("call graph diverges from %s\n--- got ---\n%s--- want ---\n%s", goldenPath, got, want)
+	}
+}
+
+// TestCallGraphCallers checks the reverse index the interprocedural
+// analyzers walk upward.
+func TestCallGraphCallers(t *testing.T) {
+	p := loadProgram(t, "callgraph")
+	callersOf := func(short string) []string {
+		t.Helper()
+		for _, fi := range p.Funcs() {
+			if shortFuncName(fi.Obj) != short {
+				continue
+			}
+			var names []string
+			for _, c := range p.Callers(fi.Obj) {
+				names = append(names, shortFuncName(c.Obj))
+			}
+			sort.Strings(names)
+			return names
+		}
+		t.Fatalf("function %s not indexed", short)
+		return nil
+	}
+	if got := callersOf("fixture.helperFn"); !equalStrings(got, []string{"fixture.Direct"}) {
+		t.Errorf("callers of helperFn = %v, want [fixture.Direct]", got)
+	}
+	if got := callersOf("leaf.Incr"); !equalStrings(got, []string{"fixture.Worker.Step"}) {
+		t.Errorf("callers of leaf.Incr = %v, want [fixture.Worker.Step]", got)
+	}
+	// The interface call must NOT register Dynamic as a caller of Step.
+	if got := callersOf("fixture.Worker.Step"); !equalStrings(got, []string{"fixture.Method"}) {
+		t.Errorf("callers of Worker.Step = %v, want [fixture.Method] only (interface call adds no edge)", got)
+	}
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

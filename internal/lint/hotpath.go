@@ -1,0 +1,691 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// HotPath enforces allocation-freedom on the engine's warm paths. A
+// function annotated
+//
+//	//atis:hotpath
+//
+// must not allocate — and neither may anything it transitively calls
+// through *static* call edges (direct calls and concrete-receiver method
+// calls). Interface and func-value calls are dynamic: the callee is
+// unknowable without pointer analysis, so propagation stops there and the
+// call itself is not flagged. That under-approximation is deliberate — the
+// kernels' dynamic seams (frontier interface, estimator func field,
+// telemetry recorder) are exactly the places where cold implementations
+// are allowed to allocate.
+//
+// Flagged constructs, per the allocation sources of the gc toolchain:
+// make/new, slice and map composite literals, address-taken composite
+// literals, append without a preallocated-capacity proof (the base slice
+// was created fresh in this function), string concatenation and
+// string<->[]byte/[]rune conversions, interface boxing at call sites and
+// assignments, capturing closures that may escape, map writes, variadic
+// calls that materialise an argument slice, and calls into stdlib packages
+// that allocate by contract (fmt, strconv, strings, bytes, sort, encoding,
+// reflect, regexp) plus context.WithValue/WithCancel/... and
+// errors.New/Join. Expressions inside panic arguments are exempt: a panic
+// is already off the hot path.
+//
+// Escape hatch: `//lint:ignore hotpath <reason>` on a finding's line
+// suppresses it, and on a *call-site* line it additionally prunes
+// propagation through that edge — the reviewed assertion is "this callee
+// runs cold" (pool refill, error path, result materialisation), so its body
+// is not held to the hot-path standard.
+type HotPath struct{}
+
+// NewHotPath returns the analyzer.
+func NewHotPath() *HotPath { return &HotPath{} }
+
+// Name implements Analyzer.
+func (*HotPath) Name() string { return "hotpath" }
+
+// Doc implements Analyzer.
+func (*HotPath) Doc() string {
+	return "//atis:hotpath functions and their static callees must be allocation-free"
+}
+
+// RunProgram implements ProgramAnalyzer.
+func (a *HotPath) RunProgram(p *Program) []Diagnostic {
+	ignores := make(ignoreSet)
+	for _, u := range p.Units {
+		collectIgnoresInto(ignores, u)
+	}
+
+	// Seed with the annotated functions, then propagate through static
+	// edges into module functions. An ignored call-site line prunes the
+	// edge. hot maps each reached function to the annotated root that
+	// first reached it, for diagnostics.
+	hot := make(map[*FuncInfo]*FuncInfo)
+	var queue []*FuncInfo
+	for _, fi := range p.Funcs() {
+		if fi.Hotpath {
+			hot[fi] = fi
+			queue = append(queue, fi)
+		}
+	}
+	for len(queue) > 0 {
+		fi := queue[0]
+		queue = queue[1:]
+		root := hot[fi]
+		for _, site := range fi.Calls {
+			if site.Kind != CallStatic || site.Callee == nil {
+				continue
+			}
+			callee := p.FuncOf(site.Callee)
+			if callee == nil {
+				continue // stdlib or bodiless: no body to check
+			}
+			pos := fi.Unit.Position(site.Call.Pos())
+			if ignores.covers(pos.Filename, pos.Line, "hotpath") {
+				continue // reviewed cold edge: do not propagate
+			}
+			if _, seen := hot[callee]; seen {
+				continue
+			}
+			hot[callee] = root
+			queue = append(queue, callee)
+		}
+	}
+
+	var diags []Diagnostic
+	for _, fi := range p.Funcs() {
+		if root, ok := hot[fi]; ok {
+			diags = append(diags, a.checkFunc(p, fi, root)...)
+		}
+	}
+	return diags
+}
+
+// checkFunc inspects one hot function's body for allocation sources.
+func (a *HotPath) checkFunc(p *Program, fi, root *FuncInfo) []Diagnostic {
+	c := &hotChecker{
+		p:       p,
+		fi:      fi,
+		root:    root,
+		u:       fi.Unit,
+		origins: make(map[*types.Var]bool),
+		handled: make(map[ast.Node]bool),
+	}
+	c.collectOrigins(fi.Decl.Body)
+	c.collectPanicRanges(fi.Decl.Body)
+
+	var stack []ast.Node
+	ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		c.visit(n, stack)
+		return true
+	})
+	return c.diags
+}
+
+// hotChecker carries the per-function state of one hot-path body scan.
+type hotChecker struct {
+	p    *Program
+	fi   *FuncInfo
+	root *FuncInfo
+	u    *Unit
+	// origins marks local slice variables whose backing array was created
+	// fresh in this function without a capacity argument — appending to
+	// them cannot be proven growth-free.
+	origins map[*types.Var]bool
+	// handled suppresses double-reporting (a composite literal already
+	// reported through its enclosing &-expression).
+	handled map[ast.Node]bool
+	// panics holds the source ranges of panic arguments, which are exempt.
+	panics []posRange
+	diags  []Diagnostic
+}
+
+type posRange struct{ lo, hi token.Pos }
+
+// stdSizes matches the gc toolchain's layout for the boxing zero-size
+// exemption (a zero-size value boxes to the shared runtime.zerobase, no
+// allocation).
+var stdSizes = types.SizesFor("gc", "amd64")
+
+// denyPkgs are stdlib packages whose exported API allocates by contract.
+var denyPkgs = []string{"fmt", "strconv", "strings", "bytes", "sort", "encoding", "reflect", "regexp"}
+
+// denyFuncs are individual stdlib functions that always allocate.
+var denyFuncs = map[string]bool{
+	"context.WithValue":    true,
+	"context.WithCancel":   true,
+	"context.WithTimeout":  true,
+	"context.WithDeadline": true,
+	"errors.New":           true,
+	"errors.Join":          true,
+}
+
+func (c *hotChecker) flag(pos token.Pos, format string, args ...any) {
+	if c.inPanic(pos) {
+		return
+	}
+	msg := fmt.Sprintf(format, args...)
+	if c.fi == c.root {
+		msg += " in //atis:hotpath function " + shortFuncName(c.fi.Obj)
+	} else {
+		msg += fmt.Sprintf(" in %s, on the hot path of //atis:hotpath %s",
+			shortFuncName(c.fi.Obj), shortFuncName(c.root.Obj))
+	}
+	c.diags = append(c.diags, Diagnostic{
+		Pos:      c.u.Position(pos),
+		Analyzer: "hotpath",
+		Message:  msg,
+	})
+}
+
+func (c *hotChecker) inPanic(pos token.Pos) bool {
+	for _, r := range c.panics {
+		if pos >= r.lo && pos < r.hi {
+			return true
+		}
+	}
+	return false
+}
+
+// collectPanicRanges records the argument ranges of panic calls: a
+// panicking path is already catastrophic, its Sprintf is not a hot-path
+// allocation.
+func (c *hotChecker) collectPanicRanges(body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+			if b, ok := objectOf(c.u.Info, id).(*types.Builtin); ok && b.Name() == "panic" {
+				c.panics = append(c.panics, posRange{call.Pos(), call.End()})
+			}
+		}
+		return true
+	})
+}
+
+// collectOrigins builds the fresh-slice map in textual order. "Fresh"
+// means the backing array was created here with no capacity reserve: a
+// slice literal, a nil `var s []T`, or an append chain rooted at one.
+// Parameters, struct fields, and make results (the make is flagged on its
+// own) are exempt bases.
+func (c *hotChecker) collectOrigins(body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			if len(st.Lhs) != len(st.Rhs) {
+				return true
+			}
+			for i, lhs := range st.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				if v, ok := objectOf(c.u.Info, id).(*types.Var); ok && isSliceType(v.Type()) {
+					c.origins[v] = c.freshExpr(st.Rhs[i])
+				}
+			}
+		case *ast.ValueSpec:
+			fresh := len(st.Values) == 0
+			for i, name := range st.Names {
+				v, ok := objectOf(c.u.Info, name).(*types.Var)
+				if !ok || !isSliceType(v.Type()) {
+					continue
+				}
+				if fresh {
+					c.origins[v] = true
+				} else if i < len(st.Values) {
+					c.origins[v] = c.freshExpr(st.Values[i])
+				}
+			}
+		}
+		return true
+	})
+}
+
+// freshExpr reports whether the expression denotes a slice with a fresh,
+// capacity-unproven backing array.
+func (c *hotChecker) freshExpr(e ast.Expr) bool {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.CompositeLit:
+		return isSliceType(c.typeOf(x))
+	case *ast.Ident:
+		if v, ok := objectOf(c.u.Info, x).(*types.Var); ok {
+			return c.origins[v]
+		}
+	case *ast.SliceExpr:
+		return c.freshExpr(x.X)
+	case *ast.CallExpr:
+		if id, ok := ast.Unparen(x.Fun).(*ast.Ident); ok {
+			if b, ok := objectOf(c.u.Info, id).(*types.Builtin); ok && b.Name() == "append" && len(x.Args) > 0 {
+				return c.freshExpr(x.Args[0])
+			}
+		}
+	}
+	return false
+}
+
+func (c *hotChecker) typeOf(e ast.Expr) types.Type {
+	if tv, ok := c.u.Info.Types[e]; ok {
+		return tv.Type
+	}
+	return nil
+}
+
+// visit dispatches the allocation checks for one node.
+func (c *hotChecker) visit(n ast.Node, stack []ast.Node) {
+	switch x := n.(type) {
+	case *ast.CallExpr:
+		c.checkCall(x)
+	case *ast.CompositeLit:
+		c.checkComposite(x)
+	case *ast.UnaryExpr:
+		if x.Op == token.AND {
+			if lit, ok := ast.Unparen(x.X).(*ast.CompositeLit); ok {
+				c.handled[lit] = true
+				c.flag(x.Pos(), "address-taken composite literal allocates")
+			}
+		}
+	case *ast.BinaryExpr:
+		if x.Op == token.ADD {
+			if t := c.typeOf(x); t != nil && isStringType(t) {
+				if tv, ok := c.u.Info.Types[x]; !ok || tv.Value == nil {
+					c.flag(x.Pos(), "string concatenation allocates")
+				}
+			}
+		}
+	case *ast.AssignStmt:
+		c.checkAssign(x)
+	case *ast.IncDecStmt:
+		if ix, ok := ast.Unparen(x.X).(*ast.IndexExpr); ok && isMapType(c.typeOf(ix.X)) {
+			c.flag(x.Pos(), "map write may allocate")
+		}
+	case *ast.ValueSpec:
+		for i, name := range x.Names {
+			if i >= len(x.Values) {
+				break
+			}
+			if v := objectOf(c.u.Info, name); v != nil {
+				c.checkBoxing(x.Values[i], v.Type(), "assignment")
+			}
+		}
+	case *ast.FuncLit:
+		c.checkFuncLit(x, stack)
+	}
+}
+
+// checkComposite flags slice and map literals; struct and array value
+// literals live on the stack and pass. Literals already reported through
+// an enclosing &-expression are skipped.
+func (c *hotChecker) checkComposite(lit *ast.CompositeLit) {
+	if c.handled[lit] {
+		return
+	}
+	t := c.typeOf(lit)
+	switch {
+	case isSliceType(t):
+		c.flag(lit.Pos(), "slice literal allocates")
+	case isMapType(t):
+		c.flag(lit.Pos(), "map literal allocates")
+	}
+}
+
+// checkCall handles builtins, conversions, denylisted stdlib calls,
+// variadic materialisation, and argument boxing.
+func (c *hotChecker) checkCall(call *ast.CallExpr) {
+	fun := ast.Unparen(call.Fun)
+
+	// Conversions.
+	if tv, ok := c.u.Info.Types[fun]; ok && tv.IsType() {
+		c.checkConversion(call, tv.Type)
+		return
+	}
+
+	// Builtins.
+	if id, ok := fun.(*ast.Ident); ok {
+		if b, ok := objectOf(c.u.Info, id).(*types.Builtin); ok {
+			switch b.Name() {
+			case "make":
+				c.flag(call.Pos(), "make allocates")
+			case "new":
+				c.flag(call.Pos(), "new allocates")
+			case "append":
+				if len(call.Args) > 1 && c.freshExpr(call.Args[0]) {
+					c.flag(call.Pos(), "append to a freshly created slice has no preallocated-capacity proof")
+				}
+			}
+			return
+		}
+	}
+
+	// Denylisted stdlib calls (static resolution only).
+	if site, ok := c.p.resolveCall(c.u, call); ok && site.Kind == CallStatic && site.Callee != nil {
+		if c.p.FuncOf(site.Callee) == nil && site.Callee.Pkg() != nil {
+			pkgPath := site.Callee.Pkg().Path()
+			qualified := pkgPath + "." + site.Callee.Name()
+			if denyFuncs[qualified] {
+				c.flag(call.Pos(), "call to %s allocates", qualified)
+			} else {
+				for _, deny := range denyPkgs {
+					if pkgPath == deny || strings.HasPrefix(pkgPath, deny+"/") {
+						c.flag(call.Pos(), "call into allocating stdlib package %s (%s)", pkgPath, qualified)
+						break
+					}
+				}
+			}
+		}
+	}
+
+	// Variadic materialisation and argument boxing need the signature.
+	sig, ok := c.typeOf(fun).(*types.Signature)
+	if !ok {
+		return
+	}
+	np := sig.Params().Len()
+	if sig.Variadic() && !call.Ellipsis.IsValid() && len(call.Args) > np-1 {
+		c.flag(call.Pos(), "variadic call materialises its argument slice")
+	}
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= np-1:
+			if call.Ellipsis.IsValid() {
+				pt = sig.Params().At(np - 1).Type()
+			} else if sl, ok := sig.Params().At(np - 1).Type().Underlying().(*types.Slice); ok {
+				pt = sl.Elem()
+			}
+		case i < np:
+			pt = sig.Params().At(i).Type()
+		}
+		if pt != nil {
+			c.checkBoxing(arg, pt, "argument")
+		}
+	}
+}
+
+// checkConversion flags the conversions that copy: string<->[]byte/[]rune,
+// integer-to-string, and conversions into interface types (boxing).
+func (c *hotChecker) checkConversion(call *ast.CallExpr, dst types.Type) {
+	if len(call.Args) != 1 {
+		return
+	}
+	src := c.typeOf(call.Args[0])
+	if src == nil || isUntypedNil(src) {
+		return
+	}
+	switch {
+	case types.IsInterface(dst):
+		c.checkBoxing(call.Args[0], dst, "conversion")
+	case isStringType(dst) && (isByteOrRuneSlice(src) || isIntegerType(src)):
+		c.flag(call.Pos(), "conversion %s -> %s allocates", src, dst)
+	case isByteOrRuneSlice(dst) && isStringType(src):
+		c.flag(call.Pos(), "conversion %s -> %s allocates", src, dst)
+	}
+}
+
+// checkAssign flags map writes and interface boxing on assignment.
+func (c *hotChecker) checkAssign(asg *ast.AssignStmt) {
+	for _, lhs := range asg.Lhs {
+		if ix, ok := ast.Unparen(lhs).(*ast.IndexExpr); ok && isMapType(c.typeOf(ix.X)) {
+			c.flag(lhs.Pos(), "map write may allocate")
+		}
+	}
+	if len(asg.Lhs) != len(asg.Rhs) {
+		return
+	}
+	for i, lhs := range asg.Lhs {
+		lt := c.typeOf(lhs)
+		if lt == nil {
+			if id, ok := lhs.(*ast.Ident); ok {
+				if obj := objectOf(c.u.Info, id); obj != nil {
+					lt = obj.Type()
+				}
+			}
+		}
+		if lt != nil {
+			c.checkBoxing(asg.Rhs[i], lt, "assignment")
+		}
+	}
+}
+
+// checkBoxing flags a concrete value converted to an interface type. The
+// gc runtime stores pointer-shaped values directly in the interface word
+// and shares runtime.zerobase for zero-size values; everything else heap-
+// allocates the boxed copy.
+func (c *hotChecker) checkBoxing(val ast.Expr, target types.Type, what string) {
+	if !types.IsInterface(target) {
+		return
+	}
+	vt := c.typeOf(val)
+	if vt == nil || types.IsInterface(vt) || isUntypedNil(vt) || isPointerShaped(vt) {
+		return
+	}
+	if stdSizes != nil && stdSizes.Sizeof(vt) == 0 {
+		return
+	}
+	c.flag(val.Pos(), "%s boxes %s into interface %s", what, vt, target)
+}
+
+// checkFuncLit flags capturing closures unless they provably do not
+// escape: passed to a static module callee that only ever calls the
+// parameter, bound to a local that is only ever called, or deferred.
+func (c *hotChecker) checkFuncLit(lit *ast.FuncLit, stack []ast.Node) {
+	captured := c.captures(lit)
+	if len(captured) == 0 {
+		return // non-capturing literals are static, no allocation
+	}
+	if len(stack) >= 2 {
+		switch parent := stack[len(stack)-2].(type) {
+		case *ast.CallExpr:
+			if ast.Unparen(parent.Fun) == ast.Expr(lit) {
+				// Immediately invoked (or deferred) in-frame: fine. Through
+				// a go statement the closure outlives the frame: flagged.
+				if len(stack) >= 3 {
+					if _, isGo := stack[len(stack)-3].(*ast.GoStmt); isGo {
+						c.flag(lit.Pos(), "goroutine closure captures %s and escapes to the heap", strings.Join(captured, ", "))
+					}
+				}
+				return
+			}
+			for i, arg := range parent.Args {
+				if ast.Unparen(arg) != ast.Expr(lit) {
+					continue
+				}
+				if site, ok := c.p.resolveCall(c.u, parent); ok && site.Kind == CallStatic && site.Callee != nil {
+					if callee := c.p.FuncOf(site.Callee); callee != nil && paramOnlyCalled(callee, i) {
+						return // callback never escapes the callee
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range parent.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				if obj := objectOf(c.u.Info, id); obj != nil && c.onlyCalledLocally(obj) {
+					return // local closure invoked directly: stack-allocated
+				}
+			}
+		}
+	}
+	c.flag(lit.Pos(), "closure captures %s and may escape to the heap", strings.Join(captured, ", "))
+}
+
+// captures lists the enclosing function's variables referenced by the
+// literal (declared outside the literal but inside the enclosing
+// declaration, receiver and parameters included).
+func (c *hotChecker) captures(lit *ast.FuncLit) []string {
+	decl := c.fi.Decl
+	seen := make(map[*types.Var]bool)
+	var names []string
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := c.u.Info.Uses[id].(*types.Var)
+		if !ok || v.IsField() || seen[v] {
+			return true
+		}
+		if v.Pos() >= lit.Pos() && v.Pos() < lit.End() {
+			return true // declared inside the literal
+		}
+		if v.Pos() < decl.Pos() || v.Pos() >= decl.End() {
+			return true // package-level or foreign
+		}
+		seen[v] = true
+		names = append(names, v.Name())
+		return true
+	})
+	return names
+}
+
+// onlyCalledLocally reports whether every use of obj in the enclosing
+// function is as the operand of a direct call.
+func (c *hotChecker) onlyCalledLocally(obj types.Object) bool {
+	ok := true
+	var stack []ast.Node
+	ast.Inspect(c.fi.Decl.Body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		id, isIdent := n.(*ast.Ident)
+		if !isIdent || c.u.Info.Uses[id] != obj {
+			return true
+		}
+		if len(stack) < 2 {
+			ok = false
+			return true
+		}
+		call, isCall := stack[len(stack)-2].(*ast.CallExpr)
+		if !isCall || ast.Unparen(call.Fun) != ast.Expr(id) {
+			ok = false
+		}
+		return true
+	})
+	return ok
+}
+
+// paramOnlyCalled reports whether parameter idx of the function is only
+// ever used in call position inside its body — the callback cannot be
+// stored or re-passed, so a closure argument does not escape through it.
+func paramOnlyCalled(fi *FuncInfo, idx int) bool {
+	var obj types.Object
+	i := 0
+	for _, field := range fi.Decl.Type.Params.List {
+		if len(field.Names) == 0 {
+			if i == idx {
+				return true // unnamed: the callee cannot use it at all
+			}
+			i++
+			continue
+		}
+		for _, name := range field.Names {
+			if i == idx {
+				obj = fi.Unit.Info.Defs[name]
+			}
+			i++
+		}
+	}
+	if obj == nil {
+		return false
+	}
+	ok := true
+	var stack []ast.Node
+	ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		id, isIdent := n.(*ast.Ident)
+		if !isIdent || fi.Unit.Info.Uses[id] != obj {
+			return true
+		}
+		if len(stack) < 2 {
+			ok = false
+			return true
+		}
+		call, isCall := stack[len(stack)-2].(*ast.CallExpr)
+		if !isCall || ast.Unparen(call.Fun) != ast.Expr(id) {
+			ok = false
+		}
+		return true
+	})
+	return ok
+}
+
+// --- type predicates -----------------------------------------------------
+
+func isSliceType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Slice)
+	return ok
+}
+
+func isMapType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+func isStringType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isIntegerType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	sl, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := sl.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Uint8 || b.Kind() == types.Rune || b.Kind() == types.Int32)
+}
+
+func isUntypedNil(t types.Type) bool {
+	b, ok := t.(*types.Basic)
+	return ok && b.Kind() == types.UntypedNil
+}
+
+// isPointerShaped reports whether the gc runtime stores the value directly
+// in an interface's data word (no boxing allocation).
+func isPointerShaped(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	case *types.Basic:
+		return t.Underlying().(*types.Basic).Kind() == types.UnsafePointer
+	}
+	return false
+}

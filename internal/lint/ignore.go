@@ -1,34 +1,46 @@
 package lint
 
 import (
+	"fmt"
+	"go/token"
+	"sort"
 	"strings"
 )
 
 // The suppression escape hatch: a comment of the form
 //
-//	//lint:ignore <analyzer> <reason>
+//	//lint:ignore <analyzer>[,<analyzer>...] <reason>
 //
 // on the same line as a finding, or on the line directly above it,
-// suppresses that analyzer's findings there. The reason is mandatory —
+// suppresses the named analyzers' findings there. The reason is mandatory —
 // an ignore without a justification is itself not honoured — because the
 // directive is a reviewed assertion ("caller holds d.mu") that replaces
-// the mechanical proof the analyzer could not complete. <analyzer> may be
-// a single name or "all".
+// the mechanical proof the analyzer could not complete. The analyzer list
+// is comma-separated with no spaces; "all" suppresses every analyzer.
+// Directives naming an analyzer outside the known suite are reported as
+// findings themselves (analyzer "ignore"): a misspelled suppression that
+// silently does nothing is worse than no suppression at all.
 
 // ignoreDirective is one parsed //lint:ignore comment.
 type ignoreDirective struct {
-	file     string
-	line     int
-	analyzer string // name or "all"
-	reason   string
+	pos       token.Position
+	analyzers []string // names, possibly including "all"
+	reason    string
 }
 
-// ignoreSet indexes a unit's directives by file and line.
+// ignoreSet indexes directives by file and line.
 type ignoreSet map[string]map[int][]ignoreDirective
 
 // collectIgnores parses every //lint:ignore directive in the unit.
 func collectIgnores(u *Unit) ignoreSet {
 	set := make(ignoreSet)
+	collectIgnoresInto(set, u)
+	return set
+}
+
+// collectIgnoresInto parses the unit's directives into an existing set, so
+// the driver can merge directives across all units of a program.
+func collectIgnoresInto(set ignoreSet, u *Unit) {
 	for _, f := range u.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -42,34 +54,82 @@ func collectIgnores(u *Unit) ignoreSet {
 				}
 				pos := u.Position(c.Pos())
 				d := ignoreDirective{
-					file:     pos.Filename,
-					line:     pos.Line,
-					analyzer: fields[0],
-					reason:   strings.Join(fields[1:], " "),
+					pos:       pos,
+					analyzers: strings.Split(fields[0], ","),
+					reason:    strings.Join(fields[1:], " "),
 				}
-				if set[d.file] == nil {
-					set[d.file] = make(map[int][]ignoreDirective)
+				if set[pos.Filename] == nil {
+					set[pos.Filename] = make(map[int][]ignoreDirective)
 				}
-				set[d.file][d.line] = append(set[d.file][d.line], d)
+				set[pos.Filename][pos.Line] = append(set[pos.Filename][pos.Line], d)
 			}
 		}
 	}
-	return set
 }
 
-// suppresses reports whether a directive covers the diagnostic: matching
-// analyzer (or "all") on the diagnostic's line or the line above.
+// names reports whether the directive covers the analyzer.
+func (d ignoreDirective) names(analyzer string) bool {
+	for _, a := range d.analyzers {
+		if a == "all" || a == analyzer {
+			return true
+		}
+	}
+	return false
+}
+
+// suppresses reports whether a directive covers the diagnostic: a matching
+// analyzer name (or "all") on the diagnostic's line or the line above.
 func (s ignoreSet) suppresses(d Diagnostic) bool {
-	lines := s[d.Pos.Filename]
+	return s.covers(d.Pos.Filename, d.Pos.Line, d.Analyzer)
+}
+
+// covers reports whether an ignore for the analyzer is in effect at
+// file:line. hotpath also consults this directly: an ignored call-site line
+// prunes propagation through that edge.
+func (s ignoreSet) covers(file string, line int, analyzer string) bool {
+	lines := s[file]
 	if lines == nil {
 		return false
 	}
-	for _, ln := range []int{d.Pos.Line, d.Pos.Line - 1} {
+	for _, ln := range []int{line, line - 1} {
 		for _, dir := range lines[ln] {
-			if dir.analyzer == "all" || dir.analyzer == d.Analyzer {
+			if dir.names(analyzer) {
 				return true
 			}
 		}
 	}
 	return false
+}
+
+// unknownWarnings returns one diagnostic per directive entry naming an
+// analyzer outside the known set.
+func (s ignoreSet) unknownWarnings(known map[string]bool) []Diagnostic {
+	var out []Diagnostic
+	for _, lines := range s {
+		for _, dirs := range lines {
+			for _, d := range dirs {
+				for _, name := range d.analyzers {
+					if name == "all" || known[name] {
+						continue
+					}
+					out = append(out, Diagnostic{
+						Pos:      d.pos,
+						Analyzer: "ignore",
+						Message:  fmt.Sprintf("//lint:ignore names unknown analyzer %q; the suppression has no effect (known: %s)", name, knownNames(known)),
+					})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// knownNames renders the known analyzer set for the warning message.
+func knownNames(known map[string]bool) string {
+	names := make([]string, 0, len(known))
+	for n := range known {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return strings.Join(names, ", ")
 }

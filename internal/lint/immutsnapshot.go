@@ -1,0 +1,392 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// ImmutSnapshot guards the snapshot-swap discipline: a type annotated
+//
+//	//atis:immutable
+//
+// is published by pointer to concurrent readers (CH topology and metric,
+// the cached reverse view, route-cache entries), so after its build phase
+// every byte must stay frozen. The analyzer flags field stores, element
+// stores through fields (slice/map backing arrays), and calls to mutating
+// methods — interprocedurally, through the static call graph.
+//
+// The build phase is recognised two ways:
+//
+//   - A write rooted at a *nascent* value — a local freshly created in the
+//     same function with &T{}, T{}, or new(T), or an alias derived from
+//     one — is always allowed: nothing else can see the value yet.
+//   - Otherwise the enclosing function must be *build-only* for the type:
+//     it is a build root (constructor-named in the type's package —
+//     New*/Build*/Make*/Customize*/Freeze*/Init*), or every static caller
+//     chain leads exclusively to build roots. A helper called from both a
+//     constructor and a request path is not build-only, and its writes are
+//     flagged — that is the interprocedural case the call graph exists
+//     for.
+//
+// Suppression: `//lint:ignore immutsnapshot <reason>` on the write's line.
+type ImmutSnapshot struct{}
+
+// NewImmutSnapshot returns the analyzer.
+func NewImmutSnapshot() *ImmutSnapshot { return &ImmutSnapshot{} }
+
+// Name implements Analyzer.
+func (*ImmutSnapshot) Name() string { return "immutsnapshot" }
+
+// Doc implements Analyzer.
+func (*ImmutSnapshot) Doc() string {
+	return "//atis:immutable types must not be mutated outside their build phase"
+}
+
+// RunProgram implements ProgramAnalyzer.
+func (a *ImmutSnapshot) RunProgram(p *Program) []Diagnostic {
+	if len(p.immutable) == 0 {
+		return nil
+	}
+	s := &immutState{p: p, buildMemo: make(map[buildKey]int), mutators: make(map[*types.Func]*types.TypeName)}
+	scans := make([]*immutScan, 0, len(p.Funcs()))
+	for _, fi := range p.Funcs() {
+		scans = append(scans, s.scanFunc(fi))
+	}
+	s.computeMutators(scans)
+
+	var diags []Diagnostic
+	for _, sc := range scans {
+		diags = append(diags, s.report(sc)...)
+	}
+	return diags
+}
+
+// immutWrite is one candidate mutation site.
+type immutWrite struct {
+	pos     token.Pos
+	text    string          // rendered target, for the message
+	tn      *types.TypeName // the immutable type written
+	nascent bool            // rooted at a value created in this function
+	viaRecv bool            // rooted at the method receiver
+}
+
+// immutScan is one function's scan result.
+type immutScan struct {
+	fi     *FuncInfo
+	writes []immutWrite
+	// recv is the receiver object when fi is a method on an annotated
+	// type (possibly through a pointer).
+	recv     types.Object
+	recvType *types.TypeName
+}
+
+type buildKey struct {
+	fi *FuncInfo
+	tn *types.TypeName
+}
+
+type immutState struct {
+	p *Program
+	// buildMemo: 0 unknown, 1 in progress, 2 build-only, 3 not.
+	buildMemo map[buildKey]int
+	// mutators maps method objects that mutate their receiver to the
+	// annotated receiver type.
+	mutators map[*types.Func]*types.TypeName
+}
+
+// scanFunc collects the function's candidate writes and nascent values.
+func (s *immutState) scanFunc(fi *FuncInfo) *immutScan {
+	u := fi.Unit
+	sc := &immutScan{fi: fi}
+	if fi.Decl.Recv != nil && len(fi.Decl.Recv.List) == 1 && len(fi.Decl.Recv.List[0].Names) == 1 {
+		sc.recv = u.Info.Defs[fi.Decl.Recv.List[0].Names[0]]
+		if sc.recv != nil {
+			sc.recvType = s.annotated(sc.recv.Type())
+		}
+	}
+
+	// nascent marks locals holding values created in this function (or
+	// views into them); alias maps locals extracted from an annotated
+	// value (fc := m.fwd.costs) back to the owning type.
+	nascent := make(map[types.Object]bool)
+	alias := make(map[types.Object]*types.TypeName)
+
+	record := func(lhs ast.Expr, pos token.Pos) {
+		tn, root := s.ownerOf(u, lhs, alias)
+		if tn == nil {
+			return
+		}
+		sc.writes = append(sc.writes, immutWrite{
+			pos:     pos,
+			text:    types.ExprString(lhs),
+			tn:      tn,
+			nascent: root != nil && nascent[root],
+			viaRecv: root != nil && root == sc.recv,
+		})
+	}
+
+	ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range st.Lhs {
+				if _, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+					continue // overwriting a local copy, not a shared value
+				}
+				record(lhs, lhs.Pos())
+			}
+			// Track nascent locals and aliases, in textual order.
+			if len(st.Lhs) == len(st.Rhs) {
+				for i, lhs := range st.Lhs {
+					id, ok := ast.Unparen(lhs).(*ast.Ident)
+					if !ok {
+						continue
+					}
+					obj := objectOf(u.Info, id)
+					if obj == nil {
+						continue
+					}
+					rhs := ast.Unparen(st.Rhs[i])
+					created := s.annotatedAllocation(u, rhs)
+					tn, root := s.ownerOf(u, rhs, alias)
+					switch {
+					case created != nil:
+						nascent[obj] = true
+					case tn != nil:
+						alias[obj] = tn
+						nascent[obj] = root != nil && nascent[root]
+					default:
+						delete(alias, obj)
+						nascent[obj] = false
+					}
+				}
+			}
+		case *ast.IncDecStmt:
+			if _, ok := ast.Unparen(st.X).(*ast.Ident); !ok {
+				record(st.X, st.X.Pos())
+			}
+		}
+		return true
+	})
+	return sc
+}
+
+// annotatedAllocation reports the annotated type instantiated by the
+// expression: &T{...}, T{...}, or new(T).
+func (s *immutState) annotatedAllocation(u *Unit, e ast.Expr) *types.TypeName {
+	switch x := e.(type) {
+	case *ast.UnaryExpr:
+		if x.Op == token.AND {
+			if lit, ok := ast.Unparen(x.X).(*ast.CompositeLit); ok {
+				return s.annotated(typeOfExpr(u, lit))
+			}
+		}
+	case *ast.CompositeLit:
+		return s.annotated(typeOfExpr(u, x))
+	case *ast.CallExpr:
+		if id, ok := ast.Unparen(x.Fun).(*ast.Ident); ok && len(x.Args) == 1 {
+			if b, ok := objectOf(u.Info, id).(*types.Builtin); ok && b.Name() == "new" {
+				return s.annotated(typeOfExpr(u, x.Args[0]))
+			}
+		}
+	}
+	return nil
+}
+
+// ownerOf walks a selector/index/deref chain and returns the annotated
+// type it passes through, along with the chain's root object.
+func (s *immutState) ownerOf(u *Unit, e ast.Expr, alias map[types.Object]*types.TypeName) (*types.TypeName, types.Object) {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			if tn := s.annotated(typeOfExpr(u, x.X)); tn != nil {
+				return tn, chainRoot(u, x.X)
+			}
+			e = x.X
+		case *ast.IndexExpr:
+			if tn := s.annotated(typeOfExpr(u, x.X)); tn != nil {
+				return tn, chainRoot(u, x.X)
+			}
+			e = x.X
+		case *ast.StarExpr:
+			if tn := s.annotated(typeOfExpr(u, x.X)); tn != nil {
+				return tn, chainRoot(u, x.X)
+			}
+			e = x.X
+		case *ast.Ident:
+			obj := objectOf(u.Info, x)
+			if obj == nil {
+				return nil, nil
+			}
+			if tn := s.annotated(obj.Type()); tn != nil {
+				return tn, obj
+			}
+			if tn := alias[obj]; tn != nil {
+				return tn, obj
+			}
+			return nil, nil
+		default:
+			return nil, nil
+		}
+	}
+}
+
+// chainRoot resolves the base identifier's object, or nil.
+func chainRoot(u *Unit, e ast.Expr) types.Object {
+	if id := rootIdent(e); id != nil {
+		return objectOf(u.Info, id)
+	}
+	return nil
+}
+
+// annotated returns the //atis:immutable type name behind t (through one
+// pointer level), or nil.
+func (s *immutState) annotated(t types.Type) *types.TypeName {
+	if t == nil {
+		return nil
+	}
+	t = types.Unalias(t)
+	if p, ok := t.(*types.Pointer); ok {
+		t = types.Unalias(p.Elem())
+	}
+	if n, ok := t.(*types.Named); ok && s.p.immutable[n.Obj()] {
+		return n.Obj()
+	}
+	return nil
+}
+
+// computeMutators runs the fixpoint marking methods that mutate their
+// annotated receiver, directly or by calling another mutator on it.
+func (s *immutState) computeMutators(scans []*immutScan) {
+	for _, sc := range scans {
+		if sc.recvType == nil {
+			continue
+		}
+		for _, w := range sc.writes {
+			if w.viaRecv {
+				s.mutators[sc.fi.Obj] = sc.recvType
+				break
+			}
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, sc := range scans {
+			if sc.recvType == nil || s.mutators[sc.fi.Obj] != nil {
+				continue
+			}
+			for _, site := range sc.fi.Calls {
+				if site.Kind != CallStatic || site.Callee == nil || s.mutators[site.Callee] == nil {
+					continue
+				}
+				sel, ok := ast.Unparen(site.Call.Fun).(*ast.SelectorExpr)
+				if !ok || chainRoot(sc.fi.Unit, sel.X) != sc.recv {
+					continue
+				}
+				s.mutators[sc.fi.Obj] = sc.recvType
+				changed = true
+				break
+			}
+		}
+	}
+}
+
+// report emits the diagnostics for one function: non-nascent writes and
+// mutating-method calls outside the type's build phase.
+func (s *immutState) report(sc *immutScan) []Diagnostic {
+	u := sc.fi.Unit
+	var diags []Diagnostic
+	for _, w := range sc.writes {
+		if w.nascent || s.buildOnly(sc.fi, w.tn) {
+			continue
+		}
+		diags = append(diags, Diagnostic{
+			Pos:      u.Position(w.pos),
+			Analyzer: "immutsnapshot",
+			Message: "write to " + w.text + " mutates //atis:immutable " + w.tn.Name() +
+				" outside its build phase (" + shortFuncName(sc.fi.Obj) + " is not build-only)",
+		})
+	}
+	for _, site := range sc.fi.Calls {
+		if site.Kind != CallStatic || site.Callee == nil {
+			continue
+		}
+		tn := s.mutators[site.Callee]
+		if tn == nil || site.Callee == sc.fi.Obj || s.buildOnly(sc.fi, tn) {
+			continue
+		}
+		diags = append(diags, Diagnostic{
+			Pos:      u.Position(site.Call.Pos()),
+			Analyzer: "immutsnapshot",
+			Message: "call to mutating method " + shortFuncName(site.Callee) + " of //atis:immutable " +
+				tn.Name() + " outside its build phase (" + shortFuncName(sc.fi.Obj) + " is not build-only)",
+		})
+	}
+	return diags
+}
+
+// buildOnly reports whether every static path to fi starts at a build root
+// for tn. Cycles resolve to false: a recursive helper cannot prove it is
+// only ever part of construction.
+func (s *immutState) buildOnly(fi *FuncInfo, tn *types.TypeName) bool {
+	k := buildKey{fi, tn}
+	switch s.buildMemo[k] {
+	case 2:
+		return true
+	case 1, 3:
+		return false
+	}
+	s.buildMemo[k] = 1
+	res := false
+	if s.isBuildRoot(fi, tn) {
+		res = true
+	} else if callers := s.p.Callers(fi.Obj); len(callers) > 0 {
+		res = true
+		for _, caller := range callers {
+			if !s.buildOnly(caller, tn) {
+				res = false
+				break
+			}
+		}
+	}
+	if res {
+		s.buildMemo[k] = 2
+	} else {
+		s.buildMemo[k] = 3
+	}
+	return res
+}
+
+// buildPrefixes are the constructor naming conventions that mark a build
+// root when the function lives in the annotated type's package.
+var buildPrefixes = []string{"New", "new", "Build", "build", "Make", "make", "Customize", "customize", "Freeze", "freeze", "Init", "init"}
+
+// isBuildRoot reports whether fi is constructor-named in the type's
+// package. A function that merely *creates* the type is deliberately not a
+// root: its writes to the fresh value are already allowed through nascent
+// tracking, and blessing the whole function would also bless writes to
+// other, already-published values of the type (a rebuild function poking
+// the snapshot it is replacing).
+func (s *immutState) isBuildRoot(fi *FuncInfo, tn *types.TypeName) bool {
+	if fi.Obj.Pkg() != tn.Pkg() {
+		return false
+	}
+	name := fi.Obj.Name()
+	for _, prefix := range buildPrefixes {
+		if name == prefix || (len(name) > len(prefix) && name[:len(prefix)] == prefix) {
+			return true
+		}
+	}
+	return false
+}
+
+// typeOfExpr resolves an expression's type from the unit's info. For
+// new(T) arguments the expression is a type, so Types carries it too.
+func typeOfExpr(u *Unit, e ast.Expr) types.Type {
+	if tv, ok := u.Info.Types[e]; ok {
+		return tv.Type
+	}
+	return nil
+}

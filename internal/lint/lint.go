@@ -9,10 +9,14 @@
 //
 // The framework is deliberately small and built only on the standard
 // library (go/parser, go/ast, go/types): the main module stays
-// dependency-free. An Analyzer inspects one type-checked package (a Unit)
-// and reports Diagnostics; the loader in loader.go type-checks every
-// package of the module, and ignore.go implements the
-// `//lint:ignore <analyzer> <reason>` escape hatch.
+// dependency-free. A UnitAnalyzer inspects one type-checked package (a
+// Unit) and reports Diagnostics; a ProgramAnalyzer inspects the whole
+// module at once through a Program — all units type-checked together plus
+// a static call graph (program.go) — which is how the interprocedural
+// checks (hotpath, immutsnapshot) follow an annotated kernel into its
+// helpers. The loader in loader.go type-checks every package of the
+// module, and ignore.go implements the
+// `//lint:ignore <analyzer>[,<analyzer>...] <reason>` escape hatch.
 package lint
 
 import (
@@ -53,16 +57,35 @@ type Unit struct {
 // Position resolves a token.Pos against the unit's file set.
 func (u *Unit) Position(pos token.Pos) token.Position { return u.Fset.Position(pos) }
 
-// Analyzer is one invariant checker.
+// Analyzer is one invariant checker. Every analyzer also implements either
+// UnitAnalyzer (per-package inspection) or ProgramAnalyzer (whole-program,
+// interprocedural inspection over the static call graph).
 type Analyzer interface {
 	// Name is the identifier used on the command line and in
 	// //lint:ignore directives.
 	Name() string
 	// Doc is a one-line description of the invariant the analyzer guards.
 	Doc() string
+}
+
+// UnitAnalyzer inspects one type-checked package at a time.
+type UnitAnalyzer interface {
+	Analyzer
 	// Run inspects the unit and returns its findings. Suppression is the
 	// driver's job; analyzers report everything they see.
 	Run(u *Unit) []Diagnostic
+}
+
+// ProgramAnalyzer inspects the whole module at once: all units plus the
+// static call graph. The driver builds the Program lazily, once, and shares
+// it between program analyzers.
+type ProgramAnalyzer interface {
+	Analyzer
+	// RunProgram inspects the program and returns its findings. As with
+	// Run, suppression is the driver's job — except for hotpath's
+	// edge-pruning reading of call-site ignores, which is documented on
+	// that analyzer.
+	RunProgram(p *Program) []Diagnostic
 }
 
 // Analyzers returns the full suite in stable order.
@@ -74,25 +97,54 @@ func Analyzers() []Analyzer {
 		NewRecorderGuard(),
 		NewCtxCheck(),
 		NewSpanEnd(),
+		NewHotPath(),
+		NewImmutSnapshot(),
 	}
 }
 
-// Run applies every analyzer to every unit, filters suppressed findings via
+// Run applies every analyzer to the units, filters suppressed findings via
 // the //lint:ignore directives in the units' files, and returns the
-// remaining diagnostics sorted by position.
+// remaining diagnostics sorted by position. Directives naming an analyzer
+// outside the known suite produce their own "ignore" diagnostics: a typo in
+// a suppression must not silently leave the finding live while looking
+// handled.
 func Run(units []*Unit, analyzers []Analyzer) []Diagnostic {
-	var out []Diagnostic
+	known := make(map[string]bool)
+	for _, a := range Analyzers() {
+		known[a.Name()] = true
+	}
+	for _, a := range analyzers {
+		known[a.Name()] = true
+	}
+
+	ignores := make(ignoreSet)
 	for _, u := range units {
-		ignores := collectIgnores(u)
-		for _, a := range analyzers {
-			for _, d := range a.Run(u) {
-				if ignores.suppresses(d) {
-					continue
-				}
-				out = append(out, d)
+		collectIgnoresInto(ignores, u)
+	}
+
+	var prog *Program
+	var out []Diagnostic
+	for _, a := range analyzers {
+		var diags []Diagnostic
+		switch impl := a.(type) {
+		case ProgramAnalyzer:
+			if prog == nil {
+				prog = NewProgram(units)
+			}
+			diags = impl.RunProgram(prog)
+		case UnitAnalyzer:
+			for _, u := range units {
+				diags = append(diags, impl.Run(u)...)
 			}
 		}
+		for _, d := range diags {
+			if ignores.suppresses(d) {
+				continue
+			}
+			out = append(out, d)
+		}
 	}
+	out = append(out, ignores.unknownWarnings(known)...)
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
 		if a.Pos.Filename != b.Pos.Filename {

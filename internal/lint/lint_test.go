@@ -84,8 +84,10 @@ func TestAnalyzersFire(t *testing.T) {
 }
 
 // TestRepoClean runs the full suite over this repository: the tree must
-// stay lint-clean (the same gate as `make lint`). Skipped with -short —
-// type-checking the module plus its stdlib imports takes a few seconds.
+// stay lint-clean (the same gate as `make lint`). Each of the eight
+// analyzers runs as its own subtest so a regression names the invariant
+// it broke, not just "lint failed". Skipped with -short — type-checking
+// the module plus its stdlib imports takes a few seconds.
 func TestRepoClean(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full-module type check; skipped in -short mode")
@@ -101,8 +103,17 @@ func TestRepoClean(t *testing.T) {
 	if len(units) < 20 {
 		t.Fatalf("loaded only %d packages; the loader is missing most of the module", len(units))
 	}
-	for _, d := range Run(units, Analyzers()) {
-		t.Errorf("%s", d)
+	analyzers := Analyzers()
+	if len(analyzers) != 8 {
+		t.Fatalf("Analyzers() returned %d analyzers, want 8; update this test with the new invariant", len(analyzers))
+	}
+	for _, a := range analyzers {
+		a := a
+		t.Run(a.Name(), func(t *testing.T) {
+			for _, d := range Run(units, []Analyzer{a}) {
+				t.Errorf("%s", d)
+			}
+		})
 	}
 }
 
@@ -135,6 +146,138 @@ func (x *s) bad() int {
 	diags := Run(units, []Analyzer{NewLockScope()})
 	if len(diags) != 1 {
 		t.Fatalf("want 1 finding despite the reason-less ignore, got %d: %v", len(diags), diags)
+	}
+}
+
+// TestIgnoreMultipleAnalyzers verifies the comma-separated directive
+// form: one //lint:ignore line naming two analyzers suppresses both
+// analyzers' findings on the next line.
+func TestIgnoreMultipleAnalyzers(t *testing.T) {
+	const body = `package fixture
+
+import "sync"
+
+type s struct {
+	mu sync.Mutex
+	m  map[int]int
+}
+
+//atis:hotpath
+func (x *s) seed() {
+	%sx.m[0] = len(x.m)
+}
+`
+	load := func(t *testing.T, directive string) []Diagnostic {
+		dir := t.TempDir()
+		writeFile(t, filepath.Join(dir, "go.mod"), "module fixture\n\ngo 1.22\n")
+		writeFile(t, filepath.Join(dir, "fixture.go"), fmt.Sprintf(body, directive))
+		loader, err := NewLoader(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		units, err := loader.LoadAll()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return Run(units, []Analyzer{NewLockScope(), NewHotPath()})
+	}
+
+	// Without the directive both analyzers fire on the same line.
+	bare := load(t, "")
+	var analyzers []string
+	for _, d := range bare {
+		analyzers = append(analyzers, d.Analyzer)
+	}
+	if len(bare) < 2 || !strings.Contains(strings.Join(analyzers, " "), "lockscope") ||
+		!strings.Contains(strings.Join(analyzers, " "), "hotpath") {
+		t.Fatalf("baseline fixture must trip both analyzers, got %v", bare)
+	}
+
+	// One comma-list directive silences both.
+	suppressed := load(t, "//lint:ignore lockscope,hotpath startup-time seeding, single-threaded and cold\n\t")
+	if len(suppressed) != 0 {
+		t.Errorf("comma-list ignore left %d finding(s): %v", len(suppressed), suppressed)
+	}
+
+	// Naming only one analyzer leaves the other's finding standing.
+	partial := load(t, "//lint:ignore lockscope startup-time seeding, single-threaded\n\t")
+	if len(partial) == 0 {
+		t.Error("single-name ignore must not suppress the other analyzer's finding")
+	}
+	for _, d := range partial {
+		if d.Analyzer == "lockscope" {
+			t.Errorf("lockscope finding survived its own ignore: %v", d)
+		}
+	}
+}
+
+// TestIgnoreUnknownAnalyzerWarns verifies a typo'd analyzer name in a
+// directive produces a warning diagnostic instead of silently suppressing
+// nothing.
+func TestIgnoreUnknownAnalyzerWarns(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, filepath.Join(dir, "go.mod"), "module fixture\n\ngo 1.22\n")
+	writeFile(t, filepath.Join(dir, "fixture.go"), `package fixture
+
+import "sync"
+
+type s struct {
+	mu sync.Mutex
+	m  map[int]int
+}
+
+func (x *s) bad() int {
+	//lint:ignore lockscpoe typo: the analyzer is called lockscope
+	return len(x.m)
+}
+`)
+	loader, err := NewLoader(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	units, err := loader.LoadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := Run(units, []Analyzer{NewLockScope()})
+	var lockscope, warnings int
+	for _, d := range diags {
+		switch d.Analyzer {
+		case "lockscope":
+			lockscope++
+		case "ignore":
+			warnings++
+			if !strings.Contains(d.Message, `unknown analyzer "lockscpoe"`) {
+				t.Errorf("warning does not name the bad analyzer: %s", d.Message)
+			}
+		}
+	}
+	if lockscope != 1 {
+		t.Errorf("typo'd directive must not suppress the finding; lockscope findings = %d", lockscope)
+	}
+	if warnings != 1 {
+		t.Errorf("want exactly one unknown-analyzer warning, got %d: %v", warnings, diags)
+	}
+}
+
+// BenchmarkLintModule times the full eight-analyzer run over the loaded
+// module (type-checking excluded), the `make bench-lint` figure that keeps
+// the interprocedural pass honest as the call graph grows.
+func BenchmarkLintModule(b *testing.B) {
+	loader, err := NewLoader(filepath.Join("..", ".."))
+	if err != nil {
+		b.Fatalf("loading module: %v", err)
+	}
+	units, err := loader.LoadAll()
+	if err != nil {
+		b.Fatalf("type-checking module: %v", err)
+	}
+	analyzers := Analyzers()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if diags := Run(units, analyzers); len(diags) != 0 {
+			b.Fatalf("module not lint-clean: %v", diags)
+		}
 	}
 }
 

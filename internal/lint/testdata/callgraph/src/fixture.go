@@ -1,0 +1,31 @@
+// Package fixture exercises call-graph resolution: direct calls, method
+// calls through concrete receivers, conservative interface and func-value
+// treatment, and the builtin/conversion exclusions.
+package fixture
+
+import "fixture/leaf"
+
+// Worker is a concrete receiver type.
+type Worker struct{ n int }
+
+// Step is resolved statically at w.Step() call sites and carries a
+// cross-package edge of its own.
+func (w *Worker) Step() int { return leaf.Incr(w.n) }
+
+// Stepper makes the same method dynamic when called through the interface.
+type Stepper interface{ Step() int }
+
+// Direct has one static edge.
+func Direct() int { return helperFn() }
+
+func helperFn() int { return 1 }
+
+// Method resolves the receiver concretely: a static edge to Worker.Step.
+func Method(w *Worker) int { return w.Step() }
+
+// Dynamic shows the conservative cases: an interface method call and a
+// func-value call produce no static edges.
+func Dynamic(s Stepper, f func() int) int { return s.Step() + f() }
+
+// Quiet has no edges: builtins and conversions are not calls.
+func Quiet(xs []int) int64 { return int64(len(xs)) }

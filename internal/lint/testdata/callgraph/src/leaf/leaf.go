@@ -1,0 +1,5 @@
+// Package leaf is the cross-package callee.
+package leaf
+
+// Incr is reached from fixture.Worker.Step.
+func Incr(n int) int { return n + 1 }

@@ -1,0 +1,92 @@
+// Package fixture exercises the hotpath analyzer: allocation sources in
+// annotated kernels, interprocedural propagation into another package, the
+// non-escape closure proofs, the panic exemption, and the two escape
+// hatches (finding suppression and edge pruning).
+package fixture
+
+import (
+	"fmt"
+
+	"fixture/helper"
+)
+
+// sink consumes a boxed value.
+func sink(v any) { _ = v }
+
+// each invokes fn on every element; fn is only ever called, never stored,
+// so closure arguments do not escape through it.
+func each(xs []int, fn func(int)) {
+	for _, x := range xs {
+		fn(x)
+	}
+}
+
+// variadicSum materialises its argument slice at non-spread call sites.
+func variadicSum(xs ...int) int {
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}
+
+// GoodKernel allocates nothing: parameter-backed appends, non-escaping
+// closures, deferred in-frame execution, and a panic-only Sprintf.
+//
+//atis:hotpath
+func GoodKernel(buf []int) int {
+	buf = append(buf, 1) // parameter-backed: capacity is the caller's business
+	total := 0
+	each(buf, func(x int) { total += x }) // callback never escapes each
+	add := func(x int) { total += x }     // local closure, only ever called
+	add(3)
+	defer func() { total++ }() // deferred in-frame execution
+	if total < 0 {
+		panic(fmt.Sprintf("impossible total %d", total)) // crash path is exempt
+	}
+	return total
+}
+
+// BadKernel trips every allocation class the analyzer knows.
+//
+//atis:hotpath
+func BadKernel(n int, s string) int {
+	xs := make([]int, n)
+	ys := []int{1, 2}
+	ys = append(ys, 3)
+	m := map[string]int{}
+	m[s] = 1
+	msg := s + "!"
+	bs := []byte(msg)
+	sink(n)
+	p := new(int)
+	_ = variadicSum(1, 2)
+	go func() { xs[0] = n }()
+	return helper.Scratch(n) + len(bs) + *p + len(ys)
+}
+
+// BlessedSuppression shows the per-site escape hatch: the reviewed reason
+// keeps the one deliberate allocation out of the findings.
+//
+//atis:hotpath
+func BlessedSuppression(n int) []int {
+	//lint:ignore hotpath result materialisation: the query's one allowed allocation
+	out := make([]int, 0, n)
+	return out
+}
+
+// coldRefill allocates, but is only reachable over a pruned edge.
+func coldRefill(n int) []int {
+	return make([]int, n)
+}
+
+// BlessedEdge prunes propagation: the ignore on the call line asserts
+// coldRefill runs cold (pool refill), so its body is not held to the
+// hot-path standard.
+//
+//atis:hotpath
+func BlessedEdge(n int) int {
+	//lint:ignore hotpath pool refill runs once at startup, off the warm path
+	xs := coldRefill(n)
+	return len(xs)
+}

@@ -1,0 +1,11 @@
+// Package helper is the cross-package callee of the interprocedural case:
+// nothing here is annotated, but fixture.BadKernel pulls Scratch onto a
+// hot path through a static call edge.
+package helper
+
+// Scratch allocates a temporary. The finding names the annotated root
+// that reached it.
+func Scratch(n int) int {
+	tmp := make([]int, n)
+	return len(tmp)
+}

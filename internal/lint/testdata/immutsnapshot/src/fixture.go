@@ -1,0 +1,75 @@
+// Package fixture exercises the immutsnapshot analyzer: nascent-value
+// writes, the interprocedural build-only classification of helpers, writes
+// through aliases, mutating-method calls, and the suppression hatch.
+package fixture
+
+// Snapshot is frozen after construction and shared by reference with
+// concurrent readers.
+//
+//atis:immutable
+type Snapshot struct {
+	data    []int
+	index   map[string]int
+	version int
+}
+
+// NewSnapshot is the build phase: writes to the nascent value and calls
+// into build-only helpers are legal.
+func NewSnapshot(n int) *Snapshot {
+	s := &Snapshot{data: make([]int, n), index: make(map[string]int)}
+	s.version = 1 // nascent value: allowed
+	costs := s.data
+	costs[0] = 42 // alias derived from the nascent value: allowed
+	fill(s)
+	rescale(s, 2)
+	return s
+}
+
+// fill is reachable only from NewSnapshot, so the call graph proves it
+// build-only; its receiver-rooted writes pass.
+func fill(s *Snapshot) {
+	for i := range s.data {
+		s.data[i] = i
+	}
+}
+
+// rescale is reachable from NewSnapshot AND Handle, so it is not
+// build-only: its writes are flagged even though a constructor uses it.
+func rescale(s *Snapshot, k int) {
+	for i := range s.data {
+		s.data[i] *= k
+	}
+}
+
+// Bump is a mutating method: flagged at its write, and its call sites
+// outside the build phase are flagged too.
+func (s *Snapshot) Bump() {
+	s.version++
+}
+
+// Rebuild derives a successor snapshot. Writes to the fresh value are
+// nascent and pass; the write-back into the published predecessor is the
+// violation.
+func Rebuild(old *Snapshot) *Snapshot {
+	next := &Snapshot{data: make([]int, len(old.data)), index: make(map[string]int)}
+	next.version = old.version + 1 // nascent: allowed
+	copy(next.data, old.data)
+	old.version = 0 // published value: flagged
+	return next
+}
+
+// Handle is a request path: every mutation here is a violation.
+func Handle(s *Snapshot, key string) {
+	s.data[0] = 99
+	s.index[key] = 1
+	view := s.data
+	view[1] = 7 // write through an alias of a published value
+	rescale(s, 3)
+	s.Bump()
+}
+
+// BlessedSwap shows the reviewed escape hatch.
+func BlessedSwap(s *Snapshot) {
+	//lint:ignore immutsnapshot version reset happens under the registry write lock before publication
+	s.version = 0
+}

@@ -1,0 +1,32 @@
+package pqueue
+
+import "testing"
+
+// TestIndexedHotOpsZeroAlloc is the gate test behind the //atis:hotpath
+// annotations on the Indexed heap's query-loop operations: once the
+// backing slices have grown to the working size (AllocsPerRun's warm-up
+// call does that), a full push/update/peek/pop/reset cycle allocates
+// nothing.
+func TestIndexedHotOpsZeroAlloc(t *testing.T) {
+	h := NewIndexed(64)
+	allocs := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 32; i++ {
+			h.PushTie(i, float64(63-i), float64(i))
+		}
+		h.UpdateTie(10, 1.5, 0)
+		h.PushOrUpdateTie(10, 0.5, 0) // present: update path
+		h.PushOrUpdateTie(40, 7, 0)   // absent: push path
+		if _, _, ok := h.Peek(); !ok {
+			t.Error("Peek on a non-empty heap reported empty")
+		}
+		for {
+			if _, _, ok := h.PopMin(); !ok {
+				break
+			}
+		}
+		h.Reset()
+	})
+	if allocs != 0 {
+		t.Fatalf("hot heap ops allocate %.1f times per cycle, want 0", allocs)
+	}
+}

@@ -52,6 +52,8 @@ func (h *Indexed) Len() int { return len(h.items) }
 // workspace can reuse it across queries without reallocation. Cost is
 // O(queued items), not O(capacity): only the position entries of items
 // still queued need clearing.
+//
+//atis:hotpath
 func (h *Indexed) Reset() {
 	for _, item := range h.items {
 		h.pos[item] = -1
@@ -77,6 +79,7 @@ func (h *Indexed) Grow(capacity int) {
 		}
 		return
 	}
+	//lint:ignore hotpath growth reallocates once per larger graph; steady traffic over one graph never takes this branch
 	pos := make([]int, capacity)
 	copy(pos, h.pos)
 	for i := len(h.pos); i < capacity; i++ {
@@ -112,6 +115,8 @@ func (h *Indexed) Push(item int, priority float64) { h.PushTie(item, priority, 0
 // equal priorities, smaller tie wins (and equal ties fall back to the
 // smaller item key). A* uses tie = −g to prefer the deeper node when f
 // values tie, the standard way to avoid plateau flooding on uniform grids.
+//
+//atis:hotpath
 func (h *Indexed) PushTie(item int, priority, tie float64) {
 	if item < 0 || item >= len(h.pos) {
 		panic(fmt.Sprintf("pqueue: item %d out of range [0,%d)", item, len(h.pos)))
@@ -132,6 +137,8 @@ func (h *Indexed) PushTie(item int, priority, tie float64) {
 func (h *Indexed) Update(item int, priority float64) { h.UpdateTie(item, priority, 0) }
 
 // UpdateTie changes the priority and tie-break key of a queued item.
+//
+//atis:hotpath
 func (h *Indexed) UpdateTie(item int, priority, tie float64) {
 	if !h.Contains(item) {
 		panic(fmt.Sprintf("pqueue: Update of item %d which is not queued", item))
@@ -151,6 +158,8 @@ func (h *Indexed) PushOrUpdate(item int, priority float64) {
 
 // PushOrUpdateTie inserts the item if absent, otherwise updates its priority
 // and tie-break key.
+//
+//atis:hotpath
 func (h *Indexed) PushOrUpdateTie(item int, priority, tie float64) {
 	if h.Contains(item) {
 		h.UpdateTie(item, priority, tie)
@@ -161,6 +170,8 @@ func (h *Indexed) PushOrUpdateTie(item int, priority, tie float64) {
 
 // Peek returns the minimum item and its priority without removing it. ok is
 // false when the heap is empty.
+//
+//atis:hotpath
 func (h *Indexed) Peek() (item int, priority float64, ok bool) {
 	if len(h.items) == 0 {
 		return 0, 0, false
@@ -170,6 +181,8 @@ func (h *Indexed) Peek() (item int, priority float64, ok bool) {
 
 // PopMin removes and returns the item with the smallest priority (smallest
 // key among ties). ok is false when the heap is empty.
+//
+//atis:hotpath
 func (h *Indexed) PopMin() (item int, priority float64, ok bool) {
 	if len(h.items) == 0 {
 		return 0, 0, false

@@ -41,7 +41,12 @@ func (k cacheKey) hash() uint64 {
 	return h
 }
 
-// cacheEntry is one resident route.
+// cacheEntry is one resident route. Entries are immutable once linked
+// into a shard: an update replaces the element's entry wholesale rather
+// than editing the resident route, so a concurrent get cloning the old
+// entry never observes a half-written value.
+//
+//atis:immutable
 type cacheEntry struct {
 	key   cacheKey
 	route core.Route
@@ -107,7 +112,7 @@ func (c *routeCache) put(k cacheKey, rt core.Route) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if el, ok := s.table[k]; ok {
-		el.Value.(*cacheEntry).route = cloneRoute(rt)
+		el.Value = &cacheEntry{key: k, route: cloneRoute(rt)}
 		s.order.MoveToFront(el)
 		return
 	}

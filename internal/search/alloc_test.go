@@ -1,0 +1,81 @@
+package search
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/estimator"
+	"repro/internal/graph"
+)
+
+// chainWithIsland builds a ten-node directed chain plus one isolated node.
+// A query toward the island drives the full warm search loop — frontier
+// churn, label stamping, heap traffic — and returns "not found" without
+// materialising a result path, isolating the steady-state loop from the
+// one deliberate result allocation the //lint:ignore directives bless.
+func chainWithIsland(t *testing.T) (g *graph.Graph, s, island graph.NodeID) {
+	t.Helper()
+	b := graph.NewBuilder(11, 10)
+	for i := 0; i < 11; i++ {
+		b.AddNode(float64(i), 0)
+	}
+	for i := 0; i < 9; i++ {
+		b.AddEdge(graph.NodeID(i), graph.NodeID(i+1), 1)
+	}
+	b.AddEdge(9, 0, 1)
+	built, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return built, 0, 10
+}
+
+// TestHotpathKernelsZeroAlloc is the gate test behind the //atis:hotpath
+// annotations on IterativeCtx, BestFirstCtx, and BidirectionalCtx: after
+// the workspace pool is warm, a full search that finds no path performs
+// zero allocations per run. atislint's hotpath analyzer proves the same
+// property statically; this test pins it against the runtime.
+func TestHotpathKernelsZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("the race detector defeats sync.Pool caching, so allocs/op is not meaningful under -race")
+	}
+	g, s, island := chainWithIsland(t)
+	ctx := context.Background()
+	zero := estimator.Zero()
+
+	// Warm the workspace pool, the reverse-view cache, and every scratch
+	// slice each kernel grows on its first run.
+	for i := 0; i < 4; i++ {
+		if _, err := IterativeCtx(ctx, g, s, island); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := BestFirstCtx(ctx, g, s, island, Options{Estimator: zero}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := BidirectionalCtx(ctx, g, s, island); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	kernels := []struct {
+		name string
+		run  func() (Result, error)
+	}{
+		{"IterativeCtx", func() (Result, error) { return IterativeCtx(ctx, g, s, island) }},
+		{"BestFirstCtx", func() (Result, error) { return BestFirstCtx(ctx, g, s, island, Options{Estimator: zero}) }},
+		{"BidirectionalCtx", func() (Result, error) { return BidirectionalCtx(ctx, g, s, island) }},
+	}
+	for _, k := range kernels {
+		t.Run(k.name, func(t *testing.T) {
+			allocs := testing.AllocsPerRun(100, func() {
+				res, err := k.run()
+				if err != nil || res.Found {
+					t.Errorf("unexpected outcome: found=%v err=%v", res.Found, err)
+				}
+			})
+			if allocs != 0 {
+				t.Errorf("warm %s allocates %.1f times per run, want 0", k.name, allocs)
+			}
+		})
+	}
+}

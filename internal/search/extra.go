@@ -67,6 +67,8 @@ func Bidirectional(g *graph.Graph, s, d graph.NodeID) (Result, error) {
 // combined loop polls ctx once per expansion (amortised, see
 // lifecycle.poll) and stops with a typed lifecycle error plus the
 // partial Trace when the context dies or the expansion budget runs out.
+//
+//atis:hotpath
 func BidirectionalCtx(ctx context.Context, g *graph.Graph, s, d graph.NodeID) (res Result, err error) {
 	if err := validatePair(g, s, d); err != nil {
 		return Result{}, err
@@ -79,11 +81,13 @@ func BidirectionalCtx(ctx context.Context, g *graph.Graph, s, d graph.NodeID) (r
 		defer observeRun(rec, "bidirectional", time.Now(), &res, &err)
 	}
 	if s == d {
+		//lint:ignore hotpath trivial same-node answer: one two-word slice on a path that does no search work
 		return Result{Found: true, Path: graph.Path{Nodes: []graph.NodeID{s}}, Cost: 0}, nil
 	}
 	// ReverseView caches the reverse graph keyed on the cost version, so a
 	// stream of queries under stable traffic shares one reverse instead of
 	// paying an O(m) rebuild per call (the last per-query O(m) allocation).
+	//lint:ignore hotpath the reverse view is cached per cost version; the O(m) rebuild runs once per traffic batch
 	rg := g.ReverseView()
 	n := g.NumNodes()
 
@@ -197,6 +201,7 @@ func BidirectionalCtx(ctx context.Context, g *graph.Graph, s, d graph.NodeID) (r
 	// Stitch: s → … → meet from the forward tree, then meet → … → d from the
 	// backward tree's successor pointers. Every node on the winning path was
 	// touched this query, so the pooled label arrays are safe to follow.
+	//lint:ignore hotpath result materialisation: the stitched path is the query's one allocation
 	forward := graph.BuildPath(lbF.prev, s, meet)
 	nodes := append([]graph.NodeID(nil), forward.Nodes...)
 	for at := lbB.prev[meet]; at != graph.Invalid; {

@@ -1,0 +1,8 @@
+//go:build race
+
+package search
+
+// raceEnabled reports whether this test binary was built with the race
+// detector, which deliberately bypasses sync.Pool caching to widen race
+// windows — making allocs-per-op assertions meaningless under -race.
+const raceEnabled = true

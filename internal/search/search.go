@@ -75,9 +75,11 @@ type Result struct {
 func validatePair(g *graph.Graph, s, d graph.NodeID) error {
 	n := graph.NodeID(g.NumNodes())
 	if s < 0 || s >= n {
+		//lint:ignore hotpath cold validation error path: a rejected request never reaches the loop
 		return fmt.Errorf("search: source %d out of range [0,%d)", s, n)
 	}
 	if d < 0 || d >= n {
+		//lint:ignore hotpath cold validation error path: a rejected request never reaches the loop
 		return fmt.Errorf("search: destination %d out of range [0,%d)", d, n)
 	}
 	return nil
@@ -116,6 +118,8 @@ func Iterative(g *graph.Graph, s, d graph.NodeID) (Result, error) {
 // the expansion budget (WithBudget) runs out. Because the algorithm
 // cannot terminate before exploring the whole reachable graph, it is the
 // kernel that profits most from a bounded lifecycle.
+//
+//atis:hotpath
 func IterativeCtx(ctx context.Context, g *graph.Graph, s, d graph.NodeID) (res Result, err error) {
 	if err := validatePair(g, s, d); err != nil {
 		return Result{}, err
@@ -183,6 +187,7 @@ func IterativeCtx(ctx context.Context, g *graph.Graph, s, d graph.NodeID) (res R
 	}
 	return Result{
 		Found: true,
+		//lint:ignore hotpath result materialisation: the returned path is the query's one allocation
 		Path:  graph.BuildPath(lb.prev, s, d),
 		Cost:  lb.dist[d],
 		Trace: tr,
@@ -278,6 +283,8 @@ func BestFirst(g *graph.Graph, s, d graph.NodeID, opts Options) (Result, error) 
 // CheckInterval pops) and stops with ErrCanceled, ErrDeadline, or
 // ErrBudget plus the partial Trace as soon as the context dies or the
 // expansion budget (WithBudget) runs out.
+//
+//atis:hotpath
 func BestFirstCtx(ctx context.Context, g *graph.Graph, s, d graph.NodeID, opts Options) (res Result, err error) {
 	if err := validatePair(g, s, d); err != nil {
 		return Result{}, err
@@ -329,6 +336,7 @@ func BestFirstCtx(ctx context.Context, g *graph.Graph, s, d graph.NodeID, opts O
 			tr.HeapPushes, tr.HeapPops = front.ops()
 			return Result{
 				Found: true,
+				//lint:ignore hotpath result materialisation: the returned path is the query's one allocation
 				Path:  graph.BuildPath(lb.prev, s, d),
 				Cost:  lb.dist[d],
 				Trace: tr,

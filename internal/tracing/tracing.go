@@ -307,27 +307,35 @@ type Attr struct {
 // returns ctx unchanged and a nil span, allocating nothing. Every Start
 // must be paired with End — atislint's spanend analyzer enforces a
 // deferred or all-paths End on pain of CI.
+//
+//atis:hotpath
 func Start(ctx context.Context, name string) (context.Context, *Span) {
 	parent, _ := ctx.Value(spanKey{}).(*Span)
 	if parent == nil {
 		return ctx, nil
 	}
+	//lint:ignore hotpath enabled path: the span node is a traced request's deliberate cost
 	sp := &Span{tr: parent.tr, name: name, start: time.Now()}
 	parent.tr.mu.Lock()
 	parent.children = append(parent.children, sp)
 	parent.tr.mu.Unlock()
+	//lint:ignore hotpath enabled path: propagating the child span needs a new context node
 	return context.WithValue(ctx, spanKey{}, sp), sp
 }
 
 // FromContext returns the active span, or nil (a no-op span) when ctx
 // carries none — for annotating the current phase without opening a new
 // span.
+//
+//atis:hotpath
 func FromContext(ctx context.Context) *Span {
 	sp, _ := ctx.Value(spanKey{}).(*Span)
 	return sp
 }
 
 // End closes the span. Safe on nil and idempotent (the first End wins).
+//
+//atis:hotpath
 func (s *Span) End() {
 	if s == nil {
 		return
@@ -352,34 +360,46 @@ func (s *Span) TraceID() string {
 // not happen on the disabled (nil-span) path.
 
 // SetStr attaches a string attribute.
+//
+//atis:hotpath
 func (s *Span) SetStr(key, v string) {
 	if s == nil {
 		return
 	}
+	//lint:ignore hotpath enabled path: boxing the attribute is a traced request's deliberate cost
 	s.set(key, v)
 }
 
 // SetInt attaches an integer attribute.
+//
+//atis:hotpath
 func (s *Span) SetInt(key string, v int64) {
 	if s == nil {
 		return
 	}
+	//lint:ignore hotpath enabled path: boxing the attribute is a traced request's deliberate cost
 	s.set(key, v)
 }
 
 // SetFloat attaches a float attribute.
+//
+//atis:hotpath
 func (s *Span) SetFloat(key string, v float64) {
 	if s == nil {
 		return
 	}
+	//lint:ignore hotpath enabled path: boxing the attribute is a traced request's deliberate cost
 	s.set(key, v)
 }
 
 // SetBool attaches a boolean attribute.
+//
+//atis:hotpath
 func (s *Span) SetBool(key string, v bool) {
 	if s == nil {
 		return
 	}
+	//lint:ignore hotpath enabled path: boxing the attribute is a traced request's deliberate cost
 	s.set(key, v)
 }
 

@@ -229,6 +229,9 @@ func TestDisabledZeroAlloc(t *testing.T) {
 		c, sp := Start(ctx, "kernel")
 		sp.SetInt("expansions", 42)
 		sp.SetStr("algo", "dijkstra")
+		sp.SetFloat("cost", 12.5)
+		sp.SetBool("found", true)
+		FromContext(c).SetInt("depth", 3)
 		sp.End()
 		_ = c
 	})
