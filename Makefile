@@ -34,11 +34,15 @@
 #   make bench-lint — time the eight-analyzer atislint run over the
 #                 module (type-check excluded); keeps the interprocedural
 #                 hotpath/immutsnapshot passes honest as the graph grows
+#   make bench-snapshot — reader latency under a sustained mutation
+#                 stream: the lock-free snapshot read path vs the old
+#                 RWMutex discipline (target: reader p99 within 10% of
+#                 idle for the snapshot path), see BENCH_PR10.json
 
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: build test vet lint race check fuzz-short bench bench-paper bench-telemetry bench-ch bench-admission bench-customize bench-trace bench-lint
+.PHONY: build test vet lint race check fuzz-short bench bench-paper bench-telemetry bench-ch bench-admission bench-customize bench-trace bench-lint bench-snapshot
 
 build:
 	$(GO) build ./...
@@ -92,3 +96,6 @@ bench-trace:
 
 bench-lint:
 	$(GO) test -run xxx -bench 'LintModule' -benchmem -count 3 ./internal/lint
+
+bench-snapshot:
+	$(GO) test -run xxx -bench 'SnapshotReadUnderMutation|RWMutexReadUnderMutation' -benchtime 5000x -count 3 -timeout 30m .

@@ -1,0 +1,234 @@
+// Snapshot-serving benchmarks: what a reader pays when the world is
+// republished under it. The old design guarded the service's graph and
+// CH index with one RWMutex — every reader share-locked, and a traffic
+// writer held the exclusive lock across its whole customization, so
+// reader tail latency grew a full customization-length stall. The
+// snapshot design publishes each new world through one atomic pointer:
+// readers load it and never touch a lock, so a sustained mutation stream
+// should leave reader p99 within 10% of the idle run.
+//
+// Both harnesses run the identical query kernel (one CH point-to-point
+// query against the current index) so the only difference measured is
+// the coordination discipline: RLock/RUnlock around the query plus
+// mutate-and-customize under the writer lock, versus an atomic snapshot
+// load plus clone-customize-publish off to the side. `make
+// bench-snapshot` records both; see BENCH_PR10.json.
+package repro_test
+
+import (
+	"context"
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/ch"
+	"repro/internal/graph"
+	"repro/internal/gridgen"
+	"repro/internal/route"
+)
+
+const snapBenchK = 30
+
+// snapBenchPairs returns a fixed query mix so every variant prices the
+// same work.
+func snapBenchPairs(g *graph.Graph) []route.Pair {
+	rng := rand.New(rand.NewSource(benchSeed))
+	n := g.NumNodes()
+	pairs := make([]route.Pair, 512)
+	for i := range pairs {
+		pairs[i] = route.Pair{
+			From: graph.NodeID(rng.Intn(n)),
+			To:   graph.NodeID(rng.Intn(n)),
+		}
+	}
+	return pairs
+}
+
+// snapBenchBatch fills changes with a random re-pricing of base edges,
+// 0.5×–3× free-flow, the same mix the traffic-stream simulator sends.
+func snapBenchBatch(rng *rand.Rand, base []graph.Edge, changes []graph.EdgeCostChange) {
+	for i := range changes {
+		e := base[rng.Intn(len(base))]
+		changes[i] = graph.EdgeCostChange{
+			Tail: e.Tail, Head: e.Head,
+			Cost: e.Cost * (0.5 + 2.5*rng.Float64()),
+		}
+	}
+}
+
+// measureReaders drives b.N queries through query from parallel readers,
+// collecting per-query latency, and reports the p99 alongside ns/op.
+func measureReaders(b *testing.B, pairs []route.Pair, query func(from, to graph.NodeID)) {
+	var next atomic.Uint64
+	var mu sync.Mutex
+	var all []time.Duration
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		local := make([]time.Duration, 0, 4096)
+		for pb.Next() {
+			p := pairs[next.Add(1)%uint64(len(pairs))]
+			t0 := time.Now()
+			query(p.From, p.To)
+			local = append(local, time.Since(t0))
+		}
+		mu.Lock()
+		all = append(all, local...)
+		mu.Unlock()
+	})
+	b.StopTimer()
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	if len(all) > 0 {
+		b.ReportMetric(float64(all[len(all)*99/100].Nanoseconds()), "p99-ns")
+	}
+}
+
+// BenchmarkSnapshotReadUnderMutation measures the real Service's
+// lock-free read path: an atomic snapshot load and a CH query against
+// that snapshot's index, idle and then under a sustained
+// ApplyTrafficBatch stream republishing the world as fast as
+// customization allows.
+func BenchmarkSnapshotReadUnderMutation(b *testing.B) {
+	g := gridgen.MustGenerate(gridgen.Config{K: snapBenchK, Model: gridgen.Variance, Seed: benchSeed})
+	svc := route.NewService(g)
+	if err := svc.EnableCH(); err != nil {
+		b.Fatal(err)
+	}
+	pairs := snapBenchPairs(g)
+	base := g.Edges()
+	ctx := context.Background()
+
+	query := func(from, to graph.NodeID) {
+		sn := svc.Snapshot()
+		if _, err := sn.CH().QueryCtx(ctx, from, to); err != nil {
+			b.Error(err)
+		}
+	}
+
+	b.Run("idle", func(b *testing.B) {
+		measureReaders(b, pairs, query)
+	})
+
+	b.Run("mutating", func(b *testing.B) {
+		stop := make(chan struct{})
+		var wg sync.WaitGroup
+		var published atomic.Uint64
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(benchSeed))
+			changes := make([]graph.EdgeCostChange, 16)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				snapBenchBatch(rng, base, changes)
+				if _, err := svc.ApplyTrafficBatch(changes); err != nil {
+					b.Error(err)
+					return
+				}
+				published.Add(1)
+			}
+		}()
+		measureReaders(b, pairs, query)
+		close(stop)
+		wg.Wait()
+		b.ReportMetric(float64(published.Load()), "publishes")
+		if st := svc.CHStats(); st.StaleFallbacks != 0 {
+			b.Fatalf("%d stale fallbacks under the mutation stream, want 0", st.StaleFallbacks)
+		}
+	})
+}
+
+// rwWorld reproduces the pre-snapshot coordination discipline for
+// comparison: one RWMutex guards the graph and index; every reader
+// share-locks around its query, and a traffic writer mutates the graph
+// in place and re-customizes the metric while holding the exclusive
+// lock — so readers queue behind the full customization.
+type rwWorld struct {
+	mu   sync.RWMutex
+	g    *graph.Graph
+	topo *ch.Topology
+	ix   *ch.Index
+}
+
+func (w *rwWorld) query(ctx context.Context, from, to graph.NodeID) (ch.Result, error) {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	return w.ix.QueryCtx(ctx, from, to)
+}
+
+func (w *rwWorld) apply(changes []graph.EdgeCostChange) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if _, err := w.g.ApplyBatch(changes); err != nil {
+		return err
+	}
+	ix, err := w.topo.NewIndex(w.g)
+	if err != nil {
+		return err
+	}
+	w.ix = ix
+	return nil
+}
+
+// BenchmarkRWMutexReadUnderMutation is the baseline the snapshot design
+// replaces, on the identical query and mutation mix.
+func BenchmarkRWMutexReadUnderMutation(b *testing.B) {
+	g := gridgen.MustGenerate(gridgen.Config{K: snapBenchK, Model: gridgen.Variance, Seed: benchSeed})
+	topo, err := ch.BuildTopology(g, ch.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ix, err := topo.NewIndex(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	w := &rwWorld{g: g, topo: topo, ix: ix}
+	pairs := snapBenchPairs(g)
+	base := g.Edges()
+	ctx := context.Background()
+
+	query := func(from, to graph.NodeID) {
+		if _, err := w.query(ctx, from, to); err != nil {
+			b.Error(err)
+		}
+	}
+
+	b.Run("idle", func(b *testing.B) {
+		measureReaders(b, pairs, query)
+	})
+
+	b.Run("mutating", func(b *testing.B) {
+		stop := make(chan struct{})
+		var wg sync.WaitGroup
+		var published atomic.Uint64
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(benchSeed))
+			changes := make([]graph.EdgeCostChange, 16)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				snapBenchBatch(rng, base, changes)
+				if err := w.apply(changes); err != nil {
+					b.Error(err)
+					return
+				}
+				published.Add(1)
+			}
+		}()
+		measureReaders(b, pairs, query)
+		close(stop)
+		wg.Wait()
+		b.ReportMetric(float64(published.Load()), "publishes")
+	})
+}

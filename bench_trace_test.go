@@ -25,7 +25,7 @@ func BenchmarkTraceOverhead(b *testing.B) {
 	const k = 30
 	g := gridgen.MustGenerate(gridgen.Config{K: k, Model: gridgen.Variance, Seed: benchSeed})
 	s, d := gridgen.Pair(k, gridgen.Diagonal, benchSeed)
-	p := core.NewPlanner(g)
+	p := core.MustNew(g)
 	if _, err := p.CHIndex(); err != nil { // build once, outside timing
 		b.Fatal(err)
 	}

@@ -6,6 +6,7 @@
 //	atis-server -addr :8080 -map mpls
 //	curl 'localhost:8080/v1/route?from=G&to=D&algo=astar-euclidean'
 //	curl -X POST localhost:8080/v1/traffic -d '{"x":16,"y":16,"radius":4,"factor":2}'
+//	curl localhost:8080/v1/snapshot      # which published world answers right now
 //	curl localhost:8080/v1/metrics       # Prometheus text format
 //	atis-server -pprof                   # also mounts /debug/pprof/
 //	atis-server -max-inflight 8 -max-queue 32 -default-budget 2s -degrade
@@ -181,14 +182,17 @@ func main() {
 	defer stop()
 
 	if *trafficStream > 0 {
-		go streamTraffic(ctx, logger, svc, *trafficStream, *trafficBatch, *seed)
+		// The streamer only mutates; handing it the Mutator view keeps the
+		// read/write split visible at the call site.
+		go streamTraffic(ctx, logger, svc, svc.Graph().Edges(), *trafficStream, *trafficBatch, *seed)
 		logger.Info("traffic stream enabled",
 			"batches_per_sec", *trafficStream, "batch_size", *trafficBatch)
 	}
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
-	logger.Info("serving", "map", *mapKind, "nodes", g.NumNodes(), "edges", g.NumEdges(), "addr", *addr)
+	logger.Info("serving", "map", *mapKind, "nodes", g.NumNodes(), "edges", g.NumEdges(),
+		"addr", *addr, "snapshot", svc.Snapshot().Generation())
 
 	select {
 	case err := <-errCh:
@@ -212,13 +216,14 @@ func main() {
 // streamTraffic simulates a live traffic feed: rate batches per second,
 // each setting size random edges to an absolute cost drawn around the
 // free-flow baseline (0.5×–3.5× base, so costs never drift or collapse to
-// zero over a long run). Every batch is one Service.ApplyTrafficBatch —
-// one cost-version bump, one route-cache invalidation, and one synchronous
-// CH metric customization — which is exactly the load the customization
-// path is built for; watch atis_ch_customize_seconds and
-// atis_ch_stale_window_seconds under it.
-func streamTraffic(ctx context.Context, logger *slog.Logger, svc *route.Service, rate float64, size int, seed int64) {
-	base := svc.Graph().Edges() // free-flow snapshot, taken before any mutation
+// zero over a long run). Every batch is one Mutator.ApplyTrafficBatch —
+// one snapshot publication: cost-version bump, route-cache invalidation,
+// and a synchronous CH metric customization — which is exactly the load
+// the customization path is built for; watch atis_ch_customize_seconds
+// and atis_snapshot_generation under it.
+//
+// base is the free-flow edge set, captured before any mutation.
+func streamTraffic(ctx context.Context, logger *slog.Logger, m route.Mutator, base []graph.Edge, rate float64, size int, seed int64) {
 	if len(base) == 0 || size <= 0 {
 		return
 	}
@@ -242,7 +247,7 @@ func streamTraffic(ctx context.Context, logger *slog.Logger, svc *route.Service,
 				Cost: e.Cost * (0.5 + 3*rng.Float64()),
 			}
 		}
-		if _, err := svc.ApplyTrafficBatch(changes); err != nil {
+		if _, err := m.ApplyTrafficBatch(changes); err != nil {
 			logger.Error("traffic stream batch failed", "err", err)
 			return
 		}

@@ -25,7 +25,7 @@ func main() {
 			if err != nil {
 				log.Fatal(err)
 			}
-			planner := core.NewPlanner(g)
+			planner := core.MustNew(g)
 			for _, kind := range []gridgen.PairKind{gridgen.Horizontal, gridgen.Diagonal} {
 				s, d := gridgen.Pair(k, kind, 0)
 				for _, algo := range core.Algorithms() {

@@ -4,8 +4,14 @@
 // Information System would call it.
 //
 //	g := mpls.MustGenerate(mpls.Config{})
-//	p := core.NewPlanner(g)
+//	p, err := core.New(g)
 //	route, err := p.RouteByName("A", "B", core.Options{})
+//
+// Construction is configured with functional options rather than ad-hoc
+// setters: core.New(g, core.WithCH(), core.WithTracer(t)) readies the
+// contraction hierarchy eagerly and attaches a tracer in one call, so a
+// fully-configured Planner is immutable from the caller's point of view —
+// the property the route package's snapshot publication relies on.
 //
 // The default algorithm is A* with the euclidean estimator, which is
 // admissible (hence optimal) whenever edge costs dominate straight-line
@@ -120,9 +126,16 @@ type Route struct {
 
 // Planner computes routes over one graph. It is safe for concurrent use as
 // long as edge costs are not mutated concurrently; the route package's
-// Service adds that synchronisation.
+// Service adds that synchronisation by binding each Planner to an
+// immutable published snapshot.
 type Planner struct {
 	g *graph.Graph
+
+	// tracer, when set via WithTracer, gives work the Planner starts on
+	// its own (the lazy CH build) a trace of its own; request-path spans
+	// ride the caller's context and need no tracer here. A nil tracer is
+	// disabled — every tracing call is nil-safe.
+	tracer *tracing.Tracer
 
 	// Contraction-hierarchy state for the CH algorithm: the index is built
 	// lazily on first use and keyed on the graph's CostVersion. chMu
@@ -131,8 +144,60 @@ type Planner struct {
 	chMu  sync.Mutex
 }
 
-// NewPlanner wraps g. The graph is not copied; cost updates through g are
-// visible to subsequent computations (the ATIS dynamic-cost scenario).
+// PlannerOption configures a Planner at construction. Options are applied
+// in the order given; put WithTracer before WithCH so the eager hierarchy
+// build it triggers is traced.
+type PlannerOption func(*Planner) error
+
+// WithCH readies the contraction hierarchy eagerly, so the first
+// Algorithm: CH route is served by the index instead of paying the
+// structural contraction on a query path.
+func WithCH() PlannerOption {
+	return func(p *Planner) error {
+		_, err := p.CHIndex()
+		return err
+	}
+}
+
+// WithTracer attaches a tracer for the work the Planner starts on its own
+// (the lazy or eager CH build). Request-path spans attach to the span
+// already in the caller's context and do not need it.
+func WithTracer(t *tracing.Tracer) PlannerOption {
+	return func(p *Planner) error {
+		p.tracer = t
+		return nil
+	}
+}
+
+// New wraps g, applying options in order. The graph is not copied; the
+// caller promises not to mutate edge costs concurrently with computations
+// (the route package keeps that promise by giving each snapshot its own
+// Planner over a graph that is frozen at publish time). New fails only
+// when a fallible option (WithCH on an empty graph) does.
+func New(g *graph.Graph, opts ...PlannerOption) (*Planner, error) {
+	p := &Planner{g: g}
+	for _, o := range opts {
+		if err := o(p); err != nil {
+			return nil, err
+		}
+	}
+	return p, nil
+}
+
+// MustNew is New, panicking on option failure — for construction sites
+// whose options are statically known to be infallible.
+func MustNew(g *graph.Graph, opts ...PlannerOption) *Planner {
+	p, err := New(g, opts...)
+	if err != nil {
+		panic(fmt.Sprintf("core: MustNew: %v", err))
+	}
+	return p
+}
+
+// NewPlanner wraps g.
+//
+// Deprecated: use New, which takes functional options (WithCH,
+// WithTracer) instead of post-construction setters.
 func NewPlanner(g *graph.Graph) *Planner { return &Planner{g: g} }
 
 // Graph returns the planner's graph.
@@ -242,7 +307,11 @@ func (p *Planner) CHIndex() (*ch.Index, error) {
 		p.chIdx.Store(ix)
 		return ix, nil
 	}
+	// The structural contraction is the Planner's one self-started heavy
+	// phase; under WithTracer it gets a trace of its own.
+	_, tr := p.tracer.StartBackground("core.ch.build")
 	ix, err := ch.Build(p.g, ch.Options{})
+	p.tracer.Finish(tr)
 	if err != nil {
 		return nil, err
 	}

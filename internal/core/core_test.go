@@ -30,7 +30,7 @@ func TestAlgorithmNamesRoundTrip(t *testing.T) {
 func TestAllAlgorithmsAgreeOnOptimalCost(t *testing.T) {
 	const k = 12
 	g := gridgen.MustGenerate(gridgen.Config{K: k, Model: gridgen.Variance, Seed: 5})
-	p := NewPlanner(g)
+	p := MustNew(g)
 	s, d := gridgen.Pair(k, gridgen.SemiDiagonal, 0)
 
 	want := math.NaN()
@@ -58,7 +58,7 @@ func TestAllAlgorithmsAgreeOnOptimalCost(t *testing.T) {
 func TestWeightedRouteBounded(t *testing.T) {
 	const k = 15
 	g := gridgen.MustGenerate(gridgen.Config{K: k, Model: gridgen.Variance, Seed: 2})
-	p := NewPlanner(g)
+	p := MustNew(g)
 	s, d := gridgen.Pair(k, gridgen.Diagonal, 0)
 	opt, err := p.Route(s, d, Options{Algorithm: Dijkstra})
 	if err != nil {
@@ -78,7 +78,7 @@ func TestWeightedRouteBounded(t *testing.T) {
 
 func TestRouteByName(t *testing.T) {
 	g := gridgen.MustGenerate(gridgen.Config{K: 5})
-	p := NewPlanner(g)
+	p := MustNew(g)
 	// Grids have no names; expect errors.
 	if _, err := p.RouteByName("A", "B", Options{}); err == nil {
 		t.Error("unknown landmark accepted")
@@ -90,7 +90,7 @@ func TestRouteByName(t *testing.T) {
 
 func TestFrontierOptionPassedThrough(t *testing.T) {
 	g := gridgen.MustGenerate(gridgen.Config{K: 8, Model: gridgen.Variance, Seed: 1})
-	p := NewPlanner(g)
+	p := MustNew(g)
 	s, d := gridgen.Pair(8, gridgen.Diagonal, 0)
 	heap, err := p.Route(s, d, Options{Algorithm: Dijkstra, Frontier: search.FrontierHeap})
 	if err != nil {
@@ -107,7 +107,7 @@ func TestFrontierOptionPassedThrough(t *testing.T) {
 
 func TestUnknownAlgorithmRejected(t *testing.T) {
 	g := gridgen.MustGenerate(gridgen.Config{K: 4})
-	p := NewPlanner(g)
+	p := MustNew(g)
 	if _, err := p.Route(0, 5, Options{Algorithm: Algorithm(42)}); err == nil {
 		t.Error("unknown algorithm accepted")
 	}
@@ -115,7 +115,7 @@ func TestUnknownAlgorithmRejected(t *testing.T) {
 
 func TestDefaultIsAStarEuclidean(t *testing.T) {
 	g := gridgen.MustGenerate(gridgen.Config{K: 6})
-	p := NewPlanner(g)
+	p := MustNew(g)
 	r, err := p.Route(0, 35, Options{})
 	if err != nil {
 		t.Fatal(err)

@@ -17,13 +17,20 @@
 //	GET  /v1/alternates?from=A&to=B&k=3                     k loopless routes
 //	GET  /v1/map                                            map metadata
 //	GET  /v1/stats                                          serving counters
+//	GET  /v1/snapshot                                       published snapshot identity
 //	GET  /v1/metrics                                        Prometheus/OpenMetrics exposition
 //	GET  /v1/debug/traces                                   captured trace summaries
 //	GET  /v1/debug/traces/{id}                              one trace's span tree
 //
 // The unversioned paths remain as aliases; they serve identically but
-// carry a Deprecation header, a Link to the /v1 successor, and bump
-// atis_http_legacy_path_total.
+// carry a Deprecation header, a Link to the /v1 successor, a Sunset
+// header with the scheduled removal date, and bump
+// atis_http_legacy_path_total (see README for the removal schedule).
+//
+// Every response carries an X-ATIS-Snapshot header naming the publish
+// generation of the snapshot the service held when the request began —
+// the hook a fan-out gateway uses to tell which world each replica
+// serves.
 //
 // Every endpoint runs behind the instrumentation middleware (see
 // middleware.go). Search-running endpoints additionally run behind the
@@ -42,6 +49,7 @@ import (
 	"log/slog"
 	"net/http"
 	"strconv"
+	"time"
 
 	"repro/internal/admission"
 	"repro/internal/core"
@@ -157,15 +165,15 @@ func (s *Server) Handler() http.Handler {
 		v1 := "/v1" + ep.path
 		mux.Handle(ep.method+" "+v1, s.instrument(v1, ep.h))
 		mux.Handle(v1, s.instrument(v1, s.methodNotAllowed(ep.method)))
-		mux.Handle(ep.method+" "+ep.path, s.instrument(ep.path, s.deprecate(ep.path, ep.h)))
-		mux.Handle(ep.path, s.instrument(ep.path, s.deprecate(ep.path, s.methodNotAllowed(ep.method))))
+		s.registerLegacy(mux, ep.method, ep.path, ep.h)
 	}
-	// The trace debug endpoints are new with /v1 — no legacy alias to
-	// carry, so they register outside the alias loop.
+	// The snapshot and trace debug endpoints are new with /v1 — no legacy
+	// alias to carry, so they register outside the alias loop.
 	for _, ep := range []struct {
 		method, path string
 		h            http.HandlerFunc
 	}{
+		{http.MethodGet, "/v1/snapshot", s.handleSnapshot},
 		{http.MethodGet, "/v1/debug/traces", s.handleDebugTraces},
 		{http.MethodGet, "/v1/debug/traces/{id}", s.handleDebugTrace},
 	} {
@@ -173,6 +181,16 @@ func (s *Server) Handler() http.Handler {
 		mux.Handle(ep.path, s.instrument(ep.path, s.methodNotAllowed(ep.method)))
 	}
 	return mux
+}
+
+// registerLegacy mounts the unversioned alias of one endpoint behind the
+// deprecation wrapper — the single funnel every legacy path goes
+// through, so the Deprecation/Link/Sunset headers, the
+// atis_http_legacy_path_total counter, and the removal schedule cannot
+// drift per endpoint.
+func (s *Server) registerLegacy(mux *http.ServeMux, method, path string, h http.HandlerFunc) {
+	mux.Handle(method+" "+path, s.instrument(path, s.deprecate(path, h)))
+	mux.Handle(path, s.instrument(path, s.deprecate(path, s.methodNotAllowed(method))))
 }
 
 func (s *Server) writeJSON(w http.ResponseWriter, r *http.Request, v any) {
@@ -445,14 +463,19 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 
 // handleStats reports the serving stack's counters:
 // GET /v1/stats → {"cacheHits":…,"cacheMisses":…,"cacheEntries":…,
-// "costGeneration":…,"ch":{…},"admission":{…},"lifecycle":{…}}.
+// "costGeneration":…,"snapshot":{…},"ch":{…},"admission":{…},
+// "lifecycle":{…}}. Every field reads lock-free state — counters,
+// the published snapshot — so a scrape can never block behind a
+// traffic writer mid-customization.
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	hits, misses, entries := s.svc.CacheStats()
+	sn := s.svc.Snapshot()
 	s.writeJSON(w, r, map[string]any{
 		"cacheHits":      hits,
 		"cacheMisses":    misses,
 		"cacheEntries":   entries,
-		"costGeneration": s.svc.CostGeneration(),
+		"costGeneration": sn.CostGeneration(),
+		"snapshot":       snapshotBody(sn),
 		"ch":             s.svc.CHStats(),
 		"admission":      s.gate.Stats(),
 		"lifecycle": map[string]uint64{
@@ -461,6 +484,36 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"degraded":         s.degradedReqs.Value(),
 		},
 	})
+}
+
+// snapshotBody is the wire shape of a snapshot's identity, shared by
+// /v1/stats and /v1/snapshot so a gateway reads the same fields either
+// way.
+func snapshotBody(sn *route.Snapshot) map[string]any {
+	return map[string]any{
+		"version":     sn.CostVersion(),
+		"generation":  sn.Generation(),
+		"publishedAt": sn.PublishedAt().UTC().Format(time.RFC3339Nano),
+	}
+}
+
+// handleSnapshot exposes the published snapshot's identity:
+// GET /v1/snapshot → {"version":…,"generation":…,"publishedAt":…,
+// "costGeneration":…,"ch":{"ready":…,"shortcuts":…}}. The generation
+// here is the same number every response carries in X-ATIS-Snapshot, so
+// a gateway doing snapshot-version-aware fan-out can poll this endpoint
+// to learn which world a replica serves and route consistency-sensitive
+// request pairs to replicas publishing the same generation.
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	sn := s.svc.Snapshot()
+	body := snapshotBody(sn)
+	body["costGeneration"] = sn.CostGeneration()
+	chState := map[string]any{"ready": sn.CH() != nil}
+	if ix := sn.CH(); ix != nil {
+		chState["shortcuts"] = ix.Shortcuts()
+	}
+	body["ch"] = chState
+	s.writeJSON(w, r, body)
 }
 
 func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {

@@ -147,11 +147,18 @@ func (s *Server) methodNotAllowed(allow string) http.HandlerFunc {
 	}
 }
 
+// legacySunset is the scheduled removal date of the unversioned path
+// aliases, announced to clients via the Sunset header (RFC 8594) and
+// documented in the README's removal schedule.
+const legacySunset = "Sun, 01 Nov 2026 00:00:00 GMT"
+
 // deprecate wraps a legacy unversioned endpoint: the handler still
 // serves (aliases never break existing clients), but every hit carries a
-// Deprecation header, a Link to the successor /v1 path, and bumps the
-// per-path legacy counter so operators can watch migration progress
-// before retiring the aliases.
+// Deprecation header, a Link to the successor /v1 path, a Sunset header
+// announcing the removal date, and bumps the per-path legacy counter so
+// operators can watch migration progress before the sunset lands. Every
+// legacy path is mounted through registerLegacy, so this wrapper is the
+// single place the deprecation contract lives.
 func (s *Server) deprecate(path string, h http.HandlerFunc) http.HandlerFunc {
 	counter := s.reg.Counter("atis_http_legacy_path_total",
 		"Requests served via deprecated unversioned path aliases.",
@@ -160,6 +167,7 @@ func (s *Server) deprecate(path string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Deprecation", "true")
 		w.Header().Set("Link", "<"+successor+`>; rel="successor-version"`)
+		w.Header().Set("Sunset", legacySunset)
 		counter.Inc()
 		h(w, r)
 	}

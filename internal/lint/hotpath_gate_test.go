@@ -37,6 +37,13 @@ var hotpathGates = map[string]struct {
 	"tracing.Span.SetInt":            {"../tracing", "TestDisabledZeroAlloc"},
 	"tracing.Span.SetFloat":          {"../tracing", "TestDisabledZeroAlloc"},
 	"tracing.Span.SetBool":           {"../tracing", "TestDisabledZeroAlloc"},
+	"route.Service.Snapshot":         {"../route", "TestSnapshotReadPathZeroAlloc"},
+	"route.Service.CostGeneration":   {"../route", "TestSnapshotReadPathZeroAlloc"},
+	"route.Snapshot.Graph":           {"../route", "TestSnapshotReadPathZeroAlloc"},
+	"route.Snapshot.CH":              {"../route", "TestSnapshotReadPathZeroAlloc"},
+	"route.Snapshot.CostGeneration":  {"../route", "TestSnapshotReadPathZeroAlloc"},
+	"route.Snapshot.Generation":      {"../route", "TestSnapshotReadPathZeroAlloc"},
+	"route.Snapshot.CostVersion":     {"../route", "TestSnapshotReadPathZeroAlloc"},
 }
 
 // TestHotpathGateRegistry walks the module's //atis:hotpath annotations

@@ -1,0 +1,67 @@
+package route
+
+import (
+	"context"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// Querier is the read half of the service: every method serves from one
+// atomic load of the published Snapshot and never blocks behind a
+// mutator. A replica or gateway tier that only answers traveller
+// requests depends on this interface alone.
+type Querier interface {
+	// Snapshot identity — what a gateway needs for version-aware fan-out.
+	Snapshot() *Snapshot
+	CostGeneration() uint64
+	Graph() *graph.Graph
+
+	// Route computation.
+	Compute(from, to graph.NodeID, opts core.Options) (core.Route, error)
+	ComputeCtx(ctx context.Context, from, to graph.NodeID, opts core.Options) (core.Route, error)
+	ComputeByName(from, to string, opts core.Options) (core.Route, error)
+	ComputeVia(stops []graph.NodeID, opts core.Options) (core.Route, error)
+	ComputeViaCtx(ctx context.Context, stops []graph.NodeID, opts core.Options) (core.Route, error)
+	ComputeBatch(pairs []Pair, opts core.Options) []BatchResult
+	ComputeBatchCtx(ctx context.Context, pairs []Pair, opts core.Options) []BatchResult
+	ComputeDegraded(from, to graph.NodeID, opts core.Options) (core.Route, bool)
+	Alternates(from, to graph.NodeID, k int) ([]core.Route, error)
+	AlternatesCtx(ctx context.Context, from, to graph.NodeID, k int) ([]core.Route, error)
+
+	// Route evaluation and display.
+	Evaluate(path graph.Path) (Evaluation, error)
+	Display(path graph.Path, width, height int) string
+	Directions(p graph.Path) ([]Instruction, error)
+	Nearest(x, y float64) (graph.NodeID, bool)
+	Reachable(from graph.NodeID, budget float64) (map[graph.NodeID]float64, error)
+	ReachableCtx(ctx context.Context, from graph.NodeID, budget float64) (map[graph.NodeID]float64, error)
+	DisplayReachable(from graph.NodeID, budget float64, width, height int) (string, error)
+
+	// Serving-state introspection — lock-free, safe to scrape while a
+	// writer customizes.
+	CacheStats() (hits, misses uint64, entries int)
+	CHStats() CHStats
+}
+
+// Mutator is the write half of the service: every method serializes on
+// the writer lock, builds the next snapshot off to the side, and swaps
+// it in. The traffic-ingestion tier depends on this interface alone.
+type Mutator interface {
+	ApplyCongestion(from, to graph.NodeID, factor float64) (bool, error)
+	ApplyCongestionCtx(ctx context.Context, from, to graph.NodeID, factor float64) (bool, error)
+	ApplyRegionCongestion(center graph.Point, radius, factor float64) (int, error)
+	ApplyRegionCongestionCtx(ctx context.Context, center graph.Point, radius, factor float64) (int, error)
+	ApplyTrafficBatch(changes []graph.EdgeCostChange) (int, error)
+	ApplyTrafficBatchCtx(ctx context.Context, changes []graph.EdgeCostChange) (int, error)
+	ResetTraffic()
+	ResetTrafficCtx(ctx context.Context)
+	EnableCH() error
+}
+
+// Service implements both halves; callers that need only one should
+// declare the narrower dependency.
+var (
+	_ Querier = (*Service)(nil)
+	_ Mutator = (*Service)(nil)
+)

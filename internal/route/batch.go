@@ -40,6 +40,10 @@ func (s *Service) ComputeBatch(pairs []Pair, opts core.Options) []BatchResult {
 // is cut short by its own kernel's ctx poll. Unprocessed pairs carry the
 // context's lifecycle error so callers can tell "not computed" from "no
 // route". Results remain positionally aligned with pairs.
+//
+// The snapshot is loaded once for the whole batch: every pair is priced
+// under the same costs, so a fleet query straddling a traffic mutation
+// returns one consistent answer set instead of a mix of generations.
 func (s *Service) ComputeBatchCtx(ctx context.Context, pairs []Pair, opts core.Options) []BatchResult {
 	out := make([]BatchResult, len(pairs))
 	if len(pairs) == 0 {
@@ -47,6 +51,7 @@ func (s *Service) ComputeBatchCtx(ctx context.Context, pairs []Pair, opts core.O
 	}
 	s.batchRequests.Inc()
 	s.batchPairs.Add(uint64(len(pairs)))
+	snap := s.snap.Load()
 	workers := runtime.GOMAXPROCS(0)
 	if workers > len(pairs) {
 		workers = len(pairs)
@@ -66,7 +71,7 @@ func (s *Service) ComputeBatchCtx(ctx context.Context, pairs []Pair, opts core.O
 					out[i] = BatchResult{Err: search.FromContextErr(err)}
 					continue
 				}
-				rt, err := s.ComputeCtx(ctx, pairs[i].From, pairs[i].To, opts)
+				rt, err := s.computeSnap(ctx, snap, pairs[i].From, pairs[i].To, opts)
 				out[i] = BatchResult{Route: rt, Err: err}
 			}
 		}()

@@ -109,9 +109,7 @@ func classifyTurn(delta float64) string {
 // whose bearing changes by less than the continue threshold merge into one
 // instruction. A path with fewer than two nodes yields only an arrival.
 func (s *Service) Directions(p graph.Path) ([]Instruction, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	g := s.current
+	g := s.snap.Load().graph
 	if !p.ValidIn(g) {
 		return nil, fmt.Errorf("route: not a path of the network: %s", p)
 	}

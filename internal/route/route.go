@@ -10,10 +10,14 @@
 //
 // It also models the real-time traffic feed the paper motivates ("an
 // effective navigation system with static route selection, coupled with
-// real-time traffic information"): congestion updates scale edge costs on a
-// private snapshot, and recomputation picks up the new costs.
+// real-time traffic information"): congestion updates build a fresh
+// immutable Snapshot off to the side and publish it atomically, and
+// recomputation picks up the new costs through the next snapshot load.
 //
-// A Service is safe for concurrent use.
+// The package's concurrency surface splits into two interfaces: Querier
+// (the read path — lock-free, served entirely from one Snapshot load)
+// and Mutator (the write path — serialized, clone-apply-publish).
+// Service implements both and is safe for concurrent use.
 package route
 
 import (
@@ -33,48 +37,52 @@ import (
 	"repro/internal/tracing"
 )
 
-// Service owns a mutable snapshot of a road network and serves the three
-// ATIS facilities over it.
+// Service owns the mutable world of a road network — traffic ingestion,
+// CH customization, cache invalidation — and serves the three ATIS
+// facilities from immutable snapshots of it.
 //
-// Locking discipline: mu is a readers–writer lock over the cost snapshot.
-// Every query path (Compute, Evaluate, Display, Alternates, Nearest,
-// Reachable, Directions, …) takes mu.RLock, so arbitrarily many queries run
-// concurrently; only the traffic mutators (ApplyCongestion,
-// ApplyRegionCongestion, ResetTraffic) take the full mu.Lock. gen is the
-// cost generation: it is read under RLock and bumped under Lock by every
-// mutator, so a query's generation is always consistent with the costs it
-// read. The route cache is keyed on (endpoints, options, generation) and has
-// its own per-shard locks — never acquired while holding mu's write lock.
+// Concurrency discipline: there is no readers–writer lock. The service
+// publishes its entire read state as one *Snapshot behind an atomic
+// pointer; every query path (Compute, Evaluate, Display, Alternates,
+// Nearest, Reachable, Directions, batch, …) loads the pointer once and
+// runs to completion against that frozen view, so arbitrarily many
+// queries proceed with zero coordination — no query ever blocks behind a
+// mutator, however long the mutator's customization pass runs. The
+// traffic mutators (ApplyCongestion, ApplyRegionCongestion,
+// ApplyTrafficBatch, ResetTraffic) and the CH publishers (EnableCH, the
+// background rebuild) serialize on writeMu, clone the current graph,
+// apply their changes to the clone, re-customize the hierarchy's metric
+// for the new costs, and swap the finished Snapshot in. The route cache
+// is keyed on (endpoints, options, snapshot cost generation) and has its
+// own per-shard locks; a publish retires every stale entry at once by
+// changing the generation new requests key on.
 type Service struct {
-	mu      sync.RWMutex
-	base    *graph.Graph // pristine costs, for congestion ratios and reset
-	current *graph.Graph // live costs
-	planner *core.Planner
-	gen     uint64 // cost generation; bumped by every traffic mutation
+	base *graph.Graph // pristine costs, for congestion ratios and reset
+
+	// snap is the published read view; see Snapshot. writeMu serializes
+	// everyone who publishes a successor (traffic mutators, EnableCH, the
+	// background CH rebuild). Readers never touch writeMu.
+	snap    atomic.Pointer[Snapshot]
+	writeMu sync.Mutex
 
 	cache *routeCache
 
-	// Contraction-hierarchy serving state, split CRP-style. chTopo holds
-	// the metric-independent topology (contraction order, shortcut
-	// skeleton, triangle lists) — built once, valid until the graph's
-	// structure changes, which the graph model never does after
-	// construction. chIdx holds the most recently customized index; it is
-	// consulted lock-free and is authoritative only when its CostVersion
-	// matches the live graph's. Traffic mutators re-customize a fresh
-	// metric synchronously under the write lock (milliseconds, see
-	// customizeLocked), so once a topology exists the index is fresh again
-	// before the mutator returns and queries never observe a stale window.
-	// The background path (chMu + chBuilding, singleflight) remains for
-	// the cold start — the one case that still pays a full contraction.
-	chIdx      atomic.Pointer[ch.Index]
-	chTopo     atomic.Pointer[ch.Topology]
+	// chTopo holds the metric-independent contraction topology
+	// (contraction order, shortcut skeleton, triangle lists) — built once
+	// off-lock, valid until the graph's structure changes, which the
+	// graph model never does after construction. The customized metric
+	// itself lives inside each Snapshot. chMu + chBuilding singleflight
+	// the cold-start background build — the one case that still pays a
+	// full contraction.
 	chMu       sync.Mutex
 	chBuilding bool
+	chTopo     atomic.Pointer[ch.Topology]
 
 	// chStaleSince is the UnixNano timestamp at which the current
-	// stale-serving window opened (first fallback after losing freshness);
-	// 0 while the index is serving. chLastStaleNanos holds the duration of
-	// the most recently closed window.
+	// stale-serving window opened (first fallback after a CH request
+	// found no index); 0 while the published snapshot carries an index.
+	// chLastStaleNanos holds the duration of the most recently closed
+	// window.
 	chStaleSince     atomic.Int64
 	chLastStaleNanos atomic.Int64
 
@@ -115,12 +123,9 @@ func NewService(g *graph.Graph) *Service {
 
 // NewServiceWithRegistry is NewService recording into reg.
 func NewServiceWithRegistry(g *graph.Graph, reg *telemetry.Registry) *Service {
-	cur := g.Clone()
 	s := &Service{
-		base:    g.Clone(),
-		current: cur,
-		planner: core.NewPlanner(cur),
-		cache:   newRouteCache(defaultCacheCapacity),
+		base:  g.Clone(),
+		cache: newRouteCache(defaultCacheCapacity),
 
 		reg: reg,
 		cacheHits: reg.Counter("atis_route_cache_requests_total",
@@ -154,6 +159,10 @@ func NewServiceWithRegistry(g *graph.Graph, reg *telemetry.Registry) *Service {
 		trafficBatches: reg.Counter("atis_traffic_batches_total",
 			"Batched traffic updates applied through ApplyTrafficBatch."),
 	}
+	// The first snapshot is published before the service escapes the
+	// constructor, so Snapshot() never returns nil and the gauges below
+	// can read through it unconditionally.
+	s.snap.Store(newSnapshot(g.Clone(), nil, 0, 1))
 	s.cache.evictions = reg.Counter("atis_route_cache_evictions_total",
 		"Routes evicted from the LRU cache.")
 	for _, a := range core.Algorithms() {
@@ -165,10 +174,13 @@ func NewServiceWithRegistry(g *graph.Graph, reg *telemetry.Registry) *Service {
 	reg.GaugeFunc("atis_traffic_generation",
 		"Current cost generation (bumps on every traffic mutation).",
 		func() float64 { return float64(s.CostGeneration()) })
+	reg.GaugeFunc("atis_snapshot_generation",
+		"Publish sequence of the current snapshot (bumps on every swap).",
+		func() float64 { return float64(s.snap.Load().seq) })
 	reg.GaugeFunc("atis_ch_shortcuts",
 		"Shortcut arcs in the current contraction hierarchy (0 until built).",
 		func() float64 {
-			if ix := s.chIdx.Load(); ix != nil {
+			if ix := s.snap.Load().ch; ix != nil {
 				return float64(ix.Shortcuts())
 			}
 			return 0
@@ -196,28 +208,27 @@ func (s *Service) Registry() *telemetry.Registry { return s.reg }
 // caller's context.
 func (s *Service) SetTracer(t *tracing.Tracer) { s.tracer.Store(t) }
 
-// CostGeneration returns the current cost generation. It starts at zero and
-// increases by one on every traffic mutation; two equal generations imply
-// identical edge costs.
+// CostGeneration returns the published snapshot's cost generation. It
+// starts at zero and increases by one on every traffic mutation; two equal
+// generations imply identical edge costs.
+//
+//atis:hotpath
 func (s *Service) CostGeneration() uint64 {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.gen
+	return s.snap.Load().gen
 }
 
 // CacheStats reports route-cache hits, misses, and resident entries since
 // the service was created. The values are read from the same telemetry
-// instruments /metrics exports.
+// instruments /metrics exports; nothing here can block behind a writer.
 func (s *Service) CacheStats() (hits, misses uint64, entries int) {
 	return s.cacheHits.Value(), s.cacheMiss.Value(), s.cache.len()
 }
 
-// Graph returns the live graph snapshot. Callers must treat it as
-// read-only; use the traffic methods to change costs.
+// Graph returns the published snapshot's graph. Callers must treat it as
+// read-only; use the traffic methods to change costs. Prefer Snapshot for
+// multi-step reads that must see one consistent world.
 func (s *Service) Graph() *graph.Graph {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.current
+	return s.snap.Load().graph
 }
 
 // Compute runs route computation between nodes, consulting the
@@ -237,20 +248,24 @@ func (s *Service) Compute(from, to graph.NodeID, opts core.Options) (core.Route,
 // the answer is already in hand. Lifecycle-aborted computations are
 // never cached.
 func (s *Service) ComputeCtx(ctx context.Context, from, to graph.NodeID, opts core.Options) (core.Route, error) {
-	s.mu.RLock()
+	return s.computeSnap(ctx, s.snap.Load(), from, to, opts)
+}
+
+// computeSnap is ComputeCtx pinned to one already-loaded snapshot — the
+// shared entry for single requests and batch workers, which load the
+// snapshot once and serve every pair from the same world.
+func (s *Service) computeSnap(ctx context.Context, snap *Snapshot, from, to graph.NodeID, opts core.Options) (core.Route, error) {
 	key := cacheKey{
 		from: from, to: to,
 		algo: opts.Algorithm, weight: opts.Weight, frontier: opts.Frontier,
-		gen: s.gen,
+		gen: snap.gen,
 	}
 	if rt, ok := s.cacheLookup(ctx, key); ok {
-		s.mu.RUnlock()
 		s.cacheHits.Inc()
 		return rt, nil
 	}
 	start := time.Now()
-	rt, err := s.routeLocked(ctx, from, to, opts)
-	s.mu.RUnlock()
+	rt, err := s.routeSnap(ctx, snap, from, to, opts)
 	s.cacheMiss.Inc()
 	if err != nil {
 		return rt, err
@@ -258,21 +273,20 @@ func (s *Service) ComputeCtx(ctx context.Context, from, to graph.NodeID, opts co
 	if h, ok := s.computeSeconds[opts.Algorithm]; ok {
 		h.Observe(time.Since(start).Seconds())
 	}
-	// Stored under the generation observed while holding RLock: if a traffic
-	// mutation landed after we released it, the entry sits under the old
-	// generation and will never be served. Stored under the algorithm that
-	// actually served it: a CH request answered by the Dijkstra fallback is
-	// cached as a Dijkstra route, so once the rebuilt hierarchy is fresh the
-	// next CH request reaches the index instead of replaying the fallback.
+	// Stored under the snapshot's generation: if a mutation published
+	// meanwhile, the entry sits under the old generation and will never be
+	// served. Stored under the algorithm that actually served it: a CH
+	// request answered by the Dijkstra fallback is cached as a Dijkstra
+	// route, so once the warmed hierarchy publishes, the next CH request
+	// reaches the index instead of replaying the fallback.
 	key.algo = rt.Algorithm
 	s.cache.put(key, rt)
 	return rt, nil
 }
 
-// cacheLookup consults the route cache under the already-held read
-// lock, recording the outcome as a "route.cache" span when a trace is
-// active — a cache hit explains an anomalously fast request exactly as a
-// miss explains a slow one.
+// cacheLookup consults the route cache, recording the outcome as a
+// "route.cache" span when a trace is active — a cache hit explains an
+// anomalously fast request exactly as a miss explains a slow one.
 func (s *Service) cacheLookup(ctx context.Context, key cacheKey) (core.Route, bool) {
 	_, sp := tracing.Start(ctx, "route.cache")
 	defer sp.End()
@@ -281,19 +295,18 @@ func (s *Service) cacheLookup(ctx context.Context, key cacheKey) (core.Route, bo
 	return rt, ok
 }
 
-// routeLocked computes one route under an already-held read lock,
-// dispatching CH requests to the hierarchy. A CH request is served by the
-// index only when the index's cost version matches the live graph's;
-// otherwise the request falls back to Dijkstra — the result is labeled
-// with the algorithm that actually ran — and a background rebuild is
-// triggered. The fallback guarantees a stale hierarchy never serves a
-// cost that disagrees with the current edge costs.
-func (s *Service) routeLocked(ctx context.Context, from, to graph.NodeID, opts core.Options) (core.Route, error) {
+// routeSnap computes one route against snap, dispatching CH requests to
+// the snapshot's index. The index, when present, was customized for the
+// snapshot's exact costs when the snapshot was built — no freshness check
+// is needed or possible to fail. A snapshot without an index (cold start)
+// falls back to Dijkstra — the result is labeled with the algorithm that
+// actually ran — and triggers the background build.
+func (s *Service) routeSnap(ctx context.Context, snap *Snapshot, from, to graph.NodeID, opts core.Options) (core.Route, error) {
 	if opts.Algorithm != core.CH {
-		return s.planner.RouteCtx(ctx, from, to, opts)
+		return snap.planner.RouteCtx(ctx, from, to, opts)
 	}
-	if ix := s.chIdx.Load(); ix != nil && ix.CostVersion() == s.current.CostVersion() {
-		return s.chQueryLocked(ctx, ix, from, to)
+	if ix := snap.ch; ix != nil {
+		return s.chQuery(ctx, ix, from, to)
 	}
 	s.chStaleFallbacks.Inc()
 	s.chStaleSince.CompareAndSwap(0, time.Now().UnixNano())
@@ -303,13 +316,13 @@ func (s *Service) routeLocked(ctx context.Context, from, to graph.NodeID, opts c
 	tracing.FromContext(ctx).SetBool("ch.staleFallback", true)
 	fb := opts
 	fb.Algorithm = core.Dijkstra
-	return s.planner.RouteCtx(ctx, from, to, fb)
+	return snap.planner.RouteCtx(ctx, from, to, fb)
 }
 
-// chQueryLocked serves one request from a fresh hierarchy index,
-// wrapping the query in a "kernel" span (the CH counterpart of the
-// planner's) under which the index nests its search and unpack phases.
-func (s *Service) chQueryLocked(ctx context.Context, ix *ch.Index, from, to graph.NodeID) (core.Route, error) {
+// chQuery serves one request from a snapshot's hierarchy index, wrapping
+// the query in a "kernel" span (the CH counterpart of the planner's)
+// under which the index nests its search and unpack phases.
+func (s *Service) chQuery(ctx context.Context, ix *ch.Index, from, to graph.NodeID) (core.Route, error) {
 	ctx, sp := tracing.Start(ctx, "kernel")
 	defer sp.End()
 	sp.SetStr("algo", "ch")
@@ -339,27 +352,24 @@ func (s *Service) chQueryLocked(ctx context.Context, ix *ch.Index, from, to grap
 
 // ComputeDegraded answers a route request without running a search — the
 // load-shedding escape hatch the admission layer uses when the server is
-// saturated. It consults, in order: the route cache under the current
+// saturated. It consults, in order: the route cache under the snapshot's
 // cost generation (exact key only, no search, and no hit/miss counter
-// bumps — degraded answers must not skew cache telemetry), then a fresh
-// contraction-hierarchy index, whose per-query work is near-constant and
-// far below any kernel's. It reports ok=false when neither source can
-// answer — the caller sheds the request for real.
+// bumps — degraded answers must not skew cache telemetry), then the
+// snapshot's contraction-hierarchy index, whose per-query work is
+// near-constant and far below any kernel's. It reports ok=false when
+// neither source can answer — the caller sheds the request for real.
 func (s *Service) ComputeDegraded(from, to graph.NodeID, opts core.Options) (core.Route, bool) {
-	s.mu.RLock()
+	snap := s.snap.Load()
 	key := cacheKey{
 		from: from, to: to,
 		algo: opts.Algorithm, weight: opts.Weight, frontier: opts.Frontier,
-		gen: s.gen,
+		gen: snap.gen,
 	}
 	if rt, ok := s.cache.get(key); ok {
-		s.mu.RUnlock()
 		return rt, true
 	}
-	ix := s.chIdx.Load()
-	fresh := ix != nil && ix.CostVersion() == s.current.CostVersion()
-	s.mu.RUnlock()
-	if !fresh {
+	ix := snap.ch
+	if ix == nil {
 		return core.Route{}, false
 	}
 	start := time.Now()
@@ -384,8 +394,9 @@ func (s *Service) ComputeDegraded(from, to graph.NodeID, opts core.Options) (cor
 }
 
 // scheduleCHRebuild starts a background hierarchy build unless one is
-// already running (singleflight). Safe to call from query paths holding
-// the read lock: the builder goroutine acquires locks afresh.
+// already running (singleflight). Safe to call from query paths: the
+// builder goroutine does all heavy work against immutable snapshots and
+// only takes writeMu for the final publish.
 func (s *Service) scheduleCHRebuild() {
 	s.chMu.Lock()
 	if s.chBuilding {
@@ -397,15 +408,13 @@ func (s *Service) scheduleCHRebuild() {
 	go s.rebuildCH()
 }
 
-// rebuildCH readies a hierarchy from a private snapshot of the live costs —
-// all heavy work runs off-lock, so queries and traffic mutations proceed
-// unhindered — and publishes it. With a cached topology this is a
-// customization pass; only the cold start pays a structural contraction.
-// If costs mutated meanwhile, publishIndex's version gate discards the
-// result when a synchronous customization already installed something
-// fresher, and otherwise the next CH query detects the mismatch and
-// triggers another round — the index always converges to the live version
-// once mutations pause.
+// rebuildCH readies a hierarchy for the published snapshot's graph — the
+// structural contraction runs entirely off-lock against the immutable
+// snapshot, so queries and traffic mutations proceed unhindered — then
+// publishes a successor snapshot carrying the customized index. If a
+// mutation published meanwhile, the final customization under writeMu
+// re-prices for whatever graph is current then; the index in a published
+// snapshot always matches that snapshot's costs by construction.
 func (s *Service) rebuildCH() {
 	defer func() {
 		s.chMu.Lock()
@@ -418,42 +427,45 @@ func (s *Service) rebuildCH() {
 	tracer := s.tracer.Load()
 	ctx, tr := tracer.StartBackground("ch.rebuild")
 	defer tracer.Finish(tr)
-	s.mu.RLock()
-	snap := s.current.Clone() // carries the cost version it was copied at
-	s.mu.RUnlock()
-	ix, err := s.buildOrCustomize(ctx, snap)
-	if err != nil {
+	if _, err := s.ensureTopology(ctx, s.snap.Load().graph); err != nil {
 		return // only possible on an empty graph, which has nothing to serve
 	}
-	s.publishIndex(ix)
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
+	cur := s.snap.Load()
+	if cur.ch != nil {
+		return // a mutator's synchronous customization published first
+	}
+	ix := s.customizeFor(ctx, cur.graph)
+	if ix == nil {
+		return
+	}
+	s.installLocked(newSnapshot(cur.graph, ix, cur.gen, cur.seq+1))
 }
 
-// buildOrCustomize turns snap into a publishable index the cheapest way
-// available: a metric customization over the cached topology when snap's
-// structure matches it, a full structural contraction only on the first
-// build (or a structural change, which the graph model never produces
-// after construction). Callers must not hold mu's write lock — the
-// structural path is seconds of work at scale.
-func (s *Service) buildOrCustomize(ctx context.Context, snap *graph.Graph) (*ch.Index, error) {
-	topo := s.chTopo.Load()
-	if topo == nil || !topo.Matches(snap) {
-		t, err := s.buildTopology(ctx, snap)
-		if err != nil {
-			return nil, err
-		}
-		s.chTopo.Store(t)
-		topo = t
+// ensureTopology returns a topology matching g's structure, building one
+// — the expensive, cold-start-only structural contraction — if none is
+// cached. Callers must not hold writeMu: the build is seconds of work at
+// scale, and g is immutable, so no lock is needed to read it.
+func (s *Service) ensureTopology(ctx context.Context, g *graph.Graph) (*ch.Topology, error) {
+	if topo := s.chTopo.Load(); topo != nil && topo.Matches(g) {
+		return topo, nil
 	}
-	return s.customizeTopo(ctx, topo, snap)
+	t, err := s.buildTopology(ctx, g)
+	if err != nil {
+		return nil, err
+	}
+	s.chTopo.Store(t)
+	return t, nil
 }
 
 // buildTopology runs the structural contraction — the expensive,
 // cold-start-only phase — as a "ch.topology" span.
-func (s *Service) buildTopology(ctx context.Context, snap *graph.Graph) (*ch.Topology, error) {
+func (s *Service) buildTopology(ctx context.Context, g *graph.Graph) (*ch.Topology, error) {
 	_, sp := tracing.Start(ctx, "ch.topology")
 	defer sp.End()
 	start := time.Now()
-	t, err := ch.BuildTopology(snap, ch.Options{})
+	t, err := ch.BuildTopology(g, ch.Options{})
 	if err != nil {
 		return nil, err
 	}
@@ -479,70 +491,41 @@ func (s *Service) customizeTopo(ctx context.Context, topo *ch.Topology, g *graph
 	return ix, nil
 }
 
-// customizeLocked re-derives the hierarchy's metric for the costs just
-// written; every traffic mutator calls it with the write lock held. With a
-// topology in hand this is the entire price of keeping CH fresh across a
-// mutation — one bottom-up triangle pass, no contraction — so the index is
-// fresh again before the mutator returns and no query ever observes a
-// stale window. Without a topology (CH never warmed) it is a no-op; the
-// structural build never runs under the write lock.
-func (s *Service) customizeLocked(ctx context.Context) {
-	topo := s.chTopo.Load()
-	if topo == nil || !topo.Matches(s.current) {
-		return
-	}
-	ix, err := s.customizeTopo(ctx, topo, s.current)
-	if err != nil {
-		return // unreachable while Matches holds; the next query falls back
-	}
-	s.publishIndex(ix)
-}
-
-// publishIndex installs ix unless an index customized for a newer cost
-// version is already serving — background builds race the mutators'
-// synchronous customizations, and the version-monotonic compare-and-swap
-// keeps a slow build from clobbering a fresher metric. A successful
-// publish closes any open stale-serving window.
-func (s *Service) publishIndex(ix *ch.Index) {
-	for {
-		old := s.chIdx.Load()
-		if old != nil && old.CostVersion() >= ix.CostVersion() {
-			return
-		}
-		if s.chIdx.CompareAndSwap(old, ix) {
-			if since := s.chStaleSince.Swap(0); since != 0 {
-				s.chLastStaleNanos.Store(time.Now().UnixNano() - since)
-			}
-			return
-		}
-	}
-}
-
 // EnableCH readies the contraction hierarchy synchronously so the first
 // algo=ch query is served by the index instead of falling back while a
 // background build warms up. Servers call it once at startup; it is not
 // required — the first CH query triggers a build on its own. After the
-// topology exists, every traffic mutation re-customizes synchronously, so
-// calling EnableCH again is cheap (one customization pass) and only
-// useful to force-refresh an index outside the mutator paths.
+// topology exists, every traffic mutation re-customizes as part of its
+// publish, so calling EnableCH again is cheap (one customization pass)
+// and only useful to force-publish a fresh snapshot outside the mutator
+// paths.
 func (s *Service) EnableCH() error {
-	s.mu.RLock()
-	snap := s.current.Clone()
-	s.mu.RUnlock()
-	ix, err := s.buildOrCustomize(context.Background(), snap)
-	if err != nil {
+	ctx := context.Background()
+	if _, err := s.ensureTopology(ctx, s.snap.Load().graph); err != nil {
 		return fmt.Errorf("route: building contraction hierarchy: %w", err)
 	}
-	s.publishIndex(ix)
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
+	// Customize for whatever graph is current *now*: a mutation may have
+	// published between the off-lock build and taking writeMu. Structure
+	// never changes, so the topology still matches.
+	cur := s.snap.Load()
+	ix, err := s.customizeTopo(ctx, s.chTopo.Load(), cur.graph)
+	if err != nil {
+		return fmt.Errorf("route: customizing contraction hierarchy: %w", err)
+	}
+	s.installLocked(newSnapshot(cur.graph, ix, cur.gen, cur.seq+1))
 	return nil
 }
 
 // CHStats describes the contraction hierarchy's serving state.
 type CHStats struct {
-	// Ready reports whether an index has ever been built.
+	// Ready reports whether the published snapshot carries an index.
 	Ready bool `json:"ready"`
-	// Fresh reports whether the index matches the live cost version; a
-	// stale index means CH requests are currently served by Dijkstra.
+	// Fresh reports whether the index matches the snapshot's cost
+	// version. Under snapshot publication this is Ready by construction —
+	// an index is customized for its snapshot's exact costs before the
+	// swap — and the field remains for API compatibility.
 	Fresh bool `json:"fresh"`
 	// Shortcuts is the shortcut-arc count of the current index.
 	Shortcuts int `json:"shortcuts"`
@@ -564,8 +547,9 @@ type CHStats struct {
 	LastStaleWindowSeconds float64 `json:"lastStaleWindowSeconds"`
 }
 
-// CHStats reports the hierarchy's serving state, read from the same
-// instruments /metrics exports.
+// CHStats reports the hierarchy's serving state, read from the published
+// snapshot and the same instruments /metrics exports. It takes no lock,
+// so a stats scrape can never block behind a writer.
 func (s *Service) CHStats() CHStats {
 	st := CHStats{
 		Queries:                s.chQueries.Value(),
@@ -577,15 +561,13 @@ func (s *Service) CHStats() CHStats {
 	if since := s.chStaleSince.Load(); since != 0 {
 		st.StaleWindowSeconds = time.Since(time.Unix(0, since)).Seconds()
 	}
-	ix := s.chIdx.Load()
+	ix := s.snap.Load().ch
 	if ix == nil {
 		return st
 	}
 	st.Ready = true
+	st.Fresh = true // snapshot invariant: the index matches its graph's costs
 	st.Shortcuts = ix.Shortcuts()
-	s.mu.RLock()
-	st.Fresh = ix.CostVersion() == s.current.CostVersion()
-	s.mu.RUnlock()
 	return st
 }
 
@@ -593,16 +575,16 @@ func (s *Service) CHStats() CHStats {
 // resolution uses the immutable graph structure, so the call shares
 // Compute's cache.
 func (s *Service) ComputeByName(from, to string, opts core.Options) (core.Route, error) {
-	g := s.Graph()
-	f, ok := g.Lookup(from)
+	snap := s.snap.Load()
+	f, ok := snap.graph.Lookup(from)
 	if !ok {
 		return core.Route{}, fmt.Errorf("route: unknown landmark %q", from)
 	}
-	t, ok := g.Lookup(to)
+	t, ok := snap.graph.Lookup(to)
 	if !ok {
 		return core.Route{}, fmt.Errorf("route: unknown landmark %q", to)
 	}
-	return s.Compute(f, t, opts)
+	return s.computeSnap(context.Background(), snap, f, t, opts)
 }
 
 // ComputeVia plans a route that visits every stop in order — the errand run
@@ -616,20 +598,21 @@ func (s *Service) ComputeVia(stops []graph.NodeID, opts core.Options) (core.Rout
 
 // ComputeViaCtx is ComputeVia under a request lifecycle: each leg's
 // kernel polls ctx, so a multi-stop plan stops between (or within) legs
-// with a typed lifecycle error as soon as the context dies.
+// with a typed lifecycle error as soon as the context dies. All legs are
+// computed against one snapshot, so a traffic mutation mid-plan cannot
+// price different legs under different costs.
 func (s *Service) ComputeViaCtx(ctx context.Context, stops []graph.NodeID, opts core.Options) (core.Route, error) {
 	if len(stops) < 2 {
 		return core.Route{}, fmt.Errorf("route: ComputeVia needs at least 2 stops, got %d", len(stops))
 	}
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	snap := s.snap.Load()
 	combined := core.Route{
 		Found:     true,
 		Algorithm: opts.Algorithm,
 		Path:      graph.Path{Nodes: []graph.NodeID{stops[0]}},
 	}
 	for i := 0; i+1 < len(stops); i++ {
-		leg, err := s.routeLocked(ctx, stops[i], stops[i+1], opts)
+		leg, err := s.routeSnap(ctx, snap, stops[i], stops[i+1], opts)
 		if err != nil {
 			return core.Route{}, fmt.Errorf("route: leg %d (%d→%d): %w", i, stops[i], stops[i+1], err)
 		}
@@ -671,23 +654,24 @@ type Evaluation struct {
 	CongestedHops int
 }
 
-// Evaluate computes the attributes of path under the live network.
+// Evaluate computes the attributes of path under the published snapshot's
+// costs. base is read-only after construction, so comparing it with the
+// snapshot needs no coordination.
 func (s *Service) Evaluate(path graph.Path) (Evaluation, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	cur := s.snap.Load().graph
 	ev := Evaluation{Hops: path.Len()}
-	if !path.ValidIn(s.current) {
+	if !path.ValidIn(cur) {
 		return ev, fmt.Errorf("route: not a path of the network: %s", path)
 	}
 	ev.Valid = true
 	for i := 0; i+1 < len(path.Nodes); i++ {
 		u, v := path.Nodes[i], path.Nodes[i+1]
-		ev.Distance += s.current.Point(u).EuclideanDistance(s.current.Point(v))
-		cur, _ := s.current.ArcCost(u, v)
-		base, _ := s.base.ArcCost(u, v)
-		ev.CurrentCost += cur
-		ev.BaseCost += base
-		if cur > base {
+		ev.Distance += cur.Point(u).EuclideanDistance(cur.Point(v))
+		curCost, _ := cur.ArcCost(u, v)
+		baseCost, _ := s.base.ArcCost(u, v)
+		ev.CurrentCost += curCost
+		ev.BaseCost += baseCost
+		if curCost > baseCost {
 			ev.CongestedHops++
 		}
 	}
@@ -702,9 +686,7 @@ func (s *Service) Evaluate(path graph.Path) (Evaluation, error) {
 // Display renders the network with the route overlaid: road nodes as dots,
 // route nodes as 'o', endpoints as 'S' and 'D', landmarks by their names.
 func (s *Service) Display(path graph.Path, width, height int) string {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	g := s.current
+	g := s.snap.Load().graph
 	var pts []asciichart.Point
 	for u := graph.NodeID(0); int(u) < g.NumNodes(); u++ {
 		if g.OutDegree(u) == 0 {
@@ -739,10 +721,11 @@ func (s *Service) Alternates(from, to graph.NodeID, k int) ([]core.Route, error)
 
 // AlternatesCtx is Alternates under a request lifecycle: Yen's algorithm
 // runs a family of restricted Dijkstras, every one of which polls ctx.
+// The whole family runs against one snapshot, so all k alternatives are
+// priced under the same costs.
 func (s *Service) AlternatesCtx(ctx context.Context, from, to graph.NodeID, k int) ([]core.Route, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	results, err := search.KShortestCtx(ctx, s.current, from, to, k)
+	g := s.snap.Load().graph
+	results, err := search.KShortestCtx(ctx, g, from, to, k)
 	if err != nil {
 		return nil, err
 	}
@@ -764,9 +747,7 @@ func (s *Service) AlternatesCtx(ctx context.Context, from, to graph.NodeID, k in
 // the network. Isolated nodes (no roads) are skipped; ok is false when the
 // network has no road nodes at all.
 func (s *Service) Nearest(x, y float64) (graph.NodeID, bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	g := s.current
+	g := s.snap.Load().graph
 	p := graph.Point{X: x, Y: y}
 	best := graph.Invalid
 	bestDist := math.Inf(1)
@@ -792,21 +773,19 @@ func (s *Service) Reachable(from graph.NodeID, budget float64) (map[graph.NodeID
 // Dijkstra polls ctx and aborts with a typed lifecycle error rather than
 // returning a truncated (and therefore wrong) isochrone.
 func (s *Service) ReachableCtx(ctx context.Context, from graph.NodeID, budget float64) (map[graph.NodeID]float64, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return search.WithinCtx(ctx, s.current, from, budget)
+	return search.WithinCtx(ctx, s.snap.Load().graph, from, budget)
 }
 
 // DisplayReachable renders the isochrone: reachable nodes as 'o', the
-// origin as 'S', the rest of the network as dots.
+// origin as 'S', the rest of the network as dots. The isochrone and the
+// rendering read the same snapshot, so the picture cannot mix costs from
+// two generations.
 func (s *Service) DisplayReachable(from graph.NodeID, budget float64, width, height int) (string, error) {
-	reach, err := s.Reachable(from, budget)
+	g := s.snap.Load().graph
+	reach, err := search.WithinCtx(context.Background(), g, from, budget)
 	if err != nil {
 		return "", err
 	}
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	g := s.current
 	var pts []asciichart.Point
 	for u := graph.NodeID(0); int(u) < g.NumNodes(); u++ {
 		if g.OutDegree(u) == 0 {
@@ -832,12 +811,14 @@ func (s *Service) ApplyCongestion(from, to graph.NodeID, factor float64) (bool, 
 }
 
 // ApplyCongestionCtx is ApplyCongestion carrying the caller's context,
-// so the synchronous CH customization inside shows up as a span of the
+// so the CH customization inside the publish shows up as a span of the
 // mutating request's trace.
 func (s *Service) ApplyCongestionCtx(ctx context.Context, from, to graph.NodeID, factor float64) (bool, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	n, err := s.current.ApplyBatch([]graph.EdgeCostChange{
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
+	cur := s.snap.Load()
+	next := cur.graph.Clone()
+	n, err := next.ApplyBatch([]graph.EdgeCostChange{
 		{Tail: from, Head: to, Cost: factor, Scale: true},
 		{Tail: to, Head: from, Cost: factor, Scale: true},
 	})
@@ -845,15 +826,15 @@ func (s *Service) ApplyCongestionCtx(ctx context.Context, from, to graph.NodeID,
 		return false, err
 	}
 	if n > 0 {
-		s.mutatedLocked(ctx)
+		s.publishMutationLocked(ctx, cur, next)
 	}
 	return n > 0, nil
 }
 
 // ApplyRegionCongestion scales every edge with both endpoints within radius
 // of center — a congested downtown at rush hour. It returns the number of
-// directed edges affected. The whole region lands as one batch: one
-// cost-version bump, one cache invalidation, one customization pass.
+// directed edges affected. The whole region lands as one publish: one
+// cost-generation bump, one cache invalidation, one customization pass.
 func (s *Service) ApplyRegionCongestion(center graph.Point, radius, factor float64) (int, error) {
 	return s.ApplyRegionCongestionCtx(context.Background(), center, radius, factor)
 }
@@ -864,36 +845,41 @@ func (s *Service) ApplyRegionCongestionCtx(ctx context.Context, center graph.Poi
 	if factor < 0 {
 		return 0, fmt.Errorf("route: negative congestion factor %v", factor)
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
+	cur := s.snap.Load()
 	var changes []graph.EdgeCostChange
-	for _, e := range s.current.Edges() {
+	for _, e := range cur.graph.Edges() {
 		// The scan precedes any mutation, so honouring a cancel here
 		// keeps the batch atomic: either every regional edge changes or
 		// none does.
 		if err := ctx.Err(); err != nil {
 			return 0, err
 		}
-		if s.current.Point(e.Tail).EuclideanDistance(center) <= radius &&
-			s.current.Point(e.Head).EuclideanDistance(center) <= radius {
+		if cur.graph.Point(e.Tail).EuclideanDistance(center) <= radius &&
+			cur.graph.Point(e.Head).EuclideanDistance(center) <= radius {
 			changes = append(changes, graph.EdgeCostChange{Tail: e.Tail, Head: e.Head, Cost: e.Cost * factor})
 		}
 	}
-	affected, err := s.current.ApplyBatch(changes)
+	if len(changes) == 0 {
+		return 0, nil
+	}
+	next := cur.graph.Clone()
+	affected, err := next.ApplyBatch(changes)
 	if err != nil {
 		return 0, err
 	}
 	if affected > 0 {
-		s.mutatedLocked(ctx)
+		s.publishMutationLocked(ctx, cur, next)
 	}
 	return affected, nil
 }
 
 // ApplyTrafficBatch applies a burst of edge-cost changes as one traffic
 // event — the entry point for traffic-feed streams. However many edges the
-// batch touches, the service pays one cost-version bump, one route-cache
-// invalidation, and one customization pass; applying the same changes
-// through per-edge mutators would pay all three per edge.
+// batch touches, the service pays one publish: one cost-generation bump,
+// one route-cache invalidation, and one customization pass; applying the
+// same changes through per-edge mutators would pay all three per edge.
 func (s *Service) ApplyTrafficBatch(changes []graph.EdgeCostChange) (int, error) {
 	return s.ApplyTrafficBatchCtx(context.Background(), changes)
 }
@@ -902,15 +888,17 @@ func (s *Service) ApplyTrafficBatch(changes []graph.EdgeCostChange) (int, error)
 // context, so a traced POST /v1/traffic/batch shows the customization
 // pass it paid for.
 func (s *Service) ApplyTrafficBatchCtx(ctx context.Context, changes []graph.EdgeCostChange) (int, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	affected, err := s.current.ApplyBatch(changes)
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
+	cur := s.snap.Load()
+	next := cur.graph.Clone()
+	affected, err := next.ApplyBatch(changes)
 	if err != nil {
 		return 0, err
 	}
 	if affected > 0 {
 		s.trafficBatches.Inc()
-		s.mutatedLocked(ctx)
+		s.publishMutationLocked(ctx, cur, next)
 	}
 	return affected, nil
 }
@@ -921,29 +909,22 @@ func (s *Service) ResetTraffic() {
 }
 
 // ResetTrafficCtx is ResetTraffic carrying the caller's context for span
-// attribution.
+// attribution. It always publishes, even when costs were already
+// pristine — a reset is an explicit traffic event and bumps the
+// generation like any other.
 func (s *Service) ResetTrafficCtx(ctx context.Context) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
+	cur := s.snap.Load()
+	next := cur.graph.Clone()
 	edges := s.base.Edges()
 	changes := make([]graph.EdgeCostChange, len(edges))
 	for i, e := range edges {
 		changes[i] = graph.EdgeCostChange{Tail: e.Tail, Head: e.Head, Cost: e.Cost}
 	}
-	// base and current share structure; the batch cannot fail here.
-	if _, err := s.current.ApplyBatch(changes); err != nil {
+	// base and the snapshot share structure; the batch cannot fail here.
+	if _, err := next.ApplyBatch(changes); err != nil {
 		panic(fmt.Sprintf("route: snapshot structure diverged: %v", err))
 	}
-	s.mutatedLocked(ctx)
-}
-
-// mutatedLocked is the common tail of every traffic mutator, with the
-// write lock held and costs already changed: bump the cost generation
-// (retiring every cached route at once), count the event, and re-customize
-// the hierarchy so it is fresh again before the lock releases. ctx
-// carries the mutating request's span tree, if any.
-func (s *Service) mutatedLocked(ctx context.Context) {
-	s.gen++
-	s.trafficUpdates.Inc()
-	s.customizeLocked(ctx)
+	s.publishMutationLocked(ctx, cur, next)
 }
